@@ -1,0 +1,47 @@
+// Command hades-exp regenerates every table and figure of the HADES
+// reproduction (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	hades-exp                 # run everything, full scale
+//	hades-exp -run S5         # one experiment
+//	hades-exp -run F2 -quick  # reduced scale
+//	hades-exp -list           # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hades/internal/expkit"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment ID to run (or 'all')")
+		quick = flag.Bool("quick", false, "reduced sample counts")
+		seed  = flag.Int64("seed", 1, "base random seed")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(expkit.IDs(), "\n"))
+		return
+	}
+	opts := expkit.Options{Quick: *quick, Seed: *seed}
+	if *run == "all" {
+		for _, tbl := range expkit.RunAll(opts) {
+			fmt.Println(tbl)
+		}
+		return
+	}
+	tbl, err := expkit.Run(*run, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(tbl)
+}

@@ -1,0 +1,96 @@
+// Command hades-sim runs a HADES scenario — a §5.1-style task set under
+// a chosen scheduler and resource protocol on the simulated platform —
+// and reports per-task statistics, violations and (optionally) the full
+// event trace.
+//
+// Usage:
+//
+//	hades-sim -builtin spuri-example
+//	hades-sim -builtin inversion -trace
+//	hades-sim -scenario myset.json
+//	hades-sim -builtins              # list built-in scenarios
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hades/internal/scenario"
+)
+
+func main() {
+	var (
+		builtin  = flag.String("builtin", "", "built-in scenario name")
+		file     = flag.String("scenario", "", "scenario JSON file")
+		trace    = flag.Bool("trace", false, "print the full event trace")
+		gantt    = flag.Bool("gantt", false, "print a per-node CPU occupancy chart")
+		listThem = flag.Bool("builtins", false, "list built-in scenarios and exit")
+	)
+	flag.Parse()
+
+	if *listThem {
+		fmt.Println(strings.Join(scenario.BuiltinNames(), "\n"))
+		return
+	}
+	var (
+		spec scenario.Spec
+		err  error
+	)
+	switch {
+	case *builtin != "":
+		spec, err = scenario.Builtin(*builtin)
+	case *file != "":
+		spec, err = scenario.Load(*file)
+	default:
+		err = fmt.Errorf("need -builtin <name> or -scenario <file> (see -builtins)")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	sys, err := spec.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep := sys.Run(spec.Horizon())
+	fmt.Printf("scenario %q: %d node(s), scheduler %s, policy %s, costs %s\n",
+		spec.Name, spec.Nodes, spec.Scheduler, orNone(spec.Policy), orDefault(spec.Costs))
+	fmt.Print(rep)
+	if len(rep.Violations) > 0 {
+		fmt.Printf("violations (%d):\n", len(rep.Violations))
+		for _, v := range rep.Violations {
+			fmt.Println(" ", v)
+		}
+	}
+	if *gantt {
+		for node := 0; node < spec.Nodes; node++ {
+			fmt.Printf("--- gantt node %d ---\n", node)
+			fmt.Print(sys.Log().Gantt(node, 0, sys.Now(), 100))
+		}
+	}
+	if *trace {
+		fmt.Println("--- trace ---")
+		if err := sys.Log().WriteTrace(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+func orDefault(s string) string {
+	if s == "" {
+		return "default"
+	}
+	return s
+}

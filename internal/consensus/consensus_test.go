@@ -1,0 +1,153 @@
+package consensus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hades/internal/fault"
+	"hades/internal/monitor"
+	"hades/internal/netsim"
+	"hades/internal/simkern"
+	"hades/internal/vtime"
+)
+
+const us = vtime.Microsecond
+
+func rig(t *testing.T, n, f int) (*simkern.Engine, *netsim.Network, Config) {
+	t.Helper()
+	eng := simkern.NewEngine(monitor.NewLog(0), 31)
+	nodes := make([]int, n)
+	for i := 0; i < n; i++ {
+		eng.AddProcessor("n", 0)
+		nodes[i] = i
+	}
+	net := netsim.New(eng, netsim.Config{WAtm: 10 * us, WProto: 10 * us, PrioNet: simkern.PrioMax - 2})
+	net.ConnectAll(nodes, 50*us, 150*us)
+	return eng, net, DefaultConfig(net, nodes, f)
+}
+
+func proposals(vals ...int64) map[int]int64 {
+	m := make(map[int]int64, len(vals))
+	for i, v := range vals {
+		m[i] = v
+	}
+	return m
+}
+
+func TestAgreementAndValidityNoFaults(t *testing.T) {
+	eng, net, cfg := rig(t, 4, 1)
+	c := New(eng, net, "c1", cfg, nil)
+	c.Propose(proposals(30, 10, 20, 40))
+	eng.RunUntilIdle()
+	ds := c.Decisions()
+	if len(ds) != 4 {
+		t.Fatalf("decided %d/4", len(ds))
+	}
+	for n, r := range ds {
+		if r.Decision != 10 {
+			t.Fatalf("node %d decided %d, want 10 (min)", n, r.Decision)
+		}
+		if r.Rounds != 2 {
+			t.Fatalf("rounds = %d, want f+1 = 2", r.Rounds)
+		}
+	}
+}
+
+func TestTerminationBound(t *testing.T) {
+	eng, net, cfg := rig(t, 5, 2)
+	var decidedAt vtime.Time
+	c := New(eng, net, "c2", cfg, func(r Result) { decidedAt = r.DecidedAt })
+	start := eng.Now()
+	c.Propose(proposals(5, 4, 3, 2, 1))
+	eng.RunUntilIdle()
+	if decidedAt == 0 {
+		t.Fatal("no decision")
+	}
+	if got := decidedAt.Sub(start); got > c.Bound() {
+		t.Fatalf("decided after %s, bound %s", got, c.Bound())
+	}
+}
+
+func TestCrashDuringProtocol(t *testing.T) {
+	eng, net, cfg := rig(t, 4, 1)
+	c := New(eng, net, "c3", cfg, nil)
+	// Node 0 (holding the minimum) crashes mid-round 1.
+	fault.CrashAt(eng, net, 0, vtime.Time(20*us), 0)
+	c.Propose(proposals(1, 10, 20, 30))
+	eng.RunUntilIdle()
+	ds := c.Decisions()
+	if len(ds) != 3 {
+		t.Fatalf("decided %d/3 survivors", len(ds))
+	}
+	// All survivors agree (value depends on what escaped before the
+	// crash — agreement is the property, not the specific value).
+	var first int64 = -1
+	for _, r := range ds {
+		if first == -1 {
+			first = r.Decision
+		} else if r.Decision != first {
+			t.Fatalf("disagreement: %v", ds)
+		}
+	}
+}
+
+// Property: under any single send-omission-faulty process (f=1, n=4),
+// all correct processes decide the same value, and that value is one of
+// the proposals (validity for FloodSet with min).
+func TestAgreementPropertyOmission(t *testing.T) {
+	prop := func(faulty uint8, seed int64) bool {
+		fNode := int(faulty) % 4
+		eng, net, cfg := rig(t, 4, 1)
+		net.SetFault(&fault.OmissionFrom{Nodes: map[int]bool{fNode: true}, Port: "consensus.cx"})
+		c := New(eng, net, "cx", cfg, nil)
+		vals := proposals(seed%97, (seed/7)%89, (seed/11)%83, (seed/13)%79)
+		c.Propose(vals)
+		eng.RunUntilIdle()
+		ds := c.Decisions()
+		var decided []int64
+		for n, r := range ds {
+			if n == fNode {
+				continue
+			}
+			decided = append(decided, r.Decision)
+		}
+		if len(decided) != 3 {
+			return false
+		}
+		for _, d := range decided[1:] {
+			if d != decided[0] {
+				return false
+			}
+		}
+		// Validity: the decision is one of the proposals.
+		ok := false
+		for _, v := range vals {
+			if v == decided[0] {
+				ok = true
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbstainersIgnored(t *testing.T) {
+	eng, net, cfg := rig(t, 4, 1)
+	c := New(eng, net, "c4", cfg, nil)
+	p := proposals(7, 8, 9)
+	delete(p, 2) // node 2 abstains entirely
+	p[3] = 5
+	c.Propose(p)
+	eng.RunUntilIdle()
+	ds := c.Decisions()
+	if len(ds) != 3 {
+		t.Fatalf("decided %d, want 3 (abstainer excluded)", len(ds))
+	}
+	for _, r := range ds {
+		if r.Decision != 5 {
+			t.Fatalf("decision %d, want 5", r.Decision)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package core is the public face of the HADES middleware: it assembles
+// the simulated COTS platform (kernel + network), the generic dispatcher
+// and per-application schedulers into one System, mirroring Figure 1's
+// layering — applications over schedulers over the dispatcher and
+// services over the COTS RT-kernel and hardware.
+//
+// Typical use:
+//
+//	sys := core.NewSystem(core.Config{Nodes: 1, Seed: 1})
+//	app := sys.NewApp("ctrl", sched.NewEDF(20*vtime.Microsecond), sched.NewSRP())
+//	app.MustAddTask(taskA)
+//	app.Seal()
+//	sys.StartPeriodic("taskA")
+//	report := sys.Run(vtime.Second)
+package core
+
+import (
+	"fmt"
+
+	"hades/internal/dispatcher"
+	"hades/internal/eventq"
+	"hades/internal/heug"
+	"hades/internal/monitor"
+	"hades/internal/netsim"
+	"hades/internal/simkern"
+	"hades/internal/vtime"
+)
+
+// Config describes the platform to assemble.
+type Config struct {
+	// Nodes is the number of mono-processor machines.
+	Nodes int
+	// Seed drives all randomness (delays, generators): same seed, same
+	// run.
+	Seed int64
+	// Costs is the §4 cost book; zero value means free middleware
+	// (useful for idealised comparisons). Use
+	// dispatcher.DefaultCostBook for realistic costs.
+	Costs dispatcher.CostBook
+	// Network enables the simulated interconnect when Nodes > 1. Nil
+	// with Nodes > 1 installs netsim.DefaultConfig.
+	Network *netsim.Config
+	// LinkDelayMin/Max bound point-to-point delays for the default
+	// full mesh (used when Network is enabled).
+	LinkDelayMin, LinkDelayMax vtime.Duration
+	// LogLimit bounds the event log (0 = a generous default).
+	LogLimit int
+	// CancelOnMiss aborts instances at their deadline (orphan
+	// handling); default false records misses only.
+	CancelOnMiss bool
+}
+
+// System is an assembled HADES platform.
+type System struct {
+	cfg  Config
+	eng  *simkern.Engine
+	net  *netsim.Network
+	disp *dispatcher.Dispatcher
+	log  *monitor.Log
+	apps []*App
+
+	// Operational modes (see modes.go).
+	modes      map[string][]string
+	mode       string
+	generators []*generator
+}
+
+// NewSystem assembles a platform per cfg.
+func NewSystem(cfg Config) *System {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.LogLimit == 0 {
+		cfg.LogLimit = 500000
+	}
+	if cfg.LinkDelayMax == 0 {
+		cfg.LinkDelayMin, cfg.LinkDelayMax = 100*vtime.Microsecond, 300*vtime.Microsecond
+	}
+	log := monitor.NewLog(cfg.LogLimit)
+	eng := simkern.NewEngine(log, cfg.Seed)
+	for i := 0; i < cfg.Nodes; i++ {
+		eng.AddProcessor(fmt.Sprintf("node%d", i), cfg.Costs.SwitchCost)
+	}
+	var net *netsim.Network
+	if cfg.Nodes > 1 {
+		ncfg := netsim.DefaultConfig()
+		if cfg.Network != nil {
+			ncfg = *cfg.Network
+		}
+		net = netsim.New(eng, ncfg)
+		ids := make([]int, cfg.Nodes)
+		for i := range ids {
+			ids[i] = i
+		}
+		net.ConnectAll(ids, cfg.LinkDelayMin, cfg.LinkDelayMax)
+	}
+	disp := dispatcher.New(eng, net, cfg.Costs)
+	disp.CancelOnMiss = cfg.CancelOnMiss
+	return &System{
+		cfg:   cfg,
+		eng:   eng,
+		net:   net,
+		disp:  disp,
+		log:   log,
+		modes: make(map[string][]string),
+	}
+}
+
+// Engine returns the discrete-event engine.
+func (s *System) Engine() *simkern.Engine { return s.eng }
+
+// Network returns the simulated network (nil on single-node systems).
+func (s *System) Network() *netsim.Network { return s.net }
+
+// Dispatcher returns the generic dispatcher.
+func (s *System) Dispatcher() *dispatcher.Dispatcher { return s.disp }
+
+// Log returns the monitoring event log.
+func (s *System) Log() *monitor.Log { return s.log }
+
+// Now returns current virtual time.
+func (s *System) Now() vtime.Time { return s.eng.Now() }
+
+// App is an application handle: a scheduler, a resource policy, tasks.
+type App struct {
+	sys *System
+	app *dispatcher.App
+}
+
+// NewApp registers an application with its scheduling policy and
+// resource protocol (nil policy = plain locking).
+func (s *System) NewApp(name string, sch dispatcher.Scheduler, pol dispatcher.ResourcePolicy) *App {
+	a := &App{sys: s, app: s.disp.RegisterApp(name, sch, pol)}
+	s.apps = append(s.apps, a)
+	return a
+}
+
+// AddTask registers a HEUG task.
+func (a *App) AddTask(t *heug.Task) error {
+	_, err := a.app.AddTask(t)
+	return err
+}
+
+// MustAddTask registers a task, panicking on error (static setup).
+func (a *App) MustAddTask(t *heug.Task) {
+	if err := a.AddTask(t); err != nil {
+		panic(err)
+	}
+}
+
+// AddSpuri translates a §5.1 task via Figure 3 and registers it.
+func (a *App) AddSpuri(st heug.SpuriTask) error {
+	t, err := st.ToHEUG()
+	if err != nil {
+		return err
+	}
+	return a.AddTask(t)
+}
+
+// Seal finishes the app: static priority assignment, protocol ceilings,
+// admission wiring. Call once after all AddTask calls.
+func (a *App) Seal() { a.app.Seal() }
+
+// Raw returns the underlying dispatcher.App (advanced use).
+func (a *App) Raw() *dispatcher.App { return a.app }
+
+// StartPeriodic installs a timer-driven activation source following the
+// task's declared periodic arrival law (offset then every period),
+// running until the simulation horizon.
+func (s *System) StartPeriodic(task string) error {
+	tr, ok := s.disp.Task(task)
+	if !ok {
+		return fmt.Errorf("core: unknown task %q", task)
+	}
+	law := tr.Task.Arrival
+	if law.Kind != heug.Periodic {
+		return fmt.Errorf("core: task %q is not periodic", task)
+	}
+	var fire func()
+	fire = func() {
+		_, _ = s.disp.Activate(task) // arrival-law monitoring inside
+		s.eng.After(law.Period, eventq.ClassDispatch, fire)
+	}
+	s.eng.After(law.Offset, eventq.ClassDispatch, fire)
+	return nil
+}
+
+// StartSporadicWorstCase activates a sporadic task at its maximum legal
+// rate (every pseudo-period) — the worst-case arrival pattern the
+// feasibility tests assume, used by the validation experiments.
+func (s *System) StartSporadicWorstCase(task string) error {
+	return s.StartSporadic(task, nil)
+}
+
+// StartSporadic activates a sporadic task with the pseudo-period plus a
+// caller-supplied extra gap per instance (nil = worst-case rate). The
+// pattern is deterministic given the engine seed if extraGap uses it.
+func (s *System) StartSporadic(task string, extraGap func(k uint64) vtime.Duration) error {
+	tr, ok := s.disp.Task(task)
+	if !ok {
+		return fmt.Errorf("core: unknown task %q", task)
+	}
+	law := tr.Task.Arrival
+	if law.Kind != heug.Sporadic {
+		return fmt.Errorf("core: task %q is not sporadic", task)
+	}
+	var k uint64
+	var fire func()
+	fire = func() {
+		_, _ = s.disp.Activate(task)
+		k++
+		gap := law.Period
+		if extraGap != nil {
+			gap += extraGap(k)
+		}
+		s.eng.After(gap, eventq.ClassDispatch, fire)
+	}
+	s.eng.After(law.Offset, eventq.ClassDispatch, fire)
+	return nil
+}
+
+// ActivateAt requests a single activation at an absolute instant
+// (aperiodic arrivals, interrupt-triggered tasks).
+func (s *System) ActivateAt(task string, at vtime.Time) {
+	s.eng.At(at, eventq.ClassDispatch, func() { _, _ = s.disp.Activate(task) })
+}
+
+// ActivateOnCond activates the task whenever the named condition
+// variable is set — the event-triggered activation law of §3.1.2. The
+// task's deadline then runs from the event, which is what a watchdog
+// or alarm task wants.
+func (s *System) ActivateOnCond(cond, task string) {
+	s.disp.WatchCond(cond, func() { _, _ = s.disp.Activate(task) })
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	Until      vtime.Time
+	Stats      dispatcher.Stats
+	Tasks      []TaskReport
+	Violations []monitor.Event
+}
+
+// TaskReport is one task's runtime statistics.
+type TaskReport struct {
+	Name        string
+	Activations int
+	Completions int
+	Misses      int
+	AvgResponse vtime.Duration
+	MaxResponse vtime.Duration
+}
+
+// Run executes the system for the given virtual duration and reports.
+// It may be called repeatedly to advance further.
+func (s *System) Run(d vtime.Duration) Report {
+	until := s.eng.Now().Add(d)
+	s.eng.Run(until)
+	return s.ReportNow()
+}
+
+// ReportNow builds a report at the current instant without advancing.
+func (s *System) ReportNow() Report {
+	r := Report{Until: s.eng.Now(), Stats: s.disp.Stats(), Violations: s.log.Violations()}
+	for _, a := range s.apps {
+		for _, tr := range a.app.Tasks() {
+			r.Tasks = append(r.Tasks, TaskReport{
+				Name:        tr.Task.Name,
+				Activations: tr.Activations,
+				Completions: tr.Completions,
+				Misses:      tr.Misses,
+				AvgResponse: tr.AvgResponse(),
+				MaxResponse: tr.MaxResponse,
+			})
+		}
+	}
+	return r
+}
+
+// String renders the report as a compact table.
+func (r Report) String() string {
+	out := fmt.Sprintf("t=%s activations=%d completions=%d misses=%d violations=%d\n",
+		r.Until, r.Stats.Activations, r.Stats.Completions, r.Stats.DeadlineMisses, len(r.Violations))
+	for _, t := range r.Tasks {
+		out += fmt.Sprintf("  %-16s act=%-5d done=%-5d miss=%-4d avg=%-12s max=%s\n",
+			t.Name, t.Activations, t.Completions, t.Misses, t.AvgResponse, t.MaxResponse)
+	}
+	return out
+}

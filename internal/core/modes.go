@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"hades/internal/eventq"
+	"hades/internal/heug"
+	"hades/internal/monitor"
+)
+
+// Operational modes implement the low-level fault-tolerance mechanism
+// §3.2.1 assigns to the dispatcher: "switching of modes of operation in
+// case of failure [Mos94]". A mode names a set of tasks whose
+// activation generators run while the mode is active; switching modes
+// stops the old generators, optionally aborts the old mode's live
+// instances (orphaning their threads), and starts the new set — e.g. a
+// degraded local-control mode after a network or node failure.
+
+// generator is one cancellable activation source.
+type generator struct {
+	task    string
+	stopped bool
+}
+
+// DefineMode declares a mode as a set of task names. Tasks must already
+// be registered. Periodic tasks get timer generators on entry; sporadic
+// ones worst-case generators; aperiodic ones are activated by events
+// only.
+func (s *System) DefineMode(name string, tasks ...string) error {
+	if _, dup := s.modes[name]; dup {
+		return fmt.Errorf("core: mode %q already defined", name)
+	}
+	for _, task := range tasks {
+		if _, ok := s.disp.Task(task); !ok {
+			return fmt.Errorf("core: mode %q references unknown task %q", name, task)
+		}
+	}
+	s.modes[name] = tasks
+	return nil
+}
+
+// CurrentMode returns the active mode name ("" before EnterMode).
+func (s *System) CurrentMode() string { return s.mode }
+
+// EnterMode activates a mode's generators. Call once to start; use
+// SwitchMode afterwards.
+func (s *System) EnterMode(name string) error {
+	tasks, ok := s.modes[name]
+	if !ok {
+		return fmt.Errorf("core: unknown mode %q", name)
+	}
+	s.mode = name
+	s.log.Recordf(s.eng.Now(), monitor.KindFailover, -1, "mode", "enter %q", name)
+	for _, task := range tasks {
+		tr, _ := s.disp.Task(task)
+		g := &generator{task: task}
+		s.generators = append(s.generators, g)
+		switch tr.Task.Arrival.Kind {
+		case heug.Periodic, heug.Sporadic:
+			s.startGenerator(g, tr.Task.Arrival)
+		case heug.Aperiodic:
+			// event-driven only
+		}
+	}
+	return nil
+}
+
+// SwitchMode stops the current mode's generators and enters the new
+// mode. When abortLive is true, live instances of the old mode's tasks
+// are cancelled — their threads become orphans, per §3.2.1 — so the new
+// mode starts from a clean slate (a safety-critical mode change).
+// It returns the number of instances aborted.
+func (s *System) SwitchMode(name string, abortLive bool) (int, error) {
+	tasks, ok := s.modes[name]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown mode %q", name)
+	}
+	_ = tasks
+	old := s.modes[s.mode]
+	for _, g := range s.generators {
+		g.stopped = true
+	}
+	s.generators = nil
+	aborted := 0
+	if abortLive {
+		for _, task := range old {
+			aborted += s.disp.CancelLive(task, "mode switch")
+		}
+	}
+	s.log.Recordf(s.eng.Now(), monitor.KindFailover, -1, "mode",
+		"switch %q -> %q (aborted %d)", s.mode, name, aborted)
+	return aborted, s.EnterMode(name)
+}
+
+// startGenerator runs one cancellable periodic/worst-case-sporadic
+// activation loop.
+func (s *System) startGenerator(g *generator, law heug.Arrival) {
+	var fire func()
+	fire = func() {
+		if g.stopped {
+			return
+		}
+		_, _ = s.disp.Activate(g.task)
+		s.eng.After(law.Period, eventq.ClassDispatch, fire)
+	}
+	// First activation: immediately if the mode is entered mid-run,
+	// respecting the offset only at time zero.
+	delay := law.Offset
+	if s.eng.Now() > 0 {
+		delay = 0
+	}
+	s.eng.After(delay, eventq.ClassDispatch, fire)
+}
+
+// StopTask cancels the activation generator(s) of one task (it can be
+// restarted by re-entering a mode or calling StartPeriodic again).
+func (s *System) StopTask(task string) {
+	for _, g := range s.generators {
+		if g.task == task {
+			g.stopped = true
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package core_test
+
+import (
+	"testing"
+
+	"hades/internal/core"
+	"hades/internal/heug"
+	"hades/internal/sched"
+	"hades/internal/vtime"
+)
+
+func modesRig(t *testing.T) *core.System {
+	t.Helper()
+	sys := core.NewSystem(core.Config{Nodes: 1, Seed: 2})
+	app := sys.NewApp("a", sched.NewEDF(10*us), nil)
+	app.MustAddTask(simpleTask("full", heug.PeriodicEvery(10*ms), 0, 2*ms, 10*ms))
+	app.MustAddTask(simpleTask("aux", heug.PeriodicEvery(20*ms), 0, 1*ms, 20*ms))
+	app.MustAddTask(simpleTask("degraded", heug.PeriodicEvery(10*ms), 0, 500*us, 10*ms))
+	app.Seal()
+	if err := sys.DefineMode("normal", "full", "aux"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DefineMode("safe", "degraded"); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestModeEnterRunsItsTasks(t *testing.T) {
+	sys := modesRig(t)
+	if err := sys.EnterMode("normal"); err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(100 * ms)
+	counts := map[string]int{}
+	for _, tr := range rep.Tasks {
+		counts[tr.Name] = tr.Activations
+	}
+	if counts["full"] == 0 || counts["aux"] == 0 {
+		t.Fatalf("normal-mode tasks idle: %v", counts)
+	}
+	if counts["degraded"] != 0 {
+		t.Fatalf("safe-mode task ran in normal mode: %v", counts)
+	}
+	if sys.CurrentMode() != "normal" {
+		t.Fatal("mode not recorded")
+	}
+}
+
+func TestModeSwitchStopsOldStartsNew(t *testing.T) {
+	sys := modesRig(t)
+	if err := sys.EnterMode("normal"); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(50 * ms)
+	if _, err := sys.SwitchMode("safe", false); err != nil {
+		t.Fatal(err)
+	}
+	before := sys.ReportNow()
+	fullBefore := taskActivations(before, "full")
+	rep := sys.Run(100 * ms)
+	if got := taskActivations(rep, "full"); got != fullBefore {
+		t.Fatalf("old-mode task still activating after switch: %d -> %d", fullBefore, got)
+	}
+	if taskActivations(rep, "degraded") == 0 {
+		t.Fatal("new-mode task not activating")
+	}
+	if sys.CurrentMode() != "safe" {
+		t.Fatal("mode not switched")
+	}
+}
+
+func TestModeSwitchAbortsLiveInstances(t *testing.T) {
+	sys := core.NewSystem(core.Config{Nodes: 1, Seed: 2})
+	app := sys.NewApp("a", sched.NewEDF(10*us), nil)
+	// A long-running task that will be mid-flight at the switch.
+	app.MustAddTask(simpleTask("slow", heug.PeriodicEvery(50*ms), 0, 30*ms, 50*ms))
+	app.MustAddTask(simpleTask("fallback", heug.PeriodicEvery(10*ms), 0, 500*us, 10*ms))
+	app.Seal()
+	if err := sys.DefineMode("normal", "slow"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DefineMode("safe", "fallback"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EnterMode("normal"); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(10 * ms) // slow#1 is mid-execution
+	aborted, err := sys.SwitchMode("safe", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aborted != 1 {
+		t.Fatalf("aborted %d instances, want 1", aborted)
+	}
+	rep := sys.Run(100 * ms)
+	if rep.Stats.Orphans == 0 {
+		t.Fatal("no orphan threads recorded for the aborted instance")
+	}
+	if taskActivations(rep, "fallback") < 9 {
+		t.Fatalf("fallback barely ran: %d", taskActivations(rep, "fallback"))
+	}
+}
+
+func TestModeErrors(t *testing.T) {
+	sys := modesRig(t)
+	if err := sys.DefineMode("normal", "full"); err == nil {
+		t.Fatal("duplicate mode accepted")
+	}
+	if err := sys.DefineMode("bad", "ghost-task"); err == nil {
+		t.Fatal("unknown task accepted in mode")
+	}
+	if err := sys.EnterMode("ghost"); err == nil {
+		t.Fatal("unknown mode entered")
+	}
+	if _, err := sys.SwitchMode("ghost", false); err == nil {
+		t.Fatal("switch to unknown mode accepted")
+	}
+}
+
+// TestFailureTriggeredModeSwitch wires the full §2.1 story: a fault
+// detector suspicion triggers the switch to a degraded mode — the
+// "switching of modes of operation in case of failure" mechanism.
+func TestFailureTriggeredModeSwitch(t *testing.T) {
+	sys := core.NewSystem(core.Config{Nodes: 1, Seed: 2})
+	app := sys.NewApp("a", sched.NewEDF(10*us), nil)
+	app.MustAddTask(simpleTask("primary", heug.PeriodicEvery(10*ms), 0, 1*ms, 10*ms))
+	app.MustAddTask(simpleTask("backuptask", heug.PeriodicEvery(10*ms), 0, 1*ms, 10*ms))
+	app.Seal()
+	if err := sys.DefineMode("normal", "primary"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DefineMode("degraded", "backuptask"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EnterMode("normal"); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a detector callback firing at 50 ms.
+	sys.ActivateAt("primary", vtime.Time(0)) // extra manual activation is fine (monitored)
+	sys.Run(50 * ms)
+	if _, err := sys.SwitchMode("degraded", true); err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(50 * ms)
+	if sys.CurrentMode() != "degraded" {
+		t.Fatal("not in degraded mode")
+	}
+	if taskActivations(rep, "backuptask") == 0 {
+		t.Fatal("degraded task idle")
+	}
+}
+
+func taskActivations(rep core.Report, name string) int {
+	for _, tr := range rep.Tasks {
+		if tr.Name == name {
+			return tr.Activations
+		}
+	}
+	return 0
+}

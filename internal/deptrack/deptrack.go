@@ -1,0 +1,137 @@
+// Package deptrack implements the dependency tracking service of §2.2.1
+// ([NMT97]: "Managing dependencies — a key problem in fault-tolerant
+// distributed algorithms").
+//
+// The service records a DAG of events (task instance completions,
+// message deliveries, state updates) with explicit dependency edges.
+// When a failure invalidates an event, the transitive closure of
+// dependents — the *orphan set* — must be found and discarded or
+// recomputed; this is the information the dispatcher's orphan-thread
+// monitoring and the replication services act on.
+package deptrack
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventID identifies a tracked event.
+type EventID uint64
+
+// Tracker records the dependency graph. Not safe for concurrent use.
+type Tracker struct {
+	next    EventID
+	deps    map[EventID][]EventID // event → what it depends on
+	rdeps   map[EventID][]EventID // event → who depends on it
+	origin  map[EventID]string    // event → label ("node3/taskX#4")
+	failed  map[EventID]bool
+	orphans map[EventID]bool
+}
+
+// New returns an empty tracker.
+func New() *Tracker {
+	return &Tracker{
+		deps:    make(map[EventID][]EventID),
+		rdeps:   make(map[EventID][]EventID),
+		origin:  make(map[EventID]string),
+		failed:  make(map[EventID]bool),
+		orphans: make(map[EventID]bool),
+	}
+}
+
+// Record registers a new event with the given label, depending on the
+// listed prior events, and returns its ID. Unknown dependencies panic:
+// dependencies must be recorded before their dependents (causality).
+func (t *Tracker) Record(label string, dependsOn ...EventID) EventID {
+	for _, d := range dependsOn {
+		if _, ok := t.origin[d]; !ok {
+			panic(fmt.Sprintf("deptrack: dependency %d recorded before it exists", d))
+		}
+	}
+	t.next++
+	id := t.next
+	t.origin[id] = label
+	t.deps[id] = append([]EventID(nil), dependsOn...)
+	for _, d := range dependsOn {
+		t.rdeps[d] = append(t.rdeps[d], id)
+	}
+	// An event built on an orphan is itself an orphan immediately.
+	for _, d := range dependsOn {
+		if t.failed[d] || t.orphans[d] {
+			t.orphans[id] = true
+			break
+		}
+	}
+	return id
+}
+
+// Label returns an event's label.
+func (t *Tracker) Label(id EventID) string { return t.origin[id] }
+
+// Len returns the number of recorded events.
+func (t *Tracker) Len() int { return len(t.origin) }
+
+// MarkFailed invalidates an event (e.g. its producing node crashed
+// before stabilising it) and propagates orphan status to every
+// transitive dependent. It returns the newly orphaned events, sorted.
+func (t *Tracker) MarkFailed(id EventID) []EventID {
+	if _, ok := t.origin[id]; !ok {
+		return nil
+	}
+	t.failed[id] = true
+	var newly []EventID
+	stack := []EventID{id}
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, dep := range t.rdeps[e] {
+			if !t.orphans[dep] && !t.failed[dep] {
+				t.orphans[dep] = true
+				newly = append(newly, dep)
+				stack = append(stack, dep)
+			}
+		}
+	}
+	sort.Slice(newly, func(i, j int) bool { return newly[i] < newly[j] })
+	return newly
+}
+
+// IsOrphan reports whether an event transitively depends on a failed
+// one (or was recorded on top of an orphan).
+func (t *Tracker) IsOrphan(id EventID) bool { return t.orphans[id] }
+
+// IsFailed reports whether the event itself was marked failed.
+func (t *Tracker) IsFailed(id EventID) bool { return t.failed[id] }
+
+// Orphans returns the current orphan set, sorted.
+func (t *Tracker) Orphans() []EventID {
+	out := make([]EventID, 0, len(t.orphans))
+	for id := range t.orphans {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Frontier returns the non-orphan events nothing depends on yet — the
+// stable cut a recovering replica can resume from, sorted.
+func (t *Tracker) Frontier() []EventID {
+	out := make([]EventID, 0)
+	for id := range t.origin {
+		if t.failed[id] || t.orphans[id] {
+			continue
+		}
+		live := false
+		for _, r := range t.rdeps[id] {
+			if !t.failed[r] && !t.orphans[r] {
+				live = true
+				break
+			}
+		}
+		if !live {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,158 @@
+package deptrack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearDependencyChain(t *testing.T) {
+	tr := New()
+	a := tr.Record("a")
+	b := tr.Record("b", a)
+	c := tr.Record("c", b)
+	d := tr.Record("d", c)
+	orphans := tr.MarkFailed(b)
+	if len(orphans) != 2 || orphans[0] != c || orphans[1] != d {
+		t.Fatalf("orphans = %v, want [c d]", orphans)
+	}
+	if tr.IsOrphan(a) {
+		t.Fatal("a must survive")
+	}
+	if !tr.IsFailed(b) || tr.IsOrphan(b) {
+		t.Fatal("b is failed, not orphan")
+	}
+}
+
+func TestDiamondDependency(t *testing.T) {
+	tr := New()
+	root := tr.Record("root")
+	l := tr.Record("l", root)
+	r := tr.Record("r", root)
+	sink := tr.Record("sink", l, r)
+	orphans := tr.MarkFailed(l)
+	if len(orphans) != 1 || orphans[0] != sink {
+		t.Fatalf("orphans = %v, want [sink]", orphans)
+	}
+	if tr.IsOrphan(r) {
+		t.Fatal("r does not depend on l")
+	}
+}
+
+func TestRecordOnOrphanIsOrphan(t *testing.T) {
+	tr := New()
+	a := tr.Record("a")
+	b := tr.Record("b", a)
+	tr.MarkFailed(a)
+	c := tr.Record("c", b) // built on an orphan
+	if !tr.IsOrphan(c) {
+		t.Fatal("event depending on an orphan must be an orphan")
+	}
+}
+
+func TestUnknownDependencyPanics(t *testing.T) {
+	tr := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown dependency accepted")
+		}
+	}()
+	tr.Record("x", EventID(999))
+}
+
+func TestFrontier(t *testing.T) {
+	tr := New()
+	a := tr.Record("a")
+	b := tr.Record("b", a)
+	c := tr.Record("c", a)
+	fr := tr.Frontier()
+	// b and c are undepended-on tips.
+	if len(fr) != 2 || fr[0] != b || fr[1] != c {
+		t.Fatalf("frontier = %v, want [b c]", fr)
+	}
+	tr.MarkFailed(c)
+	fr = tr.Frontier()
+	// c failed: a's only live dependent is b.
+	if len(fr) != 1 || fr[0] != b {
+		t.Fatalf("frontier after failure = %v, want [b]", fr)
+	}
+}
+
+func TestOrphansSorted(t *testing.T) {
+	tr := New()
+	a := tr.Record("a")
+	for i := 0; i < 10; i++ {
+		tr.Record("x", a)
+	}
+	tr.MarkFailed(a)
+	os := tr.Orphans()
+	if len(os) != 10 {
+		t.Fatalf("orphans = %d", len(os))
+	}
+	for i := 1; i < len(os); i++ {
+		if os[i] <= os[i-1] {
+			t.Fatal("orphans not sorted")
+		}
+	}
+}
+
+func TestMarkFailedUnknownIsNoop(t *testing.T) {
+	tr := New()
+	if got := tr.MarkFailed(EventID(42)); got != nil {
+		t.Fatal("unknown event produced orphans")
+	}
+}
+
+// Property: the orphan set is exactly the transitive closure of
+// dependents of the failed event (checked against a reference BFS).
+func TestOrphanClosureProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw%20)
+		tr := New()
+		ids := make([]EventID, n)
+		deps := make([][]int, n)
+		for i := 0; i < n; i++ {
+			var d []EventID
+			for j := 0; j < i; j++ {
+				if rng.Intn(3) == 0 {
+					d = append(d, ids[j])
+					deps[i] = append(deps[i], j)
+				}
+			}
+			ids[i] = tr.Record("e", d...)
+		}
+		fail := rng.Intn(n)
+		got := tr.MarkFailed(ids[fail])
+		// Reference closure.
+		want := map[int]bool{}
+		changed := true
+		for changed {
+			changed = false
+			for i := 0; i < n; i++ {
+				if want[i] || i == fail {
+					continue
+				}
+				for _, j := range deps[i] {
+					if j == fail || want[j] {
+						want[i] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, id := range got {
+			if !want[int(id)-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

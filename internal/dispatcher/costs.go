@@ -1,0 +1,78 @@
+package dispatcher
+
+import "hades/internal/vtime"
+
+// CostBook holds the worst-case execution times of every dispatcher
+// activity identified in §4.1, plus the kernel parameters of §4.2. The
+// same book drives both the simulator (costs are charged on the CPU
+// timeline where §4 says they occur) and the feasibility tests of §5.3
+// (costs are folded into task WCETs), so admission decisions and observed
+// schedules account identical events.
+type CostBook struct {
+	// PrecLocal is C_prec_local: crossing a local precedence
+	// constraint — the cost of data copying plus a context switch.
+	PrecLocal vtime.Duration
+	// TransData is C_trans_data: handing data to the communication
+	// protocol when crossing a remote precedence constraint. It does
+	// not include transmission, which belongs to the NetMsg task.
+	TransData vtime.Duration
+	// StartAction is C_start_action: dispatcher and kernel work to
+	// start the execution of an action.
+	StartAction vtime.Duration
+	// EndAction is C_end_action: dispatcher and kernel work to end the
+	// execution of an action (including condition-variable signalling).
+	EndAction vtime.Duration
+	// StartInv is C_start_inv: dispatching cost at the beginning of a
+	// task invocation (or activation).
+	StartInv vtime.Duration
+	// EndInv is C_end_inv: dispatching cost at the end of a task
+	// invocation.
+	EndInv vtime.Duration
+	// SwitchCost is the kernel context-switch time, charged by the
+	// simulated kernel at each dispatch of a different thread.
+	SwitchCost vtime.Duration
+
+	// ClockTickPeriod and ClockTickWCET describe the §4.2 clock
+	// interrupt (P_clk, w_clk). A zero period disables the tick.
+	ClockTickPeriod vtime.Duration
+	ClockTickWCET   vtime.Duration
+}
+
+// DefaultCostBook returns costs in the order of magnitude of the paper's
+// testbed (a ChorusR3 kernel on Pentium workstations): tens of
+// microseconds per dispatcher activity, a 1 ms clock tick.
+func DefaultCostBook() CostBook {
+	return CostBook{
+		PrecLocal:       15 * vtime.Microsecond,
+		TransData:       40 * vtime.Microsecond,
+		StartAction:     10 * vtime.Microsecond,
+		EndAction:       8 * vtime.Microsecond,
+		StartInv:        12 * vtime.Microsecond,
+		EndInv:          9 * vtime.Microsecond,
+		SwitchCost:      6 * vtime.Microsecond,
+		ClockTickPeriod: 1 * vtime.Millisecond,
+		ClockTickWCET:   5 * vtime.Microsecond,
+	}
+}
+
+// ZeroCostBook returns a book where every middleware activity is free:
+// the idealised model that naive feasibility tests assume. Experiment
+// E-S5 contrasts admission under this book with the real one.
+func ZeroCostBook() CostBook { return CostBook{} }
+
+// Scale returns a copy of the book with every dispatcher cost multiplied
+// by k (the clock-tick period is left unchanged; its WCET scales).
+// Experiment E-X6 uses it to model crude, inflated cost estimates.
+func (c CostBook) Scale(k float64) CostBook {
+	mul := func(d vtime.Duration) vtime.Duration { return vtime.Duration(float64(d) * k) }
+	out := c
+	out.PrecLocal = mul(c.PrecLocal)
+	out.TransData = mul(c.TransData)
+	out.StartAction = mul(c.StartAction)
+	out.EndAction = mul(c.EndAction)
+	out.StartInv = mul(c.StartInv)
+	out.EndInv = mul(c.EndInv)
+	out.SwitchCost = mul(c.SwitchCost)
+	out.ClockTickWCET = mul(c.ClockTickWCET)
+	return out
+}

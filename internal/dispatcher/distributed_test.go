@@ -1,0 +1,133 @@
+package dispatcher_test
+
+import (
+	"testing"
+
+	"hades/internal/core"
+	"hades/internal/dispatcher"
+	"hades/internal/heug"
+	"hades/internal/sched"
+	"hades/internal/vtime"
+)
+
+// TestDistributedDiamond runs a fork-join HEUG across three nodes: the
+// source fans out to two branches on different processors, which join
+// on a third — exercising concurrent remote precedence crossings and
+// the fan-in predecessor count.
+func TestDistributedDiamond(t *testing.T) {
+	var joined []int64
+	task := heug.NewTask("diamond", heug.AperiodicLaw()).
+		WithDeadline(100*ms).
+		Code("src", heug.CodeEU{Node: 0, WCET: 100 * us, Action: func(ctx heug.ActionContext) {
+			ctx.Out("l", int64(1))
+			ctx.Out("r", int64(2))
+		}}).
+		Code("left", heug.CodeEU{Node: 1, WCET: 300 * us, Action: func(ctx heug.ActionContext) {
+			v, _ := ctx.In("l")
+			ctx.Out("lv", v)
+		}}).
+		Code("right", heug.CodeEU{Node: 2, WCET: 500 * us, Action: func(ctx heug.ActionContext) {
+			v, _ := ctx.In("r")
+			ctx.Out("rv", v)
+		}}).
+		Code("join", heug.CodeEU{Node: 0, WCET: 100 * us, Action: func(ctx heug.ActionContext) {
+			l, _ := ctx.In("lv")
+			r, _ := ctx.In("rv")
+			joined = append(joined, l.(int64)+r.(int64))
+		}}).
+		Precede("src", "left", "l").
+		Precede("src", "right", "r").
+		Precede("left", "join", "lv").
+		Precede("right", "join", "rv").
+		MustBuild()
+
+	sys := core.NewSystem(core.Config{Nodes: 3, Seed: 21, Costs: dispatcher.DefaultCostBook()})
+	app := sys.NewApp("app", sched.NewEDF(15*us), nil)
+	app.MustAddTask(task)
+	app.Seal()
+	sys.ActivateAt("diamond", 0)
+	rep := sys.Run(200 * ms)
+	if rep.Stats.Completions != 1 {
+		t.Fatalf("completions %d", rep.Stats.Completions)
+	}
+	if len(joined) != 1 || joined[0] != 3 {
+		t.Fatalf("join results %v, want [3]", joined)
+	}
+	// 4 remote crossings: src→left, src→right, left→join, right→join.
+	if got := sys.Network().Stats().Delivered; got != 4 {
+		t.Fatalf("remote messages %d, want 4", got)
+	}
+	if rep.Stats.NetworkOmissions != 0 {
+		t.Fatalf("spurious omission detections: %d", rep.Stats.NetworkOmissions)
+	}
+}
+
+// TestOverlappingInstances: a sporadic task with D > T legitimately has
+// several instances in flight; the dispatcher must keep their threads,
+// parameters and deadlines apart.
+func TestOverlappingInstances(t *testing.T) {
+	var got []uint64
+	task := heug.NewTask("overlap", heug.SporadicEvery(2*ms)).
+		WithDeadline(9*ms). // D > T: up to 5 live instances
+		Code("a", heug.CodeEU{Node: 0, WCET: 500 * us, Action: func(ctx heug.ActionContext) {
+			ctx.Out("k", ctx.Instance())
+		}}).
+		Code("b", heug.CodeEU{Node: 0, WCET: 500 * us, Action: func(ctx heug.ActionContext) {
+			v, _ := ctx.In("k")
+			got = append(got, v.(uint64))
+		}}).
+		Precede("a", "b", "k").
+		MustBuild()
+	sys := core.NewSystem(core.Config{Nodes: 1, Seed: 21})
+	app := sys.NewApp("app", sched.NewEDF(10*us), nil)
+	app.MustAddTask(task)
+	app.Seal()
+	if err := sys.StartSporadicWorstCase("overlap"); err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(40 * ms)
+	if rep.Stats.DeadlineMisses != 0 {
+		t.Fatalf("misses %d (U=0.5, must fit)", rep.Stats.DeadlineMisses)
+	}
+	if len(got) < 15 {
+		t.Fatalf("only %d instances completed", len(got))
+	}
+	// Parameters never crossed between overlapping instances: instance
+	// k's b-unit saw exactly k.
+	for i, v := range got {
+		if v != uint64(i+1) {
+			t.Fatalf("instance %d saw parameter %d — cross-instance leak", i+1, v)
+		}
+	}
+}
+
+// TestActualWorkVariability: instances with data-dependent execution
+// times below WCET complete early and the dispatcher records the early
+// terminations (§3.2.1's event for reclaiming released resources).
+func TestActualWorkVariability(t *testing.T) {
+	task := heug.NewTask("vary", heug.SporadicEvery(5*ms)).
+		WithDeadline(5*ms).
+		Code("a", heug.CodeEU{Node: 0, WCET: 2 * ms,
+			ActualWork: func(k uint64) vtime.Duration {
+				if k%2 == 0 {
+					return 500 * us // even instances finish early
+				}
+				return 2 * ms
+			}}).
+		MustBuild()
+	sys := core.NewSystem(core.Config{Nodes: 1, Seed: 21})
+	app := sys.NewApp("app", sched.NewRM(), nil)
+	app.MustAddTask(task)
+	app.Seal()
+	if err := sys.StartSporadicWorstCase("vary"); err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(41 * ms)
+	if rep.Stats.EarlyTerminations == 0 {
+		t.Fatal("no early terminations recorded")
+	}
+	// Roughly half the instances are early.
+	if rep.Stats.EarlyTerminations < rep.Stats.Completions/3 {
+		t.Fatalf("early %d of %d completions", rep.Stats.EarlyTerminations, rep.Stats.Completions)
+	}
+}

@@ -1,0 +1,147 @@
+package dispatcher_test
+
+import (
+	"strings"
+	"testing"
+
+	"hades/internal/core"
+	"hades/internal/dispatcher"
+	"hades/internal/heug"
+	"hades/internal/monitor"
+	"hades/internal/sched"
+	"hades/internal/vtime"
+)
+
+const (
+	us = vtime.Microsecond
+	ms = vtime.Millisecond
+)
+
+// TestFigure2EDFCooperation reproduces Figure 2 of the paper: two
+// threads t1 and t2 under an EDF scheduler thread t_edf at the highest
+// priority.
+//
+//	t = 0:    t1 activates (deadline far away) and runs.
+//	t = 2ms:  t2 activates with a shorter deadline. The dispatcher
+//	          inserts Atv(t2) into the shared FIFO; t_edf preempts t1,
+//	          processes the notification and — deadline(t2) <
+//	          deadline(t1) — raises t2 above t1 via the dispatcher
+//	          primitive. t2 preempts t1 and runs to completion.
+//	then:     Trm(t2) is enqueued; EDF ignores it (no reordering among
+//	          the survivors); t1, now highest, resumes and completes.
+func TestFigure2EDFCooperation(t *testing.T) {
+	sys := core.NewSystem(core.Config{Nodes: 1, Seed: 1})
+	edf := sched.NewEDF(20 * us)
+	app := sys.NewApp("fig2", edf, nil)
+
+	t1 := heug.NewTask("t1", heug.AperiodicLaw()).
+		WithDeadline(20*ms).
+		Code("eu", heug.CodeEU{Node: 0, WCET: 5 * ms}).
+		MustBuild()
+	t2 := heug.NewTask("t2", heug.AperiodicLaw()).
+		WithDeadline(4*ms).
+		Code("eu", heug.CodeEU{Node: 0, WCET: 1 * ms}).
+		MustBuild()
+	app.MustAddTask(t1)
+	app.MustAddTask(t2)
+	app.Seal()
+
+	sys.ActivateAt("t1", 0)
+	sys.ActivateAt("t2", vtime.Time(2*ms))
+	rep := sys.Run(30 * ms)
+
+	if rep.Stats.DeadlineMisses != 0 {
+		t.Fatalf("misses: %d", rep.Stats.DeadlineMisses)
+	}
+	if rep.Stats.Completions != 2 {
+		t.Fatalf("completions: %d", rep.Stats.Completions)
+	}
+
+	// Verify the cooperation trace shape.
+	var seq []string
+	for _, e := range sys.Log().Events() {
+		switch e.Kind {
+		case monitor.KindNotification:
+			seq = append(seq, "notif:"+e.Subject+":"+e.Detail)
+		case monitor.KindThreadStart, monitor.KindThreadPreempt, monitor.KindThreadResume:
+			if strings.HasPrefix(e.Subject, "t1#") || strings.HasPrefix(e.Subject, "t2#") {
+				seq = append(seq, e.Kind.String()+":"+e.Subject[:2])
+			}
+		case monitor.KindThreadFinish:
+			if strings.HasPrefix(e.Subject, "t1#") || strings.HasPrefix(e.Subject, "t2#") {
+				seq = append(seq, "Trm-evt:"+e.Subject[:2])
+			}
+		}
+	}
+	trace := strings.Join(seq, " | ")
+	mustContainInOrder(t, trace,
+		"notif:Atv:t1#1.eu", // activation notification for t1
+		"Start:t1",          // t1 runs
+		"notif:Atv:t2#1.eu", // t2 activation hits the FIFO
+		"Preempt:t1",        // scheduler (then t2) preempts t1
+		"Start:t2",          // t2 has the shorter deadline: runs
+		"Trm-evt:t2",        // t2 finishes
+		"Resume:t1",         // t1 continues
+		"Trm-evt:t1",
+	)
+
+	// The scheduler actually ran and changed priorities.
+	if n := sys.Log().CountKind(monitor.KindSchedulerRun); n < 3 {
+		t.Errorf("scheduler ran %d times, want >= 3 (Atv t1, Atv t2, Trm t2 ...)", n)
+	}
+	if n := sys.Log().CountKind(monitor.KindPriorityChange); n < 1 {
+		t.Errorf("no priority changes recorded")
+	}
+}
+
+func mustContainInOrder(t *testing.T, trace string, parts ...string) {
+	t.Helper()
+	rest := trace
+	for _, p := range parts {
+		i := strings.Index(rest, p)
+		if i < 0 {
+			t.Fatalf("trace missing %q (in order).\nTrace: %s", p, trace)
+		}
+		rest = rest[i+len(p):]
+	}
+}
+
+// TestFigure2WithCosts re-runs the scenario with the full §4 cost book:
+// the trace keeps its shape and response times grow by the accounted
+// overheads only.
+func TestFigure2WithCosts(t *testing.T) {
+	run := func(costs dispatcher.CostBook) core.Report {
+		sys := core.NewSystem(core.Config{Nodes: 1, Seed: 1, Costs: costs})
+		app := sys.NewApp("fig2", sched.NewEDF(20*us), nil)
+		t1 := heug.NewTask("t1", heug.AperiodicLaw()).
+			WithDeadline(20*ms).
+			Code("eu", heug.CodeEU{Node: 0, WCET: 5 * ms}).
+			MustBuild()
+		t2 := heug.NewTask("t2", heug.AperiodicLaw()).
+			WithDeadline(4*ms).
+			Code("eu", heug.CodeEU{Node: 0, WCET: 1 * ms}).
+			MustBuild()
+		app.MustAddTask(t1)
+		app.MustAddTask(t2)
+		app.Seal()
+		sys.ActivateAt("t1", 0)
+		sys.ActivateAt("t2", vtime.Time(2*ms))
+		return sys.Run(30 * ms)
+	}
+	free := run(dispatcher.ZeroCostBook())
+	costed := run(dispatcher.DefaultCostBook())
+	if free.Stats.DeadlineMisses != 0 || costed.Stats.DeadlineMisses != 0 {
+		t.Fatal("unexpected misses")
+	}
+	for i := range costed.Tasks {
+		if costed.Tasks[i].MaxResponse <= free.Tasks[i].MaxResponse {
+			t.Errorf("task %s: costed response %s not above free response %s",
+				costed.Tasks[i].Name, costed.Tasks[i].MaxResponse, free.Tasks[i].MaxResponse)
+		}
+		// Overheads are bounded: within 1ms of the ideal here.
+		if costed.Tasks[i].MaxResponse > free.Tasks[i].MaxResponse+ms {
+			t.Errorf("task %s: overhead exploded: %s vs %s",
+				costed.Tasks[i].Name, costed.Tasks[i].MaxResponse, free.Tasks[i].MaxResponse)
+		}
+	}
+}

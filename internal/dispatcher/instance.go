@@ -1,0 +1,254 @@
+package dispatcher
+
+import (
+	"fmt"
+
+	"hades/internal/eventq"
+	"hades/internal/monitor"
+	"hades/internal/simkern"
+	"hades/internal/vtime"
+)
+
+// Instance is one activation of a task: the unit the dispatcher tracks
+// for deadlines, completion and orphan handling.
+type Instance struct {
+	TR  *TaskRuntime
+	Seq uint64
+
+	ActivatedAt vtime.Time
+	AbsDeadline vtime.Time // Infinity when the task has no deadline
+	CompletedAt vtime.Time
+
+	Threads []*Thread // parallel to TR.Task.EUs
+
+	remaining  int
+	completed  bool
+	missed     bool
+	cancelled  bool
+	deadlineEv *eventq.Event
+	onComplete []func(*Instance)
+	inputs     map[string]any // parameters handed by an invoking Inv_EU
+}
+
+// Name returns "task#seq".
+func (in *Instance) Name() string { return fmt.Sprintf("%s#%d", in.TR.Task.Name, in.Seq) }
+
+// Completed reports whether every unit of the instance has finished (or
+// the instance was cancelled).
+func (in *Instance) Completed() bool { return in.completed }
+
+// Missed reports whether the instance missed its deadline.
+func (in *Instance) Missed() bool { return in.missed }
+
+// Cancelled reports whether the instance was aborted.
+func (in *Instance) Cancelled() bool { return in.cancelled }
+
+// ResponseTime returns CompletedAt - ActivatedAt for completed instances.
+func (in *Instance) ResponseTime() vtime.Duration {
+	return in.CompletedAt.Sub(in.ActivatedAt)
+}
+
+// OnComplete registers a callback fired when the instance completes
+// (successfully or cancelled). Fired immediately if already complete.
+func (in *Instance) OnComplete(f func(*Instance)) {
+	if in.completed {
+		f(in)
+		return
+	}
+	in.onComplete = append(in.onComplete, f)
+}
+
+// buildInstance creates the instance, its threads, the deadline and
+// latest-start monitors, charges C_start_inv, and releases the root
+// units. Notifications (Atv) are enqueued before any unit can run so
+// that a dynamic scheduler processes the activation first — its thread
+// outranks every application thread, reproducing Figure 2's ordering.
+func (d *Dispatcher) buildInstance(tr *TaskRuntime) *Instance {
+	now := d.eng.Now()
+	tr.seq++
+	tr.Activations++
+	d.stats.Activations++
+	task := tr.Task
+
+	inst := &Instance{
+		TR:          tr,
+		Seq:         tr.seq,
+		ActivatedAt: now,
+		AbsDeadline: vtime.Infinity,
+		remaining:   len(task.EUs),
+	}
+	if task.Deadline > 0 {
+		inst.AbsDeadline = now.Add(task.Deadline)
+	}
+	d.live[instKey{task.Name, inst.Seq}] = inst
+	d.record(monitor.KindActivation, tr.primaryNode(), inst.Name(), fmt.Sprintf("D=%s", task.Deadline))
+
+	inst.Threads = make([]*Thread, len(task.EUs))
+	for i, eu := range task.EUs {
+		inst.Threads[i] = d.newThread(inst, i, eu)
+	}
+
+	if inst.AbsDeadline != vtime.Infinity {
+		inst.deadlineEv = d.eng.At(inst.AbsDeadline, eventq.ClassDispatch, func() {
+			inst.deadlineEv = nil
+			d.deadlinePassed(inst)
+		})
+	}
+	for _, th := range inst.Threads {
+		if th.latest != vtime.Infinity {
+			t := th
+			t.latestEv = d.eng.At(t.latest, eventq.ClassDispatch, func() {
+				t.latestEv = nil
+				if !t.started() && t.state != threadDone && t.state != threadOrphaned {
+					d.stats.LatestMisses++
+					d.record(monitor.KindLatestStartMiss, t.Node(), t.Name(), fmt.Sprintf("latest=%s", t.latest))
+				}
+			})
+		}
+	}
+
+	start := func() {
+		// Atv notifications first (Figure 2 ordering), then release.
+		for _, th := range inst.Threads {
+			if th.eu.IsCode() {
+				inst.TR.App.notify(NotifAtv, th, "")
+			}
+		}
+		for _, th := range inst.Threads {
+			d.evaluate(th)
+		}
+	}
+	if d.costs.StartInv > 0 {
+		d.kernelWork(tr.primaryNode(), inst.Name()+".startinv", d.costs.StartInv, start)
+	} else {
+		start()
+	}
+	return inst
+}
+
+// kernelWork runs a dispatcher activity of the given cost on a node at
+// scheduler priority (non-preemptible by applications), then fires done.
+func (d *Dispatcher) kernelWork(node int, name string, cost vtime.Duration, done func()) {
+	ns := d.node(node)
+	k := ns.proc.NewThread(name, PrioScheduler)
+	k.AddSegment(simkern.Segment{Name: "dispatch", Work: cost, PT: simkern.PrioMax})
+	k.OnComplete = done
+	k.Ready()
+}
+
+// deadlinePassed fires at an instance's absolute deadline.
+func (d *Dispatcher) deadlinePassed(inst *Instance) {
+	if inst.completed || inst.missed {
+		return
+	}
+	inst.missed = true
+	inst.TR.Misses++
+	d.stats.DeadlineMisses++
+	d.record(monitor.KindDeadlineMiss, inst.TR.primaryNode(), inst.Name(),
+		fmt.Sprintf("deadline=%s", inst.AbsDeadline))
+	if d.CancelOnMiss {
+		d.cancelInstance(inst, "deadline miss")
+	}
+}
+
+// cancelInstance aborts the instance: every unfinished thread becomes an
+// orphan (§3.2.1's orphan-thread event), its resources are reclaimed and
+// sync invokers are resumed. This is the low-level fault-tolerance hook
+// the paper attributes to the dispatcher ("switching of modes of
+// operation in case of failure").
+func (d *Dispatcher) cancelInstance(inst *Instance, reason string) {
+	if inst.completed || inst.cancelled {
+		return
+	}
+	inst.cancelled = true
+	for _, th := range inst.Threads {
+		if th.state == threadDone {
+			continue
+		}
+		th.state = threadOrphaned
+		d.stats.Orphans++
+		d.record(monitor.KindOrphanThread, th.Node(), th.Name(), reason)
+		if th.kthread != nil && !th.kthread.Finished() {
+			th.kthread.Suspend()
+		}
+		d.releaseResources(th)
+		if th.latestEv != nil {
+			d.eng.Cancel(th.latestEv)
+			th.latestEv = nil
+		}
+		if th.earliestEv != nil {
+			d.eng.Cancel(th.earliestEv)
+			th.earliestEv = nil
+		}
+	}
+	d.finalizeInstance(inst)
+}
+
+// CancelLive aborts every live instance of the named task, orphaning
+// their threads (used by operational mode switches, §3.2.1). It returns
+// the number of instances aborted.
+func (d *Dispatcher) CancelLive(taskName string, reason string) int {
+	var doomed []*Instance
+	for k, inst := range d.live {
+		if k.task == taskName {
+			doomed = append(doomed, inst)
+		}
+	}
+	// Deterministic order despite map iteration.
+	for i := 1; i < len(doomed); i++ {
+		for j := i; j > 0 && doomed[j].Seq < doomed[j-1].Seq; j-- {
+			doomed[j], doomed[j-1] = doomed[j-1], doomed[j]
+		}
+	}
+	for _, inst := range doomed {
+		d.cancelInstance(inst, reason)
+	}
+	return len(doomed)
+}
+
+// threadFinished is common bookkeeping after any thread completes.
+func (d *Dispatcher) threadFinished(th *Thread) {
+	inst := th.inst
+	inst.remaining--
+	if inst.remaining == 0 && !inst.completed && !inst.cancelled {
+		if d.costs.EndInv > 0 {
+			d.kernelWork(inst.TR.primaryNode(), inst.Name()+".endinv", d.costs.EndInv, func() {
+				d.finalizeInstance(inst)
+			})
+		} else {
+			d.finalizeInstance(inst)
+		}
+	}
+}
+
+// finalizeInstance closes the books on an instance.
+func (d *Dispatcher) finalizeInstance(inst *Instance) {
+	if inst.completed {
+		return
+	}
+	inst.completed = true
+	inst.CompletedAt = d.eng.Now()
+	if inst.deadlineEv != nil {
+		d.eng.Cancel(inst.deadlineEv)
+		inst.deadlineEv = nil
+	}
+	delete(d.live, instKey{inst.TR.Task.Name, inst.Seq})
+	if !inst.cancelled {
+		tr := inst.TR
+		tr.Completions++
+		d.stats.Completions++
+		resp := inst.ResponseTime()
+		tr.sumResponse += resp
+		if resp > tr.MaxResponse {
+			tr.MaxResponse = resp
+		}
+		// A completion after the deadline that the deadline timer
+		// already flagged is not double-counted.
+		d.record(monitor.KindTaskComplete, tr.primaryNode(), inst.Name(), fmt.Sprintf("resp=%s", resp))
+	}
+	cbs := inst.onComplete
+	inst.onComplete = nil
+	for _, f := range cbs {
+		f(inst)
+	}
+}

@@ -1,0 +1,51 @@
+package eventq
+
+import (
+	"math/rand"
+	"testing"
+
+	"hades/internal/vtime"
+)
+
+func BenchmarkPushPop(b *testing.B) {
+	var q Queue
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(vtime.Time(rng.Int63n(1000000)), ClassApp, nil)
+		if q.Len() > 1024 {
+			for q.Len() > 0 {
+				q.Pop()
+			}
+		}
+	}
+}
+
+func BenchmarkPushCancel(b *testing.B) {
+	var q Queue
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := q.Push(vtime.Time(i), ClassApp, nil)
+		q.Cancel(e)
+	}
+}
+
+func BenchmarkTimerWheelPattern(b *testing.B) {
+	// The dispatcher's common pattern: push a deadline timer, usually
+	// cancel it before it fires, occasionally pop.
+	var q Queue
+	rng := rand.New(rand.NewSource(2))
+	var pending []*Event
+	for i := 0; i < b.N; i++ {
+		pending = append(pending, q.Push(vtime.Time(i+rng.Intn(100)), ClassDispatch, nil))
+		if len(pending) > 64 {
+			for _, e := range pending[:32] {
+				q.Cancel(e)
+			}
+			pending = pending[32:]
+			for q.Len() > 32 {
+				q.Pop()
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package eventq provides the deterministic event queue at the heart of
+// the HADES discrete-event engine.
+//
+// Determinism matters more here than in a typical simulator: the paper's
+// predictability argument ("an action is predictable if its results and
+// its duration can be foreseen before it is executed", §2.2.2) is
+// reproduced as the property that a run is a pure function of its inputs.
+// Events at equal instants are therefore ordered by an explicit class
+// (interrupts before dispatching before application work) and then by
+// insertion sequence, never by map iteration or goroutine scheduling.
+package eventq
+
+import "hades/internal/vtime"
+
+// Class orders events that share the same instant. Lower runs first.
+type Class uint8
+
+// Event classes, from most to least urgent at an instant.
+const (
+	// ClassInterrupt is for hardware interrupt arrivals (clock tick,
+	// network card): they preempt everything, as in the paper where
+	// kernel activities run at prio_max.
+	ClassInterrupt Class = iota + 1
+	// ClassKernel is for kernel-internal completions (end of an
+	// interrupt handler's CPU segment, timer expiry bookkeeping).
+	ClassKernel
+	// ClassDispatch is for dispatcher decisions: activations,
+	// thread completions, notification processing.
+	ClassDispatch
+	// ClassNetwork is for message deliveries crossing links.
+	ClassNetwork
+	// ClassApp is for application-visible callbacks and trace points.
+	ClassApp
+)
+
+// Event is a scheduled callback. Fire is invoked exactly once when the
+// engine reaches the event's instant, unless the event was cancelled.
+type Event struct {
+	At    vtime.Time
+	Class Class
+	Fire  func()
+
+	seq   uint64
+	index int // heap index, -1 once popped or cancelled
+}
+
+// Cancelled reports whether Cancel was called on the event (or it fired).
+func (e *Event) Cancelled() bool { return e.index == -1 }
+
+// Queue is a deterministic min-heap of events. The zero value is ready to
+// use.
+type Queue struct {
+	heap []*Event
+	seq  uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Push schedules fire at instant at with the given class and returns a
+// handle that can cancel it.
+func (q *Queue) Push(at vtime.Time, class Class, fire func()) *Event {
+	q.seq++
+	e := &Event{At: at, Class: class, Fire: fire, seq: q.seq}
+	q.heap = append(q.heap, e)
+	e.index = len(q.heap) - 1
+	q.up(e.index)
+	return e
+}
+
+// Cancel removes e from the queue. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	i := e.index
+	last := len(q.heap) - 1
+	q.swap(i, last)
+	q.heap = q.heap[:last]
+	e.index = -1
+	if i < last {
+		q.down(i)
+		q.up(i)
+	}
+}
+
+// Peek returns the next event without removing it, or nil if empty.
+func (q *Queue) Peek() *Event {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return q.heap[0]
+}
+
+// Pop removes and returns the next event, or nil if empty.
+func (q *Queue) Pop() *Event {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	e := q.heap[0]
+	q.Cancel(e)
+	return e
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].index = i
+	q.heap[j].index = j
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && q.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && q.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

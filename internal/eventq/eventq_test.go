@@ -1,0 +1,185 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hades/internal/vtime"
+)
+
+func TestPopOrder(t *testing.T) {
+	var q Queue
+	var got []int
+	q.Push(30, ClassApp, func() { got = append(got, 3) })
+	q.Push(10, ClassApp, func() { got = append(got, 1) })
+	q.Push(20, ClassApp, func() { got = append(got, 2) })
+	for q.Len() > 0 {
+		q.Pop().Fire()
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestClassOrderingAtSameInstant(t *testing.T) {
+	var q Queue
+	var got []string
+	q.Push(10, ClassApp, func() { got = append(got, "app") })
+	q.Push(10, ClassInterrupt, func() { got = append(got, "irq") })
+	q.Push(10, ClassDispatch, func() { got = append(got, "disp") })
+	q.Push(10, ClassKernel, func() { got = append(got, "kern") })
+	for q.Len() > 0 {
+		q.Pop().Fire()
+	}
+	want := []string{"irq", "kern", "disp", "app"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("class order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOWithinClass(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		n := i
+		q.Push(5, ClassApp, func() { got = append(got, n) })
+	}
+	for q.Len() > 0 {
+		q.Pop().Fire()
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	fired := false
+	e := q.Push(10, ClassApp, func() { fired = true })
+	q.Cancel(e)
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after cancel", q.Len())
+	}
+	if !e.Cancelled() {
+		t.Error("event not marked cancelled")
+	}
+	// Double-cancel is a no-op.
+	q.Cancel(e)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestCancelMiddle(t *testing.T) {
+	var q Queue
+	var got []int
+	q.Push(1, ClassApp, func() { got = append(got, 1) })
+	e2 := q.Push(2, ClassApp, func() { got = append(got, 2) })
+	q.Push(3, ClassApp, func() { got = append(got, 3) })
+	q.Cancel(e2)
+	for q.Len() > 0 {
+		q.Pop().Fire()
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v, want [1 3]", got)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var q Queue
+	if q.Peek() != nil {
+		t.Error("Peek on empty queue should be nil")
+	}
+	q.Push(5, ClassApp, nil)
+	q.Push(3, ClassApp, nil)
+	if q.Peek().At != 3 {
+		t.Errorf("Peek.At = %d, want 3", q.Peek().At)
+	}
+	if q.Len() != 2 {
+		t.Error("Peek must not remove")
+	}
+}
+
+// Property: popping yields events in nondecreasing (At, Class, seq)
+// order regardless of insertion or cancellation pattern.
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		var events []*Event
+		for i := 0; i < int(n)+1; i++ {
+			at := vtime.Time(rng.Int63n(100))
+			cl := Class(1 + rng.Intn(5))
+			events = append(events, q.Push(at, cl, nil))
+		}
+		// Cancel a random third.
+		for _, e := range events {
+			if rng.Intn(3) == 0 {
+				q.Cancel(e)
+			}
+		}
+		var popped []*Event
+		for q.Len() > 0 {
+			popped = append(popped, q.Pop())
+		}
+		ok := sort.SliceIsSorted(popped, func(i, j int) bool {
+			a, b := popped[i], popped[j]
+			if a.At != b.At {
+				return a.At < b.At
+			}
+			if a.Class != b.Class {
+				return a.Class < b.Class
+			}
+			return a.seq < b.seq
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cancelled events never surface; non-cancelled all do.
+func TestCancelCompleteness(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		cancelled := make(map[*Event]bool)
+		var all []*Event
+		for i := 0; i < int(n)+2; i++ {
+			e := q.Push(vtime.Time(rng.Int63n(50)), ClassApp, nil)
+			all = append(all, e)
+		}
+		for i, e := range all {
+			if i%2 == 0 {
+				q.Cancel(e)
+				cancelled[e] = true
+			}
+		}
+		seen := make(map[*Event]bool)
+		for q.Len() > 0 {
+			seen[q.Pop()] = true
+		}
+		for _, e := range all {
+			if cancelled[e] && seen[e] {
+				return false
+			}
+			if !cancelled[e] && !seen[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

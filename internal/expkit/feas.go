@@ -1,0 +1,206 @@
+package expkit
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hades/internal/core"
+	"hades/internal/dispatcher"
+	"hades/internal/feasibility"
+	"hades/internal/sched"
+	"hades/internal/vtime"
+)
+
+func init() {
+	register("S5", runS5)
+	register("X1", runX1)
+	register("X6", runX6)
+}
+
+// schedCost is the EDF per-notification cost used throughout the
+// feasibility experiments (C_sched in §5.3).
+const schedCost = 20 * us
+
+// overheads builds the §5.3 Overheads matching SimulateEDFSRP's setup.
+func overheads(book dispatcher.CostBook) *feasibility.Overheads {
+	return &feasibility.Overheads{Book: book, SchedCost: schedCost}
+}
+
+// SimulateEDFSRP runs a task set on one node under EDF+SRP with the
+// given cost book, worst-case synchronous sporadic arrivals, for the
+// given horizon. It returns the dispatcher report. This is the
+// execution side of experiment E-S5: the simulator charges exactly the
+// costs the §5.3 test accounts.
+func SimulateEDFSRP(tasks []feasibility.Task, book dispatcher.CostBook, horizon vtime.Duration, seed int64) core.Report {
+	sys := core.NewSystem(core.Config{Nodes: 1, Seed: seed, Costs: book, LogLimit: 1})
+	app := sys.NewApp("w", sched.NewEDF(schedCost), sched.NewSRP())
+	for _, ft := range tasks {
+		if err := app.AddSpuri(feasibility.ToSpuri(ft, tasks, 0)); err != nil {
+			panic(err)
+		}
+	}
+	app.Seal()
+	for _, ft := range tasks {
+		if err := sys.StartSporadicWorstCase(ft.Name); err != nil {
+			panic(err)
+		}
+	}
+	return sys.Run(horizon)
+}
+
+// runS5 reproduces §5.3: the cost-integrated EDF+SRP feasibility test
+// versus the naive (cost-free) test, validated by simulation with the
+// full cost book. The safety claim: sets admitted by the integrated
+// test never miss a deadline when middleware costs apply; sets admitted
+// only by the naive test can and do miss.
+func runS5(opts Options) Table {
+	book := dispatcher.DefaultCostBook()
+	ov := overheads(book)
+	sets := 40
+	horizon := 500 * ms
+	if opts.Quick {
+		sets = 8
+		horizon = 250 * ms
+	}
+	tbl := Table{
+		ID:    "S5",
+		Title: "§5.3 — naive vs cost-integrated EDF+SRP feasibility, validated by simulation",
+		Columns: []string{"U", "admit naive", "admit integrated", "naive-only sets",
+			"miss(naive-only)", "miss(integrated)"},
+	}
+	totalNaiveOnlyMiss, totalNaiveOnly := 0, 0
+	totalIntegratedMiss := 0
+	for _, u := range []float64{0.55, 0.65, 0.75, 0.85, 0.90, 0.93, 0.96} {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(u*1000)))
+		admitN, admitI, naiveOnly, naiveOnlyMiss, integMiss := 0, 0, 0, 0, 0
+		for s := 0; s < sets; s++ {
+			tasks := feasibility.Generate(rng, feasibility.DefaultGenConfig(5, u))
+			vn := feasibility.EDFSpuri(tasks, nil)
+			vi := feasibility.EDFSpuri(tasks, ov)
+			if vn.Feasible {
+				admitN++
+			}
+			if vi.Feasible {
+				admitI++
+				rep := SimulateEDFSRP(tasks, book, horizon, opts.Seed+int64(s))
+				if rep.Stats.DeadlineMisses > 0 {
+					integMiss++
+				}
+			}
+			if vn.Feasible && !vi.Feasible {
+				naiveOnly++
+				rep := SimulateEDFSRP(tasks, book, horizon, opts.Seed+int64(s))
+				if rep.Stats.DeadlineMisses > 0 {
+					naiveOnlyMiss++
+				}
+			}
+		}
+		totalNaiveOnly += naiveOnly
+		totalNaiveOnlyMiss += naiveOnlyMiss
+		totalIntegratedMiss += integMiss
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%.2f", u),
+			pct(admitN, sets), pct(admitI, sets),
+			fmt.Sprint(naiveOnly),
+			fmt.Sprint(naiveOnlyMiss),
+			fmt.Sprint(integMiss),
+		})
+	}
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("sets admitted by the integrated test that missed in costed simulation: %d (must be 0 — the §2.2.2 safety claim)", totalIntegratedMiss),
+		fmt.Sprintf("sets admitted only by the naive test: %d, of which %d missed deadlines once §4 costs applied", totalNaiveOnly, totalNaiveOnlyMiss),
+		"the integrated test trades admission ratio for a guarantee that holds under real middleware costs")
+	return tbl
+}
+
+// runX1 reproduces the [LL73] motivation for supporting several
+// scheduling policies: schedulability ratio of RM (utilisation bound
+// and exact response-time analysis) versus EDF (processor demand) over
+// random implicit-deadline task sets.
+func runX1(opts Options) Table {
+	sets := 200
+	if opts.Quick {
+		sets = 40
+	}
+	tbl := Table{
+		ID:      "X1",
+		Title:   "[LL73] — schedulability ratio: RM bound vs RM exact vs EDF, implicit deadlines",
+		Columns: []string{"U", "RM (LL bound)", "RM (exact RTA)", "EDF (demand)"},
+	}
+	for _, u := range []float64{0.60, 0.70, 0.78, 0.83, 0.88, 0.93, 0.98} {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(u*1000)))
+		okBound, okRTA, okEDF := 0, 0, 0
+		for s := 0; s < sets; s++ {
+			cfg := feasibility.DefaultGenConfig(6, u)
+			cfg.DeadlineFactor = 1.0 // implicit deadlines
+			cfg.ResourceProb = 0
+			tasks := feasibility.Generate(rng, cfg)
+			for i := range tasks {
+				tasks[i].D = tasks[i].T
+			}
+			if feasibility.LiuLayland(tasks).Feasible {
+				okBound++
+			}
+			if _, all := feasibility.ResponseTime(tasks, feasibility.RateMonotonic, nil); all {
+				okRTA++
+			}
+			if feasibility.EDFSpuri(tasks, nil).Feasible {
+				okEDF++
+			}
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%.2f", u), pct(okBound, sets), pct(okRTA, sets), pct(okEDF, sets),
+		})
+	}
+	tbl.Notes = append(tbl.Notes,
+		"EDF admits every U <= 1 set (deadline-optimal on one processor); RM drops off after the LL bound",
+		"this gap is why HADES treats the scheduling policy as an application-domain choice (§2.2.1)")
+	return tbl
+}
+
+// runX6 reproduces the §2.2.2 accuracy argument: crude (inflated) cost
+// estimates reject task sets that precise costs admit — "forbidding the
+// execution of the application in spite of its actual feasibility".
+func runX6(opts Options) Table {
+	precise := overheads(dispatcher.DefaultCostBook())
+	sets := 120
+	if opts.Quick {
+		sets = 30
+	}
+	tbl := Table{
+		ID:      "X6",
+		Title:   "§2.2.2 — pessimism of imprecise cost information (EDF+SRP admission)",
+		Columns: []string{"U", "precise", "crude x3", "crude x10", "lost vs precise (x10)"},
+	}
+	crude3 := &feasibility.Overheads{Book: dispatcher.DefaultCostBook().Scale(3), SchedCost: 3 * schedCost}
+	crude10 := &feasibility.Overheads{Book: dispatcher.DefaultCostBook().Scale(10), SchedCost: 10 * schedCost}
+	for _, u := range []float64{0.55, 0.65, 0.75, 0.85} {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(u*1000)))
+		okP, ok3, ok10, lost := 0, 0, 0, 0
+		for s := 0; s < sets; s++ {
+			tasks := feasibility.Generate(rng, feasibility.DefaultGenConfig(5, u))
+			p := feasibility.EDFSpuri(tasks, precise).Feasible
+			c3 := feasibility.EDFSpuri(tasks, crude3).Feasible
+			c10 := feasibility.EDFSpuri(tasks, crude10).Feasible
+			if p {
+				okP++
+			}
+			if c3 {
+				ok3++
+			}
+			if c10 {
+				ok10++
+			}
+			if p && !c10 {
+				lost++
+			}
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%.2f", u), pct(okP, sets), pct(ok3, sets), pct(ok10, sets), pct(lost, sets),
+		})
+	}
+	tbl.Notes = append(tbl.Notes,
+		"'lost' sets are feasible under the measured §4 costs but rejected with 10x-inflated estimates",
+		"precise per-activity cost identification is what keeps the feasibility test usable (§2.2.2)")
+	return tbl
+}

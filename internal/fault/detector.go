@@ -1,0 +1,183 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"hades/internal/eventq"
+	"hades/internal/monitor"
+	"hades/internal/netsim"
+	"hades/internal/simkern"
+	"hades/internal/vtime"
+)
+
+// DetectorConfig parameterises the heartbeat fault detector.
+type DetectorConfig struct {
+	// Nodes lists the monitored processors.
+	Nodes []int
+	// Period is the heartbeat period.
+	Period vtime.Duration
+	// Margin is added to Period plus the link delay bound to form the
+	// suspicion timeout.
+	Margin vtime.Duration
+	// WProc is the CPU cost of handling one heartbeat.
+	WProc vtime.Duration
+}
+
+// DefaultDetectorConfig returns a detector with a 10 ms heartbeat.
+func DefaultDetectorConfig(nodes []int) DetectorConfig {
+	return DetectorConfig{
+		Nodes:  nodes,
+		Period: 10 * vtime.Millisecond,
+		Margin: 500 * vtime.Microsecond,
+		WProc:  5 * vtime.Microsecond,
+	}
+}
+
+// Suspicion is one detection record.
+type Suspicion struct {
+	Observer  int
+	Suspect   int
+	At        vtime.Time
+	SinceLast vtime.Duration
+}
+
+// Detector is the heartbeat-based fault detection service of §2.2.1.
+type Detector struct {
+	eng *simkern.Engine
+	net *netsim.Network
+	cfg DetectorConfig
+
+	lastBeat  map[int]map[int]vtime.Time // observer → peer → last heartbeat
+	suspected map[int]map[int]bool
+	onSuspect func(Suspicion)
+
+	// Suspicions records every detection for the harness.
+	Suspicions []Suspicion
+}
+
+const beatPort = "fault.heartbeat"
+
+// NewDetector creates (but does not start) a detector. onSuspect, if
+// non-nil, fires at each new suspicion.
+func NewDetector(eng *simkern.Engine, net *netsim.Network, cfg DetectorConfig, onSuspect func(Suspicion)) *Detector {
+	d := &Detector{
+		eng:       eng,
+		net:       net,
+		cfg:       cfg,
+		lastBeat:  make(map[int]map[int]vtime.Time),
+		suspected: make(map[int]map[int]bool),
+		onSuspect: onSuspect,
+	}
+	for _, n := range cfg.Nodes {
+		d.lastBeat[n] = make(map[int]vtime.Time)
+		d.suspected[n] = make(map[int]bool)
+	}
+	for _, n := range cfg.Nodes {
+		node := n
+		net.Bind(node, beatPort, func(m *netsim.Message) { d.receive(node, m) })
+	}
+	return d
+}
+
+// Timeout returns the suspicion timeout an observer applies to a peer.
+func (d *Detector) Timeout(observer, peer int) vtime.Duration {
+	dmax, _ := d.net.DelayBound(peer, observer)
+	return d.cfg.Period + dmax + d.net.WorstCaseReceivePath() + d.cfg.Margin
+}
+
+// Start begins heartbeating and monitoring.
+func (d *Detector) Start() {
+	now := d.eng.Now()
+	for _, n := range d.cfg.Nodes {
+		for _, p := range d.cfg.Nodes {
+			if n != p {
+				d.lastBeat[n][p] = now
+			}
+		}
+	}
+	var tick func()
+	tick = func() {
+		d.beatAndCheck()
+		d.eng.After(d.cfg.Period, eventq.ClassApp, tick)
+	}
+	d.eng.After(d.cfg.Period, eventq.ClassApp, tick)
+}
+
+func (d *Detector) beatAndCheck() {
+	now := d.eng.Now()
+	// Send heartbeats.
+	for _, src := range d.cfg.Nodes {
+		if d.net.NodeDown(src) {
+			continue
+		}
+		for _, dst := range d.cfg.Nodes {
+			if dst == src {
+				continue
+			}
+			if _, err := d.net.Send(src, dst, beatPort, src, 8); err != nil {
+				continue
+			}
+		}
+	}
+	// Check timeouts.
+	for _, obs := range d.cfg.Nodes {
+		if d.net.NodeDown(obs) {
+			continue
+		}
+		for _, peer := range d.cfg.Nodes {
+			if peer == obs || d.suspected[obs][peer] {
+				continue
+			}
+			silent := now.Sub(d.lastBeat[obs][peer])
+			if silent > d.Timeout(obs, peer) {
+				d.suspect(obs, peer, silent)
+			}
+		}
+	}
+}
+
+func (d *Detector) suspect(obs, peer int, silent vtime.Duration) {
+	d.suspected[obs][peer] = true
+	s := Suspicion{Observer: obs, Suspect: peer, At: d.eng.Now(), SinceLast: silent}
+	d.Suspicions = append(d.Suspicions, s)
+	if log := d.eng.Log(); log != nil {
+		log.Recordf(s.At, monitor.KindFailureDetected, obs, fmt.Sprintf("n%d", peer), "silent=%s", silent)
+	}
+	if d.onSuspect != nil {
+		d.onSuspect(s)
+	}
+}
+
+func (d *Detector) receive(node int, m *netsim.Message) {
+	if d.net.NodeDown(node) {
+		return
+	}
+	if d.cfg.WProc > 0 {
+		d.eng.Processors()[node].RaiseIRQ("heartbeat", d.cfg.WProc, nil)
+	}
+	peer, ok := m.Payload.(int)
+	if !ok {
+		return
+	}
+	d.lastBeat[node][peer] = d.eng.Now()
+	if d.suspected[node][peer] {
+		// Peer recovered: rehabilitate.
+		d.suspected[node][peer] = false
+	}
+}
+
+// Suspected reports whether observer currently suspects peer.
+func (d *Detector) Suspected(observer, peer int) bool { return d.suspected[observer][peer] }
+
+// SuspectsOf returns the peers observer currently suspects, sorted.
+func (d *Detector) SuspectsOf(observer int) []int {
+	var out []int
+	for p, s := range d.suspected[observer] {
+		if s {
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

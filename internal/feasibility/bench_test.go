@@ -1,0 +1,53 @@
+package feasibility
+
+import (
+	"math/rand"
+	"testing"
+
+	"hades/internal/dispatcher"
+	"hades/internal/vtime"
+)
+
+func benchSets(n int, u float64) [][]Task {
+	rng := rand.New(rand.NewSource(1))
+	sets := make([][]Task, 64)
+	for i := range sets {
+		sets[i] = Generate(rng, DefaultGenConfig(n, u))
+	}
+	return sets
+}
+
+func BenchmarkEDFSpuriNaive(b *testing.B) {
+	sets := benchSets(8, 0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EDFSpuri(sets[i%len(sets)], nil)
+	}
+}
+
+func BenchmarkEDFSpuriIntegrated(b *testing.B) {
+	sets := benchSets(8, 0.8)
+	ov := &Overheads{Book: dispatcher.DefaultCostBook(), SchedCost: 20 * vtime.Microsecond}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EDFSpuri(sets[i%len(sets)], ov)
+	}
+}
+
+func BenchmarkResponseTimeAnalysis(b *testing.B) {
+	sets := benchSets(10, 0.7)
+	ov := &Overheads{Book: dispatcher.DefaultCostBook(), SchedCost: 20 * vtime.Microsecond}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ResponseTime(sets[i%len(sets)], DeadlineMonotonic, ov)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultGenConfig(10, 0.8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Generate(rng, cfg)
+	}
+}

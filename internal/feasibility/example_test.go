@@ -1,0 +1,50 @@
+package feasibility_test
+
+import (
+	"fmt"
+
+	"hades/internal/dispatcher"
+	"hades/internal/feasibility"
+	"hades/internal/vtime"
+)
+
+// ExampleEDFSpuri runs the §5 admission test both ways: the naive
+// cost-free analysis admits a tight task set that the §5.3
+// cost-integrated test — which knows what the middleware really costs —
+// correctly refuses.
+func ExampleEDFSpuri() {
+	ms := vtime.Millisecond
+	tasks := []feasibility.Task{
+		{Name: "a", C: 4500 * vtime.Microsecond, D: 5 * ms, T: 5 * ms, NumEU: 1},
+		{Name: "b", C: 900 * vtime.Microsecond, D: 10 * ms, T: 10 * ms, NumEU: 1},
+	}
+	naive := feasibility.EDFSpuri(tasks, nil)
+	ov := &feasibility.Overheads{
+		Book:      dispatcher.DefaultCostBook(),
+		SchedCost: 20 * vtime.Microsecond,
+	}
+	integrated := feasibility.EDFSpuri(tasks, ov)
+	fmt.Printf("naive=%v integrated=%v\n", naive.Feasible, integrated.Feasible)
+	// Output: naive=true integrated=false
+}
+
+// ExampleResponseTime computes worst-case response times under
+// Rate-Monotonic priorities for a textbook task set.
+func ExampleResponseTime() {
+	ms := vtime.Millisecond
+	tasks := []feasibility.Task{
+		{Name: "t1", C: 1 * ms, D: 5 * ms, T: 5 * ms, NumEU: 1},
+		{Name: "t2", C: 2 * ms, D: 10 * ms, T: 10 * ms, NumEU: 1},
+		{Name: "t3", C: 3 * ms, D: 20 * ms, T: 20 * ms, NumEU: 1},
+	}
+	rs, all := feasibility.ResponseTime(tasks, feasibility.RateMonotonic, nil)
+	fmt.Println("schedulable:", all)
+	for _, r := range rs {
+		fmt.Printf("%s R=%s\n", r.Task, r.R)
+	}
+	// Output:
+	// schedulable: true
+	// t1 R=1ms
+	// t2 R=3ms
+	// t3 R=7ms
+}

@@ -1,0 +1,214 @@
+// Package feasibility implements the scheduling tests of the paper:
+// Liu–Layland's RM utilisation bound [LL73], exact response-time
+// analysis for fixed priorities with middleware overheads (in the spirit
+// of [BTW95], which §5.3 cites as the fixed-priority analogue), Spuri's
+// processor-demand test for EDF with SRP blocking ([Spu96] theorem 7.1),
+// and — the paper's contribution — the §5.3 *cost-integrated* variant
+// that folds every dispatcher, scheduler and kernel activity of §4 into
+// the test.
+//
+// The central safety argument of the paper (§2.2.2) is reproduced by
+// experiment E-S5: a feasibility test that ignores middleware costs can
+// admit task sets that miss deadlines once real overheads apply, while
+// the cost-integrated test only admits sets that the simulator — which
+// charges the same CostBook at the same points — runs without misses.
+package feasibility
+
+import (
+	"fmt"
+	"math"
+
+	"hades/internal/dispatcher"
+	"hades/internal/heug"
+	"hades/internal/vtime"
+)
+
+// Task is the analysis-level task model of §5.1 ([Spu96]): a sporadic
+// task with arbitrary deadline, a single outermost critical section, and
+// the structural counts the §5.3 cost integration needs.
+type Task struct {
+	Name string
+	// C is the worst-case computation time (c_before + cs + c_after).
+	C vtime.Duration
+	// D is the relative deadline.
+	D vtime.Duration
+	// T is the period (periodic) or pseudo-period (sporadic).
+	T vtime.Duration
+	// CS is the worst-case critical-section length (0 = no resource).
+	CS vtime.Duration
+	// Resource is the resource guarded by the critical section.
+	Resource string
+	// NumEU is the number of Code_EUs after HEUG translation (Figure 3
+	// yields 3 for resource users, 1 otherwise).
+	NumEU int
+	// LocalEdges is the number of local precedence constraints in the
+	// translated HEUG (2 for resource users, 0 otherwise).
+	LocalEdges int
+}
+
+// Utilization returns C/T.
+func (t Task) Utilization() float64 { return float64(t.C) / float64(t.T) }
+
+// FromSpuri converts a §5.1 task to the analysis model.
+func FromSpuri(s heug.SpuriTask) Task {
+	n, edges := 0, 0
+	for _, w := range []vtime.Duration{s.CBefore, s.CS, s.CAfter} {
+		if w > 0 {
+			n++
+		}
+	}
+	if n > 1 {
+		edges = n - 1
+	}
+	if n == 0 {
+		n = 1
+	}
+	return Task{
+		Name:       s.Name,
+		C:          s.C(),
+		D:          s.Deadline,
+		T:          s.PseudoPeriod,
+		CS:         s.CS,
+		Resource:   s.Resource,
+		NumEU:      n,
+		LocalEdges: edges,
+	}
+}
+
+// Utilization returns the total utilisation of a task set.
+func Utilization(tasks []Task) float64 {
+	u := 0.0
+	for _, t := range tasks {
+		u += t.Utilization()
+	}
+	return u
+}
+
+// Verdict is the outcome of a feasibility test.
+type Verdict struct {
+	Feasible bool
+	// Why describes the first violated condition when infeasible.
+	Why string
+	// BusyPeriod is the synchronous busy period the demand test scanned
+	// (EDF tests only).
+	BusyPeriod vtime.Duration
+	// FailAt is the first deadline whose demand exceeded supply.
+	FailAt vtime.Duration
+	// Checked is the number of deadlines examined.
+	Checked int
+}
+
+// Overheads configures the §5.3 cost integration. The zero value (or a
+// nil pointer where accepted) means the idealised, cost-free analysis.
+type Overheads struct {
+	// Book is the dispatcher/kernel cost book, shared with the
+	// simulator so analysis and execution account identical events.
+	Book dispatcher.CostBook
+	// SchedCost is C_sched: the scheduler's per-notification cost.
+	SchedCost vtime.Duration
+	// NotifsPerInstance is the number of scheduler notifications one
+	// task instance generates; the dispatcher emits Atv and Trm per
+	// Code_EU thread, so it defaults to 2·NumEU when zero.
+	NotifsPerInstance int
+	// NetReceivePath and NetPseudoPeriod describe the §4.2 ATM-card
+	// activity (w_atm + protocol WCET, minimum message gap). Zero
+	// period disables the term.
+	NetReceivePath  vtime.Duration
+	NetPseudoPeriod vtime.Duration
+}
+
+// notifs returns the notification count for a task.
+func (ov *Overheads) notifs(t Task) int64 {
+	if ov.NotifsPerInstance > 0 {
+		return int64(ov.NotifsPerInstance)
+	}
+	return int64(2 * t.NumEU)
+}
+
+// InflateC implements the §5.3 WCET inflation: per Code_EU the start and
+// end action costs, per local precedence constraint C_prec_local, per
+// instance the invocation bracket C_start_inv + C_end_inv, plus a
+// context-switch allowance. The instance runs NumEU+2 kernel threads
+// (EU bodies plus the activation/termination brackets); each costs a
+// dispatch-in and a switch-away, and each of its starts may preempt
+// another thread whose later *resume* is a third switch — hence the
+// conservative 3·(NumEU+2) switches charged to the instance itself.
+func (ov *Overheads) InflateC(t Task) vtime.Duration {
+	b := ov.Book
+	c := t.C
+	n := vtime.Duration(t.NumEU)
+	c += n * (b.StartAction + b.EndAction)
+	c += vtime.Duration(t.LocalEdges) * b.PrecLocal
+	c += b.StartInv + b.EndInv
+	c += b.SwitchCost * 3 * (n + 2)
+	return c
+}
+
+// InflateB implements the §5.3 blocking inflation: the blocking section
+// carries its own start/end action costs (B'_i = B_i + C_start + C_end).
+func (ov *Overheads) InflateB(blocking vtime.Duration) vtime.Duration {
+	if blocking == 0 {
+		return 0
+	}
+	return blocking + ov.Book.StartAction + ov.Book.EndAction
+}
+
+// SchedDemand is the §5.3 scheduler term: the CPU consumed by scheduler
+// notification processing during an interval of length l, at the
+// highest priority. Each notification costs C_sched plus three context
+// switches (into the scheduler thread, out of it, and the resume of
+// whatever application thread it preempted).
+func (ov *Overheads) SchedDemand(tasks []Task, l vtime.Duration) vtime.Duration {
+	if l <= 0 {
+		return 0
+	}
+	var sum vtime.Duration
+	per := ov.SchedCost + 3*ov.Book.SwitchCost
+	if per == 0 {
+		return 0
+	}
+	for _, t := range tasks {
+		sum += vtime.Duration(vtime.CeilDiv(l, t.T)*ov.notifs(t)) * per
+	}
+	return sum
+}
+
+// KernelDemand is the §5.3 kernel term: clock-tick and network-interrupt
+// CPU during an interval of length l, both modelled as sporadic
+// activities at the highest priority exactly as §4.2 prescribes.
+func (ov *Overheads) KernelDemand(l vtime.Duration) vtime.Duration {
+	if l <= 0 {
+		return 0
+	}
+	var sum vtime.Duration
+	if b := ov.Book; b.ClockTickPeriod > 0 && b.ClockTickWCET > 0 {
+		sum += vtime.Duration(vtime.CeilDiv(l, b.ClockTickPeriod)) * b.ClockTickWCET
+	}
+	if ov.NetPseudoPeriod > 0 && ov.NetReceivePath > 0 {
+		sum += vtime.Duration(vtime.CeilDiv(l, ov.NetPseudoPeriod)) * ov.NetReceivePath
+	}
+	return sum
+}
+
+// effectiveC returns the (possibly inflated) WCET of t.
+func effectiveC(t Task, ov *Overheads) vtime.Duration {
+	if ov == nil {
+		return t.C
+	}
+	return ov.InflateC(t)
+}
+
+// LiuLayland applies the classic RM sufficient utilisation bound
+// U ≤ n(2^{1/n}−1) [LL73] for implicit-deadline periodic tasks.
+func LiuLayland(tasks []Task) Verdict {
+	if len(tasks) == 0 {
+		return Verdict{Feasible: true}
+	}
+	u := Utilization(tasks)
+	n := float64(len(tasks))
+	bound := n * (math.Pow(2, 1/n) - 1)
+	if u <= bound {
+		return Verdict{Feasible: true}
+	}
+	return Verdict{Feasible: false, Why: fmt.Sprintf("U=%.4f exceeds LL bound %.4f", u, bound)}
+}

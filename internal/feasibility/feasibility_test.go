@@ -1,0 +1,305 @@
+package feasibility
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hades/internal/dispatcher"
+	"hades/internal/heug"
+	"hades/internal/vtime"
+)
+
+const (
+	us = vtime.Microsecond
+	ms = vtime.Millisecond
+)
+
+func TestLiuLaylandBound(t *testing.T) {
+	// Two tasks: bound is 2(2^0.5 - 1) ≈ 0.828.
+	mk := func(c, p vtime.Duration) Task {
+		return Task{C: c, D: p, T: p, NumEU: 1}
+	}
+	ok := []Task{mk(2*ms, 10*ms), mk(3*ms, 10*ms)} // U = 0.5
+	if v := LiuLayland(ok); !v.Feasible {
+		t.Fatalf("U=0.5 rejected: %s", v.Why)
+	}
+	bad := []Task{mk(5*ms, 10*ms), mk(4*ms, 10*ms)} // U = 0.9 > 0.828
+	if v := LiuLayland(bad); v.Feasible {
+		t.Fatal("U=0.9 accepted by the LL bound")
+	}
+	if v := LiuLayland(nil); !v.Feasible {
+		t.Fatal("empty set must be feasible")
+	}
+}
+
+func TestResponseTimeAnalysisTextbook(t *testing.T) {
+	// Textbook example: t1=(1,5), t2=(2,10), t3=(3,20) under RM.
+	// R1 = 1. R2 = 2 + 1 = 3. R3: 3 + 2·1 + 1·2 = 7 (t3 runs 3–5,
+	// is preempted by t1's second job at 5, finishes 6–7).
+	tasks := []Task{
+		{Name: "t1", C: 1 * ms, D: 5 * ms, T: 5 * ms, NumEU: 1},
+		{Name: "t2", C: 2 * ms, D: 10 * ms, T: 10 * ms, NumEU: 1},
+		{Name: "t3", C: 3 * ms, D: 20 * ms, T: 20 * ms, NumEU: 1},
+	}
+	rs, all := ResponseTime(tasks, RateMonotonic, nil)
+	if !all {
+		t.Fatal("set must be schedulable")
+	}
+	want := []vtime.Duration{1 * ms, 3 * ms, 7 * ms}
+	for i, r := range rs {
+		if r.R != want[i] {
+			t.Errorf("R(%s) = %s, want %s", r.Task, r.R, want[i])
+		}
+	}
+}
+
+func TestResponseTimeDetectsOverload(t *testing.T) {
+	tasks := []Task{
+		{Name: "t1", C: 3 * ms, D: 5 * ms, T: 5 * ms, NumEU: 1},
+		{Name: "t2", C: 5 * ms, D: 10 * ms, T: 10 * ms, NumEU: 1},
+	}
+	_, all := ResponseTime(tasks, RateMonotonic, nil)
+	if all {
+		t.Fatal("U=1.1 accepted")
+	}
+}
+
+func TestRTABlockingTerm(t *testing.T) {
+	// High-priority task shares R with a low-priority task: B(high) =
+	// CS(low).
+	tasks := []Task{
+		{Name: "hi", C: 1 * ms, D: 5 * ms, T: 5 * ms, CS: 200 * us, Resource: "R", NumEU: 3},
+		{Name: "lo", C: 2 * ms, D: 50 * ms, T: 50 * ms, CS: 1 * ms, Resource: "R", NumEU: 3},
+	}
+	rs, _ := ResponseTime(tasks, DeadlineMonotonic, nil)
+	if rs[0].Blocking != 1*ms {
+		t.Fatalf("B(hi) = %s, want 1ms (lo's critical section)", rs[0].Blocking)
+	}
+	if rs[1].Blocking != 0 {
+		t.Fatalf("B(lo) = %s, want 0 (nothing lower)", rs[1].Blocking)
+	}
+}
+
+func TestEDFSpuriFeasibleSet(t *testing.T) {
+	tasks := []Task{
+		{Name: "a", C: 1 * ms, D: 4 * ms, T: 10 * ms, NumEU: 1},
+		{Name: "b", C: 2 * ms, D: 8 * ms, T: 20 * ms, NumEU: 1},
+		{Name: "c", C: 3 * ms, D: 15 * ms, T: 30 * ms, NumEU: 1},
+	}
+	v := EDFSpuri(tasks, nil)
+	if !v.Feasible {
+		t.Fatalf("U=0.3 constrained set rejected: %s (at %s)", v.Why, v.FailAt)
+	}
+	if v.Checked == 0 {
+		t.Fatal("no deadlines checked")
+	}
+}
+
+func TestEDFSpuriInfeasibleByDemand(t *testing.T) {
+	// Tight deadlines make the demand at d=1ms exceed supply even
+	// though U < 1.
+	tasks := []Task{
+		{Name: "a", C: 1 * ms, D: 1 * ms, T: 10 * ms, NumEU: 1},
+		{Name: "b", C: 1 * ms, D: 1 * ms, T: 10 * ms, NumEU: 1},
+	}
+	v := EDFSpuri(tasks, nil)
+	if v.Feasible {
+		t.Fatal("2ms of work due at 1ms accepted")
+	}
+	if v.FailAt != 1*ms {
+		t.Fatalf("FailAt = %s, want 1ms", v.FailAt)
+	}
+}
+
+func TestEDFSpuriOverUtilised(t *testing.T) {
+	tasks := []Task{
+		{Name: "a", C: 6 * ms, D: 10 * ms, T: 10 * ms, NumEU: 1},
+		{Name: "b", C: 6 * ms, D: 10 * ms, T: 10 * ms, NumEU: 1},
+	}
+	if v := EDFSpuri(tasks, nil); v.Feasible {
+		t.Fatal("U=1.2 accepted")
+	}
+}
+
+func TestSRPBlockingSemantics(t *testing.T) {
+	// Long-deadline resource user blocks short-deadline tasks only if
+	// the resource is shared with a short-deadline task.
+	shared := []Task{
+		{Name: "short", C: 1 * ms, D: 5 * ms, T: 20 * ms, CS: 100 * us, Resource: "R", NumEU: 3},
+		{Name: "long", C: 2 * ms, D: 50 * ms, T: 50 * ms, CS: 2 * ms, Resource: "R", NumEU: 3},
+	}
+	if b := srpBlocking(shared, 5*ms, nil); b != 2*ms {
+		t.Fatalf("B(5ms) = %s, want 2ms", b)
+	}
+	private := []Task{
+		{Name: "short", C: 1 * ms, D: 5 * ms, T: 20 * ms, NumEU: 1},
+		{Name: "long", C: 2 * ms, D: 50 * ms, T: 50 * ms, CS: 2 * ms, Resource: "R", NumEU: 3},
+	}
+	if b := srpBlocking(private, 5*ms, nil); b != 0 {
+		t.Fatalf("B = %s, want 0 (no short-deadline user of R)", b)
+	}
+}
+
+func TestCostIntegrationSection53(t *testing.T) {
+	ov := &Overheads{
+		Book:      dispatcher.DefaultCostBook(),
+		SchedCost: 20 * us,
+	}
+	task := Task{Name: "x", C: 1 * ms, D: 5 * ms, T: 10 * ms, CS: 100 * us, Resource: "R", NumEU: 3, LocalEdges: 2}
+	c := ov.InflateC(task)
+	book := ov.Book
+	want := task.C +
+		3*(book.StartAction+book.EndAction) +
+		2*book.PrecLocal +
+		book.StartInv + book.EndInv +
+		book.SwitchCost*3*(3+2)
+	if c != want {
+		t.Fatalf("InflateC = %s, want %s", c, want)
+	}
+	if b := ov.InflateB(500 * us); b != 500*us+book.StartAction+book.EndAction {
+		t.Fatalf("InflateB wrong: %s", b)
+	}
+	if b := ov.InflateB(0); b != 0 {
+		t.Fatal("InflateB(0) must stay 0")
+	}
+}
+
+func TestSchedAndKernelDemand(t *testing.T) {
+	ov := &Overheads{
+		Book:      dispatcher.CostBook{ClockTickPeriod: 1 * ms, ClockTickWCET: 5 * us, SwitchCost: 2 * us},
+		SchedCost: 10 * us,
+	}
+	tasks := []Task{{Name: "a", C: 1 * ms, D: 10 * ms, T: 10 * ms, NumEU: 1}}
+	// In 10ms: 1 activation, 2 notifications, each (10+3·2)us = 32us.
+	if d := ov.SchedDemand(tasks, 10*ms); d != 32*us {
+		t.Fatalf("SchedDemand = %s, want 32us", d)
+	}
+	// 10 ticks of 5us.
+	if d := ov.KernelDemand(10 * ms); d != 50*us {
+		t.Fatalf("KernelDemand = %s, want 50us", d)
+	}
+	if d := ov.KernelDemand(0); d != 0 {
+		t.Fatal("KernelDemand(0) != 0")
+	}
+}
+
+// Property (the paper's central safety relation): any set admitted by
+// the cost-integrated test is also admitted by the naive test — costs
+// only shrink the feasible region, never grow it.
+func TestCostIntegratedTestIsStricter(t *testing.T) {
+	ov := &Overheads{Book: dispatcher.DefaultCostBook(), SchedCost: 20 * us}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := 0.3 + rng.Float64()*0.65
+		tasks := Generate(rng, DefaultGenConfig(2+rng.Intn(6), u))
+		withCosts := EDFSpuri(tasks, ov)
+		naive := EDFSpuri(tasks, nil)
+		if withCosts.Feasible && !naive.Feasible {
+			return false // integrated admitted something naive rejects
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: crude (inflated) cost books are at least as pessimistic as
+// precise ones — the §2.2.2 accuracy argument.
+func TestCrudeCostsMorePessimistic(t *testing.T) {
+	precise := &Overheads{Book: dispatcher.DefaultCostBook(), SchedCost: 20 * us}
+	crude := &Overheads{Book: dispatcher.DefaultCostBook().Scale(5), SchedCost: 100 * us}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tasks := Generate(rng, DefaultGenConfig(4, 0.5+rng.Float64()*0.4))
+		p := EDFSpuri(tasks, precise)
+		c := EDFSpuri(tasks, crude)
+		return !c.Feasible || p.Feasible // crude ⊆ precise
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUUniFastSumsToTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, u := range []float64{0.3, 0.7, 0.95} {
+		us := UUniFast(rng, 8, u)
+		sum := 0.0
+		for _, x := range us {
+			if x < 0 {
+				t.Fatal("negative utilisation share")
+			}
+			sum += x
+		}
+		if sum < u-1e-9 || sum > u+1e-9 {
+			t.Fatalf("sum %f, want %f", sum, u)
+		}
+	}
+}
+
+func TestGenerateRespectsConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := DefaultGenConfig(10, 0.6)
+	tasks := Generate(rng, cfg)
+	if len(tasks) != 10 {
+		t.Fatalf("n = %d", len(tasks))
+	}
+	for _, task := range tasks {
+		if task.T < cfg.PeriodMin || task.T > cfg.PeriodMax {
+			t.Fatalf("period %s out of range", task.T)
+		}
+		if task.D > task.T || task.D < task.C {
+			t.Fatalf("deadline %s outside [C=%s, T=%s]", task.D, task.C, task.T)
+		}
+		if task.CS > task.C {
+			t.Fatal("critical section exceeds computation")
+		}
+		if (task.Resource == "") != (task.CS == 0) {
+			t.Fatal("resource/CS inconsistency")
+		}
+	}
+	u := Utilization(tasks)
+	if u < 0.35 || u > 0.85 {
+		t.Fatalf("generated utilisation %f far from 0.6", u)
+	}
+}
+
+func TestFromSpuriAndBack(t *testing.T) {
+	st := heug.SpuriTask{
+		Name: "tau", CBefore: 300 * us, CS: 200 * us, CAfter: 500 * us,
+		Resource: "S", Deadline: 5 * ms, PseudoPeriod: 10 * ms,
+	}
+	ft := FromSpuri(st)
+	if ft.C != 1*ms || ft.NumEU != 3 || ft.LocalEdges != 2 {
+		t.Fatalf("FromSpuri: %+v", ft)
+	}
+	back := ToSpuri(ft, []Task{ft}, 2)
+	if back.C() != ft.C || back.Node != 2 || back.Resource != "S" {
+		t.Fatalf("ToSpuri: %+v", back)
+	}
+	if back.CS != ft.CS {
+		t.Fatal("critical section lost")
+	}
+	if _, err := back.ToHEUG(); err != nil {
+		t.Fatalf("round-trip task invalid: %v", err)
+	}
+}
+
+// Property: demand h(l) is monotone in l.
+func TestDemandMonotone(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tasks := Generate(rng, DefaultGenConfig(5, 0.6))
+		a := vtime.Duration(aRaw % 200000000)
+		b := vtime.Duration(bRaw % 200000000)
+		if a > b {
+			a, b = b, a
+		}
+		return demand(tasks, a, nil) <= demand(tasks, b, nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,79 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"hades/internal/vtime"
+)
+
+func ganttLog() *Log {
+	l := NewLog(0)
+	// A runs 0–10, preempted; B runs 10–20; A resumes 20–30.
+	l.Record(Event{At: 0, Kind: KindThreadStart, Node: 0, Subject: "A"})
+	l.Record(Event{At: 10, Kind: KindThreadPreempt, Node: 0, Subject: "A"})
+	l.Record(Event{At: 10, Kind: KindThreadStart, Node: 0, Subject: "B"})
+	l.Record(Event{At: 20, Kind: KindThreadFinish, Node: 0, Subject: "B"})
+	l.Record(Event{At: 20, Kind: KindThreadResume, Node: 0, Subject: "A"})
+	l.Record(Event{At: 30, Kind: KindThreadFinish, Node: 0, Subject: "A"})
+	return l
+}
+
+func TestGanttRendersRows(t *testing.T) {
+	g := ganttLog().Gantt(0, 0, 30, 30)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 3 { // header + A + B
+		t.Fatalf("lines %d:\n%s", len(lines), g)
+	}
+	var rowA, rowB string
+	for _, ln := range lines[1:] {
+		if strings.HasPrefix(ln, "A") {
+			rowA = ln
+		}
+		if strings.HasPrefix(ln, "B") {
+			rowB = ln
+		}
+	}
+	if rowA == "" || rowB == "" {
+		t.Fatalf("missing rows:\n%s", g)
+	}
+	// A occupies the first and last thirds, B the middle.
+	aCells := rowA[strings.Index(rowA, "|")+1:]
+	bCells := rowB[strings.Index(rowB, "|")+1:]
+	if aCells[0] != '#' || aCells[29] != '#' {
+		t.Errorf("A edges wrong: %q", aCells)
+	}
+	if aCells[15] == '#' {
+		t.Errorf("A marked during B's slot: %q", aCells)
+	}
+	if bCells[15] != '#' {
+		t.Errorf("B middle missing: %q", bCells)
+	}
+}
+
+func TestGanttCPUNeverDoubleBooked(t *testing.T) {
+	// At every instant at most one thread occupies the CPU.
+	l := ganttLog()
+	ivs := l.intervals(0)
+	for i, a := range ivs {
+		for _, b := range ivs[i+1:] {
+			if a.from < b.to && b.from < a.to {
+				t.Fatalf("overlap: %+v and %+v", a, b)
+			}
+		}
+	}
+}
+
+func TestGanttEmptyNode(t *testing.T) {
+	if g := ganttLog().Gantt(5, 0, 30, 10); !strings.Contains(g, "no execution") {
+		t.Fatalf("empty node rendered: %q", g)
+	}
+}
+
+func TestGanttAutoWindow(t *testing.T) {
+	g := ganttLog().Gantt(0, 0, 0, 20) // to <= from: derive from data
+	if !strings.Contains(g, "#") {
+		t.Fatalf("auto window empty:\n%s", g)
+	}
+	_ = vtime.Time(0)
+}

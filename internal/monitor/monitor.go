@@ -1,0 +1,287 @@
+// Package monitor implements the HADES monitoring service.
+//
+// The paper makes monitoring a first-class dispatcher duty (§3.2.1): the
+// dispatcher observes thread execution to detect deadline violations,
+// arrival-law violations, early terminations, orphan threads, deadlocks
+// and network omission failures. This package provides the event log that
+// records those observations, the violation records surfaced to
+// applications, and the trace renderer used to regenerate Figure 2.
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"hades/internal/vtime"
+)
+
+// Kind identifies the kind of a logged event.
+type Kind uint8
+
+// Event kinds. Scheduling events mirror the paper's vocabulary
+// (activation Atv, termination Trm, resource access Rac / release Rre);
+// violation events mirror the monitoring list of §3.2.1.
+const (
+	KindActivation Kind = iota + 1
+	KindThreadReady
+	KindThreadStart
+	KindThreadPreempt
+	KindThreadResume
+	KindThreadFinish
+	KindTaskComplete
+	KindNotification
+	KindPriorityChange
+	KindEarliestChange
+	KindResourceGrant
+	KindResourceRelease
+	KindCondSet
+	KindCondClear
+	KindMessageSend
+	KindMessageRecv
+	KindMessageDrop
+	KindInterrupt
+	KindContextSwitch
+	KindSchedulerRun
+
+	// Violations (monitoring detections).
+	KindDeadlineMiss
+	KindArrivalLawViolation
+	KindEarlyTermination
+	KindOrphanThread
+	KindDeadlock
+	KindNetworkOmission
+	KindLatestStartMiss
+
+	// Service-level events.
+	KindFailureInjected
+	KindFailureDetected
+	KindCheckpoint
+	KindFailover
+	KindClockSyncRound
+	KindDelivery
+)
+
+var kindNames = map[Kind]string{
+	KindActivation:          "Atv",
+	KindThreadReady:         "Ready",
+	KindThreadStart:         "Start",
+	KindThreadPreempt:       "Preempt",
+	KindThreadResume:        "Resume",
+	KindThreadFinish:        "Trm",
+	KindTaskComplete:        "TaskDone",
+	KindNotification:        "Notify",
+	KindPriorityChange:      "SetPrio",
+	KindEarliestChange:      "SetEarliest",
+	KindResourceGrant:       "Rac",
+	KindResourceRelease:     "Rre",
+	KindCondSet:             "CondSet",
+	KindCondClear:           "CondClear",
+	KindMessageSend:         "Send",
+	KindMessageRecv:         "Recv",
+	KindMessageDrop:         "Drop",
+	KindInterrupt:           "IRQ",
+	KindContextSwitch:       "CtxSw",
+	KindSchedulerRun:        "SchedRun",
+	KindDeadlineMiss:        "DEADLINE-MISS",
+	KindArrivalLawViolation: "ARRIVAL-VIOLATION",
+	KindEarlyTermination:    "EARLY-TERM",
+	KindOrphanThread:        "ORPHAN",
+	KindDeadlock:            "DEADLOCK",
+	KindNetworkOmission:     "NET-OMISSION",
+	KindLatestStartMiss:     "LATEST-MISS",
+	KindFailureInjected:     "FAIL-INJECT",
+	KindFailureDetected:     "FAIL-DETECT",
+	KindCheckpoint:          "Checkpoint",
+	KindFailover:            "Failover",
+	KindClockSyncRound:      "ClockSync",
+	KindDelivery:            "Deliver",
+}
+
+// String returns the short mnemonic for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsViolation reports whether the kind records a detected property
+// violation rather than a normal scheduling event.
+func (k Kind) IsViolation() bool {
+	switch k {
+	case KindDeadlineMiss, KindArrivalLawViolation, KindEarlyTermination,
+		KindOrphanThread, KindDeadlock, KindNetworkOmission, KindLatestStartMiss:
+		return true
+	}
+	return false
+}
+
+// Event is one record in the log.
+type Event struct {
+	At      vtime.Time
+	Kind    Kind
+	Node    int    // processor id, -1 if not node-specific
+	Subject string // task/thread/resource name
+	Detail  string // free-form detail
+}
+
+// String renders the event as one trace line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%12s]", e.At)
+	if e.Node >= 0 {
+		fmt.Fprintf(&b, " n%d", e.Node)
+	}
+	fmt.Fprintf(&b, " %-18s %s", e.Kind, e.Subject)
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", e.Detail)
+	}
+	return b.String()
+}
+
+// Log collects events in order. It is not safe for concurrent use: a HADES
+// run is single-threaded by design (determinism), so the log needs no lock.
+type Log struct {
+	events   []Event
+	capLimit int // 0 = unlimited
+	dropped  int
+}
+
+// NewLog returns an empty log. limit, when positive, bounds memory by
+// keeping only the first limit events (the count of dropped events is
+// still tracked).
+func NewLog(limit int) *Log { return &Log{capLimit: limit} }
+
+// Record appends an event.
+func (l *Log) Record(e Event) {
+	if l == nil {
+		return
+	}
+	if l.capLimit > 0 && len(l.events) >= l.capLimit {
+		l.dropped++
+		return
+	}
+	l.events = append(l.events, e)
+}
+
+// Recordf appends an event built from the arguments.
+func (l *Log) Recordf(at vtime.Time, kind Kind, node int, subject, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	l.Record(Event{At: at, Kind: kind, Node: node, Subject: subject, Detail: detail})
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Dropped returns how many events were discarded due to the limit.
+func (l *Log) Dropped() int {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
+}
+
+// Events returns the retained events. The returned slice is a copy.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Filter returns the events matching pred, in order.
+func (l *Log) Filter(pred func(Event) bool) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range l.events {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByKind returns the events of the given kinds, in order.
+func (l *Log) ByKind(kinds ...Kind) []Event {
+	want := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	return l.Filter(func(e Event) bool { return want[e.Kind] })
+}
+
+// Violations returns all recorded property violations.
+func (l *Log) Violations() []Event {
+	return l.Filter(func(e Event) bool { return e.Kind.IsViolation() })
+}
+
+// CountKind returns the number of events of kind k.
+func (l *Log) CountKind(k Kind) int {
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteTrace writes every retained event to w, one per line.
+func (l *Log) WriteTrace(w io.Writer) error {
+	for _, e := range l.events {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	if l.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "... %d events dropped (log limit)\n", l.dropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary aggregates the log into per-kind counts, rendered sorted by
+// count descending then name, for stable output.
+func (l *Log) Summary() string {
+	counts := map[Kind]int{}
+	for _, e := range l.events {
+		counts[e.Kind]++
+	}
+	type kc struct {
+		k Kind
+		n int
+	}
+	all := make([]kc, 0, len(counts))
+	for k, n := range counts {
+		all = append(all, kc{k, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].k.String() < all[j].k.String()
+	})
+	var b strings.Builder
+	for _, e := range all {
+		fmt.Fprintf(&b, "%-18s %d\n", e.k, e.n)
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"hades/internal/vtime"
+)
+
+func TestRecordAndFilter(t *testing.T) {
+	l := NewLog(0)
+	l.Record(Event{At: 1, Kind: KindActivation, Node: 0, Subject: "t1"})
+	l.Record(Event{At: 2, Kind: KindDeadlineMiss, Node: 0, Subject: "t1"})
+	l.Record(Event{At: 3, Kind: KindThreadFinish, Node: 1, Subject: "t2"})
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if got := len(l.ByKind(KindActivation, KindThreadFinish)); got != 2 {
+		t.Fatalf("ByKind = %d", got)
+	}
+	v := l.Violations()
+	if len(v) != 1 || v[0].Kind != KindDeadlineMiss {
+		t.Fatalf("Violations = %v", v)
+	}
+	if l.CountKind(KindActivation) != 1 {
+		t.Fatal("CountKind wrong")
+	}
+}
+
+func TestLogLimit(t *testing.T) {
+	l := NewLog(2)
+	for i := 0; i < 5; i++ {
+		l.Record(Event{At: vtime.Time(i), Kind: KindActivation})
+	}
+	if l.Len() != 2 || l.Dropped() != 3 {
+		t.Fatalf("Len=%d Dropped=%d", l.Len(), l.Dropped())
+	}
+}
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Record(Event{})
+	l.Recordf(0, KindActivation, 0, "x", "y")
+	if l.Len() != 0 || l.Dropped() != 0 || l.Events() != nil {
+		t.Fatal("nil log must be inert")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: vtime.Time(1500), Kind: KindDeadlineMiss, Node: 2, Subject: "taskX", Detail: "late"}
+	s := e.String()
+	for _, want := range []string{"1.5us", "n2", "DEADLINE-MISS", "taskX", "late"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("event string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestViolationClassification(t *testing.T) {
+	violations := []Kind{KindDeadlineMiss, KindArrivalLawViolation, KindEarlyTermination,
+		KindOrphanThread, KindDeadlock, KindNetworkOmission, KindLatestStartMiss}
+	for _, k := range violations {
+		if !k.IsViolation() {
+			t.Errorf("%s not classified as violation", k)
+		}
+	}
+	normals := []Kind{KindActivation, KindThreadStart, KindNotification, KindCheckpoint}
+	for _, k := range normals {
+		if k.IsViolation() {
+			t.Errorf("%s wrongly classified as violation", k)
+		}
+	}
+}
+
+func TestWriteTraceAndSummary(t *testing.T) {
+	l := NewLog(0)
+	l.Recordf(10, KindActivation, 0, "a", "")
+	l.Recordf(20, KindActivation, 0, "b", "")
+	l.Recordf(30, KindThreadFinish, 0, "a", "ok")
+	var sb strings.Builder
+	if err := l.WriteTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "\n"); got != 3 {
+		t.Fatalf("trace lines = %d", got)
+	}
+	sum := l.Summary()
+	if !strings.Contains(sum, "Atv") || !strings.Contains(sum, "2") {
+		t.Fatalf("summary %q", sum)
+	}
+}
+
+func TestKindStringsAreUnique(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := range kindNames {
+		s := k.String()
+		if prev, dup := seen[s]; dup {
+			t.Errorf("kinds %d and %d share name %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+}

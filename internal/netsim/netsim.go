@@ -1,0 +1,314 @@
+// Package netsim simulates the communication substrate of the HADES
+// testbed (an ATM network of workstations).
+//
+// The paper models all communication as an independent task NetMsg that
+// "uses a set of resources (embedded CPUs of the involved network cards,
+// network hardware, DMAs, CPUs) and controls concurrent accesses to the
+// network hardware" (§3.1). This package reproduces that shape:
+//
+//   - links have bounded transmission delay [DMin, DMax] and deliver in
+//     FIFO order (per directed link), the synchrony assumption every
+//     time-bounded service relies on;
+//   - message receipt raises the ATM card interrupt (the w_atm kernel
+//     activity of §4.2), then runs a protocol thread (the NetMsg task)
+//     at a configurable priority before handing the message to the bound
+//     handler;
+//   - omission and performance (late-delivery) failures are injected via
+//     a deterministic, seeded fault hook, matching the §2.1 failure model.
+//
+// Sender-side CPU cost (C_trans_data) is deliberately *not* charged here:
+// per §4.1 it is a dispatcher activity, charged by the dispatcher (or
+// included in a service task's WCET).
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"hades/internal/eventq"
+	"hades/internal/monitor"
+	"hades/internal/simkern"
+	"hades/internal/vtime"
+)
+
+// Fate is a fault hook's decision about one message.
+type Fate uint8
+
+// Fates a message can meet.
+const (
+	// FateDeliver delivers within the link's bounds (no fault).
+	FateDeliver Fate = iota + 1
+	// FateDrop drops the message: an omission failure.
+	FateDrop
+	// FateDelay delivers late by Extra beyond the sampled delay: a
+	// performance failure.
+	FateDelay
+)
+
+// Verdict is the full decision of a fault hook.
+type Verdict struct {
+	Fate  Fate
+	Extra vtime.Duration // only for FateDelay
+}
+
+// FaultHook decides the fate of each message. Implementations must be
+// deterministic given the engine's seeded random source.
+type FaultHook interface {
+	Judge(m *Message) Verdict
+}
+
+// Message is one datagram crossing the network.
+type Message struct {
+	ID      uint64
+	From    int // sender processor ID
+	To      int // receiver processor ID
+	Port    string
+	Payload any
+	Size    int // bytes, informational
+
+	SentAt      vtime.Time
+	DeliveredAt vtime.Time // set on delivery
+
+	// Deps carries dependency-tracking identifiers (service [NMT97]).
+	Deps []uint64
+}
+
+// Config holds the NetMsg receive-path parameters.
+type Config struct {
+	// WAtm is the ATM card interrupt handler WCET (w_atm, §4.2).
+	WAtm vtime.Duration
+	// WProto is the protocol (NetMsg task) processing WCET per message.
+	WProto vtime.Duration
+	// PrioNet is the priority at which the NetMsg protocol task runs —
+	// the paper notes this is a parameter of the communication protocol.
+	PrioNet int
+}
+
+// DefaultConfig mirrors the magnitude of the paper's testbed: a 25 µs
+// interrupt handler and 35 µs of protocol processing at a high priority.
+func DefaultConfig() Config {
+	return Config{
+		WAtm:    25 * vtime.Microsecond,
+		WProto:  35 * vtime.Microsecond,
+		PrioNet: simkern.PrioMax - 2,
+	}
+}
+
+type link struct {
+	from, to     int
+	dMin, dMax   vtime.Duration
+	lastDelivery vtime.Time // FIFO enforcement
+}
+
+// Stats aggregates network behaviour for the experiment harness.
+type Stats struct {
+	Sent      int
+	Delivered int
+	Dropped   int
+	Late      int // performance failures injected
+	MaxDelay  vtime.Duration
+}
+
+// Network is the simulated interconnect. Not safe for concurrent use.
+type Network struct {
+	eng      *simkern.Engine
+	cfg      Config
+	links    map[[2]int]*link
+	handlers map[int]map[string]func(*Message)
+	fault    FaultHook
+	down     map[int]bool
+	nextID   uint64
+	stats    Stats
+	protoSeq uint64
+}
+
+// New creates a network over the engine's processors.
+func New(eng *simkern.Engine, cfg Config) *Network {
+	return &Network{
+		eng:      eng,
+		cfg:      cfg,
+		links:    make(map[[2]int]*link),
+		handlers: make(map[int]map[string]func(*Message)),
+		down:     make(map[int]bool),
+	}
+}
+
+// Engine returns the owning engine.
+func (n *Network) Engine() *simkern.Engine { return n.eng }
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// SetFault installs the fault hook (nil disables injection).
+func (n *Network) SetFault(f FaultHook) { n.fault = f }
+
+// SetNodeDown marks a processor as crashed: messages to or from it are
+// dropped silently (crashed nodes neither send nor receive).
+func (n *Network) SetNodeDown(proc int, isDown bool) { n.down[proc] = isDown }
+
+// NodeDown reports whether proc is marked crashed.
+func (n *Network) NodeDown(proc int) bool { return n.down[proc] }
+
+// Connect creates a bidirectional link between processors a and b with
+// transmission delay bounds [dMin, dMax].
+func (n *Network) Connect(a, b int, dMin, dMax vtime.Duration) {
+	if dMin < 0 || dMax < dMin {
+		panic(fmt.Sprintf("netsim: bad delay bounds [%s,%s]", dMin, dMax))
+	}
+	n.links[[2]int{a, b}] = &link{from: a, to: b, dMin: dMin, dMax: dMax}
+	n.links[[2]int{b, a}] = &link{from: b, to: a, dMin: dMin, dMax: dMax}
+}
+
+// ConnectAll fully connects the given processors with the same bounds.
+func (n *Network) ConnectAll(procs []int, dMin, dMax vtime.Duration) {
+	for i, a := range procs {
+		for _, b := range procs[i+1:] {
+			n.Connect(a, b, dMin, dMax)
+		}
+	}
+}
+
+// DelayBound returns the worst-case delay of the a→b link, which
+// time-bounded services use to size their round lengths. The second
+// result is false if the processors are not connected.
+func (n *Network) DelayBound(a, b int) (vtime.Duration, bool) {
+	l, ok := n.links[[2]int{a, b}]
+	if !ok {
+		return 0, false
+	}
+	return l.dMax, true
+}
+
+// DelayBounds returns both delay bounds of the a→b link; clock
+// synchronisation uses the midpoint as its delay estimator.
+func (n *Network) DelayBounds(a, b int) (dMin, dMax vtime.Duration, ok bool) {
+	l, found := n.links[[2]int{a, b}]
+	if !found {
+		return 0, 0, false
+	}
+	return l.dMin, l.dMax, true
+}
+
+// Bind registers the handler for messages to proc on port. Binding a
+// port twice replaces the handler.
+func (n *Network) Bind(proc int, port string, h func(*Message)) {
+	m := n.handlers[proc]
+	if m == nil {
+		m = make(map[string]func(*Message))
+		n.handlers[proc] = m
+	}
+	m[port] = h
+}
+
+// ErrNoLink is returned when sending between unconnected processors.
+var ErrNoLink = errors.New("netsim: processors not connected")
+
+// Send transmits payload from processor `from` to `to` on port. Delivery
+// (if the message survives injection) raises the ATM interrupt on the
+// receiver, runs the protocol task, and then invokes the bound handler.
+func (n *Network) Send(from, to int, port string, payload any, size int) (*Message, error) {
+	l, ok := n.links[[2]int{from, to}]
+	if !ok {
+		return nil, ErrNoLink
+	}
+	n.nextID++
+	m := &Message{ID: n.nextID, From: from, To: to, Port: port, Payload: payload, Size: size, SentAt: n.eng.Now()}
+	n.stats.Sent++
+	log := n.eng.Log()
+	log.Recordf(n.eng.Now(), monitor.KindMessageSend, from, port, "to=n%d id=%d", to, m.ID)
+
+	if n.down[from] || n.down[to] {
+		n.stats.Dropped++
+		log.Recordf(n.eng.Now(), monitor.KindMessageDrop, to, port, "id=%d node down", m.ID)
+		return m, nil
+	}
+
+	delay := l.dMin
+	if span := l.dMax - l.dMin; span > 0 {
+		delay += vtime.Duration(n.eng.Rand().Int63n(int64(span) + 1))
+	}
+	if n.fault != nil {
+		switch v := n.fault.Judge(m); v.Fate {
+		case FateDrop:
+			n.stats.Dropped++
+			log.Recordf(n.eng.Now(), monitor.KindMessageDrop, to, port, "id=%d omission", m.ID)
+			return m, nil
+		case FateDelay:
+			n.stats.Late++
+			delay += v.Extra
+		}
+	}
+	if delay > n.stats.MaxDelay {
+		n.stats.MaxDelay = delay
+	}
+
+	arrive := n.eng.Now().Add(delay)
+	if arrive < l.lastDelivery { // FIFO per directed link
+		arrive = l.lastDelivery
+	}
+	l.lastDelivery = arrive
+	n.eng.At(arrive, eventq.ClassNetwork, func() { n.receive(m) })
+	return m, nil
+}
+
+// Multicast sends the same payload to every processor in tos (excluding
+// the sender if present). It returns the messages actually submitted.
+func (n *Network) Multicast(from int, tos []int, port string, payload any, size int) ([]*Message, error) {
+	var out []*Message
+	for _, to := range tos {
+		if to == from {
+			continue
+		}
+		m, err := n.Send(from, to, port, payload, size)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// receive runs the paper's receive path: ATM interrupt, then the NetMsg
+// protocol thread, then the port handler.
+func (n *Network) receive(m *Message) {
+	if n.down[m.To] {
+		n.stats.Dropped++
+		n.eng.Log().Recordf(n.eng.Now(), monitor.KindMessageDrop, m.To, m.Port, "id=%d receiver down", m.ID)
+		return
+	}
+	procs := n.eng.Processors()
+	if m.To < 0 || m.To >= len(procs) {
+		panic(fmt.Sprintf("netsim: message to unknown processor %d", m.To))
+	}
+	p := procs[m.To]
+	p.RaiseIRQ("atm", n.cfg.WAtm, func() {
+		if n.cfg.WProto <= 0 {
+			n.deliver(m)
+			return
+		}
+		n.protoSeq++
+		th := p.NewThread(fmt.Sprintf("NetMsg#%d", n.protoSeq), n.cfg.PrioNet)
+		th.AddSegment(simkern.Segment{Name: "proto", Work: n.cfg.WProto, PT: simkern.PrioMax})
+		th.OnComplete = func() { n.deliver(m) }
+		th.Ready()
+	})
+}
+
+func (n *Network) deliver(m *Message) {
+	m.DeliveredAt = n.eng.Now()
+	n.stats.Delivered++
+	n.eng.Log().Recordf(n.eng.Now(), monitor.KindMessageRecv, m.To, m.Port, "from=n%d id=%d lat=%s", m.From, m.ID, m.DeliveredAt.Sub(m.SentAt))
+	if hs := n.handlers[m.To]; hs != nil {
+		if h := hs[m.Port]; h != nil {
+			h(m)
+			return
+		}
+	}
+	// Unbound port: drop quietly but record, so tests can assert.
+	n.eng.Log().Recordf(n.eng.Now(), monitor.KindMessageDrop, m.To, m.Port, "id=%d no handler", m.ID)
+}
+
+// WorstCaseReceivePath returns the CPU cost on the receiver for one
+// message (interrupt + protocol), used by feasibility analyses that must
+// account the NetMsg task as a sporadic kernel activity (§4.2).
+func (n *Network) WorstCaseReceivePath() vtime.Duration { return n.cfg.WAtm + n.cfg.WProto }

@@ -1,0 +1,198 @@
+package netsim
+
+import (
+	"testing"
+
+	"hades/internal/monitor"
+	"hades/internal/simkern"
+	"hades/internal/vtime"
+)
+
+const (
+	us = vtime.Microsecond
+	ms = vtime.Millisecond
+)
+
+func twoNodes(t *testing.T, cfg Config) (*simkern.Engine, *Network) {
+	t.Helper()
+	eng := simkern.NewEngine(monitor.NewLog(0), 11)
+	eng.AddProcessor("n0", 0)
+	eng.AddProcessor("n1", 0)
+	n := New(eng, cfg)
+	n.Connect(0, 1, 100*us, 300*us)
+	return eng, n
+}
+
+func TestDeliveryWithinBounds(t *testing.T) {
+	eng, n := twoNodes(t, DefaultConfig())
+	var got *Message
+	n.Bind(1, "app", func(m *Message) { got = m })
+	if _, err := n.Send(0, 1, "app", "payload", 8); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntilIdle()
+	if got == nil {
+		t.Fatal("not delivered")
+	}
+	lat := got.DeliveredAt.Sub(got.SentAt)
+	min := 100*us + DefaultConfig().WAtm + DefaultConfig().WProto
+	max := 300*us + DefaultConfig().WAtm + DefaultConfig().WProto + 100*us // queueing slack
+	if lat < min || lat > max {
+		t.Fatalf("latency %s outside [%s, %s]", lat, min, max)
+	}
+	if got.Payload != "payload" {
+		t.Fatal("payload lost")
+	}
+}
+
+func TestReceivePathChargesCPU(t *testing.T) {
+	eng, n := twoNodes(t, DefaultConfig())
+	n.Bind(1, "app", func(*Message) {})
+	_, _ = n.Send(0, 1, "app", 1, 8)
+	eng.RunUntilIdle()
+	p1 := eng.Processors()[1]
+	if p1.IRQTime() != DefaultConfig().WAtm {
+		t.Fatalf("ATM IRQ time %s, want %s", p1.IRQTime(), DefaultConfig().WAtm)
+	}
+	if p1.BusyTime() != DefaultConfig().WProto {
+		t.Fatalf("protocol time %s, want %s", p1.BusyTime(), DefaultConfig().WProto)
+	}
+	st := p1.IRQBySource()["atm"]
+	if st == nil || st.Count != 1 {
+		t.Fatal("atm IRQ not recorded")
+	}
+}
+
+func TestFIFOPerLink(t *testing.T) {
+	eng, n := twoNodes(t, DefaultConfig())
+	var order []int
+	n.Bind(1, "app", func(m *Message) { order = append(order, m.Payload.(int)) })
+	for i := 0; i < 20; i++ {
+		if _, err := n.Send(0, 1, "app", i, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunUntilIdle()
+	if len(order) != 20 {
+		t.Fatalf("delivered %d", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated at %d: %v", i, order)
+		}
+	}
+}
+
+func TestNoLinkError(t *testing.T) {
+	eng := simkern.NewEngine(nil, 1)
+	eng.AddProcessor("n0", 0)
+	eng.AddProcessor("n1", 0)
+	n := New(eng, DefaultConfig())
+	if _, err := n.Send(0, 1, "x", nil, 0); err == nil {
+		t.Fatal("send without link must fail")
+	}
+}
+
+func TestNodeDownDropsTraffic(t *testing.T) {
+	eng, n := twoNodes(t, DefaultConfig())
+	delivered := 0
+	n.Bind(1, "app", func(*Message) { delivered++ })
+	n.SetNodeDown(1, true)
+	_, _ = n.Send(0, 1, "app", 1, 8)
+	eng.RunUntilIdle()
+	if delivered != 0 {
+		t.Fatal("crashed node received")
+	}
+	if n.Stats().Dropped != 1 {
+		t.Fatalf("dropped = %d", n.Stats().Dropped)
+	}
+	n.SetNodeDown(1, false)
+	_, _ = n.Send(0, 1, "app", 2, 8)
+	eng.RunUntilIdle()
+	if delivered != 1 {
+		t.Fatal("recovered node did not receive")
+	}
+}
+
+type alwaysDrop struct{}
+
+func (alwaysDrop) Judge(*Message) Verdict { return Verdict{Fate: FateDrop} }
+
+type alwaysDelay struct{ extra vtime.Duration }
+
+func (a alwaysDelay) Judge(*Message) Verdict { return Verdict{Fate: FateDelay, Extra: a.extra} }
+
+func TestOmissionFault(t *testing.T) {
+	eng, n := twoNodes(t, DefaultConfig())
+	delivered := 0
+	n.Bind(1, "app", func(*Message) { delivered++ })
+	n.SetFault(alwaysDrop{})
+	_, _ = n.Send(0, 1, "app", 1, 8)
+	eng.RunUntilIdle()
+	if delivered != 0 || n.Stats().Dropped != 1 {
+		t.Fatalf("delivered=%d dropped=%d", delivered, n.Stats().Dropped)
+	}
+}
+
+func TestPerformanceFault(t *testing.T) {
+	eng, n := twoNodes(t, DefaultConfig())
+	var at vtime.Time
+	n.Bind(1, "app", func(m *Message) { at = m.DeliveredAt })
+	n.SetFault(alwaysDelay{extra: 10 * ms})
+	_, _ = n.Send(0, 1, "app", 1, 8)
+	eng.RunUntilIdle()
+	if at < vtime.Time(10*ms) {
+		t.Fatalf("performance fault not applied: delivered at %s", at)
+	}
+	if n.Stats().Late != 1 {
+		t.Fatalf("late = %d", n.Stats().Late)
+	}
+}
+
+func TestMulticast(t *testing.T) {
+	eng := simkern.NewEngine(monitor.NewLog(0), 5)
+	for i := 0; i < 4; i++ {
+		eng.AddProcessor("n", 0)
+	}
+	n := New(eng, DefaultConfig())
+	n.ConnectAll([]int{0, 1, 2, 3}, 50*us, 100*us)
+	got := map[int]bool{}
+	for i := 1; i < 4; i++ {
+		node := i
+		n.Bind(node, "mc", func(*Message) { got[node] = true })
+	}
+	msgs, err := n.Multicast(0, []int{0, 1, 2, 3}, "mc", "x", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("multicast sent %d, want 3 (self excluded)", len(msgs))
+	}
+	eng.RunUntilIdle()
+	if len(got) != 3 {
+		t.Fatalf("delivered to %d nodes", len(got))
+	}
+}
+
+func TestUnboundPortDropsQuietly(t *testing.T) {
+	eng, n := twoNodes(t, DefaultConfig())
+	_, _ = n.Send(0, 1, "nobody-listens", 1, 8)
+	eng.RunUntilIdle()
+	if n.Stats().Delivered != 1 {
+		t.Fatal("message should count as delivered (then dropped at demux)")
+	}
+}
+
+func TestDelayBounds(t *testing.T) {
+	_, n := twoNodes(t, DefaultConfig())
+	dmin, dmax, ok := n.DelayBounds(0, 1)
+	if !ok || dmin != 100*us || dmax != 300*us {
+		t.Fatalf("bounds %s/%s ok=%v", dmin, dmax, ok)
+	}
+	if _, _, ok := n.DelayBounds(0, 9); ok {
+		t.Fatal("bounds for missing link")
+	}
+	if d, ok := n.DelayBound(1, 0); !ok || d != 300*us {
+		t.Fatal("reverse link missing")
+	}
+}

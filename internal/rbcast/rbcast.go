@@ -1,0 +1,222 @@
+// Package rbcast implements the time-bounded reliable broadcast and
+// multicast primitives of §2.2.1 ("time-bounded reliable communication
+// primitives ... Rel. Bcast and Rel. Mcast" in Figure 1).
+//
+// The algorithm is synchronous flooding: the origin sends in round 0;
+// every process that first receives a message in round r < f+1 relays it
+// in round r+1; every process delivers at the fixed instant T0 +
+// (f+1)·R, where R (the round length) exceeds the worst-case link delay
+// plus receive-path processing. With at most f processes suffering send
+// omissions, this guarantees:
+//
+//	validity   — a correct origin's message is delivered by all correct
+//	             processes;
+//	agreement  — if any correct process delivers m, all correct
+//	             processes deliver m;
+//	integrity  — m is delivered at most once, only if broadcast;
+//	timeliness — delivery happens exactly Δ = (f+1)·R after initiation,
+//	             the "time-bounded" half of the service contract.
+//
+// Delivery at a *fixed* instant (rather than on receipt) is what makes
+// the primitive composable with scheduling analysis: the bound Δ enters
+// a feasibility test as a constant.
+package rbcast
+
+import (
+	"fmt"
+
+	"hades/internal/eventq"
+	"hades/internal/monitor"
+	"hades/internal/netsim"
+	"hades/internal/simkern"
+	"hades/internal/vtime"
+)
+
+// Config parameterises the primitive.
+type Config struct {
+	// Group lists the participating processor IDs.
+	Group []int
+	// F is the number of omission-faulty processes tolerated.
+	F int
+	// Round is the round length R; it must exceed the worst-case link
+	// delay plus the receive path cost.
+	Round vtime.Duration
+	// WProc is the per-message processing cost charged on relays.
+	WProc vtime.Duration
+}
+
+// DefaultConfig sizes the round length from the network's delay bounds.
+func DefaultConfig(net *netsim.Network, group []int, f int) Config {
+	var dmax vtime.Duration
+	for _, a := range group {
+		for _, b := range group {
+			if a == b {
+				continue
+			}
+			if d, ok := net.DelayBound(a, b); ok && d > dmax {
+				dmax = d
+			}
+		}
+	}
+	return Config{
+		Group: group,
+		F:     f,
+		Round: dmax + net.WorstCaseReceivePath() + 50*vtime.Microsecond,
+		WProc: 10 * vtime.Microsecond,
+	}
+}
+
+// Delivery is one delivered message at one process.
+type Delivery struct {
+	Origin  int
+	Seq     uint64
+	Payload any
+	// At is the delivery instant; Latency is At minus the broadcast
+	// initiation.
+	At      vtime.Time
+	Latency vtime.Duration
+}
+
+// Service is a reliable-broadcast endpoint set over one group.
+type Service struct {
+	eng *simkern.Engine
+	net *netsim.Network
+	cfg Config
+
+	nextSeq   uint64
+	seen      map[string]bool // msgKey → relayed/scheduled
+	handlers  map[int]func(Delivery)
+	port      string
+	delivered map[string][]int // "origin/seq" → nodes that delivered
+
+	// Deliveries records every delivery for verification.
+	Deliveries []Delivery
+}
+
+type flood struct {
+	Origin  int
+	Seq     uint64
+	Payload any
+	Round   int
+	SentAt  vtime.Time
+}
+
+func msgKey(origin int, seq uint64, node int) string {
+	return fmt.Sprintf("%d/%d@%d", origin, seq, node)
+}
+
+// New creates a reliable broadcast service over the group. Distinct
+// services must use distinct names (the name scopes the netsim port).
+func New(eng *simkern.Engine, net *netsim.Network, name string, cfg Config) *Service {
+	s := &Service{
+		eng:       eng,
+		net:       net,
+		cfg:       cfg,
+		seen:      make(map[string]bool),
+		handlers:  make(map[int]func(Delivery)),
+		delivered: make(map[string][]int),
+		port:      "rbcast." + name,
+	}
+	for _, n := range cfg.Group {
+		node := n
+		net.Bind(node, s.port, func(m *netsim.Message) { s.receive(node, m) })
+	}
+	return s
+}
+
+// OnDeliver installs a node's delivery handler.
+func (s *Service) OnDeliver(node int, h func(Delivery)) { s.handlers[node] = h }
+
+// Delta returns the delivery bound Δ = (f+1)·R.
+func (s *Service) Delta() vtime.Duration {
+	return vtime.Duration(s.cfg.F+1) * s.cfg.Round
+}
+
+// Broadcast initiates a reliable broadcast from origin. It returns the
+// message sequence number and the guaranteed delivery instant.
+func (s *Service) Broadcast(origin int, payload any) (uint64, vtime.Time) {
+	s.nextSeq++
+	seq := s.nextSeq
+	now := s.eng.Now()
+	deliverAt := now.Add(s.Delta())
+	f := flood{Origin: origin, Seq: seq, Payload: payload, Round: 0, SentAt: now}
+	s.accept(origin, f, deliverAt)
+	s.relay(origin, f)
+	return seq, deliverAt
+}
+
+// receive processes a flooded copy at node.
+func (s *Service) receive(node int, m *netsim.Message) {
+	if s.net.NodeDown(node) {
+		return
+	}
+	f, ok := m.Payload.(flood)
+	if !ok {
+		return
+	}
+	if s.cfg.WProc > 0 {
+		s.eng.Processors()[node].RaiseIRQ("rbcast", s.cfg.WProc, nil)
+	}
+	deliverAt := f.SentAt.Add(s.Delta())
+	if !s.accept(node, f, deliverAt) {
+		return // duplicate
+	}
+	if f.Round+1 <= s.cfg.F {
+		next := f
+		next.Round = f.Round + 1
+		s.relay(node, next)
+	}
+}
+
+// accept schedules delivery for a first-seen copy; returns false on
+// duplicates (integrity).
+func (s *Service) accept(node int, f flood, deliverAt vtime.Time) bool {
+	k := msgKey(f.Origin, f.Seq, node)
+	if s.seen[k] {
+		return false
+	}
+	s.seen[k] = true
+	s.eng.At(deliverAt, eventq.ClassApp, func() {
+		if s.net.NodeDown(node) {
+			return
+		}
+		d := Delivery{
+			Origin:  f.Origin,
+			Seq:     f.Seq,
+			Payload: f.Payload,
+			At:      deliverAt,
+			Latency: deliverAt.Sub(f.SentAt),
+		}
+		s.Deliveries = append(s.Deliveries, d)
+		dk := fmt.Sprintf("%d/%d", f.Origin, f.Seq)
+		s.delivered[dk] = append(s.delivered[dk], node)
+		if log := s.eng.Log(); log != nil {
+			log.Recordf(deliverAt, monitor.KindDelivery, node, s.port, "origin=n%d seq=%d", f.Origin, f.Seq)
+		}
+		if h := s.handlers[node]; h != nil {
+			h(d)
+		}
+	})
+	return true
+}
+
+// relay floods a copy to every other group member.
+func (s *Service) relay(from int, f flood) {
+	for _, dst := range s.cfg.Group {
+		if dst == from {
+			continue
+		}
+		if _, err := s.net.Send(from, dst, s.port, f, 32); err != nil {
+			continue // unconnected: counts as omission, tolerated up to f
+		}
+	}
+}
+
+// DeliveredAt returns the nodes that actually delivered (origin, seq),
+// for agreement checking.
+func (s *Service) DeliveredAt(origin int, seq uint64) []int {
+	nodes := s.delivered[fmt.Sprintf("%d/%d", origin, seq)]
+	out := make([]int, len(nodes))
+	copy(out, nodes)
+	return out
+}

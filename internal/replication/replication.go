@@ -1,0 +1,399 @@
+// Package replication implements the replication services of §2.2.1:
+// passive, active and semi-active replication in the sense of Poledna
+// [Pol96], over the simulated network, the heartbeat fault detector and
+// the stable storage service.
+//
+// The replicated object is a deterministic state machine
+// (StateMachine): requests are int64 commands, state an int64 value —
+// deliberately minimal so the experiments isolate the *replication
+// protocol* costs (checkpointing, voting, failover latency, lost work)
+// rather than application behaviour:
+//
+//   - Active: every replica executes every request; the client side
+//     votes on the replies (majority), masking crash and value faults
+//     with zero failover latency.
+//   - Passive: only the primary executes; it checkpoints state to the
+//     backups (and stable storage) every CheckpointEvery requests. On
+//     primary crash the fault detector promotes the next backup, which
+//     resumes from the last checkpoint — bounded failover latency, but
+//     work since the checkpoint is lost and must be resubmitted.
+//   - Semi-active: the leader executes and broadcasts its decision;
+//     followers execute the same requests in the same order (no
+//     voting). On leader crash a follower takes over with no lost
+//     state, at the price of every replica doing the work.
+package replication
+
+import (
+	"fmt"
+	"sort"
+
+	"hades/internal/fault"
+	"hades/internal/monitor"
+	"hades/internal/netsim"
+	"hades/internal/simkern"
+	"hades/internal/storage"
+	"hades/internal/vtime"
+)
+
+// Style selects the replication protocol.
+type Style uint8
+
+// Replication styles [Pol96].
+const (
+	// Active replication: all replicas execute, outputs voted.
+	Active Style = iota + 1
+	// Passive replication: primary executes, backups hold checkpoints.
+	Passive
+	// SemiActive replication: leader decides, followers mirror.
+	SemiActive
+)
+
+// String returns the style name.
+func (s Style) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Passive:
+		return "passive"
+	case SemiActive:
+		return "semi-active"
+	default:
+		return "unknown"
+	}
+}
+
+// StateMachine is the deterministic replicated service: state' = f(state,
+// cmd). Value faults are injected by corrupting one replica's Apply.
+type StateMachine struct {
+	State   int64
+	Applied int64
+	// Corrupt, when non-nil, perturbs results (a coherent value
+	// failure, §2.1).
+	Corrupt func(int64) int64
+}
+
+// Apply executes one command.
+func (sm *StateMachine) Apply(cmd int64) int64 {
+	sm.State = sm.State*31 + cmd
+	sm.Applied++
+	if sm.Corrupt != nil {
+		return sm.Corrupt(sm.State)
+	}
+	return sm.State
+}
+
+// Config parameterises a replica group.
+type Config struct {
+	// Name scopes the group's network ports.
+	Name string
+	// Replicas lists the replica nodes, in promotion order.
+	Replicas []int
+	// Style selects the protocol.
+	Style Style
+	// WExec is the CPU cost of executing one request on a replica.
+	WExec vtime.Duration
+	// CheckpointEvery is the passive checkpoint interval in requests.
+	CheckpointEvery int
+	// StorageLatency is the stable-store per-copy write latency.
+	StorageLatency vtime.Duration
+}
+
+// Reply is one replica's answer to a request.
+type Reply struct {
+	Replica int
+	ReqID   uint64
+	Result  int64
+	At      vtime.Time
+}
+
+// Group is a running replica group.
+type Group struct {
+	eng *simkern.Engine
+	net *netsim.Network
+	det *fault.Detector
+	cfg Config
+
+	machines map[int]*StateMachine
+	stores   map[int]*storage.Store
+	primary  int // index into cfg.Replicas
+	nextReq  uint64
+
+	// replies collects per-request replies for voting (active).
+	replies map[uint64][]Reply
+	voted   map[uint64]bool
+	onReply func(reqID uint64, result int64, unanimous bool)
+
+	// sinceCheckpoint counts requests since the last passive checkpoint.
+	sinceCheckpoint int
+
+	// Failovers records promotion instants for the harness.
+	Failovers []Failover
+	// LostWork counts requests lost to a passive failover.
+	LostWork int64
+}
+
+// Failover records one primary/leader promotion. The failover latency
+// relative to the crash is the caller's to compute (the group does not
+// know when the fault was injected, only when the detector confirmed).
+type Failover struct {
+	From, To  int
+	At        vtime.Time
+	LostSince int64 // applied-counter gap (passive only)
+}
+
+// reqMsg crosses the wire for request dissemination.
+type reqMsg struct {
+	ID  uint64
+	Cmd int64
+}
+
+// ckptMsg carries a passive checkpoint.
+type ckptMsg struct {
+	State   int64
+	Applied int64
+}
+
+// NewGroup builds a replica group. det may be nil for Active style
+// (which needs no failover); Passive and SemiActive require it.
+func NewGroup(eng *simkern.Engine, net *netsim.Network, det *fault.Detector, cfg Config,
+	onReply func(reqID uint64, result int64, unanimous bool)) (*Group, error) {
+	if len(cfg.Replicas) < 2 {
+		return nil, fmt.Errorf("replication: group %q needs at least 2 replicas", cfg.Name)
+	}
+	if cfg.Style != Active && det == nil {
+		return nil, fmt.Errorf("replication: style %s requires a fault detector", cfg.Style)
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 10
+	}
+	g := &Group{
+		eng:      eng,
+		net:      net,
+		det:      det,
+		cfg:      cfg,
+		machines: make(map[int]*StateMachine),
+		stores:   make(map[int]*storage.Store),
+		replies:  make(map[uint64][]Reply),
+		voted:    make(map[uint64]bool),
+		onReply:  onReply,
+	}
+	for _, r := range cfg.Replicas {
+		g.machines[r] = &StateMachine{}
+		g.stores[r] = storage.New(eng, r, cfg.StorageLatency)
+	}
+	for _, r := range cfg.Replicas {
+		node := r
+		net.Bind(node, g.port("req"), func(m *netsim.Message) { g.handleRequest(node, m) })
+		net.Bind(node, g.port("ckpt"), func(m *netsim.Message) { g.handleCheckpoint(node, m) })
+	}
+	return g, nil
+}
+
+func (g *Group) port(kind string) string { return "repl." + g.cfg.Name + "." + kind }
+
+// HandleSuspicion reacts to a fault-detector suspicion: wire it as (or
+// from) the detector's onSuspect callback. Passive and semi-active
+// groups fail over when their primary is the suspect.
+func (g *Group) HandleSuspicion(s fault.Suspicion) {
+	if s.Suspect == g.Primary() {
+		g.checkFailover()
+	}
+}
+
+// Machine returns a replica's state machine (test/fault-injection hook).
+func (g *Group) Machine(node int) *StateMachine { return g.machines[node] }
+
+// Primary returns the current primary/leader node.
+func (g *Group) Primary() int { return g.cfg.Replicas[g.primary] }
+
+// Submit issues one request to the group, returning its ID.
+func (g *Group) Submit(from int, cmd int64) uint64 {
+	g.nextReq++
+	id := g.nextReq
+	msg := reqMsg{ID: id, Cmd: cmd}
+	switch g.cfg.Style {
+	case Active, SemiActive:
+		// All replicas receive and execute.
+		for _, r := range g.cfg.Replicas {
+			if r == from {
+				g.execute(r, msg)
+				continue
+			}
+			if _, err := g.net.Send(from, r, g.port("req"), msg, 16); err != nil {
+				continue
+			}
+		}
+	case Passive:
+		p := g.Primary()
+		if p == from {
+			g.execute(p, msg)
+		} else if _, err := g.net.Send(from, p, g.port("req"), msg, 16); err != nil {
+			return id
+		}
+	}
+	return id
+}
+
+func (g *Group) handleRequest(node int, m *netsim.Message) {
+	msg, ok := m.Payload.(reqMsg)
+	if !ok {
+		return
+	}
+	if g.cfg.Style == Passive && node != g.Primary() {
+		return // backups ignore requests
+	}
+	g.execute(node, msg)
+}
+
+// execute runs the request on one replica, charging WExec, then reports
+// the reply.
+func (g *Group) execute(node int, msg reqMsg) {
+	if g.net.NodeDown(node) {
+		return
+	}
+	proc := g.eng.Processors()[node]
+	th := proc.NewThread(fmt.Sprintf("repl.%s.exec#%d@n%d", g.cfg.Name, msg.ID, node), simkern.PrioMax-5000)
+	th.AddSegment(simkern.Segment{Name: "exec", Work: g.cfg.WExec, PT: simkern.PrioMax - 5000})
+	th.OnComplete = func() {
+		if g.net.NodeDown(node) {
+			return
+		}
+		res := g.machines[node].Apply(msg.Cmd)
+		g.reply(node, msg.ID, res)
+		if g.cfg.Style == Passive && node == g.Primary() {
+			g.sinceCheckpoint++
+			if g.sinceCheckpoint >= g.cfg.CheckpointEvery {
+				g.sinceCheckpoint = 0
+				g.checkpoint(node)
+			}
+		}
+	}
+	th.Ready()
+}
+
+// reply collects replies; active groups vote: a result is delivered as
+// soon as some value has a strict majority of the replica count — the
+// masking condition. Waiting for a bare quorum of *any* two replies
+// would let a fast corrupt replica tie the vote; requiring matching
+// majority replies masks up to ⌊(n-1)/2⌋ value faults.
+func (g *Group) reply(node int, reqID uint64, result int64) {
+	r := Reply{Replica: node, ReqID: reqID, Result: result, At: g.eng.Now()}
+	g.replies[reqID] = append(g.replies[reqID], r)
+	switch g.cfg.Style {
+	case Active:
+		if g.voted[reqID] {
+			return
+		}
+		need := len(g.cfg.Replicas)/2 + 1
+		if winner, n, distinct := tally(g.replies[reqID]); n >= need {
+			g.voted[reqID] = true
+			// unanimous reflects the replies seen at vote time; a
+			// divergent replica that answers before the majority
+			// forms is caught here.
+			unanimous := distinct == 1
+			if g.onReply != nil {
+				g.onReply(reqID, winner, unanimous)
+			}
+		}
+	case Passive, SemiActive:
+		// The primary's (leader's) reply is authoritative.
+		if node == g.Primary() && g.onReply != nil {
+			g.onReply(reqID, result, true)
+		}
+	}
+}
+
+// tally returns the most frequent result, its count, and the number of
+// distinct results (ties broken by value, deterministically).
+func tally(replies []Reply) (winner int64, count, distinct int) {
+	counts := make(map[int64]int, len(replies))
+	for _, r := range replies {
+		counts[r.Result]++
+	}
+	type kv struct {
+		v int64
+		n int
+	}
+	all := make([]kv, 0, len(counts))
+	for v, n := range counts {
+		all = append(all, kv{v, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].v < all[j].v
+	})
+	return all[0].v, all[0].n, len(all)
+}
+
+// checkpoint propagates the primary's state to backups and stable
+// storage (passive style).
+func (g *Group) checkpoint(primary int) {
+	sm := g.machines[primary]
+	ck := ckptMsg{State: sm.State, Applied: sm.Applied}
+	g.stores[primary].Write(fmt.Sprintf("ckpt.%s", g.cfg.Name), ck, func(error) {})
+	for _, r := range g.cfg.Replicas {
+		if r == primary {
+			continue
+		}
+		if _, err := g.net.Send(primary, r, g.port("ckpt"), ck, 24); err != nil {
+			continue
+		}
+	}
+	if log := g.eng.Log(); log != nil {
+		log.Recordf(g.eng.Now(), monitor.KindCheckpoint, primary, g.cfg.Name, "applied=%d", ck.Applied)
+	}
+}
+
+func (g *Group) handleCheckpoint(node int, m *netsim.Message) {
+	ck, ok := m.Payload.(ckptMsg)
+	if !ok {
+		return
+	}
+	sm := g.machines[node]
+	if ck.Applied > sm.Applied || g.cfg.Style == Passive {
+		sm.State, sm.Applied = ck.State, ck.Applied
+	}
+	g.stores[node].Write(fmt.Sprintf("ckpt.%s", g.cfg.Name), ck, func(error) {})
+}
+
+// checkFailover promotes the next live replica when the current
+// primary/leader is suspected by a majority view (here: by the next
+// replica in promotion order, sufficient in a perfect-detector system).
+func (g *Group) checkFailover() {
+	if g.cfg.Style == Active {
+		return
+	}
+	cur := g.Primary()
+	if !g.net.NodeDown(cur) {
+		return
+	}
+	// Find the next live replica.
+	for i := 1; i < len(g.cfg.Replicas); i++ {
+		idx := (g.primary + i) % len(g.cfg.Replicas)
+		cand := g.cfg.Replicas[idx]
+		if g.net.NodeDown(cand) {
+			continue
+		}
+		if !g.det.Suspected(cand, cur) {
+			return // detector has not confirmed yet; wait
+		}
+		prevApplied := g.machines[cur].Applied
+		newApplied := g.machines[cand].Applied
+		lost := prevApplied - newApplied
+		if g.cfg.Style == SemiActive {
+			lost = 0 // followers executed everything themselves
+		} else if lost < 0 {
+			lost = 0
+		}
+		g.primary = idx
+		fo := Failover{From: cur, To: cand, At: g.eng.Now(), LostSince: lost}
+		g.Failovers = append(g.Failovers, fo)
+		g.LostWork += lost
+		if log := g.eng.Log(); log != nil {
+			log.Recordf(fo.At, monitor.KindFailover, cand, g.cfg.Name, "from=n%d lost=%d", cur, lost)
+		}
+		return
+	}
+}

@@ -1,0 +1,230 @@
+package replication
+
+import (
+	"testing"
+
+	"hades/internal/eventq"
+	"hades/internal/fault"
+	"hades/internal/monitor"
+	"hades/internal/netsim"
+	"hades/internal/simkern"
+	"hades/internal/vtime"
+)
+
+const (
+	us = vtime.Microsecond
+	ms = vtime.Millisecond
+)
+
+type rigT struct {
+	eng *simkern.Engine
+	net *netsim.Network
+	det *fault.Detector
+}
+
+func rig(t *testing.T, n int) rigT {
+	t.Helper()
+	eng := simkern.NewEngine(monitor.NewLog(0), 53)
+	nodes := make([]int, n)
+	for i := 0; i < n; i++ {
+		eng.AddProcessor("n", 0)
+		nodes[i] = i
+	}
+	net := netsim.New(eng, netsim.Config{WAtm: 5 * us, WProto: 5 * us, PrioNet: simkern.PrioMax - 2})
+	net.ConnectAll(nodes, 50*us, 150*us)
+	det := NewDetectorForGroups(eng, net, nodes)
+	return rigT{eng: eng, net: net, det: det}
+}
+
+// NewDetectorForGroups builds a detector whose suspicions are routed to
+// all registered groups.
+var activeGroups []*Group
+
+func NewDetectorForGroups(eng *simkern.Engine, net *netsim.Network, nodes []int) *fault.Detector {
+	activeGroups = nil
+	det := fault.NewDetector(eng, net, fault.DefaultDetectorConfig(nodes), func(s fault.Suspicion) {
+		for _, g := range activeGroups {
+			g.HandleSuspicion(s)
+		}
+	})
+	det.Start()
+	return det
+}
+
+func newGroup(t *testing.T, r rigT, style Style, replicas []int) (*Group, *[]int64) {
+	t.Helper()
+	var results []int64
+	g, err := NewGroup(r.eng, r.net, r.det, Config{
+		Name:            "g",
+		Replicas:        replicas,
+		Style:           style,
+		WExec:           100 * us,
+		CheckpointEvery: 5,
+		StorageLatency:  20 * us,
+	}, func(_ uint64, res int64, _ bool) { results = append(results, res) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	activeGroups = append(activeGroups, g)
+	return g, &results
+}
+
+// drive submits one request per millisecond from the client node.
+func drive(r rigT, g *Group, from int, count int) {
+	for i := 0; i < count; i++ {
+		cmd := int64(i + 1)
+		r.eng.At(vtime.Time(vtime.Duration(i)*ms), eventq.ClassApp, func() {
+			g.Submit(from, cmd)
+		})
+	}
+}
+
+func TestActiveReplicationMasksValueFault(t *testing.T) {
+	r := rig(t, 4)
+	g, results := newGroup(t, r, Active, []int{0, 1, 2})
+	// One replica computes corrupt values (coherent value failure).
+	g.Machine(1).Corrupt = func(v int64) int64 { return v + 1000000 }
+	drive(r, g, 3, 10)
+	r.eng.Run(vtime.Time(50 * ms))
+	if len(*results) != 10 {
+		t.Fatalf("voted results %d, want 10", len(*results))
+	}
+	// Majority (nodes 0, 2) is correct: results must match a clean
+	// state machine.
+	ref := &StateMachine{}
+	for i, got := range *results {
+		want := ref.Apply(int64(i + 1))
+		if got != want {
+			t.Fatalf("request %d: voted %d, want %d (value fault leaked)", i+1, got, want)
+		}
+	}
+}
+
+func TestActiveReplicationSurvivesCrashWithoutFailover(t *testing.T) {
+	r := rig(t, 4)
+	g, results := newGroup(t, r, Active, []int{0, 1, 2})
+	fault.CrashAt(r.eng, r.net, 1, vtime.Time(3*ms), 0)
+	drive(r, g, 3, 10)
+	r.eng.Run(vtime.Time(100 * ms))
+	if len(*results) != 10 {
+		t.Fatalf("results %d, want 10 (majority alive)", len(*results))
+	}
+	if len(g.Failovers) != 0 {
+		t.Fatal("active replication must not fail over")
+	}
+}
+
+func TestPassiveReplicationFailover(t *testing.T) {
+	r := rig(t, 4)
+	g, results := newGroup(t, r, Passive, []int{0, 1, 2})
+	crashAt := vtime.Time(10*ms + 500*us)
+	fault.CrashAt(r.eng, r.net, 0, crashAt, 0)
+	drive(r, g, 3, 30)
+	r.eng.Run(vtime.Time(300 * ms))
+	if len(g.Failovers) != 1 {
+		t.Fatalf("failovers %d, want 1", len(g.Failovers))
+	}
+	fo := g.Failovers[0]
+	if fo.From != 0 || fo.To != 1 {
+		t.Fatalf("failover %+v", fo)
+	}
+	// Detection + promotion happens within the detector bound.
+	lat := fo.At.Sub(crashAt)
+	if lat > 50*ms {
+		t.Fatalf("failover latency %s too large", lat)
+	}
+	// Work since the last checkpoint is lost (checkpoint every 5).
+	if fo.LostSince == 0 || fo.LostSince > 5 {
+		t.Fatalf("lost work %d, want in (0,5]", fo.LostSince)
+	}
+	// The new primary keeps serving.
+	if len(*results) == 0 {
+		t.Fatal("no results at all")
+	}
+	post := 0
+	for _, e := range r.eng.Log().ByKind(monitor.KindFailover) {
+		_ = e
+		post++
+	}
+	if post != 1 {
+		t.Fatalf("failover events %d", post)
+	}
+}
+
+func TestSemiActiveFailoverLosesNothing(t *testing.T) {
+	r := rig(t, 4)
+	g, _ := newGroup(t, r, SemiActive, []int{0, 1, 2})
+	fault.CrashAt(r.eng, r.net, 0, vtime.Time(10*ms+500*us), 0)
+	drive(r, g, 3, 30)
+	r.eng.Run(vtime.Time(300 * ms))
+	if len(g.Failovers) != 1 {
+		t.Fatalf("failovers %d, want 1", len(g.Failovers))
+	}
+	if g.LostWork != 0 {
+		t.Fatalf("semi-active lost %d requests, want 0 (followers execute everything)", g.LostWork)
+	}
+}
+
+func TestPassiveCheckpointsReachBackups(t *testing.T) {
+	r := rig(t, 4)
+	g, _ := newGroup(t, r, Passive, []int{0, 1, 2})
+	drive(r, g, 3, 12)
+	r.eng.Run(vtime.Time(100 * ms))
+	// 12 requests, checkpoint every 5: at least 2 checkpoints.
+	if n := r.eng.Log().CountKind(monitor.KindCheckpoint); n < 2 {
+		t.Fatalf("checkpoints %d, want >= 2", n)
+	}
+	// Backups hold a recent state (within CheckpointEvery of primary).
+	primary := g.Machine(0)
+	backup := g.Machine(1)
+	if primary.Applied-backup.Applied > 5 {
+		t.Fatalf("backup lag %d > checkpoint interval", primary.Applied-backup.Applied)
+	}
+	// Backups must not have executed requests themselves beyond
+	// checkpoint application.
+	if backup.Applied > primary.Applied {
+		t.Fatal("backup ran ahead of primary")
+	}
+}
+
+func TestStyleCostsDiffer(t *testing.T) {
+	// Active replication burns CPU on every replica; passive only on
+	// the primary. Compare total execution CPU.
+	runStyle := func(style Style) vtime.Duration {
+		r := rig(t, 4)
+		g, _ := newGroup(t, r, style, []int{0, 1, 2})
+		drive(r, g, 3, 20)
+		r.eng.Run(vtime.Time(100 * ms))
+		var busy vtime.Duration
+		for _, p := range r.eng.Processors()[:3] {
+			busy += p.BusyTime()
+		}
+		return busy
+	}
+	active := runStyle(Active)
+	passive := runStyle(Passive)
+	if active <= passive {
+		t.Fatalf("active CPU %s not above passive %s", active, passive)
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	r := rig(t, 2)
+	if _, err := NewGroup(r.eng, r.net, r.det, Config{Name: "x", Replicas: []int{0}}, nil); err == nil {
+		t.Fatal("single replica accepted")
+	}
+	if _, err := NewGroup(r.eng, r.net, nil, Config{Name: "x", Replicas: []int{0, 1}, Style: Passive}, nil); err == nil {
+		t.Fatal("passive without detector accepted")
+	}
+	if _, err := NewGroup(r.eng, r.net, nil, Config{Name: "x", Replicas: []int{0, 1}, Style: Active}, nil); err != nil {
+		t.Fatalf("active without detector rejected: %v", err)
+	}
+}
+
+func TestStyleNames(t *testing.T) {
+	for _, s := range []Style{Active, Passive, SemiActive} {
+		if s.String() == "unknown" {
+			t.Errorf("style %d unnamed", s)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package scenario defines the JSON scenario format shared by the
+// hades-sim and hades-feas command-line tools: a §5.1-style sporadic
+// task set plus platform and policy choices, loadable from a file or
+// from the built-in catalogue.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hades/internal/core"
+	"hades/internal/dispatcher"
+	"hades/internal/feasibility"
+	"hades/internal/heug"
+	"hades/internal/sched"
+	"hades/internal/vtime"
+)
+
+// TaskSpec describes one task in the JSON scenario.
+type TaskSpec struct {
+	Name      string  `json:"name"`
+	Node      int     `json:"node"`
+	CBeforeUs float64 `json:"cBeforeUs"`
+	CSUs      float64 `json:"csUs"`
+	CAfterUs  float64 `json:"cAfterUs"`
+	Resource  string  `json:"resource,omitempty"`
+	// DeadlineMs is the relative deadline D.
+	DeadlineMs float64 `json:"deadlineMs"`
+	// PeriodMs is the period (periodic) or pseudo-period (sporadic).
+	PeriodMs float64 `json:"periodMs"`
+	// Law is "sporadic" (default) or "periodic".
+	Law string `json:"law,omitempty"`
+}
+
+// Spec is a full scenario.
+type Spec struct {
+	Name      string     `json:"name"`
+	Nodes     int        `json:"nodes"`
+	Seed      int64      `json:"seed"`
+	Costs     string     `json:"costs"`     // "default" | "zero"
+	Scheduler string     `json:"scheduler"` // "EDF" | "RM" | "DM" | "Spring" | "best-effort"
+	Policy    string     `json:"policy"`    // "SRP" | "PCP" | "none"
+	HorizonMs float64    `json:"horizonMs"`
+	Tasks     []TaskSpec `json:"tasks"`
+}
+
+// Load reads a scenario from a JSON file.
+func Load(path string) (Spec, error) {
+	var s Spec
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, fmt.Errorf("scenario: %w", err)
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("scenario: parsing %s: %w", path, err)
+	}
+	return s.withDefaults()
+}
+
+// Builtin returns a named built-in scenario.
+func Builtin(name string) (Spec, error) {
+	s, ok := builtins[name]
+	if !ok {
+		names := make([]string, 0, len(builtins))
+		for n := range builtins {
+			names = append(names, n)
+		}
+		return Spec{}, fmt.Errorf("scenario: unknown builtin %q (have %v)", name, names)
+	}
+	return s.withDefaults()
+}
+
+// BuiltinNames lists the catalogue.
+func BuiltinNames() []string {
+	return []string{"spuri-example", "inversion", "overload"}
+}
+
+var builtins = map[string]Spec{
+	// The §5 running example: three sporadic tasks sharing S under
+	// EDF+SRP.
+	"spuri-example": {
+		Name: "spuri-example", Nodes: 1, Seed: 1, Costs: "default",
+		Scheduler: "EDF", Policy: "SRP", HorizonMs: 500,
+		Tasks: []TaskSpec{
+			{Name: "tau1", CBeforeUs: 300, CSUs: 200, CAfterUs: 500, Resource: "S", DeadlineMs: 5, PeriodMs: 10},
+			{Name: "tau2", CBeforeUs: 800, CSUs: 400, CAfterUs: 800, Resource: "S", DeadlineMs: 12, PeriodMs: 20},
+			{Name: "tau3", CBeforeUs: 2000, CSUs: 0, CAfterUs: 0, DeadlineMs: 40, PeriodMs: 50},
+		},
+	},
+	// The canonical priority-inversion workload (experiment X2).
+	"inversion": {
+		Name: "inversion", Nodes: 1, Seed: 1, Costs: "default",
+		Scheduler: "DM", Policy: "SRP", HorizonMs: 500,
+		Tasks: []TaskSpec{
+			{Name: "low", CBeforeUs: 0, CSUs: 8000, CAfterUs: 0, Resource: "R", DeadlineMs: 45, PeriodMs: 50},
+			{Name: "mid", CBeforeUs: 15000, CSUs: 0, CAfterUs: 0, DeadlineMs: 40, PeriodMs: 50},
+			{Name: "high", CBeforeUs: 0, CSUs: 1000, CAfterUs: 0, Resource: "R", DeadlineMs: 20, PeriodMs: 50},
+		},
+	},
+	// A deliberately overloaded set: misses expected.
+	"overload": {
+		Name: "overload", Nodes: 1, Seed: 1, Costs: "default",
+		Scheduler: "EDF", Policy: "SRP", HorizonMs: 300,
+		Tasks: []TaskSpec{
+			{Name: "a", CBeforeUs: 6000, CSUs: 0, CAfterUs: 0, DeadlineMs: 10, PeriodMs: 10},
+			{Name: "b", CBeforeUs: 6000, CSUs: 0, CAfterUs: 0, DeadlineMs: 10, PeriodMs: 10},
+		},
+	},
+}
+
+func (s Spec) withDefaults() (Spec, error) {
+	if s.Nodes <= 0 {
+		s.Nodes = 1
+	}
+	if s.Scheduler == "" {
+		s.Scheduler = "EDF"
+	}
+	if s.HorizonMs <= 0 {
+		s.HorizonMs = 500
+	}
+	if len(s.Tasks) == 0 {
+		return s, fmt.Errorf("scenario %q has no tasks", s.Name)
+	}
+	for i, t := range s.Tasks {
+		if t.Name == "" {
+			return s, fmt.Errorf("scenario %q: task %d unnamed", s.Name, i)
+		}
+		if t.PeriodMs <= 0 || t.DeadlineMs <= 0 {
+			return s, fmt.Errorf("scenario %q: task %q needs positive period and deadline", s.Name, t.Name)
+		}
+	}
+	return s, nil
+}
+
+func us(f float64) vtime.Duration { return vtime.Duration(f * float64(vtime.Microsecond)) }
+func msd(f float64) vtime.Duration {
+	return vtime.Duration(f * float64(vtime.Millisecond))
+}
+
+// Spuri converts a task spec to the §5.1 model.
+func (t TaskSpec) Spuri() heug.SpuriTask {
+	return heug.SpuriTask{
+		Name:         t.Name,
+		Node:         t.Node,
+		CBefore:      us(t.CBeforeUs),
+		CS:           us(t.CSUs),
+		CAfter:       us(t.CAfterUs),
+		Resource:     t.Resource,
+		Deadline:     msd(t.DeadlineMs),
+		PseudoPeriod: msd(t.PeriodMs),
+	}
+}
+
+// CostBook resolves the scenario's cost book.
+func (s Spec) CostBook() dispatcher.CostBook {
+	if s.Costs == "zero" {
+		return dispatcher.ZeroCostBook()
+	}
+	return dispatcher.DefaultCostBook()
+}
+
+// AnalysisTasks converts the scenario to the feasibility model.
+func (s Spec) AnalysisTasks() []feasibility.Task {
+	out := make([]feasibility.Task, len(s.Tasks))
+	for i, t := range s.Tasks {
+		out[i] = feasibility.FromSpuri(t.Spuri())
+	}
+	return out
+}
+
+// Build assembles a runnable system from the scenario and returns it
+// with the list of task names to drive.
+func (s Spec) Build() (*core.System, error) {
+	sys := core.NewSystem(core.Config{Nodes: s.Nodes, Seed: s.Seed, Costs: s.CostBook()})
+	var policy dispatcher.ResourcePolicy
+	switch s.Policy {
+	case "SRP":
+		policy = sched.NewSRP()
+	case "PCP":
+		policy = sched.NewPCP()
+	case "", "none":
+		policy = nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown policy %q", s.Policy)
+	}
+	var pol dispatcher.Scheduler
+	switch s.Scheduler {
+	case "EDF":
+		pol = sched.NewEDF(20 * vtime.Microsecond)
+	case "RM":
+		pol = sched.NewRM()
+	case "DM":
+		pol = sched.NewDM()
+	case "Spring":
+		pol = sched.NewSpring(15*vtime.Microsecond, 100*vtime.Microsecond, sys.Engine().Now)
+	case "best-effort":
+		pol = sched.NewBestEffort(0)
+	default:
+		return nil, fmt.Errorf("scenario: unknown scheduler %q", s.Scheduler)
+	}
+	app := sys.NewApp(s.Name, pol, policy)
+	for _, ts := range s.Tasks {
+		st := ts.Spuri()
+		task, err := st.ToHEUG()
+		if err != nil {
+			return nil, err
+		}
+		if ts.Law == "periodic" {
+			task.Arrival = heug.PeriodicEvery(msd(ts.PeriodMs))
+		}
+		if err := app.AddTask(task); err != nil {
+			return nil, err
+		}
+	}
+	app.Seal()
+	for _, ts := range s.Tasks {
+		var err error
+		if ts.Law == "periodic" {
+			err = sys.StartPeriodic(ts.Name)
+		} else {
+			err = sys.StartSporadicWorstCase(ts.Name)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+// Horizon returns the simulation horizon.
+func (s Spec) Horizon() vtime.Duration { return msd(s.HorizonMs) }

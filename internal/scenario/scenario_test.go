@@ -1,0 +1,168 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hades/internal/feasibility"
+)
+
+func TestBuiltinsLoadAndBuild(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		t.Run(name, func(t *testing.T) {
+			spec, err := Builtin(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := sys.Run(spec.Horizon())
+			if rep.Stats.Activations == 0 {
+				t.Fatal("no activations")
+			}
+		})
+	}
+}
+
+func TestUnknownBuiltin(t *testing.T) {
+	if _, err := Builtin("ghost"); err == nil {
+		t.Fatal("unknown builtin accepted")
+	}
+}
+
+func TestSpuriExampleMeetsDeadlines(t *testing.T) {
+	spec, err := Builtin("spuri-example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(spec.Horizon())
+	if rep.Stats.DeadlineMisses != 0 {
+		t.Fatalf("spuri-example missed %d deadlines", rep.Stats.DeadlineMisses)
+	}
+}
+
+func TestOverloadMisses(t *testing.T) {
+	spec, err := Builtin("overload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(spec.Horizon())
+	if rep.Stats.DeadlineMisses == 0 {
+		t.Fatal("overload scenario missed nothing")
+	}
+	// And the analysis agrees.
+	if feasibility.EDFSpuri(spec.AnalysisTasks(), nil).Feasible {
+		t.Fatal("overloaded set declared feasible")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	data := `{
+		"name": "file-test",
+		"nodes": 2,
+		"seed": 3,
+		"costs": "zero",
+		"scheduler": "RM",
+		"policy": "PCP",
+		"horizonMs": 100,
+		"tasks": [
+			{"name": "a", "node": 0, "cBeforeUs": 500, "deadlineMs": 10, "periodMs": 10, "law": "periodic"},
+			{"name": "b", "node": 1, "cBeforeUs": 300, "csUs": 200, "cAfterUs": 100,
+			 "resource": "S", "deadlineMs": 20, "periodMs": 20}
+		]
+	}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Nodes != 2 || spec.Scheduler != "RM" || len(spec.Tasks) != 2 {
+		t.Fatalf("parsed %+v", spec)
+	}
+	sys, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Run(spec.Horizon())
+	if rep.Stats.Completions == 0 {
+		t.Fatal("file scenario produced nothing")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("/nonexistent/file.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"name":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(empty); err == nil {
+		t.Fatal("taskless scenario accepted")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	spec := Spec{Name: "v", Tasks: []TaskSpec{{Name: "", PeriodMs: 1, DeadlineMs: 1}}}
+	if _, err := spec.withDefaults(); err == nil {
+		t.Fatal("unnamed task accepted")
+	}
+	spec = Spec{Name: "v", Tasks: []TaskSpec{{Name: "x", PeriodMs: 0, DeadlineMs: 1}}}
+	if _, err := spec.withDefaults(); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestBadPolicyAndScheduler(t *testing.T) {
+	spec, _ := Builtin("spuri-example")
+	spec.Policy = "bogus"
+	if _, err := spec.Build(); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	spec, _ = Builtin("spuri-example")
+	spec.Scheduler = "bogus"
+	if _, err := spec.Build(); err == nil {
+		t.Fatal("bogus scheduler accepted")
+	}
+}
+
+func TestAllSchedulersBuild(t *testing.T) {
+	for _, schedName := range []string{"EDF", "RM", "DM", "Spring", "best-effort"} {
+		spec, _ := Builtin("spuri-example")
+		spec.Scheduler = schedName
+		if schedName == "best-effort" {
+			spec.Policy = "" // best-effort band has no protocol
+		}
+		sys, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", schedName, err)
+		}
+		rep := sys.Run(100 * msd(1))
+		if rep.Stats.Activations == 0 {
+			t.Fatalf("%s: nothing ran", schedName)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"hades/internal/dispatcher"
+	"hades/internal/heug"
+	"hades/internal/vtime"
+)
+
+// Cyclic is a static planning-based scheduler in the tradition of
+// global cyclic scheduling [Agn91] and static multiprocessor planning
+// [Xu93] — the third scheduler family of §1. The whole schedule is
+// computed offline: every job release inside one hyperperiod gets a
+// fixed start slot (EDF-ordered serialisation), and at run time the
+// scheduler only imposes those slots through the dispatcher primitive's
+// *earliest start time* attribute — the use case §3.1.2 names for
+// statically assigned earliest values.
+//
+// Restrictions (documented, checked at Init): periodic tasks only, one
+// Code_EU per task, all on one node — the classic cyclic-frame model.
+type Cyclic struct {
+	cost vtime.Duration
+
+	hyper   vtime.Duration
+	starts  map[string][]vtime.Duration // task → planned start offset per release
+	offsets map[string][]vtime.Duration // task → release offsets in the hyperperiod
+	planErr error
+}
+
+// maxHyperperiod bounds plan size for non-harmonic period sets.
+const maxHyperperiod = 10 * vtime.Second
+
+// NewCyclic returns a cyclic executive with the given per-notification
+// cost.
+func NewCyclic(cost vtime.Duration) *Cyclic {
+	return &Cyclic{
+		cost:    cost,
+		starts:  make(map[string][]vtime.Duration),
+		offsets: make(map[string][]vtime.Duration),
+	}
+}
+
+// Name implements dispatcher.Scheduler.
+func (*Cyclic) Name() string { return "cyclic" }
+
+// Cost implements dispatcher.Scheduler.
+func (c *Cyclic) Cost() vtime.Duration { return c.cost }
+
+// Wants implements dispatcher.Scheduler: the table is imposed at
+// activation.
+func (*Cyclic) Wants(k dispatcher.NotifKind) bool { return k == dispatcher.NotifAtv }
+
+// PlanError returns the planning failure, if any. Callers must check it
+// after App.Seal: a cyclic executive with no valid table guarantees
+// nothing.
+func (c *Cyclic) PlanError() error { return c.planErr }
+
+// Hyperperiod returns the plan's major cycle length (0 if unplanned).
+func (c *Cyclic) Hyperperiod() vtime.Duration { return c.hyper }
+
+// Init implements dispatcher.Scheduler: it builds the offline table.
+func (c *Cyclic) Init(tasks []*heug.Task) {
+	for _, t := range tasks {
+		for _, e := range t.EUs {
+			if e.Code != nil {
+				e.Code.Prio = BaseGuaranteed
+			}
+		}
+	}
+	c.planErr = c.plan(tasks)
+}
+
+type cyclicJob struct {
+	task     string
+	release  vtime.Duration
+	deadline vtime.Duration
+	work     vtime.Duration
+	index    int // release index within the hyperperiod
+}
+
+// plan builds the EDF-ordered serialised schedule of one hyperperiod.
+func (c *Cyclic) plan(tasks []*heug.Task) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	hyper := vtime.Duration(1)
+	for _, t := range tasks {
+		if t.Arrival.Kind != heug.Periodic {
+			return fmt.Errorf("cyclic: task %q is not periodic", t.Name)
+		}
+		if len(t.EUs) != 1 || t.EUs[0].Code == nil {
+			return fmt.Errorf("cyclic: task %q must have exactly one Code_EU", t.Name)
+		}
+		if t.EUs[0].Code.Node != tasks[0].EUs[0].Code.Node {
+			return fmt.Errorf("cyclic: tasks span nodes; the cyclic frame is single-node")
+		}
+		hyper = lcm(hyper, t.Arrival.Period)
+		if hyper > maxHyperperiod {
+			return fmt.Errorf("cyclic: hyperperiod exceeds %s", maxHyperperiod)
+		}
+	}
+	c.hyper = hyper
+
+	var jobs []*cyclicJob
+	for _, t := range tasks {
+		d := t.Deadline
+		if d == 0 {
+			d = t.Arrival.Period
+		}
+		idx := 0
+		for rel := t.Arrival.Offset; rel < hyper; rel += t.Arrival.Period {
+			jobs = append(jobs, &cyclicJob{
+				task:     t.Name,
+				release:  rel,
+				deadline: rel + d,
+				work:     t.EUs[0].Code.WCET,
+				index:    idx,
+			})
+			idx++
+		}
+		c.offsets[t.Name] = nil
+		c.starts[t.Name] = nil
+	}
+	// EDF-order the jobs, then serialise respecting releases.
+	sort.SliceStable(jobs, func(i, j int) bool {
+		if jobs[i].deadline != jobs[j].deadline {
+			return jobs[i].deadline < jobs[j].deadline
+		}
+		return jobs[i].release < jobs[j].release
+	})
+	var tm vtime.Duration
+	starts := make(map[string][]vtime.Duration)
+	for _, j := range jobs {
+		if j.release > tm {
+			tm = j.release
+		}
+		start := tm
+		tm += j.work
+		if tm > j.deadline {
+			return fmt.Errorf("cyclic: job %s@%s misses its deadline in the plan (ends %s > %s)",
+				j.task, j.release, tm, j.deadline)
+		}
+		starts[j.task] = append(starts[j.task], start)
+		c.offsets[j.task] = append(c.offsets[j.task], j.release)
+	}
+	// Per task, order slots by release index.
+	for task, offs := range c.offsets {
+		idx := make([]int, len(offs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return offs[idx[a]] < offs[idx[b]] })
+		ordOff := make([]vtime.Duration, len(offs))
+		ordSt := make([]vtime.Duration, len(offs))
+		for i, k := range idx {
+			ordOff[i] = offs[k]
+			ordSt[i] = starts[task][k]
+		}
+		c.offsets[task] = ordOff
+		c.starts[task] = ordSt
+	}
+	return nil
+}
+
+// Handle implements dispatcher.Scheduler: each activation is pinned to
+// its plan slot via the earliest attribute.
+func (c *Cyclic) Handle(n dispatcher.Notification, prim dispatcher.Primitive) {
+	if n.Kind != dispatcher.NotifAtv || c.planErr != nil || c.hyper == 0 {
+		return
+	}
+	task := n.Thread.TaskName()
+	offsets := c.offsets[task]
+	if len(offsets) == 0 {
+		return
+	}
+	inst := n.Thread.Instance()
+	rel := vtime.Duration(inst.ActivatedAt)
+	cycle := (rel / c.hyper) * c.hyper
+	within := rel - cycle
+	for i, off := range offsets {
+		if off == within {
+			planned := vtime.Time(cycle + c.starts[task][i])
+			if planned > n.Thread.Earliest() {
+				prim.SetEarliest(n.Thread, planned)
+			}
+			return
+		}
+	}
+	// Release off the plan grid (arrival-law violation): leave as-is;
+	// the dispatcher's monitoring already recorded it.
+}
+
+func gcd(a, b vtime.Duration) vtime.Duration {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b vtime.Duration) vtime.Duration {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a / gcd(a, b) * b
+}

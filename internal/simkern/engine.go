@@ -1,0 +1,145 @@
+// Package simkern is the simulated COTS real-time kernel that HADES runs
+// on, substituting for the ChorusR3 kernel of the paper's prototype.
+//
+// The paper requires only "standard process management mechanisms
+// (priority-based preemptive scheduling, interprocess synchronization,
+// separate address spaces) and a predictable behavior" from the underlying
+// kernel (§2.2.1). This package provides exactly that surface over a
+// deterministic discrete-event engine:
+//
+//   - a virtual clock and event queue (predictability becomes determinism:
+//     a run is a pure function of its inputs and seed);
+//   - mono-processor nodes with preemptive priority scheduling and
+//     preemption thresholds (§3.1.2);
+//   - threads made of segments, each with its own preemption threshold, so
+//     that kernel calls can run with pt = PrioMax as the paper mandates;
+//   - interrupt sources (periodic clock tick, sporadic device interrupts)
+//     that preempt all threads, matching §4.2's background kernel
+//     activities;
+//   - context-switch cost charging on the CPU timeline, so measured
+//     schedules and the feasibility tests of §5.3 account the same events.
+package simkern
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hades/internal/eventq"
+	"hades/internal/monitor"
+	"hades/internal/vtime"
+)
+
+// Priority levels. Higher values are more urgent. PrioMax is reserved for
+// kernel mechanisms per §3.1.2 ("The higher priority level prio_max is
+// reserved for kernel mechanisms"); interrupts run above every thread.
+const (
+	// PrioMin is the lowest priority an application thread may use.
+	PrioMin = 0
+	// PrioMax is the kernel priority level: segments with pt = PrioMax
+	// cannot be preempted by any thread, only by interrupts.
+	PrioMax = 1 << 20
+)
+
+// Engine is the discrete-event core: one virtual clock and event queue
+// shared by every processor and device of a run. It is not safe for
+// concurrent use; a run is single-threaded by design.
+type Engine struct {
+	now   vtime.Time
+	queue eventq.Queue
+	log   *monitor.Log
+	rand  *rand.Rand
+	procs []*Processor
+
+	running  bool
+	stopReq  bool
+	fired    uint64
+	readySeq uint64
+}
+
+// NewEngine returns an engine with the given trace log (may be nil) and
+// deterministic seed.
+func NewEngine(log *monitor.Log, seed int64) *Engine {
+	return &Engine{log: log, rand: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() vtime.Time { return e.now }
+
+// Log returns the engine's trace log (may be nil).
+func (e *Engine) Log() *monitor.Log { return e.log }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rand }
+
+// Processors returns the registered processors in creation order.
+func (e *Engine) Processors() []*Processor { return e.procs }
+
+// At schedules fn at absolute instant t. Scheduling in the past panics:
+// in a predictable system causality violations are programming errors.
+func (e *Engine) At(t vtime.Time, class eventq.Class, fn func()) *eventq.Event {
+	if t < e.now {
+		panic(fmt.Sprintf("simkern: scheduling event in the past (%s < %s)", t, e.now))
+	}
+	return e.queue.Push(t, class, fn)
+}
+
+// After schedules fn d from now.
+func (e *Engine) After(d vtime.Duration, class eventq.Class, fn func()) *eventq.Event {
+	if d < 0 {
+		panic(fmt.Sprintf("simkern: negative delay %s", d))
+	}
+	return e.At(e.now.Add(d), class, fn)
+}
+
+// Cancel cancels a scheduled event.
+func (e *Engine) Cancel(ev *eventq.Event) { e.queue.Cancel(ev) }
+
+// Stop makes Run return after the currently firing event.
+func (e *Engine) Stop() { e.stopReq = true }
+
+// EventsFired returns the total number of events processed so far.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// Run processes events until the queue is exhausted or the virtual clock
+// would pass until. It returns the time at which it stopped.
+func (e *Engine) Run(until vtime.Time) vtime.Time {
+	if e.running {
+		panic("simkern: re-entrant Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	e.stopReq = false
+	for {
+		if e.stopReq {
+			return e.now
+		}
+		next := e.queue.Peek()
+		if next == nil {
+			return e.now
+		}
+		if next.At > until {
+			e.now = until
+			return e.now
+		}
+		ev := e.queue.Pop()
+		e.now = ev.At
+		e.fired++
+		ev.Fire()
+	}
+}
+
+// RunUntilIdle processes events until none remain.
+func (e *Engine) RunUntilIdle() vtime.Time { return e.Run(vtime.Infinity) }
+
+// nextReadySeq hands out FIFO tie-break sequence numbers for ready queues.
+func (e *Engine) nextReadySeq() uint64 {
+	e.readySeq++
+	return e.readySeq
+}
+
+func (e *Engine) record(kind monitor.Kind, node int, subject, detail string) {
+	if e.log == nil {
+		return
+	}
+	e.log.Record(monitor.Event{At: e.now, Kind: kind, Node: node, Subject: subject, Detail: detail})
+}

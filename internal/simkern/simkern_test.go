@@ -1,0 +1,390 @@
+package simkern
+
+import (
+	"testing"
+
+	"hades/internal/eventq"
+	"hades/internal/monitor"
+	"hades/internal/vtime"
+)
+
+const us = vtime.Microsecond
+
+func newEng() *Engine {
+	return NewEngine(monitor.NewLog(0), 1)
+}
+
+func TestSingleThreadRunsToCompletion(t *testing.T) {
+	eng := newEng()
+	p := eng.AddProcessor("n0", 0)
+	done := vtime.Time(-1)
+	th := p.NewThread("a", 5)
+	th.AddSegment(Segment{Name: "body", Work: 100 * us})
+	th.OnComplete = func() { done = eng.Now() }
+	th.Ready()
+	eng.RunUntilIdle()
+	if done != vtime.Time(100*us) {
+		t.Fatalf("completion at %s, want 100us", done)
+	}
+	if got := th.CPUTime(); got != 100*us {
+		t.Fatalf("CPUTime = %s, want 100us", got)
+	}
+	if !th.Finished() {
+		t.Fatal("thread not finished")
+	}
+}
+
+func TestPriorityPreemption(t *testing.T) {
+	eng := newEng()
+	p := eng.AddProcessor("n0", 0)
+	var finish []string
+	lo := p.NewThread("lo", 1)
+	lo.AddSegment(Segment{Work: 100 * us})
+	lo.OnComplete = func() { finish = append(finish, "lo") }
+	lo.Ready()
+
+	eng.After(10*us, eventq.ClassDispatch, func() {
+		hi := p.NewThread("hi", 9)
+		hi.AddSegment(Segment{Work: 20 * us})
+		hi.OnComplete = func() { finish = append(finish, "hi") }
+		hi.Ready()
+	})
+	end := eng.RunUntilIdle()
+	if len(finish) != 2 || finish[0] != "hi" || finish[1] != "lo" {
+		t.Fatalf("finish order %v, want [hi lo]", finish)
+	}
+	// lo: 10 before the preemption, hi's 20, then lo's remaining 90:
+	// idle at 10+20+90 = 120us.
+	if end != vtime.Time(120*us) {
+		t.Fatalf("idle at %s, want 120us", end)
+	}
+	if p.Preemptions() != 1 {
+		t.Fatalf("preemptions = %d, want 1", p.Preemptions())
+	}
+}
+
+func TestEqualPriorityIsFIFO(t *testing.T) {
+	eng := newEng()
+	p := eng.AddProcessor("n0", 0)
+	var finish []string
+	for _, name := range []string{"a", "b", "c"} {
+		n := name
+		th := p.NewThread(n, 5)
+		th.AddSegment(Segment{Work: 10 * us})
+		th.OnComplete = func() { finish = append(finish, n) }
+		th.Ready()
+	}
+	eng.RunUntilIdle()
+	if finish[0] != "a" || finish[1] != "b" || finish[2] != "c" {
+		t.Fatalf("finish order %v", finish)
+	}
+}
+
+func TestPreemptionThresholdBlocksPreemption(t *testing.T) {
+	eng := newEng()
+	p := eng.AddProcessor("n0", 0)
+	var order []string
+	lo := p.NewThread("lo", 1)
+	lo.AddSegment(Segment{Work: 100 * us, PT: 9}) // threshold above hi
+	lo.OnComplete = func() { order = append(order, "lo") }
+	lo.Ready()
+	eng.After(10*us, eventq.ClassDispatch, func() {
+		hi := p.NewThread("hi", 8) // 8 <= pt 9: must NOT preempt
+		hi.AddSegment(Segment{Work: 20 * us})
+		hi.OnComplete = func() { order = append(order, "hi") }
+		hi.Ready()
+	})
+	eng.RunUntilIdle()
+	if order[0] != "lo" {
+		t.Fatalf("order %v: preemption threshold violated", order)
+	}
+	if p.Preemptions() != 0 {
+		t.Fatalf("preemptions = %d, want 0", p.Preemptions())
+	}
+}
+
+func TestPreemptionThresholdExceeded(t *testing.T) {
+	eng := newEng()
+	p := eng.AddProcessor("n0", 0)
+	var order []string
+	lo := p.NewThread("lo", 1)
+	lo.AddSegment(Segment{Work: 100 * us, PT: 5})
+	lo.OnComplete = func() { order = append(order, "lo") }
+	lo.Ready()
+	eng.After(10*us, eventq.ClassDispatch, func() {
+		hi := p.NewThread("hi", 6) // 6 > pt 5: preempts
+		hi.AddSegment(Segment{Work: 20 * us})
+		hi.OnComplete = func() { order = append(order, "hi") }
+		hi.Ready()
+	})
+	eng.RunUntilIdle()
+	if order[0] != "hi" {
+		t.Fatalf("order %v: priority above threshold failed to preempt", order)
+	}
+}
+
+func TestDynamicPriorityChangeCausesPreemption(t *testing.T) {
+	eng := newEng()
+	p := eng.AddProcessor("n0", 0)
+	var order []string
+	a := p.NewThread("a", 5)
+	a.AddSegment(Segment{Work: 100 * us})
+	a.OnComplete = func() { order = append(order, "a") }
+	a.Ready()
+	b := p.NewThread("b", 5)
+	b.AddSegment(Segment{Work: 10 * us})
+	b.OnComplete = func() { order = append(order, "b") }
+	b.Ready() // FIFO: a runs first
+	eng.After(20*us, eventq.ClassDispatch, func() {
+		b.SetPriority(7) // EDF-style raise: b must now preempt a
+	})
+	eng.RunUntilIdle()
+	if order[0] != "b" {
+		t.Fatalf("order %v, want b first after priority raise", order)
+	}
+}
+
+func TestPriorityLoweringOfRunningThread(t *testing.T) {
+	eng := newEng()
+	p := eng.AddProcessor("n0", 0)
+	var order []string
+	a := p.NewThread("a", 7)
+	a.AddSegment(Segment{Work: 100 * us})
+	a.OnComplete = func() { order = append(order, "a") }
+	a.Ready()
+	b := p.NewThread("b", 5)
+	b.AddSegment(Segment{Work: 10 * us})
+	b.OnComplete = func() { order = append(order, "b") }
+	b.Ready()
+	eng.After(20*us, eventq.ClassDispatch, func() {
+		a.SetPriority(3) // Figure 2: lowering the running thread
+	})
+	eng.RunUntilIdle()
+	if order[0] != "b" {
+		t.Fatalf("order %v: lowering running thread must let b preempt", order)
+	}
+}
+
+func TestInterruptPreemptsEverything(t *testing.T) {
+	eng := newEng()
+	p := eng.AddProcessor("n0", 0)
+	var irqAt vtime.Time
+	th := p.NewThread("t", PrioMax-1)
+	th.AddSegment(Segment{Work: 100 * us, PT: PrioMax}) // even kernel-call segments
+	th.Ready()
+	eng.After(10*us, eventq.ClassInterrupt, func() {
+		p.RaiseIRQ("test", 5*us, func() { irqAt = eng.Now() })
+	})
+	end := eng.RunUntilIdle()
+	if irqAt != vtime.Time(15*us) {
+		t.Fatalf("irq handled at %s, want 15us", irqAt)
+	}
+	if end != vtime.Time(105*us) {
+		t.Fatalf("thread done at %s, want 105us (100 work + 5 irq)", end)
+	}
+	if p.IRQTime() != 5*us {
+		t.Fatalf("IRQTime = %s", p.IRQTime())
+	}
+}
+
+func TestClockTick(t *testing.T) {
+	eng := newEng()
+	p := eng.AddProcessor("n0", 0)
+	p.StartClockTick(1*vtime.Millisecond, 5*us)
+	// The 10th tick arrives at 10ms and its 5us handler completes just
+	// after; run slightly past the last period boundary.
+	eng.Run(vtime.Time(10*vtime.Millisecond + 10*us))
+	if p.Ticks() != 10 {
+		t.Fatalf("ticks = %d, want 10", p.Ticks())
+	}
+	st := p.IRQBySource()["clock"]
+	if st == nil || st.Count != 10 {
+		t.Fatalf("clock IRQ stats missing or wrong: %+v", st)
+	}
+	if st.MinGap != 1*vtime.Millisecond {
+		t.Fatalf("pseudo-period = %s, want 1ms", st.MinGap)
+	}
+	if st.MaxWCET != 5*us {
+		t.Fatalf("wcet = %s, want 5us", st.MaxWCET)
+	}
+}
+
+func TestContextSwitchCost(t *testing.T) {
+	eng := newEng()
+	p := eng.AddProcessor("n0", 10*us)
+	var doneA, doneB vtime.Time
+	a := p.NewThread("a", 5)
+	a.AddSegment(Segment{Work: 50 * us})
+	a.OnComplete = func() { doneA = eng.Now() }
+	a.Ready()
+	b := p.NewThread("b", 5)
+	b.AddSegment(Segment{Work: 50 * us})
+	b.OnComplete = func() { doneB = eng.Now() }
+	b.Ready()
+	eng.RunUntilIdle()
+	// a: switch 10 + 50 = 60; b: switch 10 + 50 => 120.
+	if doneA != vtime.Time(60*us) {
+		t.Fatalf("a done at %s, want 60us", doneA)
+	}
+	if doneB != vtime.Time(120*us) {
+		t.Fatalf("b done at %s, want 120us", doneB)
+	}
+	if p.SwitchTime() != 20*us {
+		t.Fatalf("switch time %s, want 20us", p.SwitchTime())
+	}
+}
+
+func TestSegmentSequencingAndCallbacks(t *testing.T) {
+	eng := newEng()
+	p := eng.AddProcessor("n0", 0)
+	var marks []string
+	th := p.NewThread("t", 5)
+	th.AddSegment(Segment{Name: "s1", Work: 10 * us, OnDone: func() { marks = append(marks, "s1") }})
+	th.AddSegment(Segment{Name: "s2", Work: 20 * us, OnDone: func() { marks = append(marks, "s2") }})
+	th.OnComplete = func() { marks = append(marks, "done") }
+	th.Ready()
+	end := eng.RunUntilIdle()
+	if end != vtime.Time(30*us) {
+		t.Fatalf("end %s, want 30us", end)
+	}
+	want := []string{"s1", "s2", "done"}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Fatalf("marks %v, want %v", marks, want)
+		}
+	}
+}
+
+func TestSuspendResumeMidThread(t *testing.T) {
+	eng := newEng()
+	p := eng.AddProcessor("n0", 0)
+	var done vtime.Time
+	th := p.NewThread("t", 5)
+	th.AddSegment(Segment{Work: 10 * us, OnDone: func() { th.Suspend() }})
+	th.AddSegment(Segment{Work: 10 * us})
+	th.OnComplete = func() { done = eng.Now() }
+	th.Ready()
+	eng.After(100*us, eventq.ClassDispatch, func() { th.Ready() })
+	eng.RunUntilIdle()
+	if done != vtime.Time(110*us) {
+		t.Fatalf("done at %s, want 110us (10 + resume at 100 + 10)", done)
+	}
+}
+
+func TestSuspendPreservesRemainingWork(t *testing.T) {
+	eng := newEng()
+	p := eng.AddProcessor("n0", 0)
+	th := p.NewThread("t", 5)
+	th.AddSegment(Segment{Work: 100 * us})
+	th.Ready()
+	eng.After(30*us, eventq.ClassDispatch, func() { th.Suspend() })
+	eng.RunUntilIdle()
+	if got := th.RemainingWork(); got != 70*us {
+		t.Fatalf("remaining %s, want 70us", got)
+	}
+	th.Ready()
+	end := eng.RunUntilIdle()
+	if end != vtime.Time(100*us) {
+		t.Fatalf("end %s, want 100us", end)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() string {
+		log := monitor.NewLog(0)
+		eng := NewEngine(log, 42)
+		p := eng.AddProcessor("n0", 2*us)
+		p.StartClockTick(500*us, 3*us)
+		for i := 0; i < 5; i++ {
+			th := p.NewThread(string(rune('a'+i)), 3+i%3)
+			th.AddSegment(Segment{Work: vtime.Duration(10+i*7) * us})
+			th.Ready()
+		}
+		eng.Run(vtime.Time(5 * vtime.Millisecond))
+		out := ""
+		for _, e := range log.Events() {
+			out += e.String() + "\n"
+		}
+		return out
+	}
+	if run() != run() {
+		t.Fatal("two identical runs produced different traces")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	eng := newEng()
+	eng.After(10*us, eventq.ClassApp, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		eng.At(5, eventq.ClassApp, nil)
+	})
+	eng.RunUntilIdle()
+}
+
+func TestEngineStop(t *testing.T) {
+	eng := newEng()
+	n := 0
+	var evt func()
+	evt = func() {
+		n++
+		if n == 3 {
+			eng.Stop()
+		}
+		eng.After(us, eventq.ClassApp, evt)
+	}
+	eng.After(us, eventq.ClassApp, evt)
+	eng.RunUntilIdle()
+	if n != 3 {
+		t.Fatalf("processed %d events, want 3", n)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	eng := newEng()
+	fired := false
+	eng.After(100*us, eventq.ClassApp, func() { fired = true })
+	end := eng.Run(vtime.Time(50 * us))
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if end != vtime.Time(50*us) {
+		t.Fatalf("clock at %s, want 50us", end)
+	}
+	eng.Run(vtime.Time(200 * us))
+	if !fired {
+		t.Fatal("event not fired after horizon extended")
+	}
+}
+
+func TestZeroWorkSegment(t *testing.T) {
+	eng := newEng()
+	p := eng.AddProcessor("n0", 0)
+	var done bool
+	th := p.NewThread("z", 5)
+	th.AddSegment(Segment{Work: 0})
+	th.OnComplete = func() { done = true }
+	th.Ready()
+	eng.RunUntilIdle()
+	if !done {
+		t.Fatal("zero-work thread did not complete")
+	}
+}
+
+func TestBusyAccounting(t *testing.T) {
+	eng := newEng()
+	p := eng.AddProcessor("n0", 0)
+	a := p.NewThread("a", 5)
+	a.AddSegment(Segment{Work: 30 * us})
+	a.Ready()
+	b := p.NewThread("b", 9)
+	b.AddSegment(Segment{Work: 20 * us})
+	b.Ready()
+	eng.RunUntilIdle()
+	if p.BusyTime() != 50*us {
+		t.Fatalf("busy %s, want 50us", p.BusyTime())
+	}
+}

@@ -1,0 +1,184 @@
+package simkern
+
+import (
+	"fmt"
+
+	"hades/internal/monitor"
+	"hades/internal/vtime"
+)
+
+// Segment is one contiguous CPU demand of a thread, with its own
+// preemption threshold. The HADES dispatcher maps one Code_EU to a thread
+// whose segments bookend the action body with kernel-level (pt = PrioMax)
+// dispatching work, reproducing the paper's rule that kernel calls cannot
+// be preempted by application tasks (§3.1.2).
+type Segment struct {
+	// Name tags the segment in traces ("start", "body", "end", ...).
+	Name string
+	// Work is the segment's WCET on the CPU.
+	Work vtime.Duration
+	// PT is the preemption threshold while this segment runs: only
+	// priorities strictly greater may preempt.
+	PT int
+	// OnDone fires when the segment's CPU demand completes.
+	OnDone func()
+
+	remaining vtime.Duration
+	onDone    func()
+}
+
+// Thread is a kernel-level thread. In HADES a thread executes exactly one
+// Code_EU instance (§3.2.1: "a given thread being dedicated to the
+// execution of one and only one Code_EU").
+type Thread struct {
+	proc *Processor
+	name string
+	prio int
+
+	segs   []*Segment
+	segIdx int
+
+	readyIdx int    // index in processor ready set, -1 when not ready
+	readySeq uint64 // FIFO tie-break within a priority level
+
+	started    bool
+	finished   bool
+	firstRunAt vtime.Time
+	cpuTime    vtime.Duration
+
+	// OnFirstRun fires when the thread first receives the CPU.
+	OnFirstRun func()
+	// OnPreempt fires each time the thread loses the CPU to preemption.
+	OnPreempt func()
+	// OnComplete fires when the last segment's CPU demand completes.
+	OnComplete func()
+}
+
+// NewThread creates a suspended thread on p with the given base priority.
+// Call AddSegment then Ready to make it eligible for the CPU.
+func (p *Processor) NewThread(name string, prio int) *Thread {
+	if prio < PrioMin || prio > PrioMax {
+		panic(fmt.Sprintf("simkern: priority %d out of range for thread %q", prio, name))
+	}
+	return &Thread{proc: p, name: name, prio: prio, readyIdx: -1}
+}
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// Processor returns the processor the thread is bound to. Threads never
+// migrate: Code_EUs are statically placed (§3.1).
+func (t *Thread) Processor() *Processor { return t.proc }
+
+// Priority returns the thread's current priority.
+func (t *Thread) Priority() int { return t.prio }
+
+// Finished reports whether all segments have completed.
+func (t *Thread) Finished() bool { return t.finished }
+
+// Started reports whether the thread has ever held the CPU.
+func (t *Thread) Started() bool { return t.started }
+
+// FirstRunAt returns the instant the thread first held the CPU. Only
+// meaningful once Started.
+func (t *Thread) FirstRunAt() vtime.Time { return t.firstRunAt }
+
+// CPUTime returns the CPU time consumed so far.
+func (t *Thread) CPUTime() vtime.Duration { return t.cpuTime }
+
+// Ready reports whether the thread is currently in the ready set.
+func (t *Thread) IsReady() bool { return t.readyIdx >= 0 }
+
+// AddSegment appends a CPU demand to the thread. Must not be called after
+// the thread finished.
+func (t *Thread) AddSegment(s Segment) *Thread {
+	if t.finished {
+		panic(fmt.Sprintf("simkern: adding segment to finished thread %q", t.name))
+	}
+	if s.Work < 0 {
+		panic(fmt.Sprintf("simkern: negative segment work for thread %q", t.name))
+	}
+	seg := &Segment{Name: s.Name, Work: s.Work, PT: s.PT, remaining: s.Work, onDone: s.OnDone}
+	t.segs = append(t.segs, seg)
+	return t
+}
+
+// Ready makes the thread eligible for the CPU. The HADES dispatcher calls
+// this once the four runnable conditions of §3.2.1 hold.
+func (t *Thread) Ready() {
+	if t.finished {
+		panic(fmt.Sprintf("simkern: readying finished thread %q", t.name))
+	}
+	if t.currentSegment() == nil {
+		panic(fmt.Sprintf("simkern: readying thread %q with no segments", t.name))
+	}
+	t.proc.eng.record(monitor.KindThreadReady, t.proc.id, t.name, fmt.Sprintf("prio=%d", t.prio))
+	t.proc.makeReady(t)
+}
+
+// Suspend removes the thread from the ready set (and from the CPU if it
+// was running), preserving its remaining work.
+func (t *Thread) Suspend() {
+	t.proc.removeReady(t)
+}
+
+// SetPriority changes the thread's priority. This is the kernel half of
+// the dispatcher primitive of §3.2.2; it triggers an immediate
+// rescheduling pass.
+func (t *Thread) SetPriority(prio int) {
+	if prio < PrioMin || prio > PrioMax {
+		panic(fmt.Sprintf("simkern: priority %d out of range for thread %q", prio, t.name))
+	}
+	if t.prio == prio {
+		return
+	}
+	t.proc.eng.record(monitor.KindPriorityChange, t.proc.id, t.name, fmt.Sprintf("%d->%d", t.prio, prio))
+	t.prio = prio
+	if t.readyIdx >= 0 {
+		if t.proc.running == t {
+			t.proc.resched0()
+		} else {
+			t.proc.resched()
+		}
+	}
+}
+
+// RemainingWork sums the remaining CPU demand over all segments.
+func (t *Thread) RemainingWork() vtime.Duration {
+	var sum vtime.Duration
+	for i := t.segIdx; i < len(t.segs); i++ {
+		sum += t.segs[i].remaining
+	}
+	return sum
+}
+
+// currentSegment returns the segment in progress, or nil when done.
+func (t *Thread) currentSegment() *Segment {
+	if t.segIdx >= len(t.segs) {
+		return nil
+	}
+	return t.segs[t.segIdx]
+}
+
+// currentPT returns the preemption threshold in effect: the segment's
+// declared threshold, but never below the thread's current priority (a
+// thread cannot be preempted by priorities it outranks). Computing this
+// dynamically keeps thresholds consistent when a scheduler lowers a
+// running thread's priority (Figure 2).
+func (t *Thread) currentPT() int {
+	seg := t.currentSegment()
+	if seg == nil || seg.PT < t.prio {
+		return t.prio
+	}
+	return seg.PT
+}
+
+// effPrio is the thread's effective priority for dispatching: plain
+// priority before it first runs, its current threshold afterwards (the
+// dual-priority semantics of preemption thresholds).
+func (t *Thread) effPrio() int {
+	if t.started {
+		return t.currentPT()
+	}
+	return t.prio
+}

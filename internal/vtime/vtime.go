@@ -1,0 +1,163 @@
+// Package vtime defines the virtual-time base used throughout HADES.
+//
+// All timing guarantees in this reproduction are expressed in simulated
+// time rather than wall-clock time: the paper's predictability requirement
+// (every activity has a known worst-case duration) becomes exact
+// determinism under a discrete-event engine. Time is an absolute instant
+// and Duration a signed span, both in integer nanoseconds, mirroring the
+// shapes of the standard time package so that code reads naturally.
+package vtime
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Time is an absolute instant of simulated time, in nanoseconds since the
+// start of the run. The zero value is the start of the run.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Common durations. They intentionally mirror package time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Infinity is a sentinel instant later than any reachable simulation time.
+// It is used for "no deadline" and "never" bookkeeping.
+const Infinity Time = 1<<63 - 1
+
+// Forever is a sentinel duration longer than any reachable simulation span.
+const Forever Duration = 1<<63 - 1
+
+// Add returns the instant d after t. Adding to Infinity saturates.
+func (t Time) Add(d Duration) Time {
+	if t == Infinity {
+		return Infinity
+	}
+	if d == Forever {
+		return Infinity
+	}
+	return t + Time(d)
+}
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Micros returns the instant as a float64 count of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns the instant as a float64 count of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String renders the instant with a unit chosen for readability.
+func (t Time) String() string {
+	if t == Infinity {
+		return "+inf"
+	}
+	return Duration(t).String()
+}
+
+// Micros returns the duration as a float64 count of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// Millis returns the duration as a float64 count of milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+// String renders the duration with a unit chosen for readability.
+func (d Duration) String() string {
+	if d == Forever {
+		return "+inf"
+	}
+	neg := ""
+	if d < 0 {
+		neg, d = "-", -d
+	}
+	switch {
+	case d < Microsecond:
+		return neg + strconv.FormatInt(int64(d), 10) + "ns"
+	case d < Millisecond:
+		return neg + trimFloat(float64(d)/float64(Microsecond)) + "us"
+	case d < Second:
+		return neg + trimFloat(float64(d)/float64(Millisecond)) + "ms"
+	default:
+		return neg + trimFloat(float64(d)/float64(Second)) + "s"
+	}
+}
+
+func trimFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'f', 3, 64)
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the earlier of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxD returns the longer of a and b.
+func MaxD(a, b Duration) Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinD returns the shorter of a and b.
+func MinD(a, b Duration) Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// CeilDiv returns ceil(x/y) for positive y, the standard demand-bound
+// helper used by the feasibility tests.
+func CeilDiv(x, y Duration) int64 {
+	if y <= 0 {
+		panic(fmt.Sprintf("vtime.CeilDiv: non-positive divisor %d", y))
+	}
+	if x <= 0 {
+		return 0
+	}
+	return (int64(x) + int64(y) - 1) / int64(y)
+}
+
+// FloorDiv returns floor(x/y) for positive y, clamped at 0 for negative x.
+func FloorDiv(x, y Duration) int64 {
+	if y <= 0 {
+		panic(fmt.Sprintf("vtime.FloorDiv: non-positive divisor %d", y))
+	}
+	if x < 0 {
+		return 0
+	}
+	return int64(x) / int64(y)
+}

@@ -1,0 +1,154 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		base Time
+		d    Duration
+		want Time
+	}{
+		{"zero plus zero", 0, 0, 0},
+		{"simple add", 10, 5, 15},
+		{"negative duration", 10, -3, 7},
+		{"microsecond", 0, Microsecond, 1000},
+		{"millisecond", 0, Millisecond, 1000000},
+		{"second", 0, Second, 1000000000},
+		{"infinity saturates", Infinity, 5, Infinity},
+		{"forever saturates", 7, Forever, Infinity},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.base.Add(tt.d); got != tt.want {
+				t.Errorf("(%d).Add(%d) = %d, want %d", tt.base, tt.d, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSubBeforeAfter(t *testing.T) {
+	a, b := Time(100), Time(250)
+	if got := b.Sub(a); got != 150 {
+		t.Errorf("Sub = %d, want 150", got)
+	}
+	if !a.Before(b) || b.Before(a) {
+		t.Error("Before is wrong")
+	}
+	if !b.After(a) || a.After(b) {
+		t.Error("After is wrong")
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	tests := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0ns"},
+		{500, "500ns"},
+		{1500, "1.5us"},
+		{Millisecond, "1ms"},
+		{2500 * Microsecond, "2.5ms"},
+		{3 * Second, "3s"},
+		{-2 * Millisecond, "-2ms"},
+		{Forever, "+inf"},
+	}
+	for _, tt := range tests {
+		if got := tt.d.String(); got != tt.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(tt.d), got, tt.want)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := Infinity.String(); got != "+inf" {
+		t.Errorf("Infinity.String() = %q", got)
+	}
+	if got := Time(1500).String(); got != "1.5us" {
+		t.Errorf("Time(1500).String() = %q", got)
+	}
+}
+
+func TestCeilFloorDiv(t *testing.T) {
+	tests := []struct {
+		x, y      Duration
+		ceil, flr int64
+	}{
+		{0, 10, 0, 0},
+		{1, 10, 1, 0},
+		{10, 10, 1, 1},
+		{11, 10, 2, 1},
+		{-5, 10, 0, 0},
+		{100, 3, 34, 33},
+	}
+	for _, tt := range tests {
+		if got := CeilDiv(tt.x, tt.y); got != tt.ceil {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", tt.x, tt.y, got, tt.ceil)
+		}
+		if got := FloorDiv(tt.x, tt.y); got != tt.flr {
+			t.Errorf("FloorDiv(%d,%d) = %d, want %d", tt.x, tt.y, got, tt.flr)
+		}
+	}
+}
+
+func TestCeilDivPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CeilDiv(1, 0) did not panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+func TestMinMax(t *testing.T) {
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max wrong")
+	}
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min wrong")
+	}
+	if MaxD(3, 5) != 5 || MinD(3, 5) != 3 {
+		t.Error("MaxD/MinD wrong")
+	}
+}
+
+// Property: ceil division always covers the dividend, floor never
+// exceeds it, and they differ by at most one.
+func TestCeilFloorDivProperties(t *testing.T) {
+	f := func(xr int32, yr int32) bool {
+		x := Duration(xr)
+		y := Duration(yr % 100000) // keep small-ish
+		if y <= 0 {
+			y = 1 + (-y % 100000)
+		}
+		c, fl := CeilDiv(x, y), FloorDiv(x, y)
+		if x > 0 {
+			if Duration(c)*y < x {
+				return false
+			}
+			if Duration(fl)*y > x {
+				return false
+			}
+		}
+		return c-fl <= 1 && c >= fl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add/Sub round-trip for finite values.
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(base int32, d int32) bool {
+		tm := Time(base)
+		du := Duration(d)
+		return tm.Add(du).Sub(tm) == du
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
