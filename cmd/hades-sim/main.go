@@ -1,11 +1,14 @@
-// Command hades-sim runs a HADES scenario — a §5.1-style task set under
-// a chosen scheduler and resource protocol on the simulated platform —
-// and reports per-task statistics, violations and (optionally) the full
-// event trace.
+// Command hades-sim runs a HADES scenario — a task set under a chosen
+// scheduler and resource protocol on a described cluster (nodes,
+// bounded-delay links, placement, fault schedules) — and reports
+// per-task statistics, violations and (optionally) the full event
+// trace. Distributed and faulty workloads are pure data: see the
+// distributed-pipeline builtin for the JSON shape.
 //
 // Usage:
 //
 //	hades-sim -builtin spuri-example
+//	hades-sim -builtin distributed-pipeline
 //	hades-sim -builtin inversion -trace
 //	hades-sim -scenario myset.json
 //	hades-sim -builtins              # list built-in scenarios
@@ -51,14 +54,14 @@ func main() {
 		os.Exit(1)
 	}
 
-	sys, err := spec.Build()
+	clu, err := spec.Build()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	rep := sys.Run(spec.Horizon())
-	fmt.Printf("scenario %q: %d node(s), scheduler %s, policy %s, costs %s\n",
-		spec.Name, spec.Nodes, spec.Scheduler, orNone(spec.Policy), orDefault(spec.Costs))
+	rep := clu.Run(spec.Horizon())
+	fmt.Printf("scenario %q: %d node(s), %d link(s), %d fault(s), scheduler %s, policy %s, costs %s\n",
+		spec.Name, spec.Nodes, len(spec.Links), len(spec.Faults), spec.Scheduler, orNone(spec.Policy), orDefault(spec.Costs))
 	fmt.Print(rep)
 	if len(rep.Violations) > 0 {
 		fmt.Printf("violations (%d):\n", len(rep.Violations))
@@ -69,12 +72,12 @@ func main() {
 	if *gantt {
 		for node := 0; node < spec.Nodes; node++ {
 			fmt.Printf("--- gantt node %d ---\n", node)
-			fmt.Print(sys.Log().Gantt(node, 0, sys.Now(), 100))
+			fmt.Print(clu.Log().Gantt(node, 0, clu.Now(), 100))
 		}
 	}
 	if *trace {
 		fmt.Println("--- trace ---")
-		if err := sys.Log().WriteTrace(os.Stdout); err != nil {
+		if err := clu.Log().WriteTrace(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

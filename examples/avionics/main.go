@@ -16,7 +16,8 @@
 // and clock synchronisation keeps the logical clocks aligned. Fault
 // injection crashes the backup's node mid-flight (the pipeline must not
 // care) and drops one pipeline message (the omission monitor must say
-// so).
+// so). The whole system — nodes, links, apps, services, faults — is
+// described through the cluster runtime layer.
 //
 //	go run ./examples/avionics
 package main
@@ -25,12 +26,10 @@ import (
 	"fmt"
 
 	"hades/internal/clocksync"
-	"hades/internal/core"
+	"hades/internal/cluster"
 	"hades/internal/dispatcher"
-	"hades/internal/eventq"
 	"hades/internal/fault"
 	"hades/internal/heug"
-	"hades/internal/netsim"
 	"hades/internal/replication"
 	"hades/internal/sched"
 	"hades/internal/vtime"
@@ -42,15 +41,11 @@ const (
 )
 
 func main() {
-	sys := core.NewSystem(core.Config{
-		Nodes:        4, // 3 flight-critical + 1 maintenance
-		Seed:         7,
-		Costs:        dispatcher.DefaultCostBook(),
-		LinkDelayMin: 100 * us,
-		LinkDelayMax: 250 * us,
-	})
+	c := cluster.New(cluster.Config{Seed: 7, Costs: dispatcher.DefaultCostBook()})
+	c.AddNodes(4) // 3 flight-critical + 1 maintenance
+	c.ConnectAll(100*us, 250*us)
 
-	app := sys.NewApp("flight-control", sched.NewEDF(20*us), sched.NewSRP())
+	app := c.NewApp("flight-control", sched.NewEDF(20*us), sched.NewSRP())
 
 	// The 100 Hz control pipeline: sample → fuse → law → actuate.
 	pipeline := heug.NewTask("fbw", heug.PeriodicEvery(10*ms)).
@@ -87,14 +82,13 @@ func main() {
 		Precede("pack", "downlink").
 		MustBuild()
 
-	app.MustAddTask(pipeline)
-	app.MustAddTask(telemetry)
-	app.Seal()
+	app.MustSpawn(pipeline)
+	app.MustSpawn(telemetry)
 
 	// Services: heartbeat detection, passive replication of the
 	// flight-state service, clock synchronisation (n=4 tolerates one
 	// Byzantine clock).
-	eng, net := sys.Engine(), sys.Network()
+	eng, net := c.Engine(), c.Network()
 	var groups []*replication.Group
 	det := fault.NewDetector(eng, net, fault.DefaultDetectorConfig([]int{0, 1, 2, 3}), func(s fault.Suspicion) {
 		for _, g := range groups {
@@ -120,32 +114,26 @@ func main() {
 	// Feed the replicated flight-state service at 200 Hz.
 	for i := 0; i < 100; i++ {
 		cmd := int64(i)
-		eng.At(vtime.Time(vtime.Duration(i)*5*ms), eventq.ClassApp, func() { group.Submit(1, cmd) })
+		c.At(vtime.Time(vtime.Duration(i)*5*ms), func() { group.Submit(1, cmd) })
 	}
 
 	// Faults: one dropped pipeline message at ~95 ms (omission
 	// failure), and the maintenance node crashes at 200 ms, recovering
 	// at 400 ms.
-	net.SetFault(&fault.OmissionEvery{K: 40, Filter: func(m *netsim.Message) bool {
-		return m.Port == "heug.prec"
-	}})
-	fault.CrashAt(eng, net, 3, vtime.Time(200*ms), vtime.Time(400*ms))
+	c.DropEvery(40, "heug.prec")
+	c.Crash(3, vtime.Time(200*ms), vtime.Time(400*ms))
 
-	must(sys.StartPeriodic("fbw"))
-	must(sys.StartPeriodic("telemetry"))
-	report := sys.Run(500 * ms)
+	result := c.Run(500 * ms)
 
 	fmt.Println("=== avionics: fly-by-wire pipeline over 500 ms ===")
-	fmt.Print(report)
-	fmt.Printf("network omissions detected by the dispatcher: %d\n", report.Stats.NetworkOmissions)
+	fmt.Print(result)
+	fmt.Printf("network omissions detected by the dispatcher: %d\n", result.Stats.NetworkOmissions)
 	fmt.Printf("clock sync rounds: %d, precision: %s (bound %s)\n", cs.Rounds(), cs.Precision(), cs.Bound())
 	fmt.Printf("detector suspicions: %d (maintenance node crash)\n", len(det.Suspicions))
 	fmt.Printf("replica failovers: %d, checkpoints visible in log: yes\n", len(group.Failovers))
 	misses := 0
-	for _, tr := range report.Tasks {
-		if tr.Name == "fbw" {
-			misses = tr.Misses
-		}
+	if tr, ok := result.Task("fbw"); ok {
+		misses = tr.Misses
 	}
 	fmt.Printf("flight-control deadline misses: %d (pipeline instances whose message was dropped miss by design; all others must hold)\n", misses)
 }

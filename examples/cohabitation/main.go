@@ -14,7 +14,7 @@ package main
 import (
 	"fmt"
 
-	"hades/internal/core"
+	"hades/internal/cluster"
 	"hades/internal/dispatcher"
 	"hades/internal/feasibility"
 	"hades/internal/heug"
@@ -28,10 +28,12 @@ const (
 )
 
 func main() {
-	sys := core.NewSystem(core.Config{Nodes: 1, Seed: 5, Costs: dispatcher.DefaultCostBook()})
+	costs := dispatcher.DefaultCostBook()
+	c := cluster.New(cluster.Config{Seed: 5, Costs: costs})
+	c.AddNode("shared")
 
 	// Guaranteed application: EDF + SRP, admitted by the integrated test.
-	guaranteed := sys.NewApp("guaranteed", sched.NewEDF(20*us), sched.NewSRP())
+	guaranteed := c.NewApp("guaranteed", sched.NewEDF(20*us), sched.NewSRP())
 	specs := []heug.SpuriTask{
 		{Name: "g.fast", Node: 0, CBefore: 1 * ms, Deadline: 5 * ms, PseudoPeriod: 10 * ms},
 		{Name: "g.slow", Node: 0, CBefore: 2 * ms, CS: 1 * ms, CAfter: 1 * ms,
@@ -39,12 +41,11 @@ func main() {
 	}
 	var analysis []feasibility.Task
 	for _, st := range specs {
-		must(guaranteed.AddSpuri(st))
+		must(guaranteed.SpawnSpuri(st)) // sporadic → worst-case arrivals
 		analysis = append(analysis, feasibility.FromSpuri(st))
 	}
-	guaranteed.Seal()
 
-	ov := &feasibility.Overheads{Book: sys.Dispatcher().Costs(), SchedCost: 20 * us}
+	ov := &feasibility.Overheads{Book: costs, SchedCost: 20 * us}
 	verdict := feasibility.EDFSpuri(analysis, ov)
 	fmt.Printf("guaranteed app admitted by §5.3 test: %v (U=%.3f)\n",
 		verdict.Feasible, feasibility.Utilization(analysis))
@@ -54,23 +55,17 @@ func main() {
 
 	// Two best-effort applications that would need ~130% CPU alone.
 	for i, period := range []vtime.Duration{7 * ms, 9 * ms} {
-		be := sys.NewApp(fmt.Sprintf("besteffort%d", i+1), sched.NewBestEffort(0), nil)
-		be.MustAddTask(heug.NewTask(fmt.Sprintf("be%d", i+1), heug.PeriodicEvery(period)).
+		be := c.NewApp(fmt.Sprintf("besteffort%d", i+1), sched.NewBestEffort(0), nil)
+		be.MustSpawn(heug.NewTask(fmt.Sprintf("be%d", i+1), heug.PeriodicEvery(period)).
 			Code("churn", heug.CodeEU{Node: 0, WCET: 5 * ms}).
 			MustBuild())
-		be.Seal()
 	}
 
-	must(sys.StartSporadicWorstCase("g.fast"))
-	must(sys.StartSporadicWorstCase("g.slow"))
-	must(sys.StartPeriodic("be1"))
-	must(sys.StartPeriodic("be2"))
-
-	report := sys.Run(vtime.Second)
-	fmt.Print(report)
+	result := c.Run(vtime.Second)
+	fmt.Print(result)
 
 	fmt.Println("--- cohabitation verdict ---")
-	for _, tr := range report.Tasks {
+	for _, tr := range result.Tasks {
 		switch {
 		case tr.Name == "g.fast" || tr.Name == "g.slow":
 			fmt.Printf("%-8s guaranteed:  misses=%d (must be 0)\n", tr.Name, tr.Misses)

@@ -15,16 +15,17 @@
 //     learns it within the fixed bound Δ even with a send-omission
 //     faulty process in the group.
 //
-//     go run ./examples/powerplant
+// Platform, topology, application and fault injection are all
+// described through the cluster runtime layer.
+//
+//	go run ./examples/powerplant
 package main
 
 import (
 	"fmt"
 
-	"hades/internal/core"
+	"hades/internal/cluster"
 	"hades/internal/dispatcher"
-	"hades/internal/eventq"
-	"hades/internal/fault"
 	"hades/internal/heug"
 	"hades/internal/rbcast"
 	"hades/internal/replication"
@@ -38,19 +39,16 @@ const (
 )
 
 func main() {
-	sys := core.NewSystem(core.Config{
-		Nodes: 4,
-		Seed:  13,
-		Costs: dispatcher.DefaultCostBook(),
-	})
-	eng, net := sys.Engine(), sys.Network()
+	c := cluster.New(cluster.Config{Seed: 13, Costs: dispatcher.DefaultCostBook()})
+	c.AddNodes(4)
+	c.ConnectAll(100*us, 300*us)
 
 	// Protection application under RM (static priorities: the paper's
 	// first scheduler family) with PCP on the shared sensor bus.
-	app := sys.NewApp("protection", sched.NewRM(), sched.NewPCP())
+	app := c.NewApp("protection", sched.NewRM(), sched.NewPCP())
 	for node := 0; node < 3; node++ {
 		n := node
-		app.MustAddTask(heug.NewTask(fmt.Sprintf("scan%d", n), heug.PeriodicEvery(20*ms)).
+		app.MustSpawn(heug.NewTask(fmt.Sprintf("scan%d", n), heug.PeriodicEvery(20*ms)).
 			WithDeadline(20*ms).
 			Code("read", heug.CodeEU{Node: n, WCET: 400 * us,
 				Resources: []heug.ResourceReq{{Resource: "sensorbus", Mode: heug.Exclusive}},
@@ -65,7 +63,7 @@ func main() {
 	}
 	// The scram task: gated on the overtemp condition variable, it
 	// fires the alarm broadcast.
-	alarm := rbcast.New(eng, net, "scram", rbcast.DefaultConfig(net, []int{0, 1, 2, 3}, 1))
+	alarm := rbcast.New(c.Engine(), c.Network(), "scram", rbcast.DefaultConfig(c.Network(), []int{0, 1, 2, 3}, 1))
 	scramAt := map[int]vtime.Time{}
 	for i := 0; i < 4; i++ {
 		node := i
@@ -82,14 +80,13 @@ func main() {
 				alarm.Broadcast(0, "SCRAM")
 			}}).
 		MustBuild())
-	app.Seal()
-	sys.ActivateOnCond("overtemp", "scram")
+	c.ActivateOnCond("overtemp", "scram")
 
 	// Rod control: active replication over the three reactor nodes;
 	// replica 2 suffers a coherent value failure — voting masks it.
 	var voted []int64
 	caught := 0
-	rods, err := replication.NewGroup(eng, net, nil, replication.Config{
+	rods, err := replication.NewGroup(c.Engine(), c.Network(), nil, replication.Config{
 		Name:     "rod-control",
 		Replicas: []int{0, 1, 2},
 		Style:    replication.Active,
@@ -105,20 +102,17 @@ func main() {
 
 	// One process is send-omission faulty for the alarm group: the
 	// broadcast must still reach everyone within Δ.
-	net.SetFault(&fault.OmissionFrom{Nodes: map[int]bool{1: true}, Port: "rbcast.scram"})
+	c.DropFrom([]int{1}, "rbcast.scram")
 
 	for i := 0; i < 25; i++ {
 		cmd := int64(i + 1)
-		eng.At(vtime.Time(vtime.Duration(i)*30*ms), eventq.ClassApp, func() { rods.Submit(3, cmd) })
-	}
-	for n := 0; n < 3; n++ {
-		must(sys.StartPeriodic(fmt.Sprintf("scan%d", n)))
+		c.At(vtime.Time(vtime.Duration(i)*30*ms), func() { rods.Submit(3, cmd) })
 	}
 
-	report := sys.Run(800 * ms)
+	result := c.Run(800 * ms)
 
 	fmt.Println("=== powerplant: protection system over 800 ms ===")
-	fmt.Print(report)
+	fmt.Print(result)
 	fmt.Printf("scram broadcast bound Δ = %s\n", alarm.Delta())
 	if len(scramAt) == 4 {
 		fmt.Printf("scram delivered to all 4 nodes at t=%s (simultaneous, time-bounded)\n", scramAt[0])
@@ -136,7 +130,7 @@ func main() {
 	}
 	fmt.Printf("rod-control requests voted: %d, corrupted replica masked: %v (divergences caught: %d)\n",
 		len(voted), okVotes, caught)
-	fmt.Printf("protection deadline misses: %d\n", report.Stats.DeadlineMisses)
+	fmt.Printf("protection deadline misses: %d\n", result.Stats.DeadlineMisses)
 }
 
 func must(err error) {

@@ -2,7 +2,8 @@
 //
 // One node, an EDF application with two periodic tasks, the full §4
 // cost book, a feasibility check before launch, and a run report —
-// the complete admission-then-execution workflow of the paper.
+// the complete admission-then-execution workflow of the paper, wired
+// entirely through the cluster runtime layer.
 //
 //	go run ./examples/quickstart
 package main
@@ -10,7 +11,7 @@ package main
 import (
 	"fmt"
 
-	"hades/internal/core"
+	"hades/internal/cluster"
 	"hades/internal/dispatcher"
 	"hades/internal/feasibility"
 	"hades/internal/heug"
@@ -24,15 +25,13 @@ const (
 )
 
 func main() {
-	// 1. Assemble the platform: one node, realistic middleware costs.
-	sys := core.NewSystem(core.Config{
-		Nodes: 1,
-		Seed:  1,
-		Costs: dispatcher.DefaultCostBook(),
-	})
+	// 1. Describe the cluster: one node, realistic middleware costs.
+	costs := dispatcher.DefaultCostBook()
+	c := cluster.New(cluster.Config{Seed: 1, Costs: costs})
+	c.AddNode("ctrl")
 
 	// 2. One application under EDF with SRP resource control.
-	app := sys.NewApp("quickstart", sched.NewEDF(20*us), sched.NewSRP())
+	app := c.NewApp("quickstart", sched.NewEDF(20*us), sched.NewSRP())
 
 	// A 10 ms control task: read a sensor, then run the control law
 	// while holding the actuator bus exclusively.
@@ -58,9 +57,9 @@ func main() {
 			Resources: []heug.ResourceReq{{Resource: "bus", Mode: heug.Shared}}}).
 		MustBuild()
 
-	app.MustAddTask(control)
-	app.MustAddTask(logger)
-	app.Seal()
+	// Spawn registers each task and drives it per its arrival law.
+	app.MustSpawn(control)
+	app.MustSpawn(logger)
 
 	// 3. Feasibility first (the §5.3 cost-integrated test): a
 	// safety-critical system refuses to launch unguaranteed work.
@@ -68,7 +67,7 @@ func main() {
 		{Name: "control", C: 1500 * us, D: 10 * ms, T: 10 * ms, CS: 1200 * us, Resource: "bus", NumEU: 2, LocalEdges: 1},
 		{Name: "logger", C: 3 * ms, D: 40 * ms, T: 40 * ms, CS: 3 * ms, Resource: "bus", NumEU: 1},
 	}
-	ov := &feasibility.Overheads{Book: sys.Dispatcher().Costs(), SchedCost: 20 * us}
+	ov := &feasibility.Overheads{Book: costs, SchedCost: 20 * us}
 	verdict := feasibility.EDFSpuri(analysis, ov)
 	fmt.Printf("feasibility (cost-integrated): %v\n", verdict.Feasible)
 	if !verdict.Feasible {
@@ -76,19 +75,11 @@ func main() {
 		return
 	}
 
-	// 4. Drive and run for one simulated second.
-	must(sys.StartPeriodic("control"))
-	must(sys.StartPeriodic("logger"))
-	report := sys.Run(vtime.Second)
+	// 4. Run for one simulated second.
+	result := c.Run(vtime.Second)
 
 	// 5. Report.
-	fmt.Print(report)
+	fmt.Print(result)
 	fmt.Printf("events processed: %d, deadline misses: %d\n",
-		sys.Engine().EventsFired(), report.Stats.DeadlineMisses)
-}
-
-func must(err error) {
-	if err != nil {
-		panic(err)
-	}
+		c.Engine().EventsFired(), result.Stats.DeadlineMisses)
 }

@@ -1,0 +1,3 @@
+module hades
+
+go 1.24

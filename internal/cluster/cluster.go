@@ -1,0 +1,483 @@
+// Package cluster is the unified runtime layer of the HADES
+// reproduction: one builder that composes N simulated kernel nodes, a
+// network topology with bounded-delay links, the generic dispatcher,
+// shared monitoring and seeded fault injection behind a single API, so
+// applications describe the cluster and get a running system (§3–§4 of
+// the paper: the middleware, not the application, wires dispatcher,
+// time-bounded services and failure detection over the COTS substrate).
+//
+// Typical use:
+//
+//	c := cluster.New(cluster.Config{Seed: 1, Costs: dispatcher.DefaultCostBook()})
+//	c.AddNodes(3)
+//	c.ConnectAll(100*vtime.Microsecond, 300*vtime.Microsecond)
+//	app := c.NewApp("ctrl", sched.NewEDF(20*vtime.Microsecond), sched.NewSRP())
+//	app.MustSpawn(task)               // registered and driven per its arrival law
+//	c.DropEvery(40, "heug.prec")      // seeded fault injection
+//	res := c.Run(vtime.Second)        // seals apps, starts generators, runs
+//
+// The run is a pure function of the builder calls and the seed: two
+// identically-described clusters produce identical event traces.
+package cluster
+
+import (
+	"fmt"
+
+	"hades/internal/dispatcher"
+	"hades/internal/eventq"
+	"hades/internal/fault"
+	"hades/internal/heug"
+	"hades/internal/monitor"
+	"hades/internal/netsim"
+	"hades/internal/simkern"
+	"hades/internal/vtime"
+)
+
+// NetParams tunes the simulated network receive path (the NetMsg task
+// of §3.1). A nil Config.Net selects netsim's defaults (25 µs ATM
+// interrupt, 35 µs protocol processing at a near-kernel priority); a
+// non-nil value is used verbatim, zero fields included, so idealised
+// zero-overhead receive paths stay expressible.
+type NetParams struct {
+	// WAtm is the ATM card interrupt handler WCET (w_atm, §4.2).
+	WAtm vtime.Duration
+	// WProto is the protocol (NetMsg task) processing WCET per message.
+	WProto vtime.Duration
+	// PrioNet is the priority of the NetMsg protocol task.
+	PrioNet int
+}
+
+// Config describes the cluster to assemble.
+type Config struct {
+	// Seed drives all randomness (link delays, probabilistic faults):
+	// same description plus same seed means the same run.
+	Seed int64
+	// Costs is the §4 cost book; the zero value means free middleware
+	// (idealised comparisons). Use dispatcher.DefaultCostBook for
+	// realistic costs.
+	Costs dispatcher.CostBook
+	// Net tunes the network receive path; nil selects defaults.
+	Net *NetParams
+	// LogLimit bounds the event log: 0 selects a generous default,
+	// negative disables the bound entirely.
+	LogLimit int
+	// CancelOnMiss aborts instances at their deadline (orphan
+	// handling); the default false records misses only.
+	CancelOnMiss bool
+}
+
+// linkDecl is one declared point-to-point link.
+type linkDecl struct {
+	a, b       int
+	dMin, dMax vtime.Duration
+}
+
+// spawned is one task to drive from Run per its arrival law.
+type spawned struct {
+	app  *App
+	task *heug.Task
+}
+
+// Cluster is the builder and runtime handle. Declare the topology
+// (AddNode, Connect), the applications (NewApp, Spawn), and the faults
+// (Crash, DropEvery, ...), then Run. Not safe for concurrent use; a
+// run is single-threaded by design.
+type Cluster struct {
+	cfg   Config
+	log   *monitor.Log
+	eng   *simkern.Engine
+	nodes []int
+	links []linkDecl
+	mesh  *linkDecl // ConnectAll request (a, b unused)
+
+	net  *netsim.Network
+	disp *dispatcher.Dispatcher
+	apps []*App
+
+	hooks   fault.Hooks
+	spawns  []spawned
+	started map[string]bool
+	built   bool
+}
+
+// DefaultLinkDMin and DefaultLinkDMax bound point-to-point delays when
+// the topology is left implicit (a multi-node cluster with no Connect
+// call gets a full mesh with these bounds, mirroring the paper's ATM
+// testbed magnitudes).
+const (
+	DefaultLinkDMin = 100 * vtime.Microsecond
+	DefaultLinkDMax = 300 * vtime.Microsecond
+)
+
+// New returns an empty cluster. Add nodes and links before registering
+// applications; the platform is finalized by the first NewApp, Run or
+// Network/Dispatcher access.
+func New(cfg Config) *Cluster {
+	limit := cfg.LogLimit
+	switch {
+	case limit == 0:
+		limit = 500000
+	case limit < 0:
+		limit = 0 // monitor.NewLog(0) = unbounded
+	}
+	log := monitor.NewLog(limit)
+	return &Cluster{
+		cfg:     cfg,
+		log:     log,
+		eng:     simkern.NewEngine(log, cfg.Seed),
+		started: make(map[string]bool),
+	}
+}
+
+// AddNode registers one mono-processor node and returns its id. An
+// empty name defaults to "nodeN". Nodes must be added before the first
+// NewApp or Run.
+func (c *Cluster) AddNode(name string) int {
+	if c.built {
+		panic("cluster: AddNode after the platform was finalized")
+	}
+	id := len(c.nodes)
+	if name == "" {
+		name = fmt.Sprintf("node%d", id)
+	}
+	c.eng.AddProcessor(name, c.cfg.Costs.SwitchCost)
+	c.nodes = append(c.nodes, id)
+	return id
+}
+
+// AddNodes registers n nodes with default names and returns their ids.
+func (c *Cluster) AddNodes(n int) []int {
+	ids := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, c.AddNode(""))
+	}
+	return ids
+}
+
+// NumNodes returns the number of registered nodes.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Connect declares a bidirectional link between nodes a and b with
+// transmission delay bounds [dMin, dMax].
+func (c *Cluster) Connect(a, b int, dMin, dMax vtime.Duration) {
+	if c.built {
+		c.net.Connect(a, b, dMin, dMax)
+		return
+	}
+	c.links = append(c.links, linkDecl{a: a, b: b, dMin: dMin, dMax: dMax})
+}
+
+// ConnectAll declares a full mesh over every node with the same bounds.
+func (c *Cluster) ConnectAll(dMin, dMax vtime.Duration) {
+	if c.built {
+		c.net.ConnectAll(c.nodes, dMin, dMax)
+		return
+	}
+	c.mesh = &linkDecl{dMin: dMin, dMax: dMax}
+}
+
+// build finalizes the platform: network (when any topology was
+// declared, or implicitly for multi-node clusters) then dispatcher.
+// The construction order is part of the determinism contract.
+func (c *Cluster) build() {
+	if c.built {
+		return
+	}
+	if len(c.nodes) == 0 {
+		c.AddNode("")
+	}
+	c.built = true
+	if c.mesh == nil && len(c.links) == 0 && len(c.nodes) > 1 {
+		c.mesh = &linkDecl{dMin: DefaultLinkDMin, dMax: DefaultLinkDMax}
+	}
+	if c.mesh != nil || len(c.links) > 0 {
+		ncfg := netsim.DefaultConfig()
+		if c.cfg.Net != nil {
+			ncfg = netsim.Config{WAtm: c.cfg.Net.WAtm, WProto: c.cfg.Net.WProto, PrioNet: c.cfg.Net.PrioNet}
+		}
+		c.net = netsim.New(c.eng, ncfg)
+		if c.mesh != nil {
+			c.net.ConnectAll(c.nodes, c.mesh.dMin, c.mesh.dMax)
+		}
+		for _, l := range c.links {
+			c.net.Connect(l.a, l.b, l.dMin, l.dMax)
+		}
+	}
+	c.disp = dispatcher.New(c.eng, c.net, c.cfg.Costs)
+	c.disp.CancelOnMiss = c.cfg.CancelOnMiss
+}
+
+// Engine returns the discrete-event engine.
+func (c *Cluster) Engine() *simkern.Engine { return c.eng }
+
+// Network returns the simulated interconnect (nil when the cluster has
+// a single node and no declared links). It finalizes the platform.
+func (c *Cluster) Network() *netsim.Network {
+	c.build()
+	return c.net
+}
+
+// Dispatcher returns the generic dispatcher, finalizing the platform.
+func (c *Cluster) Dispatcher() *dispatcher.Dispatcher {
+	c.build()
+	return c.disp
+}
+
+// Log returns the shared monitoring event log.
+func (c *Cluster) Log() *monitor.Log { return c.log }
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() vtime.Time { return c.eng.Now() }
+
+// At schedules an application-level callback at absolute instant t
+// (workload feeding, measurement probes).
+func (c *Cluster) At(t vtime.Time, fn func()) {
+	c.eng.At(t, eventq.ClassApp, fn)
+}
+
+// After schedules an application-level callback d from now.
+func (c *Cluster) After(d vtime.Duration, fn func()) {
+	c.eng.After(d, eventq.ClassApp, fn)
+}
+
+// App is one application on the cluster: a scheduler, a resource
+// policy, and its tasks.
+type App struct {
+	c      *Cluster
+	app    *dispatcher.App
+	sealed bool
+}
+
+// NewApp registers an application with its scheduling policy and
+// resource protocol (nil policy = plain locking). It finalizes the
+// platform: declare all nodes and links first.
+func (c *Cluster) NewApp(name string, sch dispatcher.Scheduler, pol dispatcher.ResourcePolicy) *App {
+	c.build()
+	a := &App{c: c, app: c.disp.RegisterApp(name, sch, pol)}
+	c.apps = append(c.apps, a)
+	return a
+}
+
+// AddTask registers a HEUG task without driving it (activate it with
+// ActivateAt/ActivateOnCond, or use Spawn for law-driven tasks).
+func (a *App) AddTask(t *heug.Task) error {
+	_, err := a.app.AddTask(t)
+	return err
+}
+
+// MustAddTask registers a task, panicking on error (static setup).
+func (a *App) MustAddTask(t *heug.Task) {
+	if err := a.AddTask(t); err != nil {
+		panic(err)
+	}
+}
+
+// AddSpuri translates a §5.1 task via Figure 3 and registers it.
+func (a *App) AddSpuri(st heug.SpuriTask) error {
+	t, err := st.ToHEUG()
+	if err != nil {
+		return err
+	}
+	return a.AddTask(t)
+}
+
+// Spawn registers a task and schedules it to be driven from Run
+// according to its declared arrival law: periodic tasks get a timer
+// generator, sporadic tasks the worst-case (pseudo-period) generator,
+// aperiodic tasks are registered only (activate them with ActivateAt
+// or ActivateOnCond).
+func (a *App) Spawn(t *heug.Task) error {
+	if err := a.AddTask(t); err != nil {
+		return err
+	}
+	if t.Arrival.Kind != heug.Aperiodic {
+		a.c.spawns = append(a.c.spawns, spawned{app: a, task: t})
+	}
+	return nil
+}
+
+// MustSpawn is Spawn, panicking on error (static setup).
+func (a *App) MustSpawn(t *heug.Task) {
+	if err := a.Spawn(t); err != nil {
+		panic(err)
+	}
+}
+
+// SpawnSpuri translates a §5.1 task and spawns it.
+func (a *App) SpawnSpuri(st heug.SpuriTask) error {
+	t, err := st.ToHEUG()
+	if err != nil {
+		return err
+	}
+	return a.Spawn(t)
+}
+
+// Seal finishes the app: static priority assignment, protocol
+// ceilings, admission wiring. Run seals every app automatically; call
+// it early only when setup code needs a sealed app before Run.
+func (a *App) Seal() {
+	if a.sealed {
+		return
+	}
+	a.sealed = true
+	a.app.Seal()
+}
+
+// Raw returns the underlying dispatcher.App (advanced use).
+func (a *App) Raw() *dispatcher.App { return a.app }
+
+// StartPeriodic installs a timer-driven activation source following
+// the task's declared periodic arrival law (offset, then every
+// period). Spawn does this automatically for periodic tasks.
+func (c *Cluster) StartPeriodic(task string) error {
+	c.build()
+	tr, ok := c.disp.Task(task)
+	if !ok {
+		return fmt.Errorf("cluster: unknown task %q", task)
+	}
+	law := tr.Task.Arrival
+	if law.Kind != heug.Periodic {
+		return fmt.Errorf("cluster: task %q is not periodic", task)
+	}
+	if c.started[task] {
+		return fmt.Errorf("cluster: task %q already driven", task)
+	}
+	c.started[task] = true
+	var fire func()
+	fire = func() {
+		_, _ = c.disp.Activate(task) // arrival-law monitoring inside
+		c.eng.After(law.Period, eventq.ClassDispatch, fire)
+	}
+	c.eng.After(law.Offset, eventq.ClassDispatch, fire)
+	return nil
+}
+
+// StartSporadic activates a sporadic task every pseudo-period plus a
+// caller-supplied extra gap per instance (nil = worst-case rate). The
+// pattern is deterministic given the engine seed if extraGap uses it.
+func (c *Cluster) StartSporadic(task string, extraGap func(k uint64) vtime.Duration) error {
+	c.build()
+	tr, ok := c.disp.Task(task)
+	if !ok {
+		return fmt.Errorf("cluster: unknown task %q", task)
+	}
+	law := tr.Task.Arrival
+	if law.Kind != heug.Sporadic {
+		return fmt.Errorf("cluster: task %q is not sporadic", task)
+	}
+	if c.started[task] {
+		return fmt.Errorf("cluster: task %q already driven", task)
+	}
+	c.started[task] = true
+	var k uint64
+	var fire func()
+	fire = func() {
+		_, _ = c.disp.Activate(task)
+		k++
+		gap := law.Period
+		if extraGap != nil {
+			gap += extraGap(k)
+		}
+		c.eng.After(gap, eventq.ClassDispatch, fire)
+	}
+	c.eng.After(law.Offset, eventq.ClassDispatch, fire)
+	return nil
+}
+
+// StartSporadicWorstCase activates a sporadic task at its maximum
+// legal rate — the worst-case arrival pattern feasibility tests
+// assume. Spawn does this automatically for sporadic tasks.
+func (c *Cluster) StartSporadicWorstCase(task string) error {
+	return c.StartSporadic(task, nil)
+}
+
+// ActivateAt requests a single activation at an absolute instant
+// (aperiodic arrivals, interrupt-triggered tasks).
+func (c *Cluster) ActivateAt(task string, at vtime.Time) {
+	c.build()
+	c.eng.At(at, eventq.ClassDispatch, func() { _, _ = c.disp.Activate(task) })
+}
+
+// ActivateOnCond activates the task whenever the named condition
+// variable is set — the event-triggered activation law of §3.1.2.
+func (c *Cluster) ActivateOnCond(cond, task string) {
+	c.build()
+	c.disp.WatchCond(cond, func() { _, _ = c.disp.Activate(task) })
+}
+
+// Crash schedules a crash of node at instant t; if recoverAt is
+// non-zero the node comes back then. Crashed nodes neither send nor
+// receive.
+func (c *Cluster) Crash(node int, at, recoverAt vtime.Time) {
+	c.build()
+	if c.net == nil {
+		panic("cluster: Crash needs a network (declare links or multiple nodes)")
+	}
+	fault.CrashAt(c.eng, c.net, node, at, recoverAt)
+}
+
+// InjectFault chains a custom fault hook after the ones already
+// installed; the first non-deliver verdict wins. Hooks must be
+// deterministic given the engine's seeded source.
+func (c *Cluster) InjectFault(h netsim.FaultHook) {
+	c.build()
+	if c.net == nil {
+		panic("cluster: fault injection needs a network (declare links or multiple nodes)")
+	}
+	c.hooks = append(c.hooks, h)
+	c.net.SetFault(c.hooks)
+}
+
+// DropEvery drops every k-th message on the given port (empty port
+// matches all traffic) — a deterministic send-omission pattern.
+func (c *Cluster) DropEvery(k int, port string) {
+	var filter func(*netsim.Message) bool
+	if port != "" {
+		filter = func(m *netsim.Message) bool { return m.Port == port }
+	}
+	c.InjectFault(&fault.OmissionEvery{K: k, Filter: filter})
+}
+
+// DropFrom drops all messages sent by the given nodes on the given
+// port (empty port matches all their traffic) — fully
+// send-omission-faulty processes.
+func (c *Cluster) DropFrom(nodes []int, port string) {
+	set := make(map[int]bool, len(nodes))
+	for _, n := range nodes {
+		set[n] = true
+	}
+	c.InjectFault(&fault.OmissionFrom{Nodes: set, Port: port})
+}
+
+// DropRandom drops or delays messages with the given probabilities,
+// drawing from the engine's seeded source (deterministic per run).
+func (c *Cluster) DropRandom(dropProb, delayProb float64, maxExtra vtime.Duration) {
+	c.build()
+	c.InjectFault(&fault.RandomFaults{Eng: c.eng, DropProb: dropProb, DelayProb: delayProb, MaxExtra: maxExtra})
+}
+
+// Run seals every application, starts the generators of spawned
+// tasks, executes the cluster for the given virtual duration and
+// reports. It may be called repeatedly to advance further.
+func (c *Cluster) Run(d vtime.Duration) Result {
+	c.build()
+	for _, a := range c.apps {
+		a.Seal()
+	}
+	for _, s := range c.spawns {
+		var err error
+		switch s.task.Arrival.Kind {
+		case heug.Periodic:
+			err = c.StartPeriodic(s.task.Name)
+		case heug.Sporadic:
+			err = c.StartSporadicWorstCase(s.task.Name)
+		}
+		if err != nil {
+			panic(err)
+		}
+	}
+	c.spawns = nil
+	until := c.eng.Now().Add(d)
+	c.eng.Run(until)
+	return c.ResultNow()
+}

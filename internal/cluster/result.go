@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"fmt"
+
+	"hades/internal/dispatcher"
+	"hades/internal/monitor"
+	"hades/internal/netsim"
+	"hades/internal/vtime"
+)
+
+// Result is the structured outcome of a run: dispatcher-level counters
+// (activations, completions, misses, admission rejections), per-task
+// response-time statistics, network counters and recorded violations.
+type Result struct {
+	Until      vtime.Time
+	Stats      dispatcher.Stats
+	Tasks      []TaskResult
+	Net        netsim.Stats // zero when the cluster has no network
+	Violations []monitor.Event
+}
+
+// TaskResult is one task's runtime statistics.
+type TaskResult struct {
+	App         string
+	Name        string
+	Activations int
+	Completions int
+	Misses      int
+	AvgResponse vtime.Duration
+	MaxResponse vtime.Duration
+}
+
+// ResultNow builds a Result at the current instant without advancing.
+func (c *Cluster) ResultNow() Result {
+	c.build()
+	r := Result{Until: c.eng.Now(), Stats: c.disp.Stats(), Violations: c.log.Violations()}
+	if c.net != nil {
+		r.Net = c.net.Stats()
+	}
+	for _, a := range c.apps {
+		for _, tr := range a.app.Tasks() {
+			r.Tasks = append(r.Tasks, TaskResult{
+				App:         a.app.Name,
+				Name:        tr.Task.Name,
+				Activations: tr.Activations,
+				Completions: tr.Completions,
+				Misses:      tr.Misses,
+				AvgResponse: tr.AvgResponse(),
+				MaxResponse: tr.MaxResponse,
+			})
+		}
+	}
+	return r
+}
+
+// Task returns the named task's statistics.
+func (r Result) Task(name string) (TaskResult, bool) {
+	for _, t := range r.Tasks {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return TaskResult{}, false
+}
+
+// String renders the result as a compact table.
+func (r Result) String() string {
+	out := fmt.Sprintf("t=%s activations=%d completions=%d misses=%d rejections=%d violations=%d\n",
+		r.Until, r.Stats.Activations, r.Stats.Completions, r.Stats.DeadlineMisses,
+		r.Stats.Rejections, len(r.Violations))
+	if r.Net.Sent > 0 {
+		out += fmt.Sprintf("  net: sent=%d delivered=%d dropped=%d late=%d maxDelay=%s\n",
+			r.Net.Sent, r.Net.Delivered, r.Net.Dropped, r.Net.Late, r.Net.MaxDelay)
+	}
+	for _, t := range r.Tasks {
+		out += fmt.Sprintf("  %-16s act=%-5d done=%-5d miss=%-4d avg=%-12s max=%s\n",
+			t.Name, t.Activations, t.Completions, t.Misses, t.AvgResponse, t.MaxResponse)
+	}
+	return out
+}

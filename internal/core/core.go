@@ -17,8 +17,8 @@ package core
 import (
 	"fmt"
 
+	"hades/internal/cluster"
 	"hades/internal/dispatcher"
-	"hades/internal/eventq"
 	"hades/internal/heug"
 	"hades/internal/monitor"
 	"hades/internal/netsim"
@@ -53,6 +53,7 @@ type Config struct {
 // System is an assembled HADES platform.
 type System struct {
 	cfg  Config
+	clu  *cluster.Cluster
 	eng  *simkern.Engine
 	net  *netsim.Network
 	disp *dispatcher.Dispatcher
@@ -65,43 +66,43 @@ type System struct {
 	generators []*generator
 }
 
-// NewSystem assembles a platform per cfg.
+// NewSystem assembles a platform per cfg. The composition itself lives
+// in the cluster runtime layer; System adds the operational-mode
+// machinery (modes.go) and the historical report shape on top.
 func NewSystem(cfg Config) *System {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1
 	}
-	if cfg.LogLimit == 0 {
-		cfg.LogLimit = 500000
-	}
 	if cfg.LinkDelayMax == 0 {
 		cfg.LinkDelayMin, cfg.LinkDelayMax = 100*vtime.Microsecond, 300*vtime.Microsecond
 	}
-	log := monitor.NewLog(cfg.LogLimit)
-	eng := simkern.NewEngine(log, cfg.Seed)
-	for i := 0; i < cfg.Nodes; i++ {
-		eng.AddProcessor(fmt.Sprintf("node%d", i), cfg.Costs.SwitchCost)
+	ccfg := cluster.Config{
+		Seed:         cfg.Seed,
+		Costs:        cfg.Costs,
+		LogLimit:     cfg.LogLimit,
+		CancelOnMiss: cfg.CancelOnMiss,
 	}
-	var net *netsim.Network
+	if cfg.Network != nil {
+		// Used verbatim, zero fields included, matching the historical
+		// semantics of Config.Network.
+		ccfg.Net = &cluster.NetParams{
+			WAtm:    cfg.Network.WAtm,
+			WProto:  cfg.Network.WProto,
+			PrioNet: cfg.Network.PrioNet,
+		}
+	}
+	c := cluster.New(ccfg)
+	c.AddNodes(cfg.Nodes)
 	if cfg.Nodes > 1 {
-		ncfg := netsim.DefaultConfig()
-		if cfg.Network != nil {
-			ncfg = *cfg.Network
-		}
-		net = netsim.New(eng, ncfg)
-		ids := make([]int, cfg.Nodes)
-		for i := range ids {
-			ids[i] = i
-		}
-		net.ConnectAll(ids, cfg.LinkDelayMin, cfg.LinkDelayMax)
+		c.ConnectAll(cfg.LinkDelayMin, cfg.LinkDelayMax)
 	}
-	disp := dispatcher.New(eng, net, cfg.Costs)
-	disp.CancelOnMiss = cfg.CancelOnMiss
 	return &System{
 		cfg:   cfg,
-		eng:   eng,
-		net:   net,
-		disp:  disp,
-		log:   log,
+		clu:   c,
+		eng:   c.Engine(),
+		net:   c.Network(),
+		disp:  c.Dispatcher(),
+		log:   c.Log(),
 		modes: make(map[string][]string),
 	}
 }
@@ -167,71 +168,31 @@ func (a *App) Raw() *dispatcher.App { return a.app }
 // StartPeriodic installs a timer-driven activation source following the
 // task's declared periodic arrival law (offset then every period),
 // running until the simulation horizon.
-func (s *System) StartPeriodic(task string) error {
-	tr, ok := s.disp.Task(task)
-	if !ok {
-		return fmt.Errorf("core: unknown task %q", task)
-	}
-	law := tr.Task.Arrival
-	if law.Kind != heug.Periodic {
-		return fmt.Errorf("core: task %q is not periodic", task)
-	}
-	var fire func()
-	fire = func() {
-		_, _ = s.disp.Activate(task) // arrival-law monitoring inside
-		s.eng.After(law.Period, eventq.ClassDispatch, fire)
-	}
-	s.eng.After(law.Offset, eventq.ClassDispatch, fire)
-	return nil
-}
+func (s *System) StartPeriodic(task string) error { return s.clu.StartPeriodic(task) }
 
 // StartSporadicWorstCase activates a sporadic task at its maximum legal
 // rate (every pseudo-period) — the worst-case arrival pattern the
 // feasibility tests assume, used by the validation experiments.
 func (s *System) StartSporadicWorstCase(task string) error {
-	return s.StartSporadic(task, nil)
+	return s.clu.StartSporadicWorstCase(task)
 }
 
 // StartSporadic activates a sporadic task with the pseudo-period plus a
 // caller-supplied extra gap per instance (nil = worst-case rate). The
 // pattern is deterministic given the engine seed if extraGap uses it.
 func (s *System) StartSporadic(task string, extraGap func(k uint64) vtime.Duration) error {
-	tr, ok := s.disp.Task(task)
-	if !ok {
-		return fmt.Errorf("core: unknown task %q", task)
-	}
-	law := tr.Task.Arrival
-	if law.Kind != heug.Sporadic {
-		return fmt.Errorf("core: task %q is not sporadic", task)
-	}
-	var k uint64
-	var fire func()
-	fire = func() {
-		_, _ = s.disp.Activate(task)
-		k++
-		gap := law.Period
-		if extraGap != nil {
-			gap += extraGap(k)
-		}
-		s.eng.After(gap, eventq.ClassDispatch, fire)
-	}
-	s.eng.After(law.Offset, eventq.ClassDispatch, fire)
-	return nil
+	return s.clu.StartSporadic(task, extraGap)
 }
 
 // ActivateAt requests a single activation at an absolute instant
 // (aperiodic arrivals, interrupt-triggered tasks).
-func (s *System) ActivateAt(task string, at vtime.Time) {
-	s.eng.At(at, eventq.ClassDispatch, func() { _, _ = s.disp.Activate(task) })
-}
+func (s *System) ActivateAt(task string, at vtime.Time) { s.clu.ActivateAt(task, at) }
 
 // ActivateOnCond activates the task whenever the named condition
 // variable is set — the event-triggered activation law of §3.1.2. The
 // task's deadline then runs from the event, which is what a watchdog
 // or alarm task wants.
-func (s *System) ActivateOnCond(cond, task string) {
-	s.disp.WatchCond(cond, func() { _, _ = s.disp.Activate(task) })
-}
+func (s *System) ActivateOnCond(cond, task string) { s.clu.ActivateOnCond(cond, task) }
 
 // Report is the outcome of a run.
 type Report struct {

@@ -3,7 +3,7 @@ package dispatcher_test
 import (
 	"testing"
 
-	"hades/internal/core"
+	"hades/internal/cluster"
 	"hades/internal/dispatcher"
 	"hades/internal/heug"
 	"hades/internal/sched"
@@ -41,10 +41,10 @@ func TestDistributedDiamond(t *testing.T) {
 		Precede("right", "join", "rv").
 		MustBuild()
 
-	sys := core.NewSystem(core.Config{Nodes: 3, Seed: 21, Costs: dispatcher.DefaultCostBook()})
+	sys := cluster.New(cluster.Config{Seed: 21, Costs: dispatcher.DefaultCostBook()})
+	sys.AddNodes(3)
 	app := sys.NewApp("app", sched.NewEDF(15*us), nil)
 	app.MustAddTask(task)
-	app.Seal()
 	sys.ActivateAt("diamond", 0)
 	rep := sys.Run(200 * ms)
 	if rep.Stats.Completions != 1 {
@@ -78,11 +78,10 @@ func TestOverlappingInstances(t *testing.T) {
 		}}).
 		Precede("a", "b", "k").
 		MustBuild()
-	sys := core.NewSystem(core.Config{Nodes: 1, Seed: 21})
+	sys := cluster.New(cluster.Config{Seed: 21})
+	sys.AddNode("")
 	app := sys.NewApp("app", sched.NewEDF(10*us), nil)
-	app.MustAddTask(task)
-	app.Seal()
-	if err := sys.StartSporadicWorstCase("overlap"); err != nil {
+	if err := app.Spawn(task); err != nil {
 		t.Fatal(err)
 	}
 	rep := sys.Run(40 * ms)
@@ -115,11 +114,10 @@ func TestActualWorkVariability(t *testing.T) {
 				return 2 * ms
 			}}).
 		MustBuild()
-	sys := core.NewSystem(core.Config{Nodes: 1, Seed: 21})
+	sys := cluster.New(cluster.Config{Seed: 21})
+	sys.AddNode("")
 	app := sys.NewApp("app", sched.NewRM(), nil)
-	app.MustAddTask(task)
-	app.Seal()
-	if err := sys.StartSporadicWorstCase("vary"); err != nil {
+	if err := app.Spawn(task); err != nil {
 		t.Fatal(err)
 	}
 	rep := sys.Run(41 * ms)

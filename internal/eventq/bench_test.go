@@ -30,6 +30,36 @@ func BenchmarkPushCancel(b *testing.B) {
 	}
 }
 
+// BenchmarkCancelHeavyLargeHeap is the dispatcher's worst case for
+// eager cancellation: a large standing heap of watchdog timers
+// (deadline monitors, omission timeouts) where nearly every timer is
+// cancelled — from a random heap position — before it fires. Lazy
+// mark-dead cancellation makes each Cancel O(1) instead of an
+// O(log n) remove-and-sift against the full heap.
+func BenchmarkCancelHeavyLargeHeap(b *testing.B) {
+	const batch = 4096
+	var q Queue
+	rng := rand.New(rand.NewSource(3))
+	events := make([]*Event, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		for j := range events {
+			events[j] = q.Push(vtime.Time(rng.Int63n(1<<40)), ClassDispatch, nil)
+		}
+		// 31 of 32 watchdogs are disarmed before firing, from random
+		// positions deep in the heap; the survivors then fire in order.
+		for j, e := range events {
+			if j%32 != 0 {
+				q.Cancel(e)
+			}
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	}
+}
+
 func BenchmarkTimerWheelPattern(b *testing.B) {
 	// The dispatcher's common pattern: push a deadline timer, usually
 	// cancel it before it fires, occasionally pop.

@@ -41,21 +41,30 @@ type Event struct {
 	Fire  func()
 
 	seq   uint64
-	index int // heap index, -1 once popped or cancelled
+	index int  // heap index, -1 once popped or compacted away
+	dead  bool // lazily cancelled, possibly still occupying a heap slot
 }
 
 // Cancelled reports whether Cancel was called on the event (or it fired).
-func (e *Event) Cancelled() bool { return e.index == -1 }
+func (e *Event) Cancelled() bool { return e.dead || e.index == -1 }
 
 // Queue is a deterministic min-heap of events. The zero value is ready to
 // use.
+//
+// Cancellation is lazy: Cancel marks the event dead in O(1) and the
+// dead slot is reclaimed when it surfaces at the root (or by a bulk
+// compaction once dead slots dominate). Dispatcher workloads cancel
+// most of the timers they set — deadline watchdogs, omission timeouts —
+// usually while the timer sits deep in a large heap, where an eager
+// remove-and-sift costs O(log n) each.
 type Queue struct {
 	heap []*Event
 	seq  uint64
+	dead int // cancelled events still occupying heap slots
 }
 
-// Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.heap) }
+// Len returns the number of pending (non-cancelled) events.
+func (q *Queue) Len() int { return len(q.heap) - q.dead }
 
 // Push schedules fire at instant at with the given class and returns a
 // handle that can cancel it.
@@ -68,39 +77,87 @@ func (q *Queue) Push(at vtime.Time, class Class, fire func()) *Event {
 	return e
 }
 
-// Cancel removes e from the queue. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// Cancel marks e dead; its heap slot is reclaimed lazily. Cancelling
+// an already-fired or already-cancelled event is a no-op.
 func (q *Queue) Cancel(e *Event) {
-	if e == nil || e.index < 0 {
+	if e == nil || e.index < 0 || e.dead {
 		return
 	}
-	i := e.index
-	last := len(q.heap) - 1
-	q.swap(i, last)
-	q.heap = q.heap[:last]
-	e.index = -1
-	if i < last {
-		q.down(i)
-		q.up(i)
+	e.dead = true
+	e.Fire = nil // release the closure now, not at surfacing time
+	q.dead++
+	// Bound the garbage: once dead slots dominate a non-trivial heap,
+	// rebuild it from the live events (amortised O(1) per cancel).
+	if q.dead > 64 && q.dead > len(q.heap)/2 {
+		q.compact()
 	}
 }
 
-// Peek returns the next event without removing it, or nil if empty.
+// compact rebuilds the heap from the live events only. Ordering stays
+// deterministic: the heap invariant is restored under the same total
+// (At, Class, seq) order.
+func (q *Queue) compact() {
+	live := q.heap[:0]
+	for _, e := range q.heap {
+		if e.dead {
+			e.index = -1
+			continue
+		}
+		live = append(live, e)
+	}
+	// Clear trailing slots so compacted events are not retained.
+	for i := len(live); i < len(q.heap); i++ {
+		q.heap[i] = nil
+	}
+	q.heap = live
+	q.dead = 0
+	for i := range q.heap {
+		q.heap[i].index = i
+	}
+	for i := len(q.heap)/2 - 1; i >= 0; i-- {
+		q.down(i)
+	}
+}
+
+// skipDead discards dead events surfacing at the root.
+func (q *Queue) skipDead() {
+	for len(q.heap) > 0 && q.heap[0].dead {
+		q.removeRoot()
+		q.dead--
+	}
+}
+
+// removeRoot detaches the root event from the heap.
+func (q *Queue) removeRoot() *Event {
+	e := q.heap[0]
+	last := len(q.heap) - 1
+	q.swap(0, last)
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	e.index = -1
+	if last > 0 {
+		q.down(0)
+	}
+	return e
+}
+
+// Peek returns the next live event without removing it, or nil if
+// empty.
 func (q *Queue) Peek() *Event {
+	q.skipDead()
 	if len(q.heap) == 0 {
 		return nil
 	}
 	return q.heap[0]
 }
 
-// Pop removes and returns the next event, or nil if empty.
+// Pop removes and returns the next live event, or nil if empty.
 func (q *Queue) Pop() *Event {
+	q.skipDead()
 	if len(q.heap) == 0 {
 		return nil
 	}
-	e := q.heap[0]
-	q.Cancel(e)
-	return e
+	return q.removeRoot()
 }
 
 func (q *Queue) less(i, j int) bool {

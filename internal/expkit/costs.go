@@ -3,7 +3,7 @@ package expkit
 import (
 	"fmt"
 
-	"hades/internal/core"
+	"hades/internal/cluster"
 	"hades/internal/dispatcher"
 	"hades/internal/heug"
 	"hades/internal/sched"
@@ -18,8 +18,8 @@ func init() {
 // measureOverhead runs one aperiodic single-activation scenario under
 // the given cost book and returns the CPU time consumed beyond the pure
 // action WCETs on node 0 (busy + switch time minus useful work).
-func measureOverhead(book dispatcher.CostBook, build func(*core.App), useful vtime.Duration, activate []string) vtime.Duration {
-	sys := core.NewSystem(core.Config{Nodes: 2, Seed: 1, Costs: book})
+func measureOverhead(book dispatcher.CostBook, build func(*cluster.App), useful vtime.Duration, activate []string) vtime.Duration {
+	sys := newCluster(2, 1, book)
 	app := sys.NewApp("m", sched.NewRM(), nil)
 	build(app)
 	app.Seal()
@@ -40,13 +40,13 @@ func measureOverhead(book dispatcher.CostBook, build func(*core.App), useful vti
 // occurs.
 func runT1(Options) Table {
 	ref := dispatcher.DefaultCostBook()
-	oneEU := func(app *core.App) {
+	oneEU := func(app *cluster.App) {
 		app.MustAddTask(heug.NewTask("m1", heug.AperiodicLaw()).
 			WithDeadline(100*ms).
 			Code("a", heug.CodeEU{Node: 0, WCET: 1 * ms}).
 			MustBuild())
 	}
-	twoEU := func(app *core.App) {
+	twoEU := func(app *cluster.App) {
 		app.MustAddTask(heug.NewTask("m2", heug.AperiodicLaw()).
 			WithDeadline(100*ms).
 			Code("a", heug.CodeEU{Node: 0, WCET: 1 * ms}).
@@ -54,7 +54,7 @@ func runT1(Options) Table {
 			Precede("a", "b").
 			MustBuild())
 	}
-	remote := func(app *core.App) {
+	remote := func(app *cluster.App) {
 		app.MustAddTask(heug.NewTask("m3", heug.AperiodicLaw()).
 			WithDeadline(100*ms).
 			Code("a", heug.CodeEU{Node: 0, WCET: 1 * ms}).
@@ -67,7 +67,7 @@ func runT1(Options) Table {
 		name       string
 		configured vtime.Duration
 		book       dispatcher.CostBook
-		build      func(*core.App)
+		build      func(*cluster.App)
 		useful     vtime.Duration
 		tasks      []string
 	}
@@ -110,7 +110,7 @@ func runT1(Options) Table {
 // loaded run, exactly the two activities the paper found in ChorusR3.
 func runT2(opts Options) Table {
 	book := dispatcher.DefaultCostBook()
-	sys := core.NewSystem(core.Config{Nodes: 2, Seed: opts.Seed, Costs: book})
+	sys := newCluster(2, opts.Seed, book)
 	app := sys.NewApp("load", sched.NewRM(), nil)
 	// A distributed task to generate ATM traffic.
 	app.MustAddTask(heug.NewTask("ship", heug.PeriodicEvery(2*ms)).

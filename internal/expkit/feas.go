@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"hades/internal/core"
+	"hades/internal/cluster"
 	"hades/internal/dispatcher"
 	"hades/internal/feasibility"
 	"hades/internal/sched"
@@ -31,8 +31,9 @@ func overheads(book dispatcher.CostBook) *feasibility.Overheads {
 // given horizon. It returns the dispatcher report. This is the
 // execution side of experiment E-S5: the simulator charges exactly the
 // costs the §5.3 test accounts.
-func SimulateEDFSRP(tasks []feasibility.Task, book dispatcher.CostBook, horizon vtime.Duration, seed int64) core.Report {
-	sys := core.NewSystem(core.Config{Nodes: 1, Seed: seed, Costs: book, LogLimit: 1})
+func SimulateEDFSRP(tasks []feasibility.Task, book dispatcher.CostBook, horizon vtime.Duration, seed int64) cluster.Result {
+	sys := cluster.New(cluster.Config{Seed: seed, Costs: book, LogLimit: 1})
+	sys.AddNode("")
 	app := sys.NewApp("w", sched.NewEDF(schedCost), sched.NewSRP())
 	for _, ft := range tasks {
 		if err := app.AddSpuri(feasibility.ToSpuri(ft, tasks, 0)); err != nil {

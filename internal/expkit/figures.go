@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"hades/internal/core"
+	"hades/internal/cluster"
 	"hades/internal/dispatcher"
 	"hades/internal/heug"
 	"hades/internal/monitor"
@@ -28,7 +28,7 @@ func init() {
 // the same generic dispatcher and COTS substrate, simultaneously, with
 // the guaranteed apps meeting every deadline.
 func runF1(opts Options) Table {
-	sys := core.NewSystem(core.Config{Nodes: 3, Seed: opts.Seed, Costs: dispatcher.DefaultCostBook()})
+	sys := newCluster(3, opts.Seed, dispatcher.DefaultCostBook())
 
 	rmApp := sys.NewApp("appli1-RM", sched.NewRM(), sched.NewPCP())
 	rmApp.MustAddTask(heug.NewTask("rm.sensor", heug.PeriodicEvery(10*ms)).
@@ -101,7 +101,7 @@ func runF1(opts Options) Table {
 	return tbl
 }
 
-func guaranteedMisses(rep core.Report) int {
+func guaranteedMisses(rep cluster.Result) int {
 	n := 0
 	for _, tr := range rep.Tasks {
 		if tr.Name != "be.logger" {
@@ -113,8 +113,8 @@ func guaranteedMisses(rep core.Report) int {
 
 // Figure2Trace runs the Figure 2 scenario and returns the annotated
 // event sequence (also used by the F2 golden test and bench).
-func Figure2Trace(seed int64) (core.Report, []string) {
-	sys := core.NewSystem(core.Config{Nodes: 1, Seed: seed, Costs: dispatcher.DefaultCostBook()})
+func Figure2Trace(seed int64) (cluster.Result, []string) {
+	sys := newCluster(1, seed, dispatcher.DefaultCostBook())
 	app := sys.NewApp("fig2", sched.NewEDF(20*us), nil)
 	t1 := heug.NewTask("t1", heug.AperiodicLaw()).
 		WithDeadline(20*ms).

@@ -3,7 +3,6 @@ package expkit
 import (
 	"fmt"
 
-	"hades/internal/core"
 	"hades/internal/dispatcher"
 	"hades/internal/heug"
 	"hades/internal/monitor"
@@ -33,7 +32,7 @@ func inversionRun(opts Options, policy dispatcher.ResourcePolicy) (vtime.Duratio
 		Code("use", heug.CodeEU{Node: 0, WCET: 1 * ms,
 			Resources: []heug.ResourceReq{{Resource: "R", Mode: heug.Exclusive}}}).
 		MustBuild()
-	sys := core.NewSystem(core.Config{Nodes: 1, Seed: opts.Seed})
+	sys := newCluster(1, opts.Seed, dispatcher.CostBook{})
 	app := sys.NewApp("inv", sched.NewDM(), policy)
 	app.MustAddTask(low)
 	app.MustAddTask(mid)

@@ -1,0 +1,16 @@
+package expkit
+
+import (
+	"hades/internal/cluster"
+	"hades/internal/dispatcher"
+)
+
+// newCluster assembles the shared experiment platform: n nodes with
+// the given cost book, full-meshed with the cluster's default delay
+// bounds when n > 1. Every expkit experiment composes its system
+// through the cluster runtime layer.
+func newCluster(nodes int, seed int64, costs dispatcher.CostBook) *cluster.Cluster {
+	c := cluster.New(cluster.Config{Seed: seed, Costs: costs})
+	c.AddNodes(nodes)
+	return c
+}

@@ -4,10 +4,11 @@ import (
 	"fmt"
 
 	"hades/internal/clocksync"
+	"hades/internal/cluster"
 	"hades/internal/consensus"
+	"hades/internal/dispatcher"
 	"hades/internal/eventq"
 	"hades/internal/fault"
-	"hades/internal/monitor"
 	"hades/internal/netsim"
 	"hades/internal/rbcast"
 	"hades/internal/replication"
@@ -22,17 +23,14 @@ func init() {
 	register("X7", runX7)
 }
 
-// serviceRig builds an n-node engine + network for service experiments.
+// serviceRig builds an n-node platform for service experiments through
+// the cluster layer: full mesh with the testbed delay bounds, a 2 µs
+// context switch, an unbounded trace log.
 func serviceRig(n int, seed int64) (*simkern.Engine, *netsim.Network, []int) {
-	eng := simkern.NewEngine(monitor.NewLog(0), seed)
-	nodes := make([]int, n)
-	for i := 0; i < n; i++ {
-		eng.AddProcessor(fmt.Sprintf("node%d", i), 2*us)
-		nodes[i] = i
-	}
-	net := netsim.New(eng, netsim.Config{WAtm: 25 * us, WProto: 35 * us, PrioNet: simkern.PrioMax - 2})
-	net.ConnectAll(nodes, 100*us, 300*us)
-	return eng, net, nodes
+	c := cluster.New(cluster.Config{Seed: seed, Costs: dispatcher.CostBook{SwitchCost: 2 * us}, LogLimit: -1})
+	nodes := c.AddNodes(n)
+	c.ConnectAll(100*us, 300*us)
+	return c.Engine(), c.Network(), nodes
 }
 
 // runX3 reproduces the [LL88] clock synchronisation experiment:

@@ -1,7 +1,13 @@
 // Package scenario defines the JSON scenario format shared by the
-// hades-sim and hades-feas command-line tools: a §5.1-style sporadic
-// task set plus platform and policy choices, loadable from a file or
-// from the built-in catalogue.
+// hades-sim and hades-feas command-line tools: a §5.1-style task set
+// plus platform, topology, placement, fault-injection and policy
+// choices, loadable from a file or from the built-in catalogue.
+//
+// A scenario builds onto the cluster runtime layer, so distributed and
+// faulty workloads are data, not code: "nodes" sizes the platform,
+// "links" declares bounded-delay point-to-point links (omit for a full
+// mesh), "placement" pins tasks or stages to nodes, and "faults"
+// schedules deterministic omission/delay/crash injection.
 package scenario
 
 import (
@@ -9,7 +15,7 @@ import (
 	"fmt"
 	"os"
 
-	"hades/internal/core"
+	"hades/internal/cluster"
 	"hades/internal/dispatcher"
 	"hades/internal/feasibility"
 	"hades/internal/heug"
@@ -17,7 +23,18 @@ import (
 	"hades/internal/vtime"
 )
 
-// TaskSpec describes one task in the JSON scenario.
+// StageSpec is one Code_EU of a multi-stage (pipeline) task. Stages
+// form a chain in declaration order; consecutive stages on different
+// nodes cross the network as remote precedence constraints.
+type StageSpec struct {
+	Name   string  `json:"name"`
+	Node   int     `json:"node"`
+	WCETUs float64 `json:"wcetUs"`
+}
+
+// TaskSpec describes one task in the JSON scenario: either a §5.1
+// Spuri task (CBefore/CS/CAfter, single node) or a staged pipeline
+// (Stages, possibly spanning nodes). The two forms are exclusive.
 type TaskSpec struct {
 	Name      string  `json:"name"`
 	Node      int     `json:"node"`
@@ -31,6 +48,38 @@ type TaskSpec struct {
 	PeriodMs float64 `json:"periodMs"`
 	// Law is "sporadic" (default) or "periodic".
 	Law string `json:"law,omitempty"`
+	// Stages, when present, makes the task a pipeline of Code_EUs
+	// chained in order (a distributed task when nodes differ).
+	Stages []StageSpec `json:"stages,omitempty"`
+}
+
+// LinkSpec declares one bidirectional link with delay bounds
+// [dMin, dMax] — the synchrony assumption of the §2.1 system model.
+type LinkSpec struct {
+	A      int     `json:"a"`
+	B      int     `json:"b"`
+	DMinUs float64 `json:"dMinUs"`
+	DMaxUs float64 `json:"dMaxUs"`
+}
+
+// FaultSpec schedules one deterministic fault injection:
+//
+//   - "drop-every": drop every K-th message on Port (omission);
+//   - "drop-from": drop all messages Node sends on Port (a fully
+//     send-omission-faulty process);
+//   - "random": drop/delay with the given probabilities from the
+//     seeded source;
+//   - "crash": node crash at AtMs, recovering at RecoverMs (0 = never).
+type FaultSpec struct {
+	Kind       string  `json:"kind"`
+	Node       int     `json:"node,omitempty"`
+	K          int     `json:"k,omitempty"`
+	Port       string  `json:"port,omitempty"`
+	AtMs       float64 `json:"atMs,omitempty"`
+	RecoverMs  float64 `json:"recoverMs,omitempty"`
+	DropProb   float64 `json:"dropProb,omitempty"`
+	DelayProb  float64 `json:"delayProb,omitempty"`
+	MaxExtraUs float64 `json:"maxExtraUs,omitempty"`
 }
 
 // Spec is a full scenario.
@@ -43,6 +92,14 @@ type Spec struct {
 	Policy    string     `json:"policy"`    // "SRP" | "PCP" | "none"
 	HorizonMs float64    `json:"horizonMs"`
 	Tasks     []TaskSpec `json:"tasks"`
+	// Links declares the topology; empty with Nodes > 1 means a full
+	// mesh with the cluster's default bounds.
+	Links []LinkSpec `json:"links,omitempty"`
+	// Faults schedules deterministic fault injection.
+	Faults []FaultSpec `json:"faults,omitempty"`
+	// Placement overrides node assignments: "task" pins a Spuri task
+	// (or every stage of a pipeline), "task/stage" pins one stage.
+	Placement map[string]int `json:"placement,omitempty"`
 }
 
 // Load reads a scenario from a JSON file.
@@ -73,7 +130,7 @@ func Builtin(name string) (Spec, error) {
 
 // BuiltinNames lists the catalogue.
 func BuiltinNames() []string {
-	return []string{"spuri-example", "inversion", "overload"}
+	return []string{"spuri-example", "inversion", "overload", "distributed-pipeline"}
 }
 
 var builtins = map[string]Spec{
@@ -107,6 +164,33 @@ var builtins = map[string]Spec{
 			{Name: "b", CBeforeUs: 6000, CSUs: 0, CAfterUs: 0, DeadlineMs: 10, PeriodMs: 10},
 		},
 	},
+	// A three-node sensing pipeline over explicit bounded-delay links,
+	// with a deterministic omission fault on the remote precedence
+	// port: the distributed-and-faulty workload as pure data.
+	"distributed-pipeline": {
+		Name: "distributed-pipeline", Nodes: 3, Seed: 1, Costs: "default",
+		Scheduler: "EDF", Policy: "none", HorizonMs: 500,
+		Links: []LinkSpec{
+			{A: 0, B: 1, DMinUs: 100, DMaxUs: 250},
+			{A: 1, B: 2, DMinUs: 150, DMaxUs: 400},
+			{A: 0, B: 2, DMinUs: 100, DMaxUs: 300},
+		},
+		Faults: []FaultSpec{
+			{Kind: "drop-every", K: 25, Port: "heug.prec"},
+		},
+		Tasks: []TaskSpec{
+			{Name: "acquire", Law: "periodic", DeadlineMs: 18, PeriodMs: 20,
+				Stages: []StageSpec{
+					{Name: "sample", Node: 0, WCETUs: 400},
+					{Name: "fuse", Node: 1, WCETUs: 900},
+					{Name: "commit", Node: 2, WCETUs: 300},
+				}},
+			{Name: "watchdog", Law: "periodic", DeadlineMs: 50, PeriodMs: 50,
+				Stages: []StageSpec{
+					{Name: "check", Node: 1, WCETUs: 600},
+				}},
+		},
+	},
 }
 
 func (s Spec) withDefaults() (Spec, error) {
@@ -129,8 +213,75 @@ func (s Spec) withDefaults() (Spec, error) {
 		if t.PeriodMs <= 0 || t.DeadlineMs <= 0 {
 			return s, fmt.Errorf("scenario %q: task %q needs positive period and deadline", s.Name, t.Name)
 		}
+		if len(t.Stages) > 0 && t.CBeforeUs+t.CSUs+t.CAfterUs > 0 {
+			return s, fmt.Errorf("scenario %q: task %q mixes stages with cBefore/cs/cAfter", s.Name, t.Name)
+		}
+		for j, st := range t.Stages {
+			if st.Name == "" {
+				return s, fmt.Errorf("scenario %q: task %q stage %d unnamed", s.Name, t.Name, j)
+			}
+			if st.WCETUs <= 0 {
+				return s, fmt.Errorf("scenario %q: task %q stage %q needs positive wcet", s.Name, t.Name, st.Name)
+			}
+			if st.Node < 0 || st.Node >= s.Nodes {
+				return s, fmt.Errorf("scenario %q: task %q stage %q on unknown node %d (have %d)", s.Name, t.Name, st.Name, st.Node, s.Nodes)
+			}
+		}
+	}
+	for _, l := range s.Links {
+		if l.A < 0 || l.A >= s.Nodes || l.B < 0 || l.B >= s.Nodes || l.A == l.B {
+			return s, fmt.Errorf("scenario %q: bad link %d-%d (nodes=%d)", s.Name, l.A, l.B, s.Nodes)
+		}
+		if l.DMinUs < 0 || l.DMaxUs < l.DMinUs {
+			return s, fmt.Errorf("scenario %q: link %d-%d has bad delay bounds [%g,%g]", s.Name, l.A, l.B, l.DMinUs, l.DMaxUs)
+		}
+	}
+	if len(s.Faults) > 0 && s.Nodes < 2 && len(s.Links) == 0 {
+		return s, fmt.Errorf("scenario %q: faults need a network (nodes > 1 or links)", s.Name)
+	}
+	for _, f := range s.Faults {
+		switch f.Kind {
+		case "drop-every":
+			if f.K < 1 {
+				return s, fmt.Errorf("scenario %q: drop-every fault needs k >= 1 (got %d)", s.Name, f.K)
+			}
+		case "drop-from", "crash":
+			if f.Node < 0 || f.Node >= s.Nodes {
+				return s, fmt.Errorf("scenario %q: %s fault on unknown node %d (have %d)", s.Name, f.Kind, f.Node, s.Nodes)
+			}
+		case "random":
+			if f.DropProb < 0 || f.DelayProb < 0 || f.DropProb+f.DelayProb > 1 {
+				return s, fmt.Errorf("scenario %q: random fault needs probabilities in [0,1] with dropProb+delayProb <= 1", s.Name)
+			}
+		default:
+			return s, fmt.Errorf("scenario %q: unknown fault kind %q", s.Name, f.Kind)
+		}
+	}
+	for key, node := range s.Placement {
+		if node < 0 || node >= s.Nodes {
+			return s, fmt.Errorf("scenario %q: placement %q on unknown node %d (have %d)", s.Name, key, node, s.Nodes)
+		}
+		if !s.placementKeyKnown(key) {
+			return s, fmt.Errorf("scenario %q: placement %q names no task or task/stage", s.Name, key)
+		}
 	}
 	return s, nil
+}
+
+// placementKeyKnown reports whether key names a task ("task") or one
+// of its stages ("task/stage").
+func (s Spec) placementKeyKnown(key string) bool {
+	for _, t := range s.Tasks {
+		if key == t.Name {
+			return true
+		}
+		for _, st := range t.Stages {
+			if key == t.Name+"/"+st.Name {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func us(f float64) vtime.Duration { return vtime.Duration(f * float64(vtime.Microsecond)) }
@@ -138,7 +289,7 @@ func msd(f float64) vtime.Duration {
 	return vtime.Duration(f * float64(vtime.Millisecond))
 }
 
-// Spuri converts a task spec to the §5.1 model.
+// Spuri converts a non-staged task spec to the §5.1 model.
 func (t TaskSpec) Spuri() heug.SpuriTask {
 	return heug.SpuriTask{
 		Name:         t.Name,
@@ -152,6 +303,49 @@ func (t TaskSpec) Spuri() heug.SpuriTask {
 	}
 }
 
+// law returns the HEUG arrival law of the task spec.
+func (t TaskSpec) law() heug.Arrival {
+	if t.Law == "periodic" {
+		return heug.PeriodicEvery(msd(t.PeriodMs))
+	}
+	return heug.SporadicEvery(msd(t.PeriodMs))
+}
+
+// stageNode resolves the node of one stage under the placement map.
+func (s Spec) stageNode(task TaskSpec, stage StageSpec) int {
+	if n, ok := s.Placement[task.Name+"/"+stage.Name]; ok {
+		return n
+	}
+	if n, ok := s.Placement[task.Name]; ok {
+		return n
+	}
+	return stage.Node
+}
+
+// heugTask builds the HEUG task for one spec entry, applying placement.
+func (s Spec) heugTask(t TaskSpec) (*heug.Task, error) {
+	if len(t.Stages) == 0 {
+		st := t.Spuri()
+		if n, ok := s.Placement[t.Name]; ok {
+			st.Node = n
+		}
+		task, err := st.ToHEUG()
+		if err != nil {
+			return nil, err
+		}
+		task.Arrival = t.law()
+		return task, nil
+	}
+	b := heug.NewTask(t.Name, t.law()).WithDeadline(msd(t.DeadlineMs))
+	for _, stage := range t.Stages {
+		b = b.Code(stage.Name, heug.CodeEU{Node: s.stageNode(t, stage), WCET: us(stage.WCETUs)})
+	}
+	for i := 1; i < len(t.Stages); i++ {
+		b = b.Precede(t.Stages[i-1].Name, t.Stages[i].Name)
+	}
+	return b.Build()
+}
+
 // CostBook resolves the scenario's cost book.
 func (s Spec) CostBook() dispatcher.CostBook {
 	if s.Costs == "zero" {
@@ -160,72 +354,107 @@ func (s Spec) CostBook() dispatcher.CostBook {
 	return dispatcher.DefaultCostBook()
 }
 
-// AnalysisTasks converts the scenario to the feasibility model.
+// AnalysisTasks converts the scenario to the feasibility model. Staged
+// tasks contribute their summed WCET, EU count and same-node edges.
 func (s Spec) AnalysisTasks() []feasibility.Task {
 	out := make([]feasibility.Task, len(s.Tasks))
 	for i, t := range s.Tasks {
-		out[i] = feasibility.FromSpuri(t.Spuri())
+		if len(t.Stages) == 0 {
+			out[i] = feasibility.FromSpuri(t.Spuri())
+			continue
+		}
+		var c vtime.Duration
+		edges := 0
+		for j, stage := range t.Stages {
+			c += us(stage.WCETUs)
+			if j > 0 && s.stageNode(t, stage) == s.stageNode(t, t.Stages[j-1]) {
+				edges++
+			}
+		}
+		out[i] = feasibility.Task{
+			Name:       t.Name,
+			C:          c,
+			D:          msd(t.DeadlineMs),
+			T:          msd(t.PeriodMs),
+			NumEU:      len(t.Stages),
+			LocalEdges: edges,
+		}
 	}
 	return out
 }
 
-// Build assembles a runnable system from the scenario and returns it
-// with the list of task names to drive.
-func (s Spec) Build() (*core.System, error) {
-	sys := core.NewSystem(core.Config{Nodes: s.Nodes, Seed: s.Seed, Costs: s.CostBook()})
-	var policy dispatcher.ResourcePolicy
-	switch s.Policy {
-	case "SRP":
-		policy = sched.NewSRP()
-	case "PCP":
-		policy = sched.NewPCP()
-	case "", "none":
-		policy = nil
-	default:
-		return nil, fmt.Errorf("scenario: unknown policy %q", s.Policy)
-	}
-	var pol dispatcher.Scheduler
+// buildScheduler resolves the scheduling policy name.
+func (s Spec) buildScheduler(c *cluster.Cluster) (dispatcher.Scheduler, error) {
 	switch s.Scheduler {
 	case "EDF":
-		pol = sched.NewEDF(20 * vtime.Microsecond)
+		return sched.NewEDF(20 * vtime.Microsecond), nil
 	case "RM":
-		pol = sched.NewRM()
+		return sched.NewRM(), nil
 	case "DM":
-		pol = sched.NewDM()
+		return sched.NewDM(), nil
 	case "Spring":
-		pol = sched.NewSpring(15*vtime.Microsecond, 100*vtime.Microsecond, sys.Engine().Now)
+		return sched.NewSpring(15*vtime.Microsecond, 100*vtime.Microsecond, c.Now), nil
 	case "best-effort":
-		pol = sched.NewBestEffort(0)
+		return sched.NewBestEffort(0), nil
 	default:
 		return nil, fmt.Errorf("scenario: unknown scheduler %q", s.Scheduler)
 	}
-	app := sys.NewApp(s.Name, pol, policy)
+}
+
+// buildPolicy resolves the resource protocol name.
+func (s Spec) buildPolicy() (dispatcher.ResourcePolicy, error) {
+	switch s.Policy {
+	case "SRP":
+		return sched.NewSRP(), nil
+	case "PCP":
+		return sched.NewPCP(), nil
+	case "", "none":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown policy %q", s.Policy)
+	}
+}
+
+// Build assembles a runnable cluster from the scenario: platform,
+// topology, application, task placement, activation sources and fault
+// schedules. Run it with c.Run(spec.Horizon()).
+func (s Spec) Build() (*cluster.Cluster, error) {
+	c := cluster.New(cluster.Config{Seed: s.Seed, Costs: s.CostBook()})
+	c.AddNodes(s.Nodes)
+	for _, l := range s.Links {
+		c.Connect(l.A, l.B, us(l.DMinUs), us(l.DMaxUs))
+	}
+	policy, err := s.buildPolicy()
+	if err != nil {
+		return nil, err
+	}
+	pol, err := s.buildScheduler(c)
+	if err != nil {
+		return nil, err
+	}
+	app := c.NewApp(s.Name, pol, policy)
 	for _, ts := range s.Tasks {
-		st := ts.Spuri()
-		task, err := st.ToHEUG()
+		task, err := s.heugTask(ts)
 		if err != nil {
 			return nil, err
 		}
-		if ts.Law == "periodic" {
-			task.Arrival = heug.PeriodicEvery(msd(ts.PeriodMs))
-		}
-		if err := app.AddTask(task); err != nil {
+		if err := app.Spawn(task); err != nil {
 			return nil, err
 		}
 	}
-	app.Seal()
-	for _, ts := range s.Tasks {
-		var err error
-		if ts.Law == "periodic" {
-			err = sys.StartPeriodic(ts.Name)
-		} else {
-			err = sys.StartSporadicWorstCase(ts.Name)
-		}
-		if err != nil {
-			return nil, err
+	for _, f := range s.Faults {
+		switch f.Kind {
+		case "drop-every":
+			c.DropEvery(f.K, f.Port)
+		case "drop-from":
+			c.DropFrom([]int{f.Node}, f.Port)
+		case "random":
+			c.DropRandom(f.DropProb, f.DelayProb, us(f.MaxExtraUs))
+		case "crash":
+			c.Crash(f.Node, vtime.Time(msd(f.AtMs)), vtime.Time(msd(f.RecoverMs)))
 		}
 	}
-	return sys, nil
+	return c, nil
 }
 
 // Horizon returns the simulation horizon.

@@ -1,8 +1,10 @@
 package scenario
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"hades/internal/feasibility"
@@ -164,5 +166,166 @@ func TestAllSchedulersBuild(t *testing.T) {
 		if rep.Stats.Activations == 0 {
 			t.Fatalf("%s: nothing ran", schedName)
 		}
+	}
+}
+
+// TestDistributedRoundTrip: a scenario using every new distributed
+// field — nodes, explicit links, staged tasks, placement, faults —
+// survives a JSON round trip and runs end-to-end through the cluster,
+// with the injected omission visible in the result.
+func TestDistributedRoundTrip(t *testing.T) {
+	orig := Spec{
+		Name: "rt", Nodes: 3, Seed: 5, Costs: "default",
+		Scheduler: "EDF", Policy: "none", HorizonMs: 300,
+		Links: []LinkSpec{
+			{A: 0, B: 1, DMinUs: 100, DMaxUs: 200},
+			{A: 1, B: 2, DMinUs: 150, DMaxUs: 350},
+		},
+		Faults: []FaultSpec{
+			{Kind: "drop-every", K: 10, Port: "heug.prec"},
+			{Kind: "crash", Node: 2, AtMs: 200, RecoverMs: 250},
+		},
+		Placement: map[string]int{"pipe/sink": 2},
+		Tasks: []TaskSpec{
+			{Name: "pipe", Law: "periodic", DeadlineMs: 15, PeriodMs: 20,
+				Stages: []StageSpec{
+					{Name: "src", Node: 0, WCETUs: 300},
+					{Name: "mid", Node: 1, WCETUs: 500},
+					{Name: "sink", Node: 1, WCETUs: 200}, // placed on 2 via Placement
+				}},
+		},
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rt.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, orig) {
+		t.Fatalf("round trip changed the spec:\n got %+v\nwant %+v", spec, orig)
+	}
+	clu, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Placement moved the sink stage to node 2: 1-2 must carry traffic.
+	if _, ok := clu.Network().DelayBound(1, 2); !ok {
+		t.Fatal("declared link 1-2 missing")
+	}
+	if _, ok := clu.Network().DelayBound(0, 2); ok {
+		t.Fatal("undeclared link 0-2 present")
+	}
+	res := clu.Run(spec.Horizon())
+	if res.Stats.Completions == 0 {
+		t.Fatal("distributed scenario produced nothing")
+	}
+	if res.Net.Delivered == 0 {
+		t.Fatal("no remote traffic despite cross-node stages")
+	}
+	if res.Net.Dropped == 0 {
+		t.Fatal("injected omission fault dropped nothing")
+	}
+}
+
+// TestDistributedBuiltinDetectsOmission: the catalogue's distributed
+// scenario runs end-to-end and the dispatcher detects the injected
+// omission failures.
+func TestDistributedBuiltinDetectsOmission(t *testing.T) {
+	spec, err := Builtin("distributed-pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clu, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := clu.Run(spec.Horizon())
+	if res.Net.Dropped == 0 {
+		t.Fatal("no omission injected")
+	}
+	if res.Stats.NetworkOmissions == 0 {
+		t.Fatal("dispatcher did not detect the omission")
+	}
+	if res.Stats.Completions == 0 {
+		t.Fatal("pipeline never completed")
+	}
+}
+
+// TestDistributedValidation: the new fields are validated.
+func TestDistributedValidation(t *testing.T) {
+	base := func() Spec {
+		return Spec{Name: "v", Nodes: 2, Tasks: []TaskSpec{
+			{Name: "t", DeadlineMs: 10, PeriodMs: 10,
+				Stages: []StageSpec{{Name: "s", Node: 0, WCETUs: 100}}},
+		}}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"stage on unknown node", func(s *Spec) { s.Tasks[0].Stages[0].Node = 9 }},
+		{"stage without wcet", func(s *Spec) { s.Tasks[0].Stages[0].WCETUs = 0 }},
+		{"unnamed stage", func(s *Spec) { s.Tasks[0].Stages[0].Name = "" }},
+		{"stages mixed with spuri fields", func(s *Spec) { s.Tasks[0].CBeforeUs = 100 }},
+		{"self link", func(s *Spec) { s.Links = []LinkSpec{{A: 1, B: 1, DMaxUs: 10}} }},
+		{"link to unknown node", func(s *Spec) { s.Links = []LinkSpec{{A: 0, B: 5, DMaxUs: 10}} }},
+		{"inverted delay bounds", func(s *Spec) { s.Links = []LinkSpec{{A: 0, B: 1, DMinUs: 50, DMaxUs: 10}} }},
+		{"unknown fault kind", func(s *Spec) { s.Faults = []FaultSpec{{Kind: "meteor"}} }},
+		{"placement on unknown node", func(s *Spec) { s.Placement = map[string]int{"t": 7} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mutate(&s)
+			if _, err := s.withDefaults(); err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+		})
+	}
+	// The unmutated base must be fine.
+	if _, err := base().withDefaults(); err != nil {
+		t.Fatalf("valid base rejected: %v", err)
+	}
+}
+
+// TestFaultValidationRejectsSilentNoOps: fault specs that would
+// previously panic at Build time or silently never inject are caught
+// at validation.
+func TestFaultValidationRejectsSilentNoOps(t *testing.T) {
+	twoNode := func(faults ...FaultSpec) Spec {
+		return Spec{Name: "f", Nodes: 2, Faults: faults, Tasks: []TaskSpec{
+			{Name: "t", DeadlineMs: 10, PeriodMs: 10, CBeforeUs: 100},
+		}}
+	}
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"faults without a network", Spec{Name: "f", Nodes: 1,
+			Faults: []FaultSpec{{Kind: "crash", Node: 0, AtMs: 10}},
+			Tasks:  []TaskSpec{{Name: "t", DeadlineMs: 10, PeriodMs: 10, CBeforeUs: 100}}}},
+		{"drop-every without k", twoNode(FaultSpec{Kind: "drop-every"})},
+		{"crash on unknown node", twoNode(FaultSpec{Kind: "crash", Node: 5, AtMs: 10})},
+		{"drop-from on unknown node", twoNode(FaultSpec{Kind: "drop-from", Node: -1})},
+		{"random with bad probabilities", twoNode(FaultSpec{Kind: "random", DropProb: 0.8, DelayProb: 0.8})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.spec.withDefaults(); err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+		})
+	}
+	// Placement naming no task or stage is rejected too.
+	s := twoNode()
+	s.Placement = map[string]int{"typo": 1}
+	if _, err := s.withDefaults(); err == nil {
+		t.Fatal("placement on unknown task accepted")
 	}
 }
