@@ -19,6 +19,7 @@ import (
 	"hades/internal/fault"
 	"hades/internal/feasibility"
 	"hades/internal/heug"
+	"hades/internal/membership"
 	"hades/internal/monitor"
 	"hades/internal/netsim"
 	"hades/internal/rbcast"
@@ -273,21 +274,18 @@ func BenchmarkReplicationFailover(b *testing.B) {
 		}
 		net := netsim.New(eng, netsim.Config{WAtm: 5 * us, WProto: 5 * us, PrioNet: simkern.PrioMax - 2})
 		net.ConnectAll(nodes, 50*us, 150*us)
-		var groups []*replication.Group
-		det := fault.NewDetector(eng, net, fault.DefaultDetectorConfig(nodes[:3]), func(s fault.Suspicion) {
-			for _, g := range groups {
-				g.HandleSuspicion(s)
-			}
-		})
-		det.Start()
-		g, err := replication.NewGroup(eng, net, det, replication.Config{
+		mem, err := membership.New(eng, net, membership.Config{Name: "g", Nodes: nodes[:3]})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := replication.NewGroup(eng, net, mem, replication.Config{
 			Name: "g", Replicas: nodes[:3], Style: replication.Passive,
 			WExec: 100 * us, CheckpointEvery: 5, StorageLatency: 20 * us,
 		}, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
-		groups = append(groups, g)
+		mem.Start()
 		fault.CrashAt(eng, net, 0, vtime.Time(13*ms+300*us), 0)
 		for k := 0; k < 30; k++ {
 			cmd := int64(k + 1)

@@ -29,6 +29,7 @@ func main() {
 		file     = flag.String("scenario", "", "scenario JSON file")
 		trace    = flag.Bool("trace", false, "print the full event trace")
 		gantt    = flag.Bool("gantt", false, "print a per-node CPU occupancy chart")
+		views    = flag.Bool("views", false, "print per-node membership view histories")
 		listThem = flag.Bool("builtins", false, "list built-in scenarios and exit")
 	)
 	flag.Parse()
@@ -67,6 +68,25 @@ func main() {
 		fmt.Printf("violations (%d):\n", len(rep.Violations))
 		for _, v := range rep.Violations {
 			fmt.Println(" ", v)
+		}
+	}
+	if *views {
+		for _, g := range clu.Groups() {
+			mem := g.Membership()
+			fmt.Printf("--- group %s (view-change bound %s) ---\n", mem.Name(), mem.Bound())
+			for _, node := range mem.Nodes() {
+				fmt.Printf("  n%d:", node)
+				for _, v := range mem.History(node) {
+					fmt.Printf(" %s", v)
+				}
+				fmt.Println()
+			}
+			for _, in := range mem.Installs {
+				if in.View.ID == 1 {
+					continue
+				}
+				fmt.Printf("  install n%d %s at %s (%s, lat %s)\n", in.Node, in.View, in.At, in.Reason, in.Latency)
+			}
 		}
 	}
 	if *gantt {

@@ -12,12 +12,13 @@
 // The pipeline crosses the (simulated ATM) network twice — both remote
 // precedence constraints go through the NetMsg path with omission
 // monitoring — while the flight-computer state is checkpointed by a
-// passive replica group, a heartbeat detector watches all three nodes,
-// and clock synchronisation keeps the logical clocks aligned. Fault
+// passive replica group over a view-synchronous membership group, and
+// clock synchronisation keeps the logical clocks aligned. Fault
 // injection crashes the backup's node mid-flight (the pipeline must not
-// care) and drops one pipeline message (the omission monitor must say
-// so). The whole system — nodes, links, apps, services, faults — is
-// described through the cluster runtime layer.
+// care; membership removes it and re-admits it with a state transfer on
+// recovery) and drops one pipeline message (the omission monitor must
+// say so). The whole system — nodes, links, apps, services, faults —
+// is described through the cluster runtime layer.
 //
 //	go run ./examples/avionics
 package main
@@ -28,7 +29,6 @@ import (
 	"hades/internal/clocksync"
 	"hades/internal/cluster"
 	"hades/internal/dispatcher"
-	"hades/internal/fault"
 	"hades/internal/heug"
 	"hades/internal/replication"
 	"hades/internal/sched"
@@ -85,18 +85,14 @@ func main() {
 	app.MustSpawn(pipeline)
 	app.MustSpawn(telemetry)
 
-	// Services: heartbeat detection, passive replication of the
-	// flight-state service, clock synchronisation (n=4 tolerates one
-	// Byzantine clock).
+	// Services: a view-synchronous membership group over all four
+	// nodes (heartbeat detection, agreed view changes, rejoin with
+	// state transfer), passive replication of the flight-state service
+	// driven by the installed views, and clock synchronisation (n=4
+	// tolerates one Byzantine clock).
 	eng, net := c.Engine(), c.Network()
-	var groups []*replication.Group
-	det := fault.NewDetector(eng, net, fault.DefaultDetectorConfig([]int{0, 1, 2, 3}), func(s fault.Suspicion) {
-		for _, g := range groups {
-			g.HandleSuspicion(s)
-		}
-	})
-	det.Start()
-	group, err := replication.NewGroup(eng, net, det, replication.Config{
+	grp := c.Group("avionics", 0, 1, 2, 3)
+	group := grp.Replicate(replication.Config{
 		Name:            "flight-state",
 		Replicas:        []int{1, 3}, // flight computer + maintenance node
 		Style:           replication.Passive,
@@ -104,8 +100,6 @@ func main() {
 		CheckpointEvery: 10,
 		StorageLatency:  30 * us,
 	}, nil)
-	must(err)
-	groups = append(groups, group)
 
 	cs, err := clocksync.New(eng, net, clocksync.DefaultConfig([]int{0, 1, 2, 3}, 1))
 	must(err)
@@ -129,8 +123,10 @@ func main() {
 	fmt.Print(result)
 	fmt.Printf("network omissions detected by the dispatcher: %d\n", result.Stats.NetworkOmissions)
 	fmt.Printf("clock sync rounds: %d, precision: %s (bound %s)\n", cs.Rounds(), cs.Precision(), cs.Bound())
-	fmt.Printf("detector suspicions: %d (maintenance node crash)\n", len(det.Suspicions))
-	fmt.Printf("replica failovers: %d, checkpoints visible in log: yes\n", len(group.Failovers))
+	mem := grp.Membership()
+	fmt.Printf("detector suspicions: %d, agreed views: %v (maintenance node crash + rejoin)\n",
+		len(mem.Detector().Suspicions), mem.AgreedViews())
+	fmt.Printf("replica failovers: %d, state transfers on rejoin: %d\n", len(group.Failovers), len(mem.Transfers))
 	misses := 0
 	if tr, ok := result.Task("fbw"); ok {
 		misses = tr.Misses

@@ -27,8 +27,10 @@ import (
 	"hades/internal/eventq"
 	"hades/internal/fault"
 	"hades/internal/heug"
+	"hades/internal/membership"
 	"hades/internal/monitor"
 	"hades/internal/netsim"
+	"hades/internal/replication"
 	"hades/internal/simkern"
 	"hades/internal/vtime"
 )
@@ -96,6 +98,7 @@ type Cluster struct {
 
 	hooks   fault.Hooks
 	spawns  []spawned
+	groups  []*Group
 	started map[string]bool
 	built   bool
 }
@@ -405,6 +408,62 @@ func (c *Cluster) ActivateOnCond(cond, task string) {
 	c.disp.WatchCond(cond, func() { _, _ = c.disp.Activate(task) })
 }
 
+// Group is a managed view-synchronous membership group on the
+// cluster, optionally carrying replica groups. Created with
+// Cluster.Group; its services are started by Run.
+type Group struct {
+	c   *Cluster
+	svc *membership.Service
+	rep []*replication.Group
+}
+
+// Group declares a view-synchronous membership group over the given
+// nodes: a heartbeat detector, agreed view changes (consensus +
+// time-bounded broadcast) and the rejoin/state-transfer protocol, all
+// started by Run. It finalizes the platform and needs a network.
+func (c *Cluster) Group(name string, nodes ...int) *Group {
+	c.build()
+	if c.net == nil {
+		panic("cluster: Group needs a network (declare links or multiple nodes)")
+	}
+	svc, err := membership.New(c.eng, c.net, membership.Config{Name: name, Nodes: nodes})
+	if err != nil {
+		panic(err)
+	}
+	g := &Group{c: c, svc: svc}
+	c.groups = append(c.groups, g)
+	return g
+}
+
+// Membership returns the group's membership service (view history,
+// bounds, detector access).
+func (g *Group) Membership() *membership.Service { return g.svc }
+
+// Replicas returns the replica groups attached with Replicate.
+func (g *Group) Replicas() []*replication.Group { return g.rep }
+
+// Groups returns the cluster's membership groups, in creation order.
+func (c *Cluster) Groups() []*Group { return c.groups }
+
+// Replicate attaches a replica group whose failover is driven by this
+// group's installed views. Zero-value cfg fields default: Name to the
+// group name, Replicas to the full member set. The returned group is
+// ready: submit requests with Submit.
+func (g *Group) Replicate(cfg replication.Config, onReply func(reqID uint64, result int64, unanimous bool)) *replication.Group {
+	if cfg.Name == "" {
+		cfg.Name = g.svc.Name()
+	}
+	if len(cfg.Replicas) == 0 {
+		cfg.Replicas = g.svc.Nodes()
+	}
+	r, err := replication.NewGroup(g.c.eng, g.c.net, g.svc, cfg, onReply)
+	if err != nil {
+		panic(err)
+	}
+	g.rep = append(g.rep, r)
+	return r
+}
+
 // Crash schedules a crash of node at instant t; if recoverAt is
 // non-zero the node comes back then. Crashed nodes neither send nor
 // receive.
@@ -463,6 +522,9 @@ func (c *Cluster) Run(d vtime.Duration) Result {
 	c.build()
 	for _, a := range c.apps {
 		a.Seal()
+	}
+	for _, g := range c.groups {
+		g.svc.Start() // idempotent across repeated Runs
 	}
 	for _, s := range c.spawns {
 		var err error

@@ -168,6 +168,39 @@ func TestOmissionInjection(t *testing.T) {
 	}
 }
 
+// TestGroupLifecycleViaCluster: the cluster Group API runs the whole
+// membership cycle — crash, agreed removal view, recovery, rejoin —
+// and surfaces it in the Result, deterministically across runs.
+func TestGroupLifecycleViaCluster(t *testing.T) {
+	run := func() (cluster.Result, string) {
+		c := cluster.New(cluster.Config{Seed: 5})
+		c.AddNodes(3)
+		c.ConnectAll(100*us, 300*us)
+		g := c.Group("trio", 0, 1, 2)
+		c.Crash(2, vtime.Time(40*ms), vtime.Time(150*ms))
+		res := c.Run(300 * ms)
+		hist := ""
+		for _, in := range g.Membership().Installs {
+			hist += in.View.String() + "@" + in.At.String() + ";"
+		}
+		return res, hist
+	}
+	res, hist1 := run()
+	gr, ok := res.Group("trio")
+	if !ok {
+		t.Fatal("group missing from Result")
+	}
+	if len(gr.Views) != 3 {
+		t.Fatalf("agreed views %v, want removal + rejoin", gr.Views)
+	}
+	if gr.MaxViewLatency == 0 || gr.MaxViewLatency > gr.Bound {
+		t.Fatalf("view latency %s outside (0, bound %s]", gr.MaxViewLatency, gr.Bound)
+	}
+	if _, hist2 := run(); hist1 != hist2 {
+		t.Fatalf("same seed, different view installs:\n%s\n%s", hist1, hist2)
+	}
+}
+
 // TestExplicitTopology: nodes connected only in a line; the delay
 // bounds are per-link, and unconnected pairs have no link.
 func TestExplicitTopology(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hades/internal/dispatcher"
+	"hades/internal/membership"
 	"hades/internal/monitor"
 	"hades/internal/netsim"
 	"hades/internal/vtime"
@@ -11,13 +12,38 @@ import (
 
 // Result is the structured outcome of a run: dispatcher-level counters
 // (activations, completions, misses, admission rejections), per-task
-// response-time statistics, network counters and recorded violations.
+// response-time statistics, network counters, membership group view
+// histories and recorded violations.
 type Result struct {
 	Until      vtime.Time
 	Stats      dispatcher.Stats
 	Tasks      []TaskResult
 	Net        netsim.Stats // zero when the cluster has no network
+	Groups     []GroupResult
 	Violations []monitor.Event
+}
+
+// GroupResult is one membership group's runtime record: the agreed
+// view history, view-change latency statistics (each install is also
+// recorded in the monitor log as a ViewInstall event) and the attached
+// replica groups' failover counters.
+type GroupResult struct {
+	Name string
+	// Views is the agreed, totally ordered view sequence.
+	Views []membership.View
+	// Installs counts per-node view installations; Joins counts
+	// completed state transfers.
+	Installs int
+	Joins    int
+	// AvgViewLatency and MaxViewLatency aggregate the
+	// suspicion-to-install latencies of non-initial installs; Bound is
+	// the service's provable per-change bound.
+	AvgViewLatency vtime.Duration
+	MaxViewLatency vtime.Duration
+	Bound          vtime.Duration
+	// Failovers and LostWork aggregate the attached replica groups.
+	Failovers int
+	LostWork  int64
 }
 
 // TaskResult is one task's runtime statistics.
@@ -51,7 +77,42 @@ func (c *Cluster) ResultNow() Result {
 			})
 		}
 	}
+	for _, g := range c.groups {
+		r.Groups = append(r.Groups, g.result())
+	}
 	return r
+}
+
+// result snapshots one group's membership and replication counters.
+func (g *Group) result() GroupResult {
+	svc := g.svc
+	gr := GroupResult{
+		Name:  svc.Name(),
+		Views: svc.AgreedViews(),
+		Joins: len(svc.Transfers),
+		Bound: svc.Bound(),
+	}
+	var sum vtime.Duration
+	measured := 0
+	for _, in := range svc.Installs {
+		gr.Installs++
+		if in.View.ID == 1 {
+			continue // initial view: no change latency
+		}
+		measured++
+		sum += in.Latency
+		if in.Latency > gr.MaxViewLatency {
+			gr.MaxViewLatency = in.Latency
+		}
+	}
+	if measured > 0 {
+		gr.AvgViewLatency = sum / vtime.Duration(measured)
+	}
+	for _, rep := range g.rep {
+		gr.Failovers += len(rep.Failovers)
+		gr.LostWork += rep.LostWork
+	}
+	return gr
 }
 
 // Task returns the named task's statistics.
@@ -62,6 +123,16 @@ func (r Result) Task(name string) (TaskResult, bool) {
 		}
 	}
 	return TaskResult{}, false
+}
+
+// Group returns the named membership group's record.
+func (r Result) Group(name string) (GroupResult, bool) {
+	for _, g := range r.Groups {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return GroupResult{}, false
 }
 
 // String renders the result as a compact table.
@@ -76,6 +147,18 @@ func (r Result) String() string {
 	for _, t := range r.Tasks {
 		out += fmt.Sprintf("  %-16s act=%-5d done=%-5d miss=%-4d avg=%-12s max=%s\n",
 			t.Name, t.Activations, t.Completions, t.Misses, t.AvgResponse, t.MaxResponse)
+	}
+	for _, g := range r.Groups {
+		views := ""
+		for i, v := range g.Views {
+			if i > 0 {
+				views += " → "
+			}
+			views += v.String()
+		}
+		out += fmt.Sprintf("  group %-10s %s\n", g.Name, views)
+		out += fmt.Sprintf("    changes=%d joins=%d installs=%d avgLat=%s maxLat=%s (bound %s) failovers=%d lost=%d\n",
+			len(g.Views)-1, g.Joins, g.Installs, g.AvgViewLatency, g.MaxViewLatency, g.Bound, g.Failovers, g.LostWork)
 	}
 	return out
 }

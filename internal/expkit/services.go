@@ -9,6 +9,7 @@ import (
 	"hades/internal/dispatcher"
 	"hades/internal/eventq"
 	"hades/internal/fault"
+	"hades/internal/membership"
 	"hades/internal/netsim"
 	"hades/internal/rbcast"
 	"hades/internal/replication"
@@ -143,15 +144,12 @@ func runX5(opts Options) Table {
 	}
 	for _, style := range []replication.Style{replication.Passive, replication.SemiActive, replication.Active} {
 		eng, net, nodes := serviceRig(4, opts.Seed)
-		var groups []*replication.Group
-		det := fault.NewDetector(eng, net, fault.DefaultDetectorConfig(nodes[:3]), func(s fault.Suspicion) {
-			for _, g := range groups {
-				g.HandleSuspicion(s)
-			}
-		})
-		det.Start()
+		mem, err := membership.New(eng, net, membership.Config{Name: "x5", Nodes: nodes[:3]})
+		if err != nil {
+			panic(err)
+		}
 		var replies int
-		g, err := replication.NewGroup(eng, net, det, replication.Config{
+		g, err := replication.NewGroup(eng, net, mem, replication.Config{
 			Name:            "svc",
 			Replicas:        nodes[:3],
 			Style:           style,
@@ -162,7 +160,7 @@ func runX5(opts Options) Table {
 		if err != nil {
 			panic(err)
 		}
-		groups = append(groups, g)
+		mem.Start()
 
 		// Crash mid-checkpoint-interval so passive replication shows
 		// its characteristic lost work (checkpoints land every 5

@@ -22,6 +22,12 @@ type DetectorConfig struct {
 	Margin vtime.Duration
 	// WProc is the CPU cost of handling one heartbeat.
 	WProc vtime.Duration
+	// Port scopes the heartbeat traffic. Detectors coexisting on the
+	// same nodes (e.g. one per membership group) need distinct ports —
+	// netsim binds one handler per (node, port), so a shared port
+	// would let the last detector steal the others' heartbeats. Empty
+	// selects the default "fault.heartbeat".
+	Port string
 }
 
 // DefaultDetectorConfig returns a detector with a 10 ms heartbeat.
@@ -42,6 +48,14 @@ type Suspicion struct {
 	SinceLast vtime.Duration
 }
 
+// Rehabilitation is one un-suspicion record: the observer saw a
+// heartbeat from (or a recovery of) a previously suspected peer.
+type Rehabilitation struct {
+	Observer int
+	Peer     int
+	At       vtime.Time
+}
+
 // Detector is the heartbeat-based fault detection service of §2.2.1.
 type Detector struct {
 	eng *simkern.Engine
@@ -51,12 +65,23 @@ type Detector struct {
 	lastBeat  map[int]map[int]vtime.Time // observer → peer → last heartbeat
 	suspected map[int]map[int]bool
 	onSuspect func(Suspicion)
+	onRehab   func(observer, peer int)
 
 	// Suspicions records every detection for the harness.
 	Suspicions []Suspicion
+	// Rehabilitations records every un-suspicion for the harness.
+	Rehabilitations []Rehabilitation
 }
 
-const beatPort = "fault.heartbeat"
+const defaultBeatPort = "fault.heartbeat"
+
+// beatPort returns the detector's heartbeat port.
+func (d *Detector) beatPort() string {
+	if d.cfg.Port != "" {
+		return d.cfg.Port
+	}
+	return defaultBeatPort
+}
 
 // NewDetector creates (but does not start) a detector. onSuspect, if
 // non-nil, fires at each new suspicion.
@@ -75,9 +100,36 @@ func NewDetector(eng *simkern.Engine, net *netsim.Network, cfg DetectorConfig, o
 	}
 	for _, n := range cfg.Nodes {
 		node := n
-		net.Bind(node, beatPort, func(m *netsim.Message) { d.receive(node, m) })
+		net.Bind(node, d.beatPort(), func(m *netsim.Message) { d.receive(node, m) })
 	}
+	// A recovering observer's heartbeat bookkeeping is stale (it
+	// stopped hearing peers when it crashed): without a reset it would
+	// mass-suspect every live peer at its first check tick. Recovery
+	// therefore restarts the observer's grace window and rehabilitates
+	// any suspicions it held from before the crash.
+	net.OnDownChange(func(node int, down bool) {
+		if down || d.lastBeat[node] == nil {
+			return
+		}
+		d.observerRecovered(node)
+	})
 	return d
+}
+
+// observerRecovered resets a recovered observer: fresh heartbeat
+// deadlines for every peer and deterministic rehabilitation of the
+// suspicions it held when it crashed.
+func (d *Detector) observerRecovered(node int) {
+	now := d.eng.Now()
+	for _, p := range d.cfg.Nodes {
+		if p == node {
+			continue
+		}
+		d.lastBeat[node][p] = now
+		if d.suspected[node][p] {
+			d.rehabilitate(node, p)
+		}
+	}
 }
 
 // Timeout returns the suspicion timeout an observer applies to a peer.
@@ -115,7 +167,7 @@ func (d *Detector) beatAndCheck() {
 			if dst == src {
 				continue
 			}
-			if _, err := d.net.Send(src, dst, beatPort, src, 8); err != nil {
+			if _, err := d.net.Send(src, dst, d.beatPort(), src, 8); err != nil {
 				continue
 			}
 		}
@@ -162,10 +214,26 @@ func (d *Detector) receive(node int, m *netsim.Message) {
 	}
 	d.lastBeat[node][peer] = d.eng.Now()
 	if d.suspected[node][peer] {
-		// Peer recovered: rehabilitate.
-		d.suspected[node][peer] = false
+		d.rehabilitate(node, peer)
 	}
 }
+
+// rehabilitate clears a suspicion, records it, and notifies the
+// OnRehabilitate callback (membership uses it as the rejoin trigger).
+func (d *Detector) rehabilitate(obs, peer int) {
+	d.suspected[obs][peer] = false
+	r := Rehabilitation{Observer: obs, Peer: peer, At: d.eng.Now()}
+	d.Rehabilitations = append(d.Rehabilitations, r)
+	if log := d.eng.Log(); log != nil {
+		log.Recordf(r.At, monitor.KindRehabilitation, obs, fmt.Sprintf("n%d", peer), "")
+	}
+	if d.onRehab != nil {
+		d.onRehab(obs, peer)
+	}
+}
+
+// OnRehabilitate installs the callback fired at each rehabilitation.
+func (d *Detector) OnRehabilitate(fn func(observer, peer int)) { d.onRehab = fn }
 
 // Suspected reports whether observer currently suspects peer.
 func (d *Detector) Suspected(observer, peer int) bool { return d.suspected[observer][peer] }

@@ -140,6 +140,87 @@ func TestDetectorRehabilitation(t *testing.T) {
 	}
 }
 
+// TestRecoveredPeerUnsuspectedByAllObservers is the rehabilitation
+// regression test: after a crash long enough for every observer to
+// suspect the peer, recovery must rehabilitate it at *every* observer,
+// and each rehabilitation must be recorded.
+func TestRecoveredPeerUnsuspectedByAllObservers(t *testing.T) {
+	eng, net, nodes := rig(t, 4)
+	det := NewDetector(eng, net, DefaultDetectorConfig(nodes), nil)
+	det.Start()
+	CrashAt(eng, net, 3, vtime.Time(30*ms), vtime.Time(120*ms))
+	eng.Run(vtime.Time(100 * ms))
+	for _, obs := range []int{0, 1, 2} {
+		if !det.Suspected(obs, 3) {
+			t.Fatalf("observer %d did not suspect the crashed node", obs)
+		}
+	}
+	eng.Run(vtime.Time(300 * ms))
+	rehabbed := map[int]bool{}
+	for _, r := range det.Rehabilitations {
+		if r.Peer == 3 {
+			rehabbed[r.Observer] = true
+		}
+	}
+	for _, obs := range []int{0, 1, 2} {
+		if det.Suspected(obs, 3) {
+			t.Fatalf("observer %d still suspects the recovered node", obs)
+		}
+		if !rehabbed[obs] {
+			t.Fatalf("observer %d recorded no rehabilitation of node 3 (have %+v)", obs, det.Rehabilitations)
+		}
+	}
+}
+
+// TestRecoveredObserverDoesNotMassSuspect: an observer that crashes
+// and recovers has stale heartbeat bookkeeping for every peer; without
+// the recovery reset it would falsely suspect every live node at its
+// first check tick.
+func TestRecoveredObserverDoesNotMassSuspect(t *testing.T) {
+	eng, net, nodes := rig(t, 4)
+	det := NewDetector(eng, net, DefaultDetectorConfig(nodes), nil)
+	det.Start()
+	CrashAt(eng, net, 0, vtime.Time(30*ms), vtime.Time(130*ms))
+	eng.Run(vtime.Time(200 * ms))
+	if got := det.SuspectsOf(0); len(got) != 0 {
+		t.Fatalf("recovered observer falsely suspects %v", got)
+	}
+	for _, s := range det.Suspicions {
+		if s.Observer == 0 {
+			t.Fatalf("false suspicion by the recovered observer: %+v", s)
+		}
+	}
+}
+
+// TestRecoveredObserverRehabilitatesOldSuspicions: suspicions an
+// observer held when it crashed are rehabilitated on its recovery (the
+// world may have changed while it was down), not carried over stale.
+func TestRecoveredObserverRehabilitatesOldSuspicions(t *testing.T) {
+	eng, net, nodes := rig(t, 3)
+	det := NewDetector(eng, net, DefaultDetectorConfig(nodes), nil)
+	det.Start()
+	// Node 2 crashes and recovers while observer 0 is itself down.
+	CrashAt(eng, net, 2, vtime.Time(20*ms), vtime.Time(60*ms))
+	CrashAt(eng, net, 0, vtime.Time(50*ms), vtime.Time(150*ms))
+	eng.Run(vtime.Time(45 * ms))
+	if !det.Suspected(0, 2) {
+		t.Fatal("observer 0 never suspected node 2")
+	}
+	eng.Run(vtime.Time(250 * ms))
+	if det.Suspected(0, 2) {
+		t.Fatal("observer 0 still suspects node 2 after both recovered")
+	}
+	var found bool
+	for _, r := range det.Rehabilitations {
+		if r.Observer == 0 && r.Peer == 2 && r.At == vtime.Time(150*ms) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no recovery-time rehabilitation of (0,2): %+v", det.Rehabilitations)
+	}
+}
+
 func TestDetectorCallbackFires(t *testing.T) {
 	eng, net, nodes := rig(t, 2)
 	var fired []Suspicion

@@ -1,0 +1,677 @@
+// Package membership implements a view-synchronous group membership
+// service — the middleware layer §2.2 of the paper presupposes between
+// failure detection and the fault-tolerance services: replication
+// failover is only predictable if every replica agrees on *who is in
+// the group*, not just on its own detector's suspicions.
+//
+// The service turns local heartbeat suspicions into agreed, totally
+// ordered views:
+//
+//   - View / Install reproduce the membership abstraction of §2.2.1:
+//     a view is an agreed member set with a sequence number; installs
+//     are the per-node adoption events.
+//   - Suspicion → view change: a fault.Detector (§2.2.1 failure
+//     detection) suspicion of a member triggers one consensus round
+//     (internal/consensus, the §2.2.1 consensus service) among the
+//     current members; each live member proposes its local estimate of
+//     the membership, encoded as a bitmask, and the agreed decision
+//     defines view v+1.
+//   - Dissemination: the decided view is spread with the time-bounded
+//     reliable broadcast (internal/rbcast, §2.2.1 Rel. Bcast), so all
+//     live members install it at the *same* fixed instant — the
+//     view-synchrony property replication failover relies on.
+//   - Bound() composes the three service bounds into the provable
+//     view-change bound: detector timeout (+ one check period) +
+//     consensus decision bound (f+1)·Rc + broadcast delivery bound
+//     Δ = (f+1)·Rb. Every uncontended install observes a latency at
+//     most Bound() from the crash instant (§2.2's "time-bounded"
+//     contract, so the bound can enter a feasibility test).
+//   - Rejoin: a crashed node that recovers resumes heartbeating; the
+//     detector rehabilitates it at each live observer, which triggers
+//     a join view change. After the join view installs, the service
+//     runs a state transfer from a live donor to the joiner for every
+//     registered state provider (replication registers its replicated
+//     state machine backed by internal/storage stable checkpoints).
+//
+// All decisions are functions of the deterministic engine: identical
+// scenario + seed ⇒ identical view history at every node.
+package membership
+
+import (
+	"fmt"
+	"sort"
+
+	"hades/internal/consensus"
+	"hades/internal/eventq"
+	"hades/internal/fault"
+	"hades/internal/monitor"
+	"hades/internal/netsim"
+	"hades/internal/rbcast"
+	"hades/internal/simkern"
+	"hades/internal/vtime"
+)
+
+// Config parameterises one membership group.
+type Config struct {
+	// Name scopes the group's network ports; distinct groups need
+	// distinct names.
+	Name string
+	// Nodes is the universe of potential members (node ids must be in
+	// [0, 62]: views are encoded as int64 bitmasks for consensus).
+	Nodes []int
+	// F is the number of crash/omission failures tolerated per
+	// agreement round; 0 selects 1.
+	F int
+	// Detector configures the heartbeat detector; a zero Period
+	// selects fault.DefaultDetectorConfig over Nodes.
+	Detector fault.DetectorConfig
+	// ConsensusRound overrides the consensus round length (0 = sized
+	// from the network delay bounds).
+	ConsensusRound vtime.Duration
+	// RbcastRound overrides the broadcast round length (0 = sized from
+	// the network delay bounds).
+	RbcastRound vtime.Duration
+	// WProc is the per-message processing cost charged on members.
+	WProc vtime.Duration
+	// TransferBytes is the on-wire size of one state-transfer snapshot
+	// (informational; 0 selects 64).
+	TransferBytes int
+}
+
+// View is one agreed membership epoch: a totally ordered sequence
+// number and the agreed member set (sorted).
+type View struct {
+	ID      uint64
+	Members []int
+}
+
+// Contains reports whether node is a member of the view.
+func (v View) Contains(node int) bool {
+	for _, m := range v.Members {
+		if m == node {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the view as "v3{0,2,3}".
+func (v View) String() string {
+	s := fmt.Sprintf("v%d{", v.ID)
+	for i, m := range v.Members {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprint(m)
+	}
+	return s + "}"
+}
+
+// Install records one node adopting one view.
+type Install struct {
+	Node int
+	View View
+	At   vtime.Time
+	// TriggeredAt is the suspicion/rehabilitation instant that caused
+	// the change; Latency is At - TriggeredAt (zero for the initial
+	// view).
+	TriggeredAt vtime.Time
+	Latency     vtime.Duration
+	Reason      string
+}
+
+// Transfer records one state-transfer message of the join protocol.
+type Transfer struct {
+	Key      string
+	From, To int
+	At       vtime.Time
+}
+
+// stateHook is one registered application state to carry across joins.
+type stateHook struct {
+	key string
+	// snapshot captures the state to ship to joiner; nil return skips
+	// the transfer (the joiner does not hold this state).
+	snapshot func(donor, joiner int) any
+	restore  func(node int, data any)
+}
+
+// viewMsg is the rbcast payload installing a view.
+type viewMsg struct {
+	ID          uint64
+	Members     []int
+	TriggeredAt vtime.Time
+	Reason      string
+}
+
+// xferMsg carries one state snapshot to a joiner.
+type xferMsg struct {
+	Key    string
+	ViewID uint64
+	Data   any
+}
+
+// Service is a running view-synchronous membership group.
+type Service struct {
+	eng *simkern.Engine
+	net *netsim.Network
+	cfg Config
+	det *fault.Detector
+	rb  *rbcast.Service
+
+	started bool
+	agreed  []View          // the totally ordered agreed view sequence
+	current map[int]View    // per-node installed view
+	history map[int][]View  // per-node install sequence
+	done    map[uint64]bool // agreed-view completion guard
+
+	inProgress    bool
+	pendingRemove map[int]vtime.Time // suspect → trigger instant
+	pendingJoin   map[int]vtime.Time // joiner → trigger instant
+
+	onInstall map[int][]func(View)
+	onChange  []func(View)
+	states    []stateHook
+
+	// Installs and Transfers record every event for the harness.
+	Installs  []Install
+	Transfers []Transfer
+}
+
+// New builds (but does not start) a membership service over the given
+// universe of nodes. The service owns its heartbeat detector.
+func New(eng *simkern.Engine, net *netsim.Network, cfg Config) (*Service, error) {
+	if len(cfg.Nodes) < 2 {
+		return nil, fmt.Errorf("membership: group %q needs at least 2 nodes", cfg.Name)
+	}
+	seen := make(map[int]bool, len(cfg.Nodes))
+	for _, n := range cfg.Nodes {
+		if n < 0 || n > 62 {
+			return nil, fmt.Errorf("membership: node id %d outside [0,62]", n)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("membership: duplicate node id %d in group %q", n, cfg.Name)
+		}
+		seen[n] = true
+	}
+	if cfg.F <= 0 {
+		cfg.F = 1
+	}
+	if cfg.F >= len(cfg.Nodes) {
+		return nil, fmt.Errorf("membership: F=%d needs more than F nodes (have %d)", cfg.F, len(cfg.Nodes))
+	}
+	if cfg.TransferBytes <= 0 {
+		cfg.TransferBytes = 64
+	}
+	dcfg := cfg.Detector
+	if dcfg.Period == 0 {
+		dcfg = fault.DefaultDetectorConfig(cfg.Nodes)
+	}
+	dcfg.Nodes = cfg.Nodes
+	if dcfg.Port == "" {
+		// Scope the heartbeats per group: two groups sharing a node
+		// must not steal each other's heartbeat bindings.
+		dcfg.Port = "m." + cfg.Name + ".beat"
+	}
+	cfg.Detector = dcfg
+
+	rcfg := rbcast.DefaultConfig(net, cfg.Nodes, cfg.F)
+	if cfg.RbcastRound > 0 {
+		rcfg.Round = cfg.RbcastRound
+	}
+	rcfg.WProc = cfg.WProc
+
+	s := &Service{
+		eng:           eng,
+		net:           net,
+		cfg:           cfg,
+		rb:            rbcast.New(eng, net, "m."+cfg.Name, rcfg),
+		current:       make(map[int]View),
+		history:       make(map[int][]View),
+		done:          make(map[uint64]bool),
+		pendingRemove: make(map[int]vtime.Time),
+		pendingJoin:   make(map[int]vtime.Time),
+		onInstall:     make(map[int][]func(View)),
+	}
+	s.det = fault.NewDetector(eng, net, dcfg, s.handleSuspicion)
+	s.det.OnRehabilitate(s.handleRehabilitation)
+	for _, n := range cfg.Nodes {
+		node := n
+		s.rb.OnDeliver(node, func(d rbcast.Delivery) { s.deliverView(node, d) })
+		net.Bind(node, s.xferPort(), func(m *netsim.Message) { s.receiveTransfer(node, m) })
+	}
+	return s, nil
+}
+
+func (s *Service) xferPort() string { return "m." + s.cfg.Name + ".xfer" }
+
+// Start installs the initial view (all of cfg.Nodes) at every node and
+// starts the heartbeat detector. Register groups, state providers and
+// handlers before calling it. Idempotent.
+func (s *Service) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	now := s.eng.Now()
+	v0 := View{ID: 1, Members: sortedCopy(s.cfg.Nodes)}
+	s.agreed = append(s.agreed, v0)
+	for _, n := range v0.Members {
+		s.install(n, v0, now, now, "init")
+	}
+	for _, fn := range s.onChange {
+		fn(v0)
+	}
+	s.det.Start()
+}
+
+// Detector returns the service's heartbeat detector.
+func (s *Service) Detector() *fault.Detector { return s.det }
+
+// Nodes returns the universe of potential members.
+func (s *Service) Nodes() []int { return sortedCopy(s.cfg.Nodes) }
+
+// Name returns the group name.
+func (s *Service) Name() string { return s.cfg.Name }
+
+// AgreedViews returns the totally ordered agreed view sequence.
+func (s *Service) AgreedViews() []View {
+	out := make([]View, len(s.agreed))
+	copy(out, s.agreed)
+	return out
+}
+
+// CurrentView returns node's currently installed view (zero View if
+// the node never installed one).
+func (s *Service) CurrentView(node int) View { return s.current[node] }
+
+// History returns the views node installed, in order.
+func (s *Service) History(node int) []View {
+	out := make([]View, len(s.history[node]))
+	copy(out, s.history[node])
+	return out
+}
+
+// OnInstall registers a handler fired whenever node installs a view.
+func (s *Service) OnInstall(node int, fn func(View)) {
+	s.onInstall[node] = append(s.onInstall[node], fn)
+}
+
+// OnChange registers a handler fired once per agreed view, at the
+// install instant (and once for the initial view at Start).
+func (s *Service) OnChange(fn func(View)) { s.onChange = append(s.onChange, fn) }
+
+// RegisterState adds an application state to the join protocol:
+// snapshot(donor, joiner) captures the donor-side state shipped to the
+// joiner (nil skips), restore applies it on arrival. Replication
+// registers its state machine here, backed by stable storage.
+func (s *Service) RegisterState(key string, snapshot func(donor, joiner int) any, restore func(node int, data any)) {
+	s.states = append(s.states, stateHook{key: key, snapshot: snapshot, restore: restore})
+}
+
+// DetectionBound returns the worst-case crash-to-suspicion latency:
+// the largest pairwise suspicion timeout plus one check period.
+func (s *Service) DetectionBound() vtime.Duration {
+	var worst vtime.Duration
+	for _, o := range s.cfg.Nodes {
+		for _, p := range s.cfg.Nodes {
+			if o == p {
+				continue
+			}
+			if t := s.det.Timeout(o, p); t > worst {
+				worst = t
+			}
+		}
+	}
+	return worst + s.cfg.Detector.Period
+}
+
+// AgreementBound returns the suspicion-to-install latency of one
+// uncontended view change: the consensus decision bound plus the
+// broadcast delivery bound Δ.
+func (s *Service) AgreementBound() vtime.Duration {
+	return vtime.Duration(s.cfg.F+1)*s.consensusRound() + s.rb.Delta()
+}
+
+// Bound returns the provable crash-to-install bound of one uncontended
+// view change: DetectionBound + AgreementBound. Queued changes (a
+// suspicion arriving while another change is in flight) serialise and
+// may each add one AgreementBound.
+func (s *Service) Bound() vtime.Duration {
+	return s.DetectionBound() + s.AgreementBound()
+}
+
+func (s *Service) consensusRound() vtime.Duration {
+	if s.cfg.ConsensusRound > 0 {
+		return s.cfg.ConsensusRound
+	}
+	return consensus.DefaultConfig(s.net, s.cfg.Nodes, s.cfg.F).Round
+}
+
+// handleSuspicion queues a removal when a member suspects a member.
+func (s *Service) handleSuspicion(sp fault.Suspicion) {
+	if !s.started {
+		return
+	}
+	cur := s.agreed[len(s.agreed)-1]
+	if !cur.Contains(sp.Suspect) || !cur.Contains(sp.Observer) {
+		return
+	}
+	if _, dup := s.pendingRemove[sp.Suspect]; dup {
+		return
+	}
+	s.pendingRemove[sp.Suspect] = sp.At
+	s.maybeChange()
+}
+
+// handleRehabilitation queues a join when a member sees heartbeats
+// from a live non-member again — the rejoin trigger.
+func (s *Service) handleRehabilitation(observer, peer int) {
+	if !s.started {
+		return
+	}
+	cur := s.agreed[len(s.agreed)-1]
+	if cur.Contains(peer) || !cur.Contains(observer) || s.net.NodeDown(peer) {
+		return
+	}
+	if _, dup := s.pendingJoin[peer]; dup {
+		return
+	}
+	s.pendingJoin[peer] = s.eng.Now()
+	s.maybeChange()
+}
+
+// maybeChange starts one view change for the queued removals and joins
+// if none is in flight. Changes serialise: the next starts when the
+// current view installs.
+func (s *Service) maybeChange() {
+	if s.inProgress {
+		return
+	}
+	cur := s.agreed[len(s.agreed)-1]
+	var removes, adds []int
+	trigger := vtime.Time(0)
+	first := true
+	take := func(at vtime.Time) {
+		if first || at < trigger {
+			trigger = at
+		}
+		first = false
+	}
+	for _, n := range sortedKeys(s.pendingRemove) {
+		if cur.Contains(n) {
+			removes = append(removes, n)
+			take(s.pendingRemove[n])
+		} else {
+			delete(s.pendingRemove, n)
+		}
+	}
+	for _, n := range sortedKeys(s.pendingJoin) {
+		if !cur.Contains(n) && !s.net.NodeDown(n) {
+			adds = append(adds, n)
+			take(s.pendingJoin[n])
+		} else {
+			delete(s.pendingJoin, n)
+		}
+	}
+	if len(removes) == 0 && len(adds) == 0 {
+		return
+	}
+
+	// Each live, non-suspect member proposes its local membership
+	// estimate: the current members it does not itself suspect, minus
+	// the triggering removals, plus the joiners. Agreement then makes
+	// one of those estimates the view — suspicions become *agreed*
+	// membership, the point of the service.
+	proposals := make(map[int]int64)
+	for _, m := range cur.Members {
+		if s.net.NodeDown(m) || containsInt(removes, m) {
+			continue
+		}
+		var mask int64
+		for _, x := range cur.Members {
+			if containsInt(removes, x) {
+				continue
+			}
+			if x != m && s.det.Suspected(m, x) {
+				continue
+			}
+			mask |= 1 << uint(x)
+		}
+		for _, a := range adds {
+			mask |= 1 << uint(a)
+		}
+		proposals[m] = mask
+	}
+	if len(proposals) == 0 {
+		// No live member to drive the change; retry a period later
+		// (e.g. everyone crashed — nothing to agree until recovery).
+		s.eng.After(s.cfg.Detector.Period, eventq.ClassApp, s.maybeChange)
+		return
+	}
+
+	s.inProgress = true
+	newID := cur.ID + 1
+	reason := changeReason(removes, adds)
+	f := s.cfg.F
+	if f > len(cur.Members)-1 {
+		f = len(cur.Members) - 1
+	}
+	ccfg := consensus.Config{
+		Nodes: cur.Members,
+		F:     f,
+		Round: s.consensusRound(),
+		WProc: s.cfg.WProc,
+	}
+	decided := false
+	trig := trigger
+	inst := consensus.New(s.eng, s.net, fmt.Sprintf("m.%s.vc%d", s.cfg.Name, newID), ccfg, func(res consensus.Result) {
+		if decided {
+			return
+		}
+		decided = true
+		s.finishChange(newID, membersOf(res.Decision), trig, reason)
+	})
+	inst.Propose(proposals)
+}
+
+// finishChange runs at the consensus decision instant: the agreed view
+// is fixed, appended to the total order, and disseminated with the
+// time-bounded broadcast so every live node installs it at the same
+// fixed instant Δ later.
+func (s *Service) finishChange(id uint64, members []int, trigger vtime.Time, reason string) {
+	if len(members) == 0 {
+		// Degenerate decision (all proposers excluded everyone) —
+		// abandon; detector churn will retrigger.
+		s.inProgress = false
+		return
+	}
+	v := View{ID: id, Members: members}
+	s.agreed = append(s.agreed, v)
+	origin := -1
+	for _, m := range members {
+		if !s.net.NodeDown(m) {
+			origin = m
+			break
+		}
+	}
+	if origin < 0 {
+		origin = members[0]
+	}
+	s.rb.Broadcast(origin, viewMsg{ID: id, Members: members, TriggeredAt: trigger, Reason: reason})
+}
+
+// deliverView handles one rbcast delivery of a view at one node.
+func (s *Service) deliverView(node int, d rbcast.Delivery) {
+	vm, ok := d.Payload.(viewMsg)
+	if !ok {
+		return
+	}
+	v := View{ID: vm.ID, Members: sortedCopy(vm.Members)}
+	s.completeChange(v, vm, d.At)
+	if !v.Contains(node) {
+		return // removed (or never-member) nodes do not install
+	}
+	if s.current[node].ID >= v.ID {
+		return // stale duplicate
+	}
+	s.install(node, v, d.At, vm.TriggeredAt, vm.Reason)
+}
+
+// completeChange runs once per agreed view at its install instant:
+// clears the pending queue entries it settled, schedules state
+// transfers for joiners, fires OnChange, and chains the next queued
+// change.
+func (s *Service) completeChange(v View, vm viewMsg, at vtime.Time) {
+	if s.done[v.ID] {
+		return
+	}
+	s.done[v.ID] = true
+	s.inProgress = false
+	prev := View{}
+	for _, a := range s.agreed {
+		if a.ID == v.ID-1 {
+			prev = a
+		}
+	}
+	var joined []int
+	for _, m := range v.Members {
+		delete(s.pendingJoin, m)
+		if prev.ID != 0 && !prev.Contains(m) {
+			joined = append(joined, m)
+		}
+	}
+	for _, m := range prev.Members {
+		if !v.Contains(m) {
+			delete(s.pendingRemove, m)
+		}
+	}
+	if len(joined) > 0 && prev.ID != 0 {
+		s.transferState(prev, v, joined)
+	}
+	for _, fn := range s.onChange {
+		fn(v)
+	}
+	s.maybeChange()
+}
+
+// install records one node's adoption of a view.
+func (s *Service) install(node int, v View, at, trigger vtime.Time, reason string) {
+	s.current[node] = v
+	s.history[node] = append(s.history[node], v)
+	in := Install{Node: node, View: v, At: at, TriggeredAt: trigger, Latency: at.Sub(trigger), Reason: reason}
+	s.Installs = append(s.Installs, in)
+	if log := s.eng.Log(); log != nil {
+		log.Recordf(at, monitor.KindViewChange, node, s.cfg.Name, "%s %s lat=%s", v, reason, in.Latency)
+	}
+	for _, fn := range s.onInstall[node] {
+		fn(v)
+	}
+}
+
+// transferState ships every registered application state from a live
+// donor of the previous view to each joiner — the state-transfer half
+// of the join protocol.
+func (s *Service) transferState(prev, v View, joined []int) {
+	donor := -1
+	for _, m := range prev.Members {
+		if v.Contains(m) && !s.net.NodeDown(m) {
+			donor = m
+			break
+		}
+	}
+	if donor < 0 {
+		return
+	}
+	for _, j := range joined {
+		for _, h := range s.states {
+			data := h.snapshot(donor, j)
+			if data == nil {
+				continue
+			}
+			if _, err := s.net.Send(donor, j, s.xferPort(), xferMsg{Key: h.key, ViewID: v.ID, Data: data}, s.cfg.TransferBytes); err != nil {
+				continue
+			}
+		}
+	}
+}
+
+// receiveTransfer applies one arriving state snapshot at the joiner.
+func (s *Service) receiveTransfer(node int, m *netsim.Message) {
+	if s.net.NodeDown(node) {
+		return
+	}
+	xm, ok := m.Payload.(xferMsg)
+	if !ok {
+		return
+	}
+	for _, h := range s.states {
+		if h.key != xm.Key {
+			continue
+		}
+		h.restore(node, xm.Data)
+		tr := Transfer{Key: xm.Key, From: m.From, To: node, At: s.eng.Now()}
+		s.Transfers = append(s.Transfers, tr)
+		if log := s.eng.Log(); log != nil {
+			log.Recordf(tr.At, monitor.KindStateTransfer, node, s.cfg.Name, "key=%s from=n%d view=%d", xm.Key, m.From, xm.ViewID)
+		}
+	}
+}
+
+// changeReason renders the change as "remove n0" / "join n2" /
+// "remove n0 join n2".
+func changeReason(removes, adds []int) string {
+	out := ""
+	if len(removes) > 0 {
+		out = "remove"
+		for _, n := range removes {
+			out += fmt.Sprintf(" n%d", n)
+		}
+	}
+	if len(adds) > 0 {
+		if out != "" {
+			out += " "
+		}
+		out += "join"
+		for _, n := range adds {
+			out += fmt.Sprintf(" n%d", n)
+		}
+	}
+	return out
+}
+
+// membersOf decodes a consensus decision bitmask into a member list.
+func membersOf(mask int64) []int {
+	var out []int
+	for i := 0; i < 63; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func sortedCopy(in []int) []int {
+	out := make([]int, len(in))
+	copy(out, in)
+	sort.Ints(out)
+	return out
+}
+
+func sortedKeys(m map[int]vtime.Time) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func containsInt(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

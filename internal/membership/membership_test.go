@@ -1,0 +1,275 @@
+package membership
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hades/internal/fault"
+	"hades/internal/monitor"
+	"hades/internal/netsim"
+	"hades/internal/simkern"
+	"hades/internal/vtime"
+)
+
+const (
+	us = vtime.Microsecond
+	ms = vtime.Millisecond
+)
+
+type rigT struct {
+	eng *simkern.Engine
+	net *netsim.Network
+	svc *Service
+}
+
+func rig(t *testing.T, n int, seed int64) rigT {
+	t.Helper()
+	eng := simkern.NewEngine(monitor.NewLog(0), seed)
+	nodes := make([]int, n)
+	for i := 0; i < n; i++ {
+		eng.AddProcessor("n", 0)
+		nodes[i] = i
+	}
+	net := netsim.New(eng, netsim.Config{WAtm: 5 * us, WProto: 5 * us, PrioNet: simkern.PrioMax - 2})
+	net.ConnectAll(nodes, 50*us, 150*us)
+	svc, err := New(eng, net, Config{Name: "g", Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rigT{eng: eng, net: net, svc: svc}
+}
+
+func viewIDs(vs []View) []uint64 {
+	out := make([]uint64, len(vs))
+	for i, v := range vs {
+		out[i] = v.ID
+	}
+	return out
+}
+
+// TestInitialViewInstalledEverywhere: Start installs view 1 with the
+// full universe at every node.
+func TestInitialViewInstalledEverywhere(t *testing.T) {
+	r := rig(t, 3, 1)
+	r.svc.Start()
+	for n := 0; n < 3; n++ {
+		v := r.svc.CurrentView(n)
+		if v.ID != 1 || !reflect.DeepEqual(v.Members, []int{0, 1, 2}) {
+			t.Fatalf("node %d initial view %v", n, v)
+		}
+	}
+}
+
+// TestCrashInstallsAgreedViewWithinBound is the core acceptance test:
+// a member crash leads every live member to install the *same* new
+// view, at the *same* instant, within Service.Bound() of the crash.
+func TestCrashInstallsAgreedViewWithinBound(t *testing.T) {
+	r := rig(t, 4, 1)
+	r.svc.Start()
+	crashAt := vtime.Time(40 * ms)
+	fault.CrashAt(r.eng, r.net, 2, crashAt, 0)
+	r.eng.Run(vtime.Time(200 * ms))
+
+	want := []View{
+		{ID: 1, Members: []int{0, 1, 2, 3}},
+		{ID: 2, Members: []int{0, 1, 3}},
+	}
+	var installAt vtime.Time
+	for _, n := range []int{0, 1, 3} {
+		got := r.svc.History(n)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("node %d view history %v, want %v", n, got, want)
+		}
+	}
+	// Same instant everywhere (view synchrony), latency within bound.
+	for _, in := range r.svc.Installs {
+		if in.View.ID != 2 {
+			continue
+		}
+		if installAt == 0 {
+			installAt = in.At
+		}
+		if in.At != installAt {
+			t.Fatalf("install instants differ: %s vs %s", in.At, installAt)
+		}
+		if lat := in.At.Sub(crashAt); lat > r.svc.Bound() {
+			t.Fatalf("crash-to-install latency %s above bound %s", lat, r.svc.Bound())
+		}
+		if in.Latency > r.svc.AgreementBound() {
+			t.Fatalf("suspicion-to-install latency %s above agreement bound %s", in.Latency, r.svc.AgreementBound())
+		}
+	}
+	if installAt == 0 {
+		t.Fatal("no installs of view 2 recorded")
+	}
+	// The crashed node must not have installed view 2.
+	if got := viewIDs(r.svc.History(2)); !reflect.DeepEqual(got, []uint64{1}) {
+		t.Fatalf("crashed node history %v", got)
+	}
+}
+
+// TestRecoveredNodeRejoins: a crashed node that recovers is brought
+// back by a join view change, and its history is a gap-free record of
+// what it actually installed.
+func TestRecoveredNodeRejoins(t *testing.T) {
+	r := rig(t, 3, 1)
+	r.svc.Start()
+	fault.CrashAt(r.eng, r.net, 0, vtime.Time(40*ms), vtime.Time(120*ms))
+	r.eng.Run(vtime.Time(300 * ms))
+
+	want := []View{
+		{ID: 1, Members: []int{0, 1, 2}},
+		{ID: 2, Members: []int{1, 2}},
+		{ID: 3, Members: []int{0, 1, 2}},
+	}
+	for _, n := range []int{1, 2} {
+		if got := r.svc.History(n); !reflect.DeepEqual(got, want) {
+			t.Fatalf("node %d history %v, want %v", n, got, want)
+		}
+	}
+	// The joiner installed the initial view and the join view only.
+	if got := r.svc.History(0); !reflect.DeepEqual(got, []View{want[0], want[2]}) {
+		t.Fatalf("joiner history %v", got)
+	}
+	if got := r.svc.AgreedViews(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("agreed sequence %v, want %v", got, want)
+	}
+}
+
+// TestJoinRunsStateTransfer: registered state providers ship a
+// snapshot from a live donor to the joiner after the join view.
+func TestJoinRunsStateTransfer(t *testing.T) {
+	r := rig(t, 3, 1)
+	restored := map[int]any{}
+	r.svc.RegisterState("counter", func(donor, joiner int) any {
+		return fmt.Sprintf("state-of-n%d", donor)
+	}, func(node int, data any) {
+		restored[node] = data
+	})
+	r.svc.Start()
+	fault.CrashAt(r.eng, r.net, 2, vtime.Time(40*ms), vtime.Time(120*ms))
+	r.eng.Run(vtime.Time(300 * ms))
+
+	if len(r.svc.Transfers) != 1 {
+		t.Fatalf("transfers %+v, want exactly 1", r.svc.Transfers)
+	}
+	tr := r.svc.Transfers[0]
+	if tr.To != 2 || tr.Key != "counter" {
+		t.Fatalf("transfer %+v", tr)
+	}
+	if restored[2] != fmt.Sprintf("state-of-n%d", tr.From) {
+		t.Fatalf("restored %v", restored)
+	}
+	if r.eng.Log().CountKind(monitor.KindStateTransfer) != 1 {
+		t.Fatal("state transfer not recorded in the monitor log")
+	}
+}
+
+// TestSequentialCrashesSerialise: two crashes produce two agreed view
+// changes in a total order shared by the survivors.
+func TestSequentialCrashesSerialise(t *testing.T) {
+	r := rig(t, 4, 1)
+	r.svc.Start()
+	fault.CrashAt(r.eng, r.net, 3, vtime.Time(40*ms), 0)
+	fault.CrashAt(r.eng, r.net, 2, vtime.Time(41*ms), 0)
+	r.eng.Run(vtime.Time(300 * ms))
+
+	agreed := r.svc.AgreedViews()
+	last := agreed[len(agreed)-1]
+	if !reflect.DeepEqual(last.Members, []int{0, 1}) {
+		t.Fatalf("final view %v, want members [0 1] (agreed %v)", last, agreed)
+	}
+	for _, n := range []int{0, 1} {
+		h := r.svc.History(n)
+		if !reflect.DeepEqual(h, agreed) {
+			t.Fatalf("node %d history %v diverges from agreed %v", n, h, agreed)
+		}
+	}
+}
+
+// TestDeterministicViewHistory: identical description + seed ⇒
+// identical installs (node, view, instant); a different seed still
+// agrees on the same membership sequence.
+func TestDeterministicViewHistory(t *testing.T) {
+	run := func(seed int64) []Install {
+		r := rig(t, 4, seed)
+		r.svc.Start()
+		fault.CrashAt(r.eng, r.net, 1, vtime.Time(40*ms), vtime.Time(150*ms))
+		r.eng.Run(vtime.Time(400 * ms))
+		return r.svc.Installs
+	}
+	a, b := run(7), run(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different installs:\n%v\n%v", a, b)
+	}
+	c := run(8)
+	// Membership agreement is seed-independent even though timing
+	// (link delays) is not.
+	seq := func(ins []Install) []string {
+		var out []string
+		seen := map[uint64]bool{}
+		for _, in := range ins {
+			if !seen[in.View.ID] {
+				seen[in.View.ID] = true
+				out = append(out, in.View.String())
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(seq(a), seq(c)) {
+		t.Fatalf("view sequences differ across seeds: %v vs %v", seq(a), seq(c))
+	}
+}
+
+// TestOverlappingGroupsDoNotInterfere: two groups sharing nodes keep
+// independent heartbeat traffic (scoped ports) — neither falsely
+// ejects a live member of the other (regression: a shared heartbeat
+// port let the later group's bindings steal the earlier's heartbeats).
+func TestOverlappingGroupsDoNotInterfere(t *testing.T) {
+	eng := simkern.NewEngine(monitor.NewLog(0), 1)
+	nodes := []int{0, 1, 2, 3}
+	for range nodes {
+		eng.AddProcessor("n", 0)
+	}
+	net := netsim.New(eng, netsim.Config{WAtm: 5 * us, WProto: 5 * us, PrioNet: simkern.PrioMax - 2})
+	net.ConnectAll(nodes, 50*us, 150*us)
+	a, err := New(eng, net, Config{Name: "a", Nodes: []int{0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(eng, net, Config{Name: "b", Nodes: []int{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	b.Start()
+	eng.Run(vtime.Time(300 * ms))
+	if got := a.AgreedViews(); len(got) != 1 {
+		t.Fatalf("group a changed views with no faults: %v", got)
+	}
+	if got := b.AgreedViews(); len(got) != 1 {
+		t.Fatalf("group b changed views with no faults: %v", got)
+	}
+}
+
+// TestValidation: config errors are rejected.
+func TestValidation(t *testing.T) {
+	eng := simkern.NewEngine(monitor.NewLog(0), 1)
+	eng.AddProcessor("n", 0)
+	eng.AddProcessor("n", 0)
+	net := netsim.New(eng, netsim.Config{})
+	net.ConnectAll([]int{0, 1}, 50*us, 150*us)
+	if _, err := New(eng, net, Config{Name: "x", Nodes: []int{0}}); err == nil {
+		t.Fatal("single-node group accepted")
+	}
+	if _, err := New(eng, net, Config{Name: "x", Nodes: []int{0, 63}}); err == nil {
+		t.Fatal("node id 63 accepted (bitmask overflow)")
+	}
+	if _, err := New(eng, net, Config{Name: "x", Nodes: []int{0, 0}}); err == nil {
+		t.Fatal("duplicate node id accepted")
+	}
+	if _, err := New(eng, net, Config{Name: "x", Nodes: []int{0, 1}, F: 2}); err == nil {
+		t.Fatal("F >= n accepted")
+	}
+}

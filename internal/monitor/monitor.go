@@ -61,6 +61,9 @@ const (
 	KindFailover
 	KindClockSyncRound
 	KindDelivery
+	KindRehabilitation
+	KindViewChange
+	KindStateTransfer
 )
 
 var kindNames = map[Kind]string{
@@ -97,6 +100,9 @@ var kindNames = map[Kind]string{
 	KindFailover:            "Failover",
 	KindClockSyncRound:      "ClockSync",
 	KindDelivery:            "Deliver",
+	KindRehabilitation:      "Rehab",
+	KindViewChange:          "ViewInstall",
+	KindStateTransfer:       "StateXfer",
 }
 
 // String returns the short mnemonic for the kind.

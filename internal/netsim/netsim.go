@@ -111,15 +111,16 @@ type Stats struct {
 
 // Network is the simulated interconnect. Not safe for concurrent use.
 type Network struct {
-	eng      *simkern.Engine
-	cfg      Config
-	links    map[[2]int]*link
-	handlers map[int]map[string]func(*Message)
-	fault    FaultHook
-	down     map[int]bool
-	nextID   uint64
-	stats    Stats
-	protoSeq uint64
+	eng       *simkern.Engine
+	cfg       Config
+	links     map[[2]int]*link
+	handlers  map[int]map[string]func(*Message)
+	fault     FaultHook
+	down      map[int]bool
+	downWatch []func(node int, down bool)
+	nextID    uint64
+	stats     Stats
+	protoSeq  uint64
 }
 
 // New creates a network over the engine's processors.
@@ -143,8 +144,25 @@ func (n *Network) Stats() Stats { return n.stats }
 func (n *Network) SetFault(f FaultHook) { n.fault = f }
 
 // SetNodeDown marks a processor as crashed: messages to or from it are
-// dropped silently (crashed nodes neither send nor receive).
-func (n *Network) SetNodeDown(proc int, isDown bool) { n.down[proc] = isDown }
+// dropped silently (crashed nodes neither send nor receive). State
+// changes notify the watchers registered with OnDownChange.
+func (n *Network) SetNodeDown(proc int, isDown bool) {
+	if n.down[proc] == isDown {
+		return
+	}
+	n.down[proc] = isDown
+	for _, w := range n.downWatch {
+		w(proc, isDown)
+	}
+}
+
+// OnDownChange registers a watcher invoked on every crash/recovery
+// transition — services that keep per-node liveness state (the fault
+// detector, membership) use it to reinitialise deterministically on
+// recovery rather than inferring it from message arrival.
+func (n *Network) OnDownChange(fn func(node int, down bool)) {
+	n.downWatch = append(n.downWatch, fn)
+}
 
 // NodeDown reports whether proc is marked crashed.
 func (n *Network) NodeDown(proc int) bool { return n.down[proc] }

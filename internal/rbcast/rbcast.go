@@ -23,8 +23,6 @@
 package rbcast
 
 import (
-	"fmt"
-
 	"hades/internal/eventq"
 	"hades/internal/monitor"
 	"hades/internal/netsim"
@@ -84,10 +82,10 @@ type Service struct {
 	cfg Config
 
 	nextSeq   uint64
-	seen      map[string]bool // msgKey → relayed/scheduled
+	seen      map[copyKey]bool // per-node first-seen marker
 	handlers  map[int]func(Delivery)
 	port      string
-	delivered map[string][]int // "origin/seq" → nodes that delivered
+	delivered map[msgID][]int // message → nodes that delivered
 
 	// Deliveries records every delivery for verification.
 	Deliveries []Delivery
@@ -101,8 +99,18 @@ type flood struct {
 	SentAt  vtime.Time
 }
 
-func msgKey(origin int, seq uint64, node int) string {
-	return fmt.Sprintf("%d/%d@%d", origin, seq, node)
+// msgID identifies one broadcast; copyKey one node's copy of it. Both
+// are comparable structs rather than formatted strings: the seen-set
+// lookup runs once per hop on the flooding hot path, and a struct key
+// avoids the per-hop fmt.Sprintf allocation (see bench_test.go).
+type msgID struct {
+	origin int
+	seq    uint64
+}
+
+type copyKey struct {
+	msgID
+	node int
 }
 
 // New creates a reliable broadcast service over the group. Distinct
@@ -112,9 +120,9 @@ func New(eng *simkern.Engine, net *netsim.Network, name string, cfg Config) *Ser
 		eng:       eng,
 		net:       net,
 		cfg:       cfg,
-		seen:      make(map[string]bool),
+		seen:      make(map[copyKey]bool),
 		handlers:  make(map[int]func(Delivery)),
-		delivered: make(map[string][]int),
+		delivered: make(map[msgID][]int),
 		port:      "rbcast." + name,
 	}
 	for _, n := range cfg.Group {
@@ -171,7 +179,7 @@ func (s *Service) receive(node int, m *netsim.Message) {
 // accept schedules delivery for a first-seen copy; returns false on
 // duplicates (integrity).
 func (s *Service) accept(node int, f flood, deliverAt vtime.Time) bool {
-	k := msgKey(f.Origin, f.Seq, node)
+	k := copyKey{msgID: msgID{origin: f.Origin, seq: f.Seq}, node: node}
 	if s.seen[k] {
 		return false
 	}
@@ -188,7 +196,7 @@ func (s *Service) accept(node int, f flood, deliverAt vtime.Time) bool {
 			Latency: deliverAt.Sub(f.SentAt),
 		}
 		s.Deliveries = append(s.Deliveries, d)
-		dk := fmt.Sprintf("%d/%d", f.Origin, f.Seq)
+		dk := msgID{origin: f.Origin, seq: f.Seq}
 		s.delivered[dk] = append(s.delivered[dk], node)
 		if log := s.eng.Log(); log != nil {
 			log.Recordf(deliverAt, monitor.KindDelivery, node, s.port, "origin=n%d seq=%d", f.Origin, f.Seq)
@@ -215,7 +223,7 @@ func (s *Service) relay(from int, f flood) {
 // DeliveredAt returns the nodes that actually delivered (origin, seq),
 // for agreement checking.
 func (s *Service) DeliveredAt(origin int, seq uint64) []int {
-	nodes := s.delivered[fmt.Sprintf("%d/%d", origin, seq)]
+	nodes := s.delivered[msgID{origin: origin, seq: seq}]
 	out := make([]int, len(nodes))
 	copy(out, nodes)
 	return out

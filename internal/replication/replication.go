@@ -1,7 +1,7 @@
 // Package replication implements the replication services of §2.2.1:
 // passive, active and semi-active replication in the sense of Poledna
-// [Pol96], over the simulated network, the heartbeat fault detector and
-// the stable storage service.
+// [Pol96], over the simulated network, the view-synchronous membership
+// service and the stable storage service.
 //
 // The replicated object is a deterministic state machine
 // (StateMachine): requests are int64 commands, state an int64 value —
@@ -14,20 +14,29 @@
 //     with zero failover latency.
 //   - Passive: only the primary executes; it checkpoints state to the
 //     backups (and stable storage) every CheckpointEvery requests. On
-//     primary crash the fault detector promotes the next backup, which
-//     resumes from the last checkpoint — bounded failover latency, but
-//     work since the checkpoint is lost and must be resubmitted.
+//     primary crash the next backup is promoted, resuming from the
+//     last checkpoint — bounded failover latency, but work since the
+//     checkpoint is lost and must be resubmitted.
 //   - Semi-active: the leader executes and broadcasts its decision;
 //     followers execute the same requests in the same order (no
 //     voting). On leader crash a follower takes over with no lost
 //     state, at the price of every replica doing the work.
+//
+// Failover is driven by *installed membership views*, not by raw
+// per-observer detector suspicions: promotion happens when a view that
+// excludes the current primary installs, so every replica promotes the
+// same backup in the same view at the same instant (the view-synchrony
+// property internal/membership provides). Leadership is sticky — a
+// rejoining former primary re-enters as a backup, brought up to date by
+// the membership join protocol's state transfer (the group registers
+// its state machine, persisted through the stable store).
 package replication
 
 import (
 	"fmt"
 	"sort"
 
-	"hades/internal/fault"
+	"hades/internal/membership"
 	"hades/internal/monitor"
 	"hades/internal/netsim"
 	"hades/internal/simkern"
@@ -110,7 +119,7 @@ type Reply struct {
 type Group struct {
 	eng *simkern.Engine
 	net *netsim.Network
-	det *fault.Detector
+	mem *membership.Service
 	cfg Config
 
 	machines map[int]*StateMachine
@@ -133,11 +142,13 @@ type Group struct {
 }
 
 // Failover records one primary/leader promotion. The failover latency
-// relative to the crash is the caller's to compute (the group does not
-// know when the fault was injected, only when the detector confirmed).
+// relative to the crash is the caller's to compute (the group only
+// knows when the view excluding the old primary installed).
 type Failover struct {
-	From, To  int
-	At        vtime.Time
+	From, To int
+	At       vtime.Time
+	// InView is the membership view whose installation promoted To.
+	InView    uint64
 	LostSince int64 // applied-counter gap (passive only)
 }
 
@@ -153,15 +164,34 @@ type ckptMsg struct {
 	Applied int64
 }
 
-// NewGroup builds a replica group. det may be nil for Active style
-// (which needs no failover); Passive and SemiActive require it.
-func NewGroup(eng *simkern.Engine, net *netsim.Network, det *fault.Detector, cfg Config,
+// NewGroup builds a replica group over a membership service. mem may
+// be nil for Active style (voting masks crashes with no failover);
+// Passive and SemiActive require it — their promotion is driven by
+// installed views. When mem is non-nil the group also registers its
+// state machine with the membership join protocol, so a rejoining
+// replica is restored from a live donor through stable storage.
+func NewGroup(eng *simkern.Engine, net *netsim.Network, mem *membership.Service, cfg Config,
 	onReply func(reqID uint64, result int64, unanimous bool)) (*Group, error) {
 	if len(cfg.Replicas) < 2 {
 		return nil, fmt.Errorf("replication: group %q needs at least 2 replicas", cfg.Name)
 	}
-	if cfg.Style != Active && det == nil {
-		return nil, fmt.Errorf("replication: style %s requires a fault detector", cfg.Style)
+	if cfg.Style != Active && mem == nil {
+		return nil, fmt.Errorf("replication: style %s requires a membership service", cfg.Style)
+	}
+	if mem != nil {
+		universe := mem.Nodes()
+		for _, r := range cfg.Replicas {
+			found := false
+			for _, n := range universe {
+				if n == r {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("replication: replica %d not in membership group %q", r, mem.Name())
+			}
+		}
 	}
 	if cfg.CheckpointEvery <= 0 {
 		cfg.CheckpointEvery = 10
@@ -169,7 +199,7 @@ func NewGroup(eng *simkern.Engine, net *netsim.Network, det *fault.Detector, cfg
 	g := &Group{
 		eng:      eng,
 		net:      net,
-		det:      det,
+		mem:      mem,
 		cfg:      cfg,
 		machines: make(map[int]*StateMachine),
 		stores:   make(map[int]*storage.Store),
@@ -186,18 +216,90 @@ func NewGroup(eng *simkern.Engine, net *netsim.Network, det *fault.Detector, cfg
 		net.Bind(node, g.port("req"), func(m *netsim.Message) { g.handleRequest(node, m) })
 		net.Bind(node, g.port("ckpt"), func(m *netsim.Message) { g.handleCheckpoint(node, m) })
 	}
+	if mem != nil {
+		mem.OnChange(g.handleView)
+		mem.RegisterState("repl."+cfg.Name, g.snapshotState, g.restoreState)
+	}
 	return g, nil
 }
 
 func (g *Group) port(kind string) string { return "repl." + g.cfg.Name + "." + kind }
 
-// HandleSuspicion reacts to a fault-detector suspicion: wire it as (or
-// from) the detector's onSuspect callback. Passive and semi-active
-// groups fail over when their primary is the suspect.
-func (g *Group) HandleSuspicion(s fault.Suspicion) {
-	if s.Suspect == g.Primary() {
-		g.checkFailover()
+// handleView reacts to an installed membership view — the only
+// failover trigger. Leadership is sticky: the primary keeps its role
+// while it is in the view; when a view excluding it installs, the next
+// replica (in declared promotion order, ring-wise) that is in the view
+// is promoted. Because views are agreed and installed at one fixed
+// instant, every replica performs the same promotion in the same view.
+func (g *Group) handleView(v membership.View) {
+	if g.cfg.Style == Active {
+		return // voting masks crashes; no leadership to move
 	}
+	cur := g.Primary()
+	if v.Contains(cur) {
+		return
+	}
+	for i := 1; i < len(g.cfg.Replicas); i++ {
+		idx := (g.primary + i) % len(g.cfg.Replicas)
+		cand := g.cfg.Replicas[idx]
+		if !v.Contains(cand) {
+			continue
+		}
+		lost := g.machines[cur].Applied - g.machines[cand].Applied
+		if g.cfg.Style == SemiActive || lost < 0 {
+			lost = 0 // followers executed everything themselves
+		}
+		g.primary = idx
+		g.sinceCheckpoint = 0
+		fo := Failover{From: cur, To: cand, At: g.eng.Now(), InView: v.ID, LostSince: lost}
+		g.Failovers = append(g.Failovers, fo)
+		g.LostWork += lost
+		if log := g.eng.Log(); log != nil {
+			log.Recordf(fo.At, monitor.KindFailover, cand, g.cfg.Name, "from=n%d view=%d lost=%d", cur, v.ID, lost)
+		}
+		return
+	}
+}
+
+// snapshotState is the membership join protocol's donor-side hook: it
+// captures the authoritative (primary) state, checkpointing it to the
+// source's stable store on the way out. The membership-chosen donor
+// need not be a replica; if the primary is down at the join instant,
+// the snapshot falls back to the first live replica in promotion
+// order (never the joiner — its state is the stale one).
+func (g *Group) snapshotState(donor, joiner int) any {
+	if g.machines[joiner] == nil {
+		return nil // the joiner is not one of our replicas
+	}
+	src := g.Primary()
+	if g.net.NodeDown(src) || g.machines[src] == nil {
+		src = -1
+		for _, r := range g.cfg.Replicas {
+			if r != joiner && g.machines[r] != nil && !g.net.NodeDown(r) {
+				src = r
+				break
+			}
+		}
+	}
+	if src < 0 {
+		return nil // no live replica holds usable state
+	}
+	sm := g.machines[src]
+	ck := ckptMsg{State: sm.State, Applied: sm.Applied}
+	g.stores[src].Write(fmt.Sprintf("ckpt.%s", g.cfg.Name), ck, func(error) {})
+	return ck
+}
+
+// restoreState is the joiner-side hook: the shipped snapshot becomes
+// the replica's state, persisted to its own stable store.
+func (g *Group) restoreState(node int, data any) {
+	ck, ok := data.(ckptMsg)
+	if !ok || g.machines[node] == nil {
+		return
+	}
+	sm := g.machines[node]
+	sm.State, sm.Applied = ck.State, ck.Applied
+	g.stores[node].Write(fmt.Sprintf("ckpt.%s", g.cfg.Name), ck, func(error) {})
 }
 
 // Machine returns a replica's state machine (test/fault-injection hook).
@@ -356,44 +458,4 @@ func (g *Group) handleCheckpoint(node int, m *netsim.Message) {
 		sm.State, sm.Applied = ck.State, ck.Applied
 	}
 	g.stores[node].Write(fmt.Sprintf("ckpt.%s", g.cfg.Name), ck, func(error) {})
-}
-
-// checkFailover promotes the next live replica when the current
-// primary/leader is suspected by a majority view (here: by the next
-// replica in promotion order, sufficient in a perfect-detector system).
-func (g *Group) checkFailover() {
-	if g.cfg.Style == Active {
-		return
-	}
-	cur := g.Primary()
-	if !g.net.NodeDown(cur) {
-		return
-	}
-	// Find the next live replica.
-	for i := 1; i < len(g.cfg.Replicas); i++ {
-		idx := (g.primary + i) % len(g.cfg.Replicas)
-		cand := g.cfg.Replicas[idx]
-		if g.net.NodeDown(cand) {
-			continue
-		}
-		if !g.det.Suspected(cand, cur) {
-			return // detector has not confirmed yet; wait
-		}
-		prevApplied := g.machines[cur].Applied
-		newApplied := g.machines[cand].Applied
-		lost := prevApplied - newApplied
-		if g.cfg.Style == SemiActive {
-			lost = 0 // followers executed everything themselves
-		} else if lost < 0 {
-			lost = 0
-		}
-		g.primary = idx
-		fo := Failover{From: cur, To: cand, At: g.eng.Now(), LostSince: lost}
-		g.Failovers = append(g.Failovers, fo)
-		g.LostWork += lost
-		if log := g.eng.Log(); log != nil {
-			log.Recordf(fo.At, monitor.KindFailover, cand, g.cfg.Name, "from=n%d lost=%d", cur, lost)
-		}
-		return
-	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"hades/internal/eventq"
 	"hades/internal/fault"
+	"hades/internal/membership"
 	"hades/internal/monitor"
 	"hades/internal/netsim"
 	"hades/internal/simkern"
@@ -19,7 +20,7 @@ const (
 type rigT struct {
 	eng *simkern.Engine
 	net *netsim.Network
-	det *fault.Detector
+	mem *membership.Service
 }
 
 func rig(t *testing.T, n int) rigT {
@@ -32,29 +33,18 @@ func rig(t *testing.T, n int) rigT {
 	}
 	net := netsim.New(eng, netsim.Config{WAtm: 5 * us, WProto: 5 * us, PrioNet: simkern.PrioMax - 2})
 	net.ConnectAll(nodes, 50*us, 150*us)
-	det := NewDetectorForGroups(eng, net, nodes)
-	return rigT{eng: eng, net: net, det: det}
-}
-
-// NewDetectorForGroups builds a detector whose suspicions are routed to
-// all registered groups.
-var activeGroups []*Group
-
-func NewDetectorForGroups(eng *simkern.Engine, net *netsim.Network, nodes []int) *fault.Detector {
-	activeGroups = nil
-	det := fault.NewDetector(eng, net, fault.DefaultDetectorConfig(nodes), func(s fault.Suspicion) {
-		for _, g := range activeGroups {
-			g.HandleSuspicion(s)
-		}
-	})
-	det.Start()
-	return det
+	mem, err := membership.New(eng, net, membership.Config{Name: "mg", Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.Start()
+	return rigT{eng: eng, net: net, mem: mem}
 }
 
 func newGroup(t *testing.T, r rigT, style Style, replicas []int) (*Group, *[]int64) {
 	t.Helper()
 	var results []int64
-	g, err := NewGroup(r.eng, r.net, r.det, Config{
+	g, err := NewGroup(r.eng, r.net, r.mem, Config{
 		Name:            "g",
 		Replicas:        replicas,
 		Style:           style,
@@ -65,7 +55,6 @@ func newGroup(t *testing.T, r rigT, style Style, replicas []int) (*Group, *[]int
 	if err != nil {
 		t.Fatal(err)
 	}
-	activeGroups = append(activeGroups, g)
 	return g, &results
 }
 
@@ -210,14 +199,97 @@ func TestStyleCostsDiffer(t *testing.T) {
 
 func TestGroupValidation(t *testing.T) {
 	r := rig(t, 2)
-	if _, err := NewGroup(r.eng, r.net, r.det, Config{Name: "x", Replicas: []int{0}}, nil); err == nil {
+	if _, err := NewGroup(r.eng, r.net, r.mem, Config{Name: "x", Replicas: []int{0}}, nil); err == nil {
 		t.Fatal("single replica accepted")
 	}
 	if _, err := NewGroup(r.eng, r.net, nil, Config{Name: "x", Replicas: []int{0, 1}, Style: Passive}, nil); err == nil {
-		t.Fatal("passive without detector accepted")
+		t.Fatal("passive without membership accepted")
 	}
 	if _, err := NewGroup(r.eng, r.net, nil, Config{Name: "x", Replicas: []int{0, 1}, Style: Active}, nil); err != nil {
-		t.Fatalf("active without detector rejected: %v", err)
+		t.Fatalf("active without membership rejected: %v", err)
+	}
+	if _, err := NewGroup(r.eng, r.net, r.mem, Config{Name: "x", Replicas: []int{0, 9}, Style: Passive}, nil); err == nil {
+		t.Fatal("replica outside the membership universe accepted")
+	}
+}
+
+// TestFailoverIsViewDriven: the promotion instant coincides with the
+// installation of the view that excludes the old primary, and the
+// Failover record names that view.
+func TestFailoverIsViewDriven(t *testing.T) {
+	r := rig(t, 4)
+	g, _ := newGroup(t, r, Passive, []int{0, 1, 2})
+	fault.CrashAt(r.eng, r.net, 0, vtime.Time(10*ms), 0)
+	drive(r, g, 3, 30)
+	r.eng.Run(vtime.Time(300 * ms))
+	if len(g.Failovers) != 1 {
+		t.Fatalf("failovers %d, want 1", len(g.Failovers))
+	}
+	fo := g.Failovers[0]
+	var installAt vtime.Time
+	for _, in := range r.mem.Installs {
+		if in.View.ID == fo.InView {
+			installAt = in.At
+		}
+	}
+	if installAt == 0 || fo.At != installAt {
+		t.Fatalf("failover at %s, view %d installed at %s — not view-driven", fo.At, fo.InView, installAt)
+	}
+	if fo.InView != 2 {
+		t.Fatalf("failover in view %d, want 2", fo.InView)
+	}
+}
+
+// TestStateTransferWhenDonorIsNotAReplica: the membership-chosen
+// donor (lowest live member of the previous view) may not be a
+// replica; the snapshot must still come from a live replica
+// (regression: a nil donor machine silently skipped the transfer).
+func TestStateTransferWhenDonorIsNotAReplica(t *testing.T) {
+	r := rig(t, 4) // membership over 0-3; node 0 is a pure member
+	g, _ := newGroup(t, r, Passive, []int{1, 2})
+	fault.CrashAt(r.eng, r.net, 2, vtime.Time(10*ms), vtime.Time(100*ms))
+	drive(r, g, 3, 60)
+	r.eng.Run(vtime.Time(400 * ms))
+	// The rejoin's membership donor is node 0 (lowest live previous
+	// member), which holds no replica state — the snapshot must fall
+	// back to primary 1.
+	if len(r.mem.Transfers) != 1 {
+		t.Fatalf("transfers %+v, want exactly 1", r.mem.Transfers)
+	}
+	if g.Machine(2).Applied == 0 {
+		t.Fatal("rejoined backup never restored state")
+	}
+	if lag := g.Machine(1).Applied - g.Machine(2).Applied; lag < 0 || lag > 5 {
+		t.Fatalf("rejoined backup lag %d outside [0, checkpoint interval]", lag)
+	}
+}
+
+// TestRejoinedPrimaryRestoredAsBackup: a crashed-then-recovered former
+// primary rejoins the group as a backup (sticky leadership) with its
+// state machine restored by the join state transfer.
+func TestRejoinedPrimaryRestoredAsBackup(t *testing.T) {
+	r := rig(t, 4)
+	g, _ := newGroup(t, r, Passive, []int{0, 1, 2})
+	fault.CrashAt(r.eng, r.net, 0, vtime.Time(10*ms), vtime.Time(100*ms))
+	drive(r, g, 3, 60)
+	r.eng.Run(vtime.Time(400 * ms))
+	if len(g.Failovers) != 1 {
+		t.Fatalf("failovers %+v, want exactly 1 (leadership is sticky)", g.Failovers)
+	}
+	if got := g.Primary(); got != 1 {
+		t.Fatalf("primary %d after rejoin, want 1", got)
+	}
+	// The rejoined replica was restored and kept fed by checkpoints.
+	final := r.mem.CurrentView(0)
+	if !final.Contains(0) {
+		t.Fatalf("node 0 not back in the view: %v", final)
+	}
+	rejoined, primary := g.Machine(0), g.Machine(1)
+	if rejoined.Applied == 0 {
+		t.Fatal("rejoined replica never restored state")
+	}
+	if lag := primary.Applied - rejoined.Applied; lag < 0 || lag > 5 {
+		t.Fatalf("rejoined replica lag %d outside [0, checkpoint interval]", lag)
 	}
 }
 

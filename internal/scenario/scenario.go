@@ -6,8 +6,11 @@
 // A scenario builds onto the cluster runtime layer, so distributed and
 // faulty workloads are data, not code: "nodes" sizes the platform,
 // "links" declares bounded-delay point-to-point links (omit for a full
-// mesh), "placement" pins tasks or stages to nodes, and "faults"
-// schedules deterministic omission/delay/crash injection.
+// mesh), "placement" pins tasks or stages to nodes, "faults" schedules
+// deterministic omission/delay/crash(/recover) injection, and "groups"
+// declares view-synchronous membership groups with optional replicated
+// state machines and a request driver — the crash/partition/rejoin
+// workloads of the membership-churn builtin are pure data.
 package scenario
 
 import (
@@ -19,6 +22,7 @@ import (
 	"hades/internal/dispatcher"
 	"hades/internal/feasibility"
 	"hades/internal/heug"
+	"hades/internal/replication"
 	"hades/internal/sched"
 	"hades/internal/vtime"
 )
@@ -82,6 +86,27 @@ type FaultSpec struct {
 	MaxExtraUs float64 `json:"maxExtraUs,omitempty"`
 }
 
+// GroupSpec declares one view-synchronous membership group, optionally
+// carrying a replicated state machine driven with periodic requests:
+//
+//   - Nodes is the member universe watched by the group's detector;
+//   - Style ("passive", "semi-active", "active"), when set, attaches a
+//     replica group whose failover follows the installed views;
+//   - Replicas defaults to Nodes (promotion order = declaration order);
+//   - SubmitEveryMs, when positive, submits one request every interval
+//     from node SubmitFrom for the whole horizon.
+type GroupSpec struct {
+	Name             string  `json:"name"`
+	Nodes            []int   `json:"nodes"`
+	Style            string  `json:"style,omitempty"`
+	Replicas         []int   `json:"replicas,omitempty"`
+	CheckpointEvery  int     `json:"checkpointEvery,omitempty"`
+	WExecUs          float64 `json:"wExecUs,omitempty"`
+	StorageLatencyUs float64 `json:"storageLatencyUs,omitempty"`
+	SubmitEveryMs    float64 `json:"submitEveryMs,omitempty"`
+	SubmitFrom       int     `json:"submitFrom,omitempty"`
+}
+
 // Spec is a full scenario.
 type Spec struct {
 	Name      string     `json:"name"`
@@ -97,6 +122,8 @@ type Spec struct {
 	Links []LinkSpec `json:"links,omitempty"`
 	// Faults schedules deterministic fault injection.
 	Faults []FaultSpec `json:"faults,omitempty"`
+	// Groups declares membership groups (and replicated machines).
+	Groups []GroupSpec `json:"groups,omitempty"`
 	// Placement overrides node assignments: "task" pins a Spuri task
 	// (or every stage of a pipeline), "task/stage" pins one stage.
 	Placement map[string]int `json:"placement,omitempty"`
@@ -130,7 +157,7 @@ func Builtin(name string) (Spec, error) {
 
 // BuiltinNames lists the catalogue.
 func BuiltinNames() []string {
-	return []string{"spuri-example", "inversion", "overload", "distributed-pipeline"}
+	return []string{"spuri-example", "inversion", "overload", "distributed-pipeline", "membership-churn"}
 }
 
 var builtins = map[string]Spec{
@@ -191,6 +218,30 @@ var builtins = map[string]Spec{
 				}},
 		},
 	},
+	// Membership churn: a passive replicated state machine over a
+	// three-member view-synchronous group, fed by a client on node 3;
+	// the primary crashes mid-run and recovers later, exercising the
+	// whole cycle — suspicion → agreed view change → failover in the
+	// same view at every replica → rejoin with state transfer.
+	"membership-churn": {
+		Name: "membership-churn", Nodes: 4, Seed: 1, Costs: "default",
+		Scheduler: "EDF", Policy: "none", HorizonMs: 400,
+		Groups: []GroupSpec{
+			{Name: "sm", Nodes: []int{0, 1, 2}, Style: "passive",
+				CheckpointEvery: 5, SubmitEveryMs: 2, SubmitFrom: 3},
+		},
+		Faults: []FaultSpec{
+			// Crash mid-checkpoint-interval so the passive style shows
+			// its characteristic lost work.
+			{Kind: "crash", Node: 0, AtMs: 65, RecoverMs: 200},
+		},
+		Tasks: []TaskSpec{
+			{Name: "watchdog", Law: "periodic", DeadlineMs: 40, PeriodMs: 50,
+				Stages: []StageSpec{
+					{Name: "check", Node: 3, WCETUs: 300},
+				}},
+		},
+	},
 }
 
 func (s Spec) withDefaults() (Spec, error) {
@@ -203,8 +254,8 @@ func (s Spec) withDefaults() (Spec, error) {
 	if s.HorizonMs <= 0 {
 		s.HorizonMs = 500
 	}
-	if len(s.Tasks) == 0 {
-		return s, fmt.Errorf("scenario %q has no tasks", s.Name)
+	if len(s.Tasks) == 0 && len(s.Groups) == 0 {
+		return s, fmt.Errorf("scenario %q has no tasks and no groups", s.Name)
 	}
 	for i, t := range s.Tasks {
 		if t.Name == "" {
@@ -255,6 +306,55 @@ func (s Spec) withDefaults() (Spec, error) {
 			}
 		default:
 			return s, fmt.Errorf("scenario %q: unknown fault kind %q", s.Name, f.Kind)
+		}
+	}
+	groupNames := map[string]bool{}
+	for _, g := range s.Groups {
+		if g.Name == "" {
+			return s, fmt.Errorf("scenario %q: unnamed group", s.Name)
+		}
+		if groupNames[g.Name] {
+			return s, fmt.Errorf("scenario %q: duplicate group %q", s.Name, g.Name)
+		}
+		groupNames[g.Name] = true
+		if s.Nodes < 2 && len(s.Links) == 0 {
+			return s, fmt.Errorf("scenario %q: group %q needs a network (nodes > 1 or links)", s.Name, g.Name)
+		}
+		if len(g.Nodes) < 2 {
+			return s, fmt.Errorf("scenario %q: group %q needs at least 2 nodes", s.Name, g.Name)
+		}
+		members := map[int]bool{}
+		for _, n := range g.Nodes {
+			if n < 0 || n >= s.Nodes {
+				return s, fmt.Errorf("scenario %q: group %q member %d unknown (have %d nodes)", s.Name, g.Name, n, s.Nodes)
+			}
+			if members[n] {
+				return s, fmt.Errorf("scenario %q: group %q lists member %d twice", s.Name, g.Name, n)
+			}
+			members[n] = true
+		}
+		switch g.Style {
+		case "", "passive", "semi-active", "active":
+		default:
+			return s, fmt.Errorf("scenario %q: group %q has unknown style %q", s.Name, g.Name, g.Style)
+		}
+		if g.Style == "" && g.SubmitEveryMs > 0 {
+			return s, fmt.Errorf("scenario %q: group %q submits requests but has no replication style", s.Name, g.Name)
+		}
+		for _, r := range g.Replicas {
+			found := false
+			for _, n := range g.Nodes {
+				if n == r {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return s, fmt.Errorf("scenario %q: group %q replica %d not a member", s.Name, g.Name, r)
+			}
+		}
+		if g.SubmitFrom < 0 || g.SubmitFrom >= s.Nodes {
+			return s, fmt.Errorf("scenario %q: group %q submits from unknown node %d", s.Name, g.Name, g.SubmitFrom)
 		}
 	}
 	for key, node := range s.Placement {
@@ -454,7 +554,50 @@ func (s Spec) Build() (*cluster.Cluster, error) {
 			c.Crash(f.Node, vtime.Time(msd(f.AtMs)), vtime.Time(msd(f.RecoverMs)))
 		}
 	}
+	for _, gs := range s.Groups {
+		g := c.Group(gs.Name, gs.Nodes...)
+		if gs.Style == "" {
+			continue
+		}
+		wexec := gs.WExecUs
+		if wexec <= 0 {
+			wexec = 100
+		}
+		storeLat := gs.StorageLatencyUs
+		if storeLat <= 0 {
+			storeLat = 20
+		}
+		rep := g.Replicate(replication.Config{
+			Replicas:        gs.Replicas,
+			Style:           replicationStyle(gs.Style),
+			WExec:           us(wexec),
+			CheckpointEvery: gs.CheckpointEvery,
+			StorageLatency:  us(storeLat),
+		}, nil)
+		if gs.SubmitEveryMs > 0 {
+			every := msd(gs.SubmitEveryMs)
+			from := gs.SubmitFrom
+			seq := int64(0)
+			for t := vtime.Duration(0); t < s.Horizon(); t += every {
+				seq++
+				cmd := seq
+				c.At(vtime.Time(t), func() { rep.Submit(from, cmd) })
+			}
+		}
+	}
 	return c, nil
+}
+
+// replicationStyle maps the JSON style name (already validated).
+func replicationStyle(name string) replication.Style {
+	switch name {
+	case "semi-active":
+		return replication.SemiActive
+	case "active":
+		return replication.Active
+	default:
+		return replication.Passive
+	}
 }
 
 // Horizon returns the simulation horizon.

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -289,6 +290,199 @@ func TestDistributedValidation(t *testing.T) {
 		})
 	}
 	// The unmutated base must be fine.
+	if _, err := base().withDefaults(); err != nil {
+		t.Fatalf("valid base rejected: %v", err)
+	}
+}
+
+// TestMembershipChurnBuiltin is the end-to-end acceptance test of the
+// membership subsystem as pure data: the builtin's crashed-then-
+// recovered primary is removed by an agreed view, failover happens in
+// that view, the node rejoins with a state transfer, and the
+// replicated state machine's state survives intact.
+func TestMembershipChurnBuiltin(t *testing.T) {
+	spec, err := Builtin("membership-churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clu, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := clu.Run(spec.Horizon())
+
+	gr, ok := res.Group("sm")
+	if !ok {
+		t.Fatal("no group result")
+	}
+	ids := make([]string, 0, len(gr.Views))
+	for _, v := range gr.Views {
+		ids = append(ids, v.String())
+	}
+	want := []string{"v1{0,1,2}", "v2{1,2}", "v3{0,1,2}"}
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("agreed views %v, want %v", ids, want)
+	}
+	if gr.Failovers != 1 || gr.Joins != 1 {
+		t.Fatalf("failovers=%d joins=%d, want 1/1", gr.Failovers, gr.Joins)
+	}
+	if gr.MaxViewLatency > gr.Bound {
+		t.Fatalf("view-change latency %s above bound %s", gr.MaxViewLatency, gr.Bound)
+	}
+	// All live members installed the same view sequence.
+	mem := clu.Groups()[0].Membership()
+	for _, n := range []int{1, 2} {
+		if got := mem.History(n); !reflect.DeepEqual(got, gr.Views) {
+			t.Fatalf("node %d history %v diverges from agreed %v", n, got, gr.Views)
+		}
+	}
+	// The rejoined ex-primary was restored and is tracking the new
+	// primary within one checkpoint interval: state intact.
+	rep := clu.Groups()[0].Replicas()[0]
+	if rep.Primary() != 1 {
+		t.Fatalf("primary %d, want 1", rep.Primary())
+	}
+	rejoined, primary := rep.Machine(0), rep.Machine(1)
+	if rejoined.Applied == 0 || primary.Applied == 0 {
+		t.Fatalf("machines never ran: rejoined=%d primary=%d", rejoined.Applied, primary.Applied)
+	}
+	if lag := primary.Applied - rejoined.Applied; lag < 0 || lag > 5 {
+		t.Fatalf("rejoined replica lag %d outside [0, checkpoint interval]", lag)
+	}
+	if res.Stats.DeadlineMisses != 0 {
+		t.Fatalf("watchdog missed %d deadlines", res.Stats.DeadlineMisses)
+	}
+}
+
+// TestMembershipChurnDeterministic: identical scenario + seed ⇒
+// identical view history (the determinism acceptance criterion), and
+// identical replicated state.
+func TestMembershipChurnDeterministic(t *testing.T) {
+	type outcome struct {
+		installs string
+		state    int64
+		applied  int64
+	}
+	run := func() outcome {
+		spec, err := Builtin("membership-churn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		clu, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		clu.Run(spec.Horizon())
+		mem := clu.Groups()[0].Membership()
+		s := ""
+		for _, in := range mem.Installs {
+			s += fmt.Sprintf("%d:%s@%s;", in.Node, in.View, in.At)
+		}
+		sm := clu.Groups()[0].Replicas()[0].Machine(1)
+		return outcome{installs: s, state: sm.State, applied: sm.Applied}
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same scenario + seed, different outcome:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestCrashAndRecoverScheduleFromJSON: an end-to-end crash *and
+// recover* schedule written as scenario JSON drives the whole cycle
+// through cluster.Run — the recovery path at the cluster layer.
+func TestCrashAndRecoverScheduleFromJSON(t *testing.T) {
+	data := `{
+		"name": "churn-json",
+		"nodes": 3,
+		"seed": 9,
+		"scheduler": "EDF",
+		"horizonMs": 350,
+		"groups": [
+			{"name": "g", "nodes": [0, 1, 2], "style": "semi-active",
+			 "submitEveryMs": 4, "submitFrom": 2, "checkpointEvery": 5}
+		],
+		"faults": [
+			{"kind": "crash", "node": 0, "atMs": 50, "recoverMs": 180}
+		]
+	}`
+	path := filepath.Join(t.TempDir(), "churn.json")
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clu, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := clu.Run(spec.Horizon())
+
+	// Both transitions of the schedule were injected...
+	mem := clu.Groups()[0].Membership()
+	if clu.Network().NodeDown(0) {
+		t.Fatal("node 0 still down after recoverMs")
+	}
+	// ...and drove a removal view and a rejoin view.
+	gr, _ := res.Group("g")
+	if len(gr.Views) != 3 {
+		t.Fatalf("agreed views %v, want removal + rejoin", gr.Views)
+	}
+	if !gr.Views[2].Contains(0) {
+		t.Fatalf("node 0 never rejoined: %v", gr.Views)
+	}
+	if gr.Failovers != 1 {
+		t.Fatalf("failovers %d, want 1", gr.Failovers)
+	}
+	// Semi-active: no lost work, and the recovered follower executes
+	// requests again after the rejoin (not just the state transfer).
+	rep := clu.Groups()[0].Replicas()[0]
+	if rep.LostWork != 0 {
+		t.Fatalf("semi-active lost %d requests", rep.LostWork)
+	}
+	if len(mem.Transfers) != 1 || mem.Transfers[0].To != 0 {
+		t.Fatalf("transfers %+v, want one to node 0", mem.Transfers)
+	}
+	if rep.Machine(0).Applied == 0 {
+		t.Fatal("recovered follower never restored state")
+	}
+	if lag := rep.Machine(1).Applied - rep.Machine(0).Applied; lag < 0 || lag > 1 {
+		t.Fatalf("recovered follower lag %d, want ≤ 1 in-flight request (semi-active mirrors the leader)", lag)
+	}
+}
+
+// TestGroupValidationErrors: the group fields are validated.
+func TestGroupValidationErrors(t *testing.T) {
+	base := func() Spec {
+		return Spec{Name: "g", Nodes: 3, Groups: []GroupSpec{
+			{Name: "sm", Nodes: []int{0, 1}, Style: "passive"},
+		}}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"unnamed group", func(s *Spec) { s.Groups[0].Name = "" }},
+		{"duplicate group", func(s *Spec) { s.Groups = append(s.Groups, s.Groups[0]) }},
+		{"single-member group", func(s *Spec) { s.Groups[0].Nodes = []int{0} }},
+		{"member off platform", func(s *Spec) { s.Groups[0].Nodes = []int{0, 7} }},
+		{"duplicate member", func(s *Spec) { s.Groups[0].Nodes = []int{1, 1} }},
+		{"unknown style", func(s *Spec) { s.Groups[0].Style = "quantum" }},
+		{"submit without style", func(s *Spec) { s.Groups[0].Style = ""; s.Groups[0].SubmitEveryMs = 1 }},
+		{"replica not a member", func(s *Spec) { s.Groups[0].Replicas = []int{2} }},
+		{"submit from unknown node", func(s *Spec) { s.Groups[0].SubmitFrom = 9 }},
+		{"group without network", func(s *Spec) { s.Nodes = 1; s.Groups[0].Nodes = []int{0, 0} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mutate(&s)
+			if _, err := s.withDefaults(); err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+		})
+	}
 	if _, err := base().withDefaults(); err != nil {
 		t.Fatalf("valid base rejected: %v", err)
 	}
