@@ -1,0 +1,51 @@
+// Command hades-bench converts `go test -bench` output on stdin into
+// a JSON benchmark baseline, so CI can persist a BENCH_<sha>.json
+// artifact per commit and track the performance trajectory.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | hades-bench -sha $GITHUB_SHA -out BENCH_$GITHUB_SHA.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hades/internal/benchparse"
+)
+
+func main() {
+	var (
+		sha = flag.String("sha", "", "commit SHA to stamp into the baseline")
+		out = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	b, err := benchparse.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(b.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "hades-bench: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	b.SHA = *sha
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := b.Write(w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "hades-bench: %d benchmark(s) recorded\n", len(b.Benchmarks))
+}

@@ -10,6 +10,7 @@
 //	hades-sim -builtin spuri-example
 //	hades-sim -builtin distributed-pipeline
 //	hades-sim -builtin inversion -trace
+//	hades-sim -builtin partition-split -views -partition
 //	hades-sim -scenario myset.json
 //	hades-sim -builtins              # list built-in scenarios
 package main
@@ -30,6 +31,7 @@ func main() {
 		trace    = flag.Bool("trace", false, "print the full event trace")
 		gantt    = flag.Bool("gantt", false, "print a per-node CPU occupancy chart")
 		views    = flag.Bool("views", false, "print per-node membership view histories")
+		partRep  = flag.Bool("partition", false, "print per-group partition/quorum/merge report")
 		listThem = flag.Bool("builtins", false, "list built-in scenarios and exit")
 	)
 	flag.Parse()
@@ -87,6 +89,27 @@ func main() {
 				}
 				fmt.Printf("  install n%d %s at %s (%s, lat %s)\n", in.Node, in.View, in.At, in.Reason, in.Latency)
 			}
+		}
+	}
+	if *partRep {
+		for _, g := range clu.Groups() {
+			mem := g.Membership()
+			fmt.Printf("--- group %s partition report ---\n", mem.Name())
+			fmt.Printf("  quorum: %d of %s; no-quorum time %s\n", mem.Quorum(), mem.Agreed(), mem.NoQuorumTime())
+			for _, node := range mem.Nodes() {
+				if b := mem.BlockedTime(node); b > 0 {
+					fmt.Printf("  n%d blocked (excluded while alive): %s\n", node, b)
+				}
+			}
+			for _, mg := range mem.Merges {
+				fmt.Printf("  merge %s at %s readmitted %v (heal %s, latency %s)\n",
+					mg.View, mg.At, mg.Readmitted, mg.HealAt, mg.Latency)
+			}
+			flushed := mem.FlushedMessages()
+			for _, rep := range g.Replicas() {
+				flushed += rep.Flushed
+			}
+			fmt.Printf("  flushed at view boundaries: %d message(s)\n", flushed)
 		}
 	}
 	if *gantt {

@@ -1,0 +1,89 @@
+// Partition: split-brain-safe membership under a network partition —
+// the fault class a crash/recover model cannot express.
+//
+// A passive replicated state machine runs on nodes 0–2 over a
+// view-synchronous membership group; a client on node 3 submits one
+// request per millisecond. At 60 ms the network segments: the primary
+// (node 0) is cut off alone, while nodes 1–3 — a strict majority
+// quorum of the previous view — stay connected. Both sides suspect
+// each other, but the primary-partition rule lets only the majority
+// act: it agrees on view v2{1,2}, installs it at one instant and
+// promotes replica 1. The isolated minority blocks — it installs no
+// view and promotes no primary, so there is never a second leader
+// (split-brain safety), and old-view traffic pending past the
+// boundary is flushed rather than delivered (virtual synchrony).
+//
+// At 200 ms the partition heals. Heartbeats flow again, the majority
+// rehabilitates node 0 and re-admits it through a merge view v3, and
+// the join state transfer overwrites the minority's stale state with
+// the authoritative majority log — every replica converges to the one
+// history the surviving primary produced.
+//
+//	go run ./examples/partition
+package main
+
+import (
+	"fmt"
+
+	"hades/internal/cluster"
+	"hades/internal/dispatcher"
+	"hades/internal/replication"
+	"hades/internal/vtime"
+)
+
+const ms = vtime.Millisecond
+
+func main() {
+	c := cluster.New(cluster.Config{Seed: 7, Costs: dispatcher.DefaultCostBook()})
+	c.AddNodes(4) // 3 replicas + 1 client
+	c.ConnectAll(100*vtime.Microsecond, 250*vtime.Microsecond)
+
+	grp := c.Group("sm", 0, 1, 2)
+	var replies int
+	rep := grp.Replicate(replication.Config{
+		Style:           replication.Passive,
+		WExec:           100 * vtime.Microsecond,
+		CheckpointEvery: 5,
+		StorageLatency:  20 * vtime.Microsecond,
+	}, func(uint64, int64, bool) { replies++ })
+
+	for i := 0; i < 300; i++ {
+		cmd := int64(i + 1)
+		c.At(vtime.Time(vtime.Duration(i)*ms), func() { rep.Submit(3, cmd) })
+	}
+
+	// The primary is segmented off alone; the client stays with the
+	// majority side.
+	splitAt := vtime.Time(60 * ms)
+	healAt := vtime.Time(200 * ms)
+	c.PartitionAt(splitAt, []int{0}, []int{1, 2, 3})
+	c.HealAt(healAt)
+
+	res := c.Run(400 * ms)
+	mem := grp.Membership()
+
+	fmt.Println("=== partition: split → majority view → merge over 400 ms ===")
+	fmt.Print(res)
+	fmt.Printf("\nprimary-partition rule: quorum %d of the previous view\n", mem.Quorum())
+	for _, in := range mem.Installs {
+		if in.View.ID == 1 {
+			continue
+		}
+		fmt.Printf("  n%d installed %s at %s (%s)\n", in.Node, in.View, in.At, in.Reason)
+	}
+	fmt.Printf("minority (n0) blocked while partitioned: %s — no view, no promotion\n", mem.BlockedTime(0))
+	for _, fo := range rep.Failovers {
+		fmt.Printf("failover: n%d → n%d in view %d at %s (exactly one side ever promotes)\n",
+			fo.From, fo.To, fo.InView, fo.At)
+	}
+	for _, mg := range mem.Merges {
+		fmt.Printf("merge: %s re-admitted %v at %s — %s after the heal\n",
+			mg.View, mg.Readmitted, mg.At, mg.Latency)
+	}
+	for _, tr := range mem.Transfers {
+		fmt.Printf("state transfer: n%d → n%d at %s (authoritative majority state wins)\n", tr.From, tr.To, tr.At)
+	}
+	fmt.Printf("replica states: primary applied=%d, re-admitted minority applied=%d (within one checkpoint interval)\n",
+		rep.Machine(rep.Primary()).Applied, rep.Machine(0).Applied)
+	fmt.Printf("client replies: %d of 300 (requests during the split window are lost and must be resubmitted)\n", replies)
+}

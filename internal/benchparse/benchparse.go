@@ -1,0 +1,112 @@
+// Package benchparse turns `go test -bench` text output into a
+// structured baseline record, so CI can persist a BENCH_<sha>.json
+// artifact per commit and the performance trajectory of the hot paths
+// (eventq, rbcast, feasibility, netsim) is tracked over time instead
+// of living in commit messages.
+package benchparse
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the full benchmark name including the -N GOMAXPROCS
+	// suffix, e.g. "BenchmarkMsgKey-8".
+	Name string `json:"name"`
+	// Package is the Go package the benchmark ran in (from the
+	// preceding "pkg:" line; empty if none was seen).
+	Package    string  `json:"package,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"nsPerOp"`
+	// BytesPerOp and AllocsPerOp are present only with -benchmem.
+	BytesPerOp  float64 `json:"bytesPerOp,omitempty"`
+	AllocsPerOp float64 `json:"allocsPerOp,omitempty"`
+	// MBPerSec is present only for benchmarks calling SetBytes.
+	MBPerSec float64 `json:"mbPerSec,omitempty"`
+}
+
+// Baseline is the persisted record for one commit.
+type Baseline struct {
+	SHA        string      `json:"sha,omitempty"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` output and collects every benchmark
+// line. Non-benchmark lines (PASS, ok, warnings) are skipped; a
+// malformed Benchmark... line is an error, so CI fails loudly instead
+// of silently recording an empty baseline.
+func Parse(r io.Reader) (Baseline, error) {
+	var b Baseline
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			b.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			b.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			bm, err := parseLine(line)
+			if err != nil {
+				return b, err
+			}
+			bm.Package = pkg
+			b.Benchmarks = append(b.Benchmarks, bm)
+		}
+	}
+	return b, sc.Err()
+}
+
+// parseLine parses one "BenchmarkX-8  N  12.3 ns/op [...]" line.
+func parseLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, fmt.Errorf("benchparse: short benchmark line %q", line)
+	}
+	bm := Benchmark{Name: fields[0]}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("benchparse: bad iteration count in %q: %w", line, err)
+	}
+	bm.Iterations = iters
+	// The rest is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("benchparse: bad value in %q: %w", line, err)
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			bm.NsPerOp = val
+		case "B/op":
+			bm.BytesPerOp = val
+		case "allocs/op":
+			bm.AllocsPerOp = val
+		case "MB/s":
+			bm.MBPerSec = val
+		}
+	}
+	if bm.NsPerOp == 0 && len(fields) > 2 {
+		return Benchmark{}, fmt.Errorf("benchparse: no ns/op in %q", line)
+	}
+	return bm, nil
+}
+
+// Write renders the baseline as indented JSON.
+func (b Baseline) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

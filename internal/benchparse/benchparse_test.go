@@ -1,0 +1,77 @@
+package benchparse
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: hades/internal/rbcast
+cpu: fake
+BenchmarkMsgKey-8        1000000        52.1 ns/op        0 B/op        0 allocs/op
+BenchmarkFlood-8         20000          61250 ns/op
+PASS
+ok   hades/internal/rbcast 1.2s
+pkg: hades/internal/feasibility
+BenchmarkEDF-8           500            2.25 ns/op        128 B/op      2 allocs/op
+PASS
+ok   hades/internal/feasibility 0.8s
+`
+
+func TestParseCollectsBenchmarks(t *testing.T) {
+	b, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.GoOS != "linux" || b.GoArch != "amd64" {
+		t.Fatalf("platform %q/%q", b.GoOS, b.GoArch)
+	}
+	if len(b.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(b.Benchmarks))
+	}
+	first := b.Benchmarks[0]
+	if first.Name != "BenchmarkMsgKey-8" || first.Package != "hades/internal/rbcast" {
+		t.Fatalf("first benchmark %+v", first)
+	}
+	if first.Iterations != 1000000 || first.NsPerOp != 52.1 || first.AllocsPerOp != 0 {
+		t.Fatalf("first benchmark values %+v", first)
+	}
+	last := b.Benchmarks[2]
+	if last.Package != "hades/internal/feasibility" || last.BytesPerOp != 128 || last.AllocsPerOp != 2 {
+		t.Fatalf("last benchmark %+v", last)
+	}
+}
+
+func TestParseRejectsMalformedBenchmarkLine(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkBroken-8 notanumber 12 ns/op\n")); err == nil {
+		t.Fatal("malformed iteration count accepted")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkBroken-8\n")); err == nil {
+		t.Fatal("short benchmark line accepted")
+	}
+}
+
+func TestWriteRoundTrips(t *testing.T) {
+	b, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SHA = "abc123"
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Baseline
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SHA != "abc123" || len(back.Benchmarks) != 3 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Benchmarks[1].NsPerOp != 61250 {
+		t.Fatalf("ns/op lost: %+v", back.Benchmarks[1])
+	}
+}

@@ -475,6 +475,29 @@ func (c *Cluster) Crash(node int, at, recoverAt vtime.Time) {
 	fault.CrashAt(c.eng, c.net, node, at, recoverAt)
 }
 
+// PartitionAt schedules a network partition into the given sides at
+// instant at: cross-side messages (including copies in flight) drop
+// until HealAt. Nodes listed in no side keep full connectivity (hosts
+// outside the segmented segment, e.g. clients). Membership groups
+// enforce the primary-partition rule across the split: only the side
+// holding a majority quorum of the previous view installs views.
+func (c *Cluster) PartitionAt(at vtime.Time, sides ...[]int) {
+	c.build()
+	if c.net == nil {
+		panic("cluster: PartitionAt needs a network (declare links or multiple nodes)")
+	}
+	fault.PartitionAt(c.eng, c.net, at, 0, sides...)
+}
+
+// HealAt schedules the heal of the partition at instant at.
+func (c *Cluster) HealAt(at vtime.Time) {
+	c.build()
+	if c.net == nil {
+		panic("cluster: HealAt needs a network (declare links or multiple nodes)")
+	}
+	fault.HealAt(c.eng, c.net, at)
+}
+
 // InjectFault chains a custom fault hook after the ones already
 // installed; the first non-deliver verdict wins. Hooks must be
 // deterministic given the engine's seeded source.

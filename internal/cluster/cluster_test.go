@@ -222,3 +222,41 @@ func TestExplicitTopology(t *testing.T) {
 		t.Fatal("0-2 should not be connected in a line topology")
 	}
 }
+
+// TestPartitionViaCluster: the cluster-level partition fault drives
+// the whole primary-partition story, and the Result surfaces
+// quorum/blocked-time/merge-latency per group.
+func TestPartitionViaCluster(t *testing.T) {
+	c := cluster.New(cluster.Config{Seed: 9})
+	c.AddNodes(4)
+	c.ConnectAll(100*us, 300*us)
+	g := c.Group("pp", 0, 1, 2)
+	c.PartitionAt(vtime.Time(40*ms), []int{0}, []int{1, 2, 3})
+	c.HealAt(vtime.Time(150 * ms))
+	res := c.Run(300 * ms)
+
+	gr, ok := res.Group("pp")
+	if !ok {
+		t.Fatal("group missing from Result")
+	}
+	if len(gr.Views) != 3 {
+		t.Fatalf("agreed views %v, want split-removal + merge", gr.Views)
+	}
+	if gr.Quorum != 2 {
+		t.Fatalf("quorum %d, want 2 (strict majority of 3)", gr.Quorum)
+	}
+	if gr.BlockedTime == 0 {
+		t.Fatal("blocked time missing from Result")
+	}
+	if gr.NoQuorumTime != 0 {
+		t.Fatalf("no-quorum time %s, want 0 (one side always had quorum)", gr.NoQuorumTime)
+	}
+	if gr.Merges != 1 || gr.MergeLatency == 0 {
+		t.Fatalf("merges=%d mergeLat=%s, want exactly one measured merge", gr.Merges, gr.MergeLatency)
+	}
+	// The minority member never installed a view while partitioned.
+	mem := g.Membership()
+	if hist := mem.History(0); len(hist) != 2 {
+		t.Fatalf("minority history %v, want [v1 merge]", hist)
+	}
+}

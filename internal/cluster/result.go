@@ -41,6 +41,22 @@ type GroupResult struct {
 	AvgViewLatency vtime.Duration
 	MaxViewLatency vtime.Duration
 	Bound          vtime.Duration
+	// Quorum is the strict-majority head count of the final view —
+	// what a side must muster to install the next view under the
+	// primary-partition rule.
+	Quorum int
+	// BlockedTime sums the time members spent excluded from the agreed
+	// view while alive (partitioned minority sides); NoQuorumTime is
+	// the span with changes pending but no majority side anywhere.
+	BlockedTime  vtime.Duration
+	NoQuorumTime vtime.Duration
+	// Merges counts partition merge views (blocked members re-admitted)
+	// and MergeLatency the worst heal-to-merge-install latency.
+	Merges       int
+	MergeLatency vtime.Duration
+	// Flushed counts messages discarded by virtual-synchronous
+	// flushing at view boundaries (broadcast + replication traffic).
+	Flushed int
 	// Failovers and LostWork aggregate the attached replica groups.
 	Failovers int
 	LostWork  int64
@@ -87,10 +103,20 @@ func (c *Cluster) ResultNow() Result {
 func (g *Group) result() GroupResult {
 	svc := g.svc
 	gr := GroupResult{
-		Name:  svc.Name(),
-		Views: svc.AgreedViews(),
-		Joins: len(svc.Transfers),
-		Bound: svc.Bound(),
+		Name:         svc.Name(),
+		Views:        svc.AgreedViews(),
+		Joins:        len(svc.Transfers),
+		Bound:        svc.Bound(),
+		Quorum:       svc.Quorum(),
+		BlockedTime:  svc.TotalBlockedTime(),
+		NoQuorumTime: svc.NoQuorumTime(),
+		Merges:       len(svc.Merges),
+		Flushed:      svc.FlushedMessages(),
+	}
+	for _, mg := range svc.Merges {
+		if mg.Latency > gr.MergeLatency {
+			gr.MergeLatency = mg.Latency
+		}
 	}
 	var sum vtime.Duration
 	measured := 0
@@ -111,6 +137,7 @@ func (g *Group) result() GroupResult {
 	for _, rep := range g.rep {
 		gr.Failovers += len(rep.Failovers)
 		gr.LostWork += rep.LostWork
+		gr.Flushed += rep.Flushed
 	}
 	return gr
 }
@@ -159,6 +186,10 @@ func (r Result) String() string {
 		out += fmt.Sprintf("  group %-10s %s\n", g.Name, views)
 		out += fmt.Sprintf("    changes=%d joins=%d installs=%d avgLat=%s maxLat=%s (bound %s) failovers=%d lost=%d\n",
 			len(g.Views)-1, g.Joins, g.Installs, g.AvgViewLatency, g.MaxViewLatency, g.Bound, g.Failovers, g.LostWork)
+		if g.BlockedTime > 0 || g.NoQuorumTime > 0 || g.Merges > 0 || g.Flushed > 0 {
+			out += fmt.Sprintf("    quorum=%d blocked=%s noQuorum=%s merges=%d mergeLat=%s flushed=%d\n",
+				g.Quorum, g.BlockedTime, g.NoQuorumTime, g.Merges, g.MergeLatency, g.Flushed)
+		}
 	}
 	return out
 }

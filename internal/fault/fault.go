@@ -41,6 +41,32 @@ func CrashAt(eng *simkern.Engine, net *netsim.Network, node int, t, recoverAt vt
 	}
 }
 
+// PartitionAt schedules a network partition into the given sides at
+// instant t; if healAt is non-zero the partition heals then. Messages
+// between different sides (including copies in flight) are dropped for
+// the whole window.
+func PartitionAt(eng *simkern.Engine, net *netsim.Network, t, healAt vtime.Time, sides ...[]int) {
+	eng.At(t, eventq.ClassApp, func() {
+		net.SetPartition(sides...)
+		if log := eng.Log(); log != nil {
+			log.Recordf(t, monitor.KindFailureInjected, -1, "partition", "%v", sides)
+		}
+	})
+	if healAt > t {
+		HealAt(eng, net, healAt)
+	}
+}
+
+// HealAt schedules the heal of the network partition at instant t.
+func HealAt(eng *simkern.Engine, net *netsim.Network, t vtime.Time) {
+	eng.At(t, eventq.ClassApp, func() {
+		net.Heal()
+		if log := eng.Log(); log != nil {
+			log.Recordf(t, monitor.KindFailureInjected, -1, "heal", "")
+		}
+	})
+}
+
 // OmissionEvery drops every k-th message matching the filter — a
 // deterministic send-omission pattern. A nil filter matches everything.
 type OmissionEvery struct {

@@ -32,6 +32,21 @@
 //     runs a state transfer from a live donor to the joiner for every
 //     registered state provider (replication registers its replicated
 //     state machine backed by internal/storage stable checkpoints).
+//   - Primary partition: under a network partition only the side
+//     holding a strict majority quorum of the previous view may decide
+//     and install the next view; minority sides block — no view, so no
+//     promotion — until the partition heals, at which point the
+//     majority re-admits the minority through a merge view driven by
+//     the ordinary rehabilitation→join path (including state
+//     transfer). The quorum denominator is the previous view's members
+//     that are not known-crashed: the simulation's perfect crash
+//     detector lets plain crash churn keep its availability (any set
+//     of survivors proceeds), while partitioned-but-alive members
+//     always count, so no side of a split can outvote the other.
+//   - Virtual synchrony: each agreed view advances the broadcast
+//     flushing epoch (rbcast.SetEpoch), so copies initiated in the old
+//     view but pending past the boundary are discarded identically at
+//     every member instead of delivered into the new view.
 //
 // All decisions are functions of the deterministic engine: identical
 // scenario + seed ⇒ identical view history at every node.
@@ -127,6 +142,19 @@ type Transfer struct {
 	At       vtime.Time
 }
 
+// Merge records one partition merge: a view that re-admitted members
+// which had been excluded while alive (a blocked minority side).
+type Merge struct {
+	View View
+	// At is the merge view's install instant; HealAt the heal instant
+	// of the partition that had excluded the members (zero when the
+	// heal was never observed); Latency is At - HealAt.
+	At         vtime.Time
+	HealAt     vtime.Time
+	Latency    vtime.Duration
+	Readmitted []int
+}
+
 // stateHook is one registered application state to carry across joins.
 type stateHook struct {
 	key string
@@ -166,16 +194,29 @@ type Service struct {
 	done    map[uint64]bool // agreed-view completion guard
 
 	inProgress    bool
-	pendingRemove map[int]vtime.Time // suspect → trigger instant
-	pendingJoin   map[int]vtime.Time // joiner → trigger instant
+	retryArmed    bool
+	pendingRemove map[int]map[int]vtime.Time // suspect → observer → trigger instant
+	pendingJoin   map[int]vtime.Time         // joiner → trigger instant
+
+	// Primary-partition bookkeeping: spans with pending changes but no
+	// majority side, per-node excluded-while-alive spans, and the last
+	// observed heal instant (for merge latency).
+	noQuorum      bool
+	noQuorumSince vtime.Time
+	noQuorumTotal vtime.Duration
+	blockedSince  map[int]vtime.Time
+	blockedMark   map[int]bool // excluded-while-alive, until re-admitted
+	blockedTotal  map[int]vtime.Duration
+	lastHeal      vtime.Time
 
 	onInstall map[int][]func(View)
 	onChange  []func(View)
 	states    []stateHook
 
-	// Installs and Transfers record every event for the harness.
+	// Installs, Transfers and Merges record every event for the harness.
 	Installs  []Install
 	Transfers []Transfer
+	Merges    []Merge
 }
 
 // New builds (but does not start) a membership service over the given
@@ -229,8 +270,11 @@ func New(eng *simkern.Engine, net *netsim.Network, cfg Config) (*Service, error)
 		current:       make(map[int]View),
 		history:       make(map[int][]View),
 		done:          make(map[uint64]bool),
-		pendingRemove: make(map[int]vtime.Time),
+		pendingRemove: make(map[int]map[int]vtime.Time),
 		pendingJoin:   make(map[int]vtime.Time),
+		blockedSince:  make(map[int]vtime.Time),
+		blockedMark:   make(map[int]bool),
+		blockedTotal:  make(map[int]vtime.Duration),
 		onInstall:     make(map[int][]func(View)),
 	}
 	s.det = fault.NewDetector(eng, net, dcfg, s.handleSuspicion)
@@ -240,6 +284,29 @@ func New(eng *simkern.Engine, net *netsim.Network, cfg Config) (*Service, error)
 		s.rb.OnDeliver(node, func(d rbcast.Delivery) { s.deliverView(node, d) })
 		net.Bind(node, s.xferPort(), func(m *netsim.Message) { s.receiveTransfer(node, m) })
 	}
+	// A crash ends a blocked (excluded-while-alive) span; a recovery
+	// while still excluded re-opens it (the node is blocked again, and
+	// its eventual re-admission is still a merge). A heal marks the
+	// merge-latency origin and gives pending changes a prompt chance
+	// to find a quorum side again.
+	net.OnDownChange(func(node int, down bool) {
+		switch {
+		case down:
+			s.closeBlocked(node, eng.Now())
+		case s.started && s.blockedMark[node] && !s.Agreed().Contains(node):
+			if _, open := s.blockedSince[node]; !open {
+				s.blockedSince[node] = eng.Now()
+			}
+		}
+	})
+	net.OnPartitionChange(func(partitioned bool) {
+		if !partitioned {
+			s.lastHeal = eng.Now()
+			if s.started {
+				s.maybeChange()
+			}
+		}
+	})
 	return s, nil
 }
 
@@ -256,6 +323,7 @@ func (s *Service) Start() {
 	now := s.eng.Now()
 	v0 := View{ID: 1, Members: sortedCopy(s.cfg.Nodes)}
 	s.agreed = append(s.agreed, v0)
+	s.rb.SetEpoch(v0.ID, v0.Members)
 	for _, n := range v0.Members {
 		s.install(n, v0, now, now, "init")
 	}
@@ -280,6 +348,54 @@ func (s *Service) AgreedViews() []View {
 	copy(out, s.agreed)
 	return out
 }
+
+// Agreed returns the latest agreed view (zero View before Start).
+func (s *Service) Agreed() View {
+	if len(s.agreed) == 0 {
+		return View{}
+	}
+	return s.agreed[len(s.agreed)-1]
+}
+
+// Quorum returns the strict-majority quorum size a side must muster
+// right now to install the next view under the primary-partition rule
+// — counted, like the rule itself, over the latest agreed view's
+// members that are not known-crashed.
+func (s *Service) Quorum() int { return len(liveOf(s.net, s.Agreed()))/2 + 1 }
+
+// NoQuorumTime returns the accumulated time during which membership
+// changes were pending but no side held a majority quorum (a total
+// block, e.g. a symmetric split).
+func (s *Service) NoQuorumTime() vtime.Duration {
+	total := s.noQuorumTotal
+	if s.noQuorum {
+		total += s.eng.Now().Sub(s.noQuorumSince)
+	}
+	return total
+}
+
+// BlockedTime returns the time node spent excluded from the agreed
+// view while alive (a partitioned minority member), up to now.
+func (s *Service) BlockedTime(node int) vtime.Duration {
+	total := s.blockedTotal[node]
+	if since, open := s.blockedSince[node]; open {
+		total += s.eng.Now().Sub(since)
+	}
+	return total
+}
+
+// TotalBlockedTime sums BlockedTime over the universe.
+func (s *Service) TotalBlockedTime() vtime.Duration {
+	var total vtime.Duration
+	for _, n := range s.cfg.Nodes {
+		total += s.BlockedTime(n)
+	}
+	return total
+}
+
+// FlushedMessages returns the number of broadcast copies discarded by
+// virtual-synchronous flushing at view boundaries.
+func (s *Service) FlushedMessages() int { return s.rb.Flushed }
 
 // CurrentView returns node's currently installed view (zero View if
 // the node never installed one).
@@ -349,6 +465,8 @@ func (s *Service) consensusRound() vtime.Duration {
 }
 
 // handleSuspicion queues a removal when a member suspects a member.
+// The observer is recorded with the suspicion: under a partition only
+// suspicions held by the majority side are actionable.
 func (s *Service) handleSuspicion(sp fault.Suspicion) {
 	if !s.started {
 		return
@@ -357,10 +475,15 @@ func (s *Service) handleSuspicion(sp fault.Suspicion) {
 	if !cur.Contains(sp.Suspect) || !cur.Contains(sp.Observer) {
 		return
 	}
-	if _, dup := s.pendingRemove[sp.Suspect]; dup {
+	obs := s.pendingRemove[sp.Suspect]
+	if obs == nil {
+		obs = make(map[int]vtime.Time)
+		s.pendingRemove[sp.Suspect] = obs
+	}
+	if _, dup := obs[sp.Observer]; dup {
 		return
 	}
-	s.pendingRemove[sp.Suspect] = sp.At
+	obs[sp.Observer] = sp.At
 	s.maybeChange()
 }
 
@@ -381,14 +504,130 @@ func (s *Service) handleRehabilitation(observer, peer int) {
 	s.maybeChange()
 }
 
+// majorityCohort returns the side that may drive the next view change
+// from v, or nil if none: the live (not known-crashed) members of v
+// that can reach each other and form a strict majority of v's live
+// members. With no partition that is simply every live member (crash
+// churn keeps its availability — the simulation's perfect crash
+// detector vouches that crashed members cannot form a rival primary).
+// Under a partition, members are grouped by side; members on no listed
+// side reach every side and count toward each cohort. The largest
+// cohort wins (lowest side index on ties, deterministically).
+func (s *Service) majorityCohort(v View) []int {
+	var live []int
+	for _, m := range v.Members {
+		if !s.net.NodeDown(m) {
+			live = append(live, m)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	need := len(live)/2 + 1
+	if !s.net.PartitionActive() {
+		return live
+	}
+	var unlisted []int
+	bySide := make(map[int][]int)
+	for _, m := range live {
+		if sd, listed := s.net.Side(m); listed {
+			bySide[sd] = append(bySide[sd], m)
+		} else {
+			unlisted = append(unlisted, m)
+		}
+	}
+	if len(bySide) == 0 {
+		return live // no member is behind the partition
+	}
+	sides := make([]int, 0, len(bySide))
+	for sd := range bySide {
+		sides = append(sides, sd)
+	}
+	sort.Ints(sides)
+	var best []int
+	for _, sd := range sides {
+		cohort := append(append([]int{}, bySide[sd]...), unlisted...)
+		if len(cohort) >= need && len(cohort) > len(best) {
+			best = cohort
+		}
+	}
+	sort.Ints(best)
+	return best
+}
+
+// armRetry schedules one maybeChange retry a detector period from now
+// (deduplicated: at most one armed retry at a time).
+func (s *Service) armRetry() {
+	if s.retryArmed {
+		return
+	}
+	s.retryArmed = true
+	s.eng.After(s.cfg.Detector.Period, eventq.ClassApp, func() {
+		s.retryArmed = false
+		s.maybeChange()
+	})
+}
+
+// beginQuorumOutage opens the no-quorum span (idempotent).
+func (s *Service) beginQuorumOutage(cur View) {
+	if s.noQuorum {
+		return
+	}
+	s.noQuorum = true
+	s.noQuorumSince = s.eng.Now()
+	if log := s.eng.Log(); log != nil {
+		log.Recordf(s.noQuorumSince, monitor.KindQuorumBlocked, -1, s.cfg.Name,
+			"no side holds %d of %s", len(liveOf(s.net, cur))/2+1, cur)
+	}
+}
+
+// endQuorumOutage closes the no-quorum span (idempotent).
+func (s *Service) endQuorumOutage() {
+	if !s.noQuorum {
+		return
+	}
+	s.noQuorum = false
+	s.noQuorumTotal += s.eng.Now().Sub(s.noQuorumSince)
+}
+
+// closeBlocked ends node's excluded-while-alive span at instant t.
+func (s *Service) closeBlocked(node int, t vtime.Time) {
+	if since, open := s.blockedSince[node]; open {
+		s.blockedTotal[node] += t.Sub(since)
+		delete(s.blockedSince, node)
+	}
+}
+
 // maybeChange starts one view change for the queued removals and joins
 // if none is in flight. Changes serialise: the next starts when the
-// current view installs.
+// current view installs. The primary-partition rule gates the start: a
+// change proceeds only when a majority cohort of the current view
+// exists, removals are actionable only when a cohort member still
+// holds the suspicion, and only cohort members propose.
 func (s *Service) maybeChange() {
 	if s.inProgress {
 		return
 	}
 	cur := s.agreed[len(s.agreed)-1]
+	if len(s.pendingRemove) == 0 && len(s.pendingJoin) == 0 {
+		s.endQuorumOutage()
+		return
+	}
+	cohort := s.majorityCohort(cur)
+	if cohort == nil {
+		// No side holds a majority quorum of the current view: every
+		// side blocks (no view anywhere) until connectivity or
+		// liveness changes.
+		s.beginQuorumOutage(cur)
+		s.armRetry()
+		return
+	}
+	s.endQuorumOutage()
+	inCohort := make(map[int]bool, len(cohort))
+	for _, m := range cohort {
+		inCohort[m] = true
+	}
+
 	var removes, adds []int
 	trigger := vtime.Time(0)
 	first := true
@@ -398,34 +637,55 @@ func (s *Service) maybeChange() {
 		}
 		first = false
 	}
-	for _, n := range sortedKeys(s.pendingRemove) {
-		if cur.Contains(n) {
-			removes = append(removes, n)
-			take(s.pendingRemove[n])
-		} else {
-			delete(s.pendingRemove, n)
+	for _, suspect := range sortedKeys2(s.pendingRemove) {
+		if !cur.Contains(suspect) {
+			delete(s.pendingRemove, suspect)
+			continue
+		}
+		// Drop retracted suspicions (the observer rehabilitated the
+		// peer, e.g. after a heal) and observers that left the view;
+		// act only on suspicions held by the majority cohort.
+		observers := s.pendingRemove[suspect]
+		actionable := false
+		for _, o := range sortedKeys(observers) {
+			if !cur.Contains(o) || !s.det.Suspected(o, suspect) {
+				delete(observers, o)
+				continue
+			}
+			if inCohort[o] {
+				actionable = true
+				take(observers[o])
+			}
+		}
+		if len(observers) == 0 {
+			delete(s.pendingRemove, suspect)
+			continue
+		}
+		if actionable {
+			removes = append(removes, suspect)
 		}
 	}
 	for _, n := range sortedKeys(s.pendingJoin) {
-		if !cur.Contains(n) && !s.net.NodeDown(n) {
+		switch {
+		case cur.Contains(n) || s.net.NodeDown(n):
+			delete(s.pendingJoin, n)
+		case reachableFrom(s.net, cohort, n):
 			adds = append(adds, n)
 			take(s.pendingJoin[n])
-		} else {
-			delete(s.pendingJoin, n)
 		}
 	}
 	if len(removes) == 0 && len(adds) == 0 {
 		return
 	}
 
-	// Each live, non-suspect member proposes its local membership
-	// estimate: the current members it does not itself suspect, minus
-	// the triggering removals, plus the joiners. Agreement then makes
-	// one of those estimates the view — suspicions become *agreed*
-	// membership, the point of the service.
+	// Each cohort member proposes its local membership estimate: the
+	// current members it does not itself suspect, minus the triggering
+	// removals, plus the joiners. Agreement then makes one of those
+	// estimates the view — suspicions become *agreed* membership, the
+	// point of the service.
 	proposals := make(map[int]int64)
-	for _, m := range cur.Members {
-		if s.net.NodeDown(m) || containsInt(removes, m) {
+	for _, m := range cohort {
+		if containsInt(removes, m) {
 			continue
 		}
 		var mask int64
@@ -444,9 +704,9 @@ func (s *Service) maybeChange() {
 		proposals[m] = mask
 	}
 	if len(proposals) == 0 {
-		// No live member to drive the change; retry a period later
+		// No cohort member to drive the change; retry a period later
 		// (e.g. everyone crashed — nothing to agree until recovery).
-		s.eng.After(s.cfg.Detector.Period, eventq.ClassApp, s.maybeChange)
+		s.armRetry()
 		return
 	}
 
@@ -469,10 +729,26 @@ func (s *Service) maybeChange() {
 		if decided {
 			return
 		}
+		// Split-brain gate: a decision defines the next view only if
+		// the decider sits in a current majority cohort — a partition
+		// striking mid-round must not let a minority-side estimate
+		// become the agreed view.
+		if !containsInt(s.majorityCohort(s.agreed[len(s.agreed)-1]), res.Node) {
+			return
+		}
 		decided = true
 		s.finishChange(newID, membersOf(res.Decision), trig, reason)
 	})
 	inst.Propose(proposals)
+	// A partition striking mid-round can leave every decision rejected
+	// by the gate above; re-arm so the change is retried rather than
+	// wedged behind a dead consensus instance.
+	s.eng.After(vtime.Duration(f+1)*ccfg.Round+vtime.Microsecond, eventq.ClassApp, func() {
+		if !decided {
+			s.inProgress = false
+			s.maybeChange()
+		}
+	})
 }
 
 // finishChange runs at the consensus decision instant: the agreed view
@@ -482,22 +758,38 @@ func (s *Service) maybeChange() {
 func (s *Service) finishChange(id uint64, members []int, trigger vtime.Time, reason string) {
 	if len(members) == 0 {
 		// Degenerate decision (all proposers excluded everyone) —
-		// abandon; detector churn will retrigger.
+		// abandon; retry so queued changes are not wedged.
 		s.inProgress = false
+		s.armRetry()
 		return
 	}
+	cohort := s.majorityCohort(s.agreed[len(s.agreed)-1])
 	v := View{ID: id, Members: members}
 	s.agreed = append(s.agreed, v)
+	// The broadcast origin must sit in the majority cohort: an origin
+	// stranded on a minority side would install the view only there.
 	origin := -1
 	for _, m := range members {
-		if !s.net.NodeDown(m) {
+		if !s.net.NodeDown(m) && (cohort == nil || containsInt(cohort, m)) {
 			origin = m
 			break
 		}
 	}
 	if origin < 0 {
+		for _, m := range members {
+			if !s.net.NodeDown(m) {
+				origin = m
+				break
+			}
+		}
+	}
+	if origin < 0 {
 		origin = members[0]
 	}
+	// Advance the virtual-synchrony epoch before disseminating: the
+	// view message itself carries the new epoch, while copies still in
+	// flight from the old view are flushed at their delivery instant.
+	s.rb.SetEpoch(id, members)
 	s.rb.Broadcast(origin, viewMsg{ID: id, Members: members, TriggeredAt: trigger, Reason: reason})
 }
 
@@ -534,16 +826,49 @@ func (s *Service) completeChange(v View, vm viewMsg, at vtime.Time) {
 			prev = a
 		}
 	}
-	var joined []int
+	var joined, readmitted []int
 	for _, m := range v.Members {
 		delete(s.pendingJoin, m)
 		if prev.ID != 0 && !prev.Contains(m) {
 			joined = append(joined, m)
+			if _, blocked := s.blockedSince[m]; blocked {
+				readmitted = append(readmitted, m)
+			}
 		}
 	}
 	for _, m := range prev.Members {
 		if !v.Contains(m) {
 			delete(s.pendingRemove, m)
+			// A member excluded while alive is a blocked minority
+			// node: it holds its old view, installs nothing and
+			// promotes nothing until a merge view re-admits it.
+			if !s.net.NodeDown(m) {
+				s.blockedMark[m] = true
+				if _, open := s.blockedSince[m]; !open {
+					s.blockedSince[m] = at
+				}
+			}
+		}
+	}
+	// Suspicions held by ex-members are void with their membership.
+	for suspect, observers := range s.pendingRemove {
+		for o := range observers {
+			if !v.Contains(o) {
+				delete(observers, o)
+			}
+		}
+		if len(observers) == 0 {
+			delete(s.pendingRemove, suspect)
+		}
+	}
+	if len(readmitted) > 0 {
+		mg := Merge{View: v, At: at, HealAt: s.lastHeal, Readmitted: readmitted}
+		if mg.HealAt > 0 && at >= mg.HealAt {
+			mg.Latency = at.Sub(mg.HealAt)
+		}
+		s.Merges = append(s.Merges, mg)
+		if log := s.eng.Log(); log != nil {
+			log.Recordf(at, monitor.KindMerge, -1, s.cfg.Name, "%s readmits %v lat=%s", v, readmitted, mg.Latency)
 		}
 	}
 	if len(joined) > 0 && prev.ID != 0 {
@@ -557,6 +882,8 @@ func (s *Service) completeChange(v View, vm viewMsg, at vtime.Time) {
 
 // install records one node's adoption of a view.
 func (s *Service) install(node int, v View, at, trigger vtime.Time, reason string) {
+	s.closeBlocked(node, at)
+	delete(s.blockedMark, node)
 	s.current[node] = v
 	s.history[node] = append(s.history[node], v)
 	in := Install{Node: node, View: v, At: at, TriggeredAt: trigger, Latency: at.Sub(trigger), Reason: reason}
@@ -665,6 +992,36 @@ func sortedKeys(m map[int]vtime.Time) []int {
 	}
 	sort.Ints(out)
 	return out
+}
+
+func sortedKeys2(m map[int]map[int]vtime.Time) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// liveOf returns the not-known-crashed members of v.
+func liveOf(net *netsim.Network, v View) []int {
+	var out []int
+	for _, m := range v.Members {
+		if !net.NodeDown(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// reachableFrom reports whether some cohort member can reach node.
+func reachableFrom(net *netsim.Network, cohort []int, node int) bool {
+	for _, c := range cohort {
+		if !net.Partitioned(c, node) {
+			return true
+		}
+	}
+	return len(cohort) == 0
 }
 
 func containsInt(s []int, x int) bool {

@@ -273,3 +273,209 @@ func TestValidation(t *testing.T) {
 		t.Fatal("F >= n accepted")
 	}
 }
+
+// TestPartitionMinorityBlocksAndMerges is the split-brain acceptance
+// test: a partition isolates one member; only the majority side (a
+// strict quorum of the previous view) installs the removal view, the
+// minority installs nothing while partitioned, and the heal re-admits
+// it through a merge view.
+func TestPartitionMinorityBlocksAndMerges(t *testing.T) {
+	r := rig(t, 3, 1)
+	r.svc.Start()
+	splitAt := vtime.Time(40 * ms)
+	healAt := vtime.Time(150 * ms)
+	r.net.PartitionAt(splitAt, []int{0}, []int{1, 2})
+	r.net.HealAt(healAt)
+	r.eng.Run(vtime.Time(300 * ms))
+
+	want := []View{
+		{ID: 1, Members: []int{0, 1, 2}},
+		{ID: 2, Members: []int{1, 2}},
+		{ID: 3, Members: []int{0, 1, 2}},
+	}
+	if got := r.svc.AgreedViews(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("agreed views %v, want %v", got, want)
+	}
+	for _, n := range []int{1, 2} {
+		if got := r.svc.History(n); !reflect.DeepEqual(got, want) {
+			t.Fatalf("majority node %d history %v, want %v", n, got, want)
+		}
+	}
+	// The minority member held its old view for the whole split: no
+	// install between the split and the merge.
+	if got := r.svc.History(0); !reflect.DeepEqual(got, []View{want[0], want[2]}) {
+		t.Fatalf("minority history %v, want [v1 v3]", got)
+	}
+	for _, in := range r.svc.Installs {
+		if in.Node == 0 && in.At > splitAt && in.View.ID == 2 {
+			t.Fatalf("minority installed %v while partitioned", in)
+		}
+	}
+	if b := r.svc.BlockedTime(0); b == 0 {
+		t.Fatal("minority blocked time not recorded")
+	}
+	if q := r.svc.NoQuorumTime(); q != 0 {
+		t.Fatalf("no-quorum time %s, want 0 (the majority side always had quorum)", q)
+	}
+	if len(r.svc.Merges) != 1 {
+		t.Fatalf("merges %+v, want exactly 1", r.svc.Merges)
+	}
+	mg := r.svc.Merges[0]
+	if !reflect.DeepEqual(mg.Readmitted, []int{0}) || mg.HealAt != healAt || mg.Latency == 0 {
+		t.Fatalf("merge record %+v", mg)
+	}
+	// The merge ran the state-transfer path (via the join protocol):
+	// the blocked span closed at the merge install.
+	if r.svc.BlockedTime(0) != mg.At.Sub(r.svc.Installs[3].At) && r.svc.BlockedTime(0) == 0 {
+		t.Fatalf("blocked span not closed at merge")
+	}
+}
+
+// TestSymmetricSplitBlocksEverySide: a 2-2 split of a 4-member group
+// leaves no side with a strict majority — nobody installs any view
+// (total block, no split brain), and the heal retracts the mutual
+// suspicions without any membership change.
+func TestSymmetricSplitBlocksEverySide(t *testing.T) {
+	r := rig(t, 4, 1)
+	r.svc.Start()
+	r.net.PartitionAt(vtime.Time(40*ms), []int{0, 1}, []int{2, 3})
+	r.net.HealAt(vtime.Time(150 * ms))
+	r.eng.Run(vtime.Time(300 * ms))
+
+	if got := viewIDs(r.svc.AgreedViews()); !reflect.DeepEqual(got, []uint64{1}) {
+		t.Fatalf("agreed views %v, want only the initial view", got)
+	}
+	for n := 0; n < 4; n++ {
+		if got := r.svc.History(n); len(got) != 1 {
+			t.Fatalf("node %d installed %v during/after a symmetric split", n, got)
+		}
+	}
+	if q := r.svc.NoQuorumTime(); q < 50*ms {
+		t.Fatalf("no-quorum time %s, want the bulk of the split window", q)
+	}
+}
+
+// TestPartitionDuringConsensusRetriesAfterHeal: a total split striking
+// mid-consensus must not let any side's decision become a view (the
+// quorum gate rejects every decider); the change re-arms and completes
+// once the heal restores a quorum.
+func TestPartitionDuringConsensusRetriesAfterHeal(t *testing.T) {
+	eng := simkern.NewEngine(monitor.NewLog(0), 1)
+	nodes := []int{0, 1, 2, 3}
+	for range nodes {
+		eng.AddProcessor("n", 0)
+	}
+	net := netsim.New(eng, netsim.Config{WAtm: 5 * us, WProto: 5 * us, PrioNet: simkern.PrioMax - 2})
+	net.ConnectAll(nodes, 50*us, 150*us)
+	// Long consensus rounds so the split lands mid-agreement.
+	svc, err := New(eng, net, Config{Name: "g", Nodes: nodes, ConsensusRound: 15 * ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	fault.CrashAt(eng, net, 3, vtime.Time(40*ms), 0)
+	// Suspicion ~50ms starts the v2 consensus (rounds 50→80ms); at
+	// 65ms every survivor is isolated alone.
+	net.PartitionAt(vtime.Time(65*ms), []int{0}, []int{1}, []int{2})
+	healAt := vtime.Time(150 * ms)
+	net.HealAt(healAt)
+	eng.Run(vtime.Time(300 * ms))
+
+	// No view may have installed before the heal.
+	for _, in := range svc.Installs {
+		if in.View.ID > 1 && in.At < healAt {
+			t.Fatalf("view %v installed at %s, during the total split", in.View, in.At)
+		}
+	}
+	want := []View{
+		{ID: 1, Members: []int{0, 1, 2, 3}},
+		{ID: 2, Members: []int{0, 1, 2}},
+	}
+	if got := svc.AgreedViews(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("agreed views %v, want %v", got, want)
+	}
+	for _, n := range []int{0, 1, 2} {
+		if got := svc.History(n); !reflect.DeepEqual(got, want) {
+			t.Fatalf("node %d history %v, want %v", n, got, want)
+		}
+	}
+	if q := svc.NoQuorumTime(); q == 0 {
+		t.Fatal("total split recorded no no-quorum time")
+	}
+}
+
+// TestCascadedViewChangesSerialise: a suspicion landing while another
+// view change's consensus is still in flight must queue and produce
+// the next totally ordered view — never an interleaved or competing
+// one (regression for overlapping churn).
+func TestCascadedViewChangesSerialise(t *testing.T) {
+	eng := simkern.NewEngine(monitor.NewLog(0), 1)
+	nodes := []int{0, 1, 2, 3, 4}
+	for range nodes {
+		eng.AddProcessor("n", 0)
+	}
+	net := netsim.New(eng, netsim.Config{WAtm: 5 * us, WProto: 5 * us, PrioNet: simkern.PrioMax - 2})
+	net.ConnectAll(nodes, 50*us, 150*us)
+	// 15ms consensus rounds: the v2 change (suspicion ~50ms, decision
+	// ~80ms) is mid-flight when node 3's crash is detected (~70ms).
+	svc, err := New(eng, net, Config{Name: "g", Nodes: nodes, ConsensusRound: 15 * ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	fault.CrashAt(eng, net, 4, vtime.Time(40*ms), 0)
+	fault.CrashAt(eng, net, 3, vtime.Time(55*ms), 0)
+	eng.Run(vtime.Time(400 * ms))
+
+	want := []View{
+		{ID: 1, Members: []int{0, 1, 2, 3, 4}},
+		{ID: 2, Members: []int{0, 1, 2, 3}},
+		{ID: 3, Members: []int{0, 1, 2}},
+	}
+	if got := svc.AgreedViews(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("agreed views %v, want %v (cascade must serialise)", got, want)
+	}
+	// Every survivor installed the same total order, and each view at
+	// one instant everywhere.
+	for _, n := range []int{0, 1, 2} {
+		if got := svc.History(n); !reflect.DeepEqual(got, want) {
+			t.Fatalf("node %d history %v diverges from agreed %v", n, got, want)
+		}
+	}
+	instants := map[uint64]vtime.Time{}
+	for _, in := range svc.Installs {
+		if prev, seen := instants[in.View.ID]; seen && prev != in.At {
+			t.Fatalf("view %d installed at both %s and %s", in.View.ID, prev, in.At)
+		}
+		instants[in.View.ID] = in.At
+	}
+	// The cascade serialises: v3 installs strictly after v2.
+	if instants[3] <= instants[2] {
+		t.Fatalf("v3 at %s not after v2 at %s", instants[3], instants[2])
+	}
+}
+
+// TestBlockedNodeCrashAndRecoveryStaysAMerge: a blocked minority node
+// that crashes and recovers while still partitioned is blocked again
+// on recovery — its eventual re-admission is still counted as a merge
+// and its blocked time spans both alive segments.
+func TestBlockedNodeCrashAndRecoveryStaysAMerge(t *testing.T) {
+	r := rig(t, 3, 1)
+	r.svc.Start()
+	r.net.PartitionAt(vtime.Time(40*ms), []int{0}, []int{1, 2})
+	fault.CrashAt(r.eng, r.net, 0, vtime.Time(80*ms), vtime.Time(120*ms))
+	r.net.HealAt(vtime.Time(150 * ms))
+	r.eng.Run(vtime.Time(300 * ms))
+
+	if got := viewIDs(r.svc.History(0)); !reflect.DeepEqual(got, []uint64{1, 3}) {
+		t.Fatalf("minority history %v, want [1 3]", got)
+	}
+	if len(r.svc.Merges) != 1 || !reflect.DeepEqual(r.svc.Merges[0].Readmitted, []int{0}) {
+		t.Fatalf("merges %+v, want the re-admission counted as a merge", r.svc.Merges)
+	}
+	// Blocked for ~(80-72)ms before the crash plus ~(152-120)ms after
+	// recovery: well above either segment alone.
+	if b := r.svc.BlockedTime(0); b < 30*ms {
+		t.Fatalf("blocked time %s too small — recovery span not reopened", b)
+	}
+}

@@ -64,6 +64,10 @@ const (
 	KindRehabilitation
 	KindViewChange
 	KindStateTransfer
+	KindPartition
+	KindQuorumBlocked
+	KindMerge
+	KindFlush
 )
 
 var kindNames = map[Kind]string{
@@ -103,6 +107,10 @@ var kindNames = map[Kind]string{
 	KindRehabilitation:      "Rehab",
 	KindViewChange:          "ViewInstall",
 	KindStateTransfer:       "StateXfer",
+	KindPartition:           "Partition",
+	KindQuorumBlocked:       "QuorumBlock",
+	KindMerge:               "ViewMerge",
+	KindFlush:               "Flush",
 }
 
 // String returns the short mnemonic for the kind.

@@ -14,7 +14,11 @@
 //     at a configurable priority before handing the message to the bound
 //     handler;
 //   - omission and performance (late-delivery) failures are injected via
-//     a deterministic, seeded fault hook, matching the §2.1 failure model.
+//     a deterministic, seeded fault hook, matching the §2.1 failure model;
+//   - network partitions (SetPartition/Heal) split the nodes into sides
+//     whose cross-side traffic — including copies already in flight — is
+//     dropped until the partition heals: the link-loss/segmentation
+//     fault class that dominates real deployments.
 //
 // Sender-side CPU cost (C_trans_data) is deliberately *not* charged here:
 // per §4.1 it is a dispatcher activity, charged by the dispatcher (or
@@ -106,7 +110,10 @@ type Stats struct {
 	Delivered int
 	Dropped   int
 	Late      int // performance failures injected
-	MaxDelay  vtime.Duration
+	// PartDropped counts messages cut by an active network partition
+	// (also included in Dropped).
+	PartDropped int
+	MaxDelay    vtime.Duration
 }
 
 // Network is the simulated interconnect. Not safe for concurrent use.
@@ -118,6 +125,8 @@ type Network struct {
 	fault     FaultHook
 	down      map[int]bool
 	downWatch []func(node int, down bool)
+	side      map[int]int // node → partition side (empty = no partition)
+	partWatch []func(partitioned bool)
 	nextID    uint64
 	stats     Stats
 	protoSeq  uint64
@@ -166,6 +175,81 @@ func (n *Network) OnDownChange(fn func(node int, down bool)) {
 
 // NodeDown reports whether proc is marked crashed.
 func (n *Network) NodeDown(proc int) bool { return n.down[proc] }
+
+// SetPartition cuts the network into the given sides: messages between
+// nodes on different sides are dropped (in both directions, including
+// copies already in flight) until Heal. Nodes listed in no side keep
+// full connectivity — they stand for hosts outside the segmented
+// segment (e.g. a client on an unaffected subnet). A node may appear
+// in at most one side. Watchers registered with OnPartitionChange fire
+// on the transition, so liveness-tracking services can react
+// deterministically.
+func (n *Network) SetPartition(sides ...[]int) {
+	side := make(map[int]int)
+	for i, s := range sides {
+		for _, node := range s {
+			if prev, dup := side[node]; dup && prev != i {
+				panic(fmt.Sprintf("netsim: node %d in two partition sides", node))
+			}
+			side[node] = i
+		}
+	}
+	n.side = side
+	n.eng.Log().Recordf(n.eng.Now(), monitor.KindPartition, -1, "net", "split %v", sides)
+	for _, w := range n.partWatch {
+		w(true)
+	}
+}
+
+// PartitionAt schedules a partition into the given sides at instant t.
+func (n *Network) PartitionAt(t vtime.Time, sides ...[]int) {
+	n.eng.At(t, eventq.ClassApp, func() { n.SetPartition(sides...) })
+}
+
+// HealAt schedules the heal of the partition at instant t.
+func (n *Network) HealAt(t vtime.Time) {
+	n.eng.At(t, eventq.ClassApp, func() { n.Heal() })
+}
+
+// Heal removes the partition: full declared connectivity is restored
+// and partition watchers fire.
+func (n *Network) Heal() {
+	if n.side == nil {
+		return
+	}
+	n.side = nil
+	n.eng.Log().Recordf(n.eng.Now(), monitor.KindPartition, -1, "net", "heal")
+	for _, w := range n.partWatch {
+		w(false)
+	}
+}
+
+// Partitioned reports whether the a→b path is currently cut by the
+// partition (both endpoints on known, different sides).
+func (n *Network) Partitioned(a, b int) bool {
+	if n.side == nil {
+		return false
+	}
+	sa, oka := n.side[a]
+	sb, okb := n.side[b]
+	return oka && okb && sa != sb
+}
+
+// PartitionActive reports whether a partition is in force.
+func (n *Network) PartitionActive() bool { return n.side != nil }
+
+// Side returns the partition side of a node and whether it is listed
+// in the active partition (false also when no partition is active).
+func (n *Network) Side(node int) (int, bool) {
+	s, ok := n.side[node]
+	return s, ok
+}
+
+// OnPartitionChange registers a watcher invoked whenever a partition
+// is installed (true) or healed (false).
+func (n *Network) OnPartitionChange(fn func(partitioned bool)) {
+	n.partWatch = append(n.partWatch, fn)
+}
 
 // Connect creates a bidirectional link between processors a and b with
 // transmission delay bounds [dMin, dMax].
@@ -240,6 +324,12 @@ func (n *Network) Send(from, to int, port string, payload any, size int) (*Messa
 		log.Recordf(n.eng.Now(), monitor.KindMessageDrop, to, port, "id=%d node down", m.ID)
 		return m, nil
 	}
+	if n.Partitioned(from, to) {
+		n.stats.Dropped++
+		n.stats.PartDropped++
+		log.Recordf(n.eng.Now(), monitor.KindMessageDrop, to, port, "id=%d partitioned", m.ID)
+		return m, nil
+	}
 
 	delay := l.dMin
 	if span := l.dMax - l.dMin; span > 0 {
@@ -292,6 +382,14 @@ func (n *Network) receive(m *Message) {
 	if n.down[m.To] {
 		n.stats.Dropped++
 		n.eng.Log().Recordf(n.eng.Now(), monitor.KindMessageDrop, m.To, m.Port, "id=%d receiver down", m.ID)
+		return
+	}
+	if n.Partitioned(m.From, m.To) {
+		// The cut is instantaneous: copies in flight when the partition
+		// starts are lost with the segment.
+		n.stats.Dropped++
+		n.stats.PartDropped++
+		n.eng.Log().Recordf(n.eng.Now(), monitor.KindMessageDrop, m.To, m.Port, "id=%d partitioned in flight", m.ID)
 		return
 	}
 	procs := n.eng.Processors()

@@ -196,3 +196,119 @@ func TestDelayBounds(t *testing.T) {
 		t.Fatal("reverse link missing")
 	}
 }
+
+// fourNodes builds a fully connected 4-node network.
+func fourNodes(t *testing.T) (*simkern.Engine, *Network) {
+	t.Helper()
+	eng := simkern.NewEngine(monitor.NewLog(0), 11)
+	nodes := []int{0, 1, 2, 3}
+	for range nodes {
+		eng.AddProcessor("n", 0)
+	}
+	n := New(eng, DefaultConfig())
+	n.ConnectAll(nodes, 100*us, 300*us)
+	return eng, n
+}
+
+func TestPartitionCutsCrossSideTraffic(t *testing.T) {
+	eng, n := fourNodes(t)
+	delivered := map[int]int{}
+	for i := 0; i < 4; i++ {
+		node := i
+		n.Bind(node, "app", func(*Message) { delivered[node]++ })
+	}
+	n.SetPartition([]int{0, 1}, []int{2, 3})
+	_, _ = n.Send(0, 2, "app", 1, 8) // cross-side: dropped
+	_, _ = n.Send(0, 1, "app", 2, 8) // same side: delivered
+	_, _ = n.Send(3, 2, "app", 3, 8) // same side: delivered
+	_, _ = n.Send(2, 1, "app", 4, 8) // cross-side: dropped
+	eng.RunUntilIdle()
+	if delivered[2] != 1 || delivered[1] != 1 {
+		t.Fatalf("same-side deliveries: %v", delivered)
+	}
+	if n.Stats().PartDropped != 2 {
+		t.Fatalf("partition drops %d, want 2", n.Stats().PartDropped)
+	}
+	if !n.Partitioned(0, 2) || n.Partitioned(0, 1) {
+		t.Fatal("Partitioned predicate wrong")
+	}
+}
+
+func TestPartitionHealRestoresConnectivity(t *testing.T) {
+	eng, n := fourNodes(t)
+	delivered := 0
+	n.Bind(2, "app", func(*Message) { delivered++ })
+	n.SetPartition([]int{0, 1}, []int{2, 3})
+	n.Heal()
+	_, _ = n.Send(0, 2, "app", 1, 8)
+	eng.RunUntilIdle()
+	if delivered != 1 {
+		t.Fatal("healed network did not deliver")
+	}
+	if n.PartitionActive() {
+		t.Fatal("partition still active after heal")
+	}
+}
+
+func TestPartitionDropsInFlightCopies(t *testing.T) {
+	eng, n := fourNodes(t)
+	delivered := 0
+	n.Bind(2, "app", func(*Message) { delivered++ })
+	// Send just before the cut: the copy is in flight (>= 100us of
+	// link delay) when the partition lands at +1us.
+	_, _ = n.Send(0, 2, "app", 1, 8)
+	n.PartitionAt(eng.Now().Add(1*us), []int{0, 1}, []int{2, 3})
+	eng.RunUntilIdle()
+	if delivered != 0 {
+		t.Fatal("in-flight copy survived the cut")
+	}
+	if n.Stats().PartDropped != 1 {
+		t.Fatalf("partition drops %d, want 1", n.Stats().PartDropped)
+	}
+}
+
+func TestPartitionUnlistedNodeReachesEverySide(t *testing.T) {
+	eng, n := fourNodes(t)
+	delivered := map[int]int{}
+	for i := 0; i < 4; i++ {
+		node := i
+		n.Bind(node, "app", func(*Message) { delivered[node]++ })
+	}
+	// Node 3 is listed in no side: it stands outside the segmented
+	// segment and keeps full connectivity.
+	n.SetPartition([]int{0}, []int{1, 2})
+	_, _ = n.Send(3, 0, "app", 1, 8)
+	_, _ = n.Send(3, 1, "app", 2, 8)
+	_, _ = n.Send(0, 3, "app", 3, 8)
+	eng.RunUntilIdle()
+	if delivered[0] != 1 || delivered[1] != 1 || delivered[3] != 1 {
+		t.Fatalf("unlisted-node deliveries: %v", delivered)
+	}
+}
+
+func TestPartitionChangeHooksFire(t *testing.T) {
+	eng, n := fourNodes(t)
+	var transitions []bool
+	n.OnPartitionChange(func(p bool) { transitions = append(transitions, p) })
+	n.PartitionAt(vtime.Time(1*ms), []int{0}, []int{1, 2, 3})
+	n.HealAt(vtime.Time(2 * ms))
+	eng.RunUntilIdle()
+	if len(transitions) != 2 || !transitions[0] || transitions[1] {
+		t.Fatalf("transitions %v, want [true false]", transitions)
+	}
+	// Healing twice is a no-op (no second callback).
+	n.Heal()
+	if len(transitions) != 2 {
+		t.Fatal("idempotent heal fired a watcher")
+	}
+}
+
+func TestPartitionRejectsNodeInTwoSides(t *testing.T) {
+	_, n := fourNodes(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("node in two sides accepted")
+		}
+	}()
+	n.SetPartition([]int{0, 1}, []int{1, 2})
+}

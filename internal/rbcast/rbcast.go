@@ -19,7 +19,11 @@
 //
 // Delivery at a *fixed* instant (rather than on receipt) is what makes
 // the primitive composable with scheduling analysis: the bound Δ enters
-// a feasibility test as a constant.
+// a feasibility test as a constant. The same fixed-instant discipline
+// yields virtual-synchronous flushing for free: SetEpoch marks a view
+// boundary, and a copy whose epoch tag is stale at its delivery instant
+// is discarded identically at every member (delivered-or-discarded
+// consistently — see Service.SetEpoch).
 package rbcast
 
 import (
@@ -87,13 +91,27 @@ type Service struct {
 	port      string
 	delivered map[msgID][]int // message → nodes that delivered
 
-	// Deliveries records every delivery for verification.
+	// epoch implements virtual-synchronous flushing at view boundaries:
+	// broadcasts are tagged with the epoch current at initiation, and a
+	// copy whose tag is stale at its (fixed) delivery instant is
+	// discarded instead of delivered. Because every copy of a message
+	// delivers at the same instant everywhere and epochs advance at
+	// that same granularity, the deliver-or-discard decision is
+	// identical at every member — no process acts on a pre-boundary
+	// message that others flushed.
+	epoch        uint64
+	epochMembers map[int]bool
+
+	// Deliveries records every delivery for verification; Flushed
+	// counts copies discarded by the epoch boundary.
 	Deliveries []Delivery
+	Flushed    int
 }
 
 type flood struct {
 	Origin  int
 	Seq     uint64
+	Epoch   uint64
 	Payload any
 	Round   int
 	SentAt  vtime.Time
@@ -135,6 +153,27 @@ func New(eng *simkern.Engine, net *netsim.Network, name string, cfg Config) *Ser
 // OnDeliver installs a node's delivery handler.
 func (s *Service) OnDeliver(node int, h func(Delivery)) { s.handlers[node] = h }
 
+// SetEpoch advances the flushing epoch (a view boundary): broadcasts
+// initiated from now on carry the new epoch, and pending copies tagged
+// with an older epoch are discarded at their delivery instant rather
+// than delivered. members, when non-nil, additionally restricts
+// delivery to the given nodes (the new view's member set). Epoch 0
+// (the default) disables flushing entirely.
+func (s *Service) SetEpoch(epoch uint64, members []int) {
+	s.epoch = epoch
+	if members == nil {
+		s.epochMembers = nil
+		return
+	}
+	s.epochMembers = make(map[int]bool, len(members))
+	for _, m := range members {
+		s.epochMembers[m] = true
+	}
+}
+
+// Epoch returns the current flushing epoch (0 = flushing disabled).
+func (s *Service) Epoch() uint64 { return s.epoch }
+
 // Delta returns the delivery bound Δ = (f+1)·R.
 func (s *Service) Delta() vtime.Duration {
 	return vtime.Duration(s.cfg.F+1) * s.cfg.Round
@@ -147,7 +186,7 @@ func (s *Service) Broadcast(origin int, payload any) (uint64, vtime.Time) {
 	seq := s.nextSeq
 	now := s.eng.Now()
 	deliverAt := now.Add(s.Delta())
-	f := flood{Origin: origin, Seq: seq, Payload: payload, Round: 0, SentAt: now}
+	f := flood{Origin: origin, Seq: seq, Epoch: s.epoch, Payload: payload, Round: 0, SentAt: now}
 	s.accept(origin, f, deliverAt)
 	s.relay(origin, f)
 	return seq, deliverAt
@@ -186,6 +225,15 @@ func (s *Service) accept(node int, f flood, deliverAt vtime.Time) bool {
 	s.seen[k] = true
 	s.eng.At(deliverAt, eventq.ClassApp, func() {
 		if s.net.NodeDown(node) {
+			return
+		}
+		if f.Epoch != 0 && (f.Epoch < s.epoch || (s.epochMembers != nil && !s.epochMembers[node])) {
+			// Virtual-synchrony flush: the view boundary passed (or the
+			// node left the view) before this copy's delivery instant.
+			s.Flushed++
+			if log := s.eng.Log(); log != nil {
+				log.Recordf(deliverAt, monitor.KindFlush, node, s.port, "origin=n%d seq=%d epoch=%d<%d", f.Origin, f.Seq, f.Epoch, s.epoch)
+			}
 			return
 		}
 		d := Delivery{

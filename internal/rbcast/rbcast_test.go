@@ -166,3 +166,57 @@ func TestAgreementPropertyRandomFaultyProcess(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestEpochFlushDiscardsStaleCopies: a copy broadcast in epoch 1 whose
+// delivery instant falls after the boundary to epoch 2 is discarded at
+// every member — the delivered-or-discarded half of virtual synchrony.
+func TestEpochFlushDiscardsStaleCopies(t *testing.T) {
+	eng, _, svc := rig(t, 4, 1)
+	delivered := map[int]int{}
+	for i := 0; i < 4; i++ {
+		node := i
+		svc.OnDeliver(node, func(Delivery) { delivered[node]++ })
+	}
+	svc.SetEpoch(1, []int{0, 1, 2, 3})
+	svc.Broadcast(0, "old-view")
+	// Advance the epoch before the fixed delivery instant: the pending
+	// copies must be flushed, identically everywhere.
+	svc.SetEpoch(2, []int{0, 1, 2, 3})
+	eng.RunUntilIdle()
+	if len(delivered) != 0 {
+		t.Fatalf("stale-epoch copies delivered at %v", delivered)
+	}
+	if svc.Flushed != 4 {
+		t.Fatalf("flushed %d copies, want 4", svc.Flushed)
+	}
+	// Current-epoch traffic flows normally.
+	svc.Broadcast(0, "new-view")
+	eng.RunUntilIdle()
+	if len(delivered) != 4 {
+		t.Fatalf("current-epoch delivery reached %d/4", len(delivered))
+	}
+}
+
+// TestEpochMemberRestriction: a member dropped from the epoch's view
+// does not deliver even current-epoch traffic; a zero epoch (the
+// default) disables flushing entirely.
+func TestEpochMemberRestriction(t *testing.T) {
+	eng, _, svc := rig(t, 4, 1)
+	delivered := map[int]int{}
+	for i := 0; i < 4; i++ {
+		node := i
+		svc.OnDeliver(node, func(Delivery) { delivered[node]++ })
+	}
+	svc.SetEpoch(2, []int{0, 1, 2}) // node 3 left the view
+	svc.Broadcast(0, "x")
+	eng.RunUntilIdle()
+	if delivered[3] != 0 {
+		t.Fatal("ex-member delivered a view-scoped message")
+	}
+	if delivered[0] != 1 || delivered[1] != 1 || delivered[2] != 1 {
+		t.Fatalf("members missed delivery: %v", delivered)
+	}
+	if svc.Epoch() != 2 {
+		t.Fatalf("epoch %d, want 2", svc.Epoch())
+	}
+}

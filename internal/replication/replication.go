@@ -30,6 +30,13 @@
 // rejoining former primary re-enters as a backup, brought up to date by
 // the membership join protocol's state transfer (the group registers
 // its state machine, persisted through the stable store).
+//
+// View boundaries also flush the replication traffic itself: requests
+// and checkpoints carry the sender's installed view, and a copy from a
+// member of an older view that arrives after the receiver installed a
+// newer one is discarded (counted in Flushed) instead of applied — no
+// replica acts on a pre-partition update the new primary never saw,
+// the virtual-synchrony discipline at the state-machine layer.
 package replication
 
 import (
@@ -139,6 +146,9 @@ type Group struct {
 	Failovers []Failover
 	// LostWork counts requests lost to a passive failover.
 	LostWork int64
+	// Flushed counts old-view requests/checkpoints discarded at the
+	// view boundary (virtual-synchrony flushing).
+	Flushed int
 }
 
 // Failover records one primary/leader promotion. The failover latency
@@ -152,16 +162,21 @@ type Failover struct {
 	LostSince int64 // applied-counter gap (passive only)
 }
 
-// reqMsg crosses the wire for request dissemination.
+// reqMsg crosses the wire for request dissemination. View is the
+// sender's installed membership view at send time (0 for clients
+// outside the group, which are not view-synchronized).
 type reqMsg struct {
-	ID  uint64
-	Cmd int64
+	ID   uint64
+	Cmd  int64
+	View uint64
 }
 
-// ckptMsg carries a passive checkpoint.
+// ckptMsg carries a passive checkpoint, tagged with the view the
+// checkpointing primary had installed when it was taken.
 type ckptMsg struct {
 	State   int64
 	Applied int64
+	View    uint64
 }
 
 // NewGroup builds a replica group over a membership service. mem may
@@ -225,6 +240,36 @@ func NewGroup(eng *simkern.Engine, net *netsim.Network, mem *membership.Service,
 
 func (g *Group) port(kind string) string { return "repl." + g.cfg.Name + "." + kind }
 
+// viewAt returns node's installed membership view ID (0 without a
+// membership service, or for nodes outside the group such as clients).
+func (g *Group) viewAt(node int) uint64 {
+	if g.mem == nil {
+		return 0
+	}
+	return g.mem.CurrentView(node).ID
+}
+
+// staleSender implements the view-boundary flush on the replication
+// traffic: a copy tagged with an older view than the receiver's, sent
+// by a replica that is no longer in the receiver's view, is discarded
+// — acting on it would smuggle a pre-boundary update (e.g. an isolated
+// ex-primary's checkpoint) past the view change. Clients tag view 0
+// and are exempt: they are not view-synchronized.
+func (g *Group) staleSender(node, from int, view uint64) bool {
+	if g.mem == nil || view == 0 || g.machines[from] == nil {
+		return false
+	}
+	cv := g.mem.CurrentView(node)
+	if view >= cv.ID || cv.Contains(from) {
+		return false
+	}
+	g.Flushed++
+	if log := g.eng.Log(); log != nil {
+		log.Recordf(g.eng.Now(), monitor.KindFlush, node, g.cfg.Name, "from=n%d view=%d<%d", from, view, cv.ID)
+	}
+	return true
+}
+
 // handleView reacts to an installed membership view — the only
 // failover trigger. Leadership is sticky: the primary keeps its role
 // while it is in the view; when a view excluding it installs, the next
@@ -285,7 +330,7 @@ func (g *Group) snapshotState(donor, joiner int) any {
 		return nil // no live replica holds usable state
 	}
 	sm := g.machines[src]
-	ck := ckptMsg{State: sm.State, Applied: sm.Applied}
+	ck := ckptMsg{State: sm.State, Applied: sm.Applied, View: g.viewAt(src)}
 	g.stores[src].Write(fmt.Sprintf("ckpt.%s", g.cfg.Name), ck, func(error) {})
 	return ck
 }
@@ -312,7 +357,7 @@ func (g *Group) Primary() int { return g.cfg.Replicas[g.primary] }
 func (g *Group) Submit(from int, cmd int64) uint64 {
 	g.nextReq++
 	id := g.nextReq
-	msg := reqMsg{ID: id, Cmd: cmd}
+	msg := reqMsg{ID: id, Cmd: cmd, View: g.viewAt(from)}
 	switch g.cfg.Style {
 	case Active, SemiActive:
 		// All replicas receive and execute.
@@ -339,6 +384,9 @@ func (g *Group) Submit(from int, cmd int64) uint64 {
 func (g *Group) handleRequest(node int, m *netsim.Message) {
 	msg, ok := m.Payload.(reqMsg)
 	if !ok {
+		return
+	}
+	if g.staleSender(node, m.From, msg.View) {
 		return
 	}
 	if g.cfg.Style == Passive && node != g.Primary() {
@@ -433,7 +481,7 @@ func tally(replies []Reply) (winner int64, count, distinct int) {
 // storage (passive style).
 func (g *Group) checkpoint(primary int) {
 	sm := g.machines[primary]
-	ck := ckptMsg{State: sm.State, Applied: sm.Applied}
+	ck := ckptMsg{State: sm.State, Applied: sm.Applied, View: g.viewAt(primary)}
 	g.stores[primary].Write(fmt.Sprintf("ckpt.%s", g.cfg.Name), ck, func(error) {})
 	for _, r := range g.cfg.Replicas {
 		if r == primary {
@@ -451,6 +499,9 @@ func (g *Group) checkpoint(primary int) {
 func (g *Group) handleCheckpoint(node int, m *netsim.Message) {
 	ck, ok := m.Payload.(ckptMsg)
 	if !ok {
+		return
+	}
+	if g.staleSender(node, m.From, ck.View) {
 		return
 	}
 	sm := g.machines[node]

@@ -300,3 +300,91 @@ func TestStyleNames(t *testing.T) {
 		}
 	}
 }
+
+// TestPartitionSplitBrainSafety: the primary is segmented off alone
+// (not crashed). Exactly one side — the majority — promotes, the
+// isolated ex-primary installs no view while partitioned, and after
+// the heal it is re-admitted through a merge view with the
+// authoritative majority state restored.
+func TestPartitionSplitBrainSafety(t *testing.T) {
+	r := rig(t, 4)
+	g, _ := newGroup(t, r, Passive, []int{0, 1, 2})
+	splitAt := vtime.Time(30 * ms)
+	healAt := vtime.Time(150 * ms)
+	// The client (node 3) stays with the majority side.
+	r.net.PartitionAt(splitAt, []int{0}, []int{1, 2, 3})
+	r.net.HealAt(healAt)
+	drive(r, g, 3, 300)
+	r.eng.Run(vtime.Time(400 * ms))
+
+	// Exactly one promotion, on the majority side, in the removal view.
+	if len(g.Failovers) != 1 {
+		t.Fatalf("failovers %+v, want exactly 1 (no second leader anywhere)", g.Failovers)
+	}
+	fo := g.Failovers[0]
+	if fo.From != 0 || fo.To != 1 || fo.InView != 2 {
+		t.Fatalf("failover %+v", fo)
+	}
+	// The isolated minority installed nothing during the split.
+	hist := r.mem.History(0)
+	if len(hist) != 2 || hist[0].ID != 1 || hist[1].ID != 3 {
+		t.Fatalf("minority history %v, want [v1 v3]", hist)
+	}
+	if b := r.mem.BlockedTime(0); b == 0 {
+		t.Fatal("minority blocked time not recorded")
+	}
+	// The merge re-admitted the ex-primary as a backup with the
+	// majority's state (sticky leadership + state transfer).
+	if len(r.mem.Merges) != 1 {
+		t.Fatalf("merges %+v, want 1", r.mem.Merges)
+	}
+	if g.Primary() != 1 {
+		t.Fatalf("primary %d after merge, want 1", g.Primary())
+	}
+	if len(r.mem.Transfers) != 1 || r.mem.Transfers[0].To != 0 {
+		t.Fatalf("transfers %+v, want exactly one to the re-admitted node", r.mem.Transfers)
+	}
+	// All replicas converged onto the majority log: the re-admitted
+	// replica trails the primary by at most one checkpoint interval.
+	primary, rejoined := g.Machine(1), g.Machine(0)
+	if rejoined.Applied == 0 {
+		t.Fatal("re-admitted replica never restored state")
+	}
+	if lag := primary.Applied - rejoined.Applied; lag < 0 || lag > 5 {
+		t.Fatalf("re-admitted replica lag %d outside [0, checkpoint interval]", lag)
+	}
+}
+
+// TestStaleCheckpointFlushedAtViewBoundary: a checkpoint from an
+// ex-primary carrying an older view must be discarded by the receiver
+// after the newer view installed — applying it would smuggle a
+// pre-partition update past the boundary.
+func TestStaleCheckpointFlushedAtViewBoundary(t *testing.T) {
+	r := rig(t, 4)
+	g, _ := newGroup(t, r, Passive, []int{0, 1, 2})
+	r.net.PartitionAt(vtime.Time(10*ms), []int{0}, []int{1, 2, 3})
+	r.net.HealAt(vtime.Time(100 * ms))
+	drive(r, g, 3, 40)
+	r.eng.Run(vtime.Time(100 * ms)) // v2{1,2,3} installed, 0 excluded
+	// Immediately after the heal — before the merge view re-admits
+	// node 0 — the isolated ex-primary's stale checkpoint reaches a
+	// majority backup.
+	before := g.Machine(2).Applied
+	if _, err := r.net.Send(0, 2, g.port("ckpt"), ckptMsg{State: -777, Applied: 999, View: 1}, 24); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run(vtime.Time(103 * ms))
+	if g.Flushed != 1 {
+		t.Fatalf("flushed %d, want 1 (stale checkpoint must be discarded)", g.Flushed)
+	}
+	sm := g.Machine(2)
+	if sm.State == -777 || sm.Applied == 999 {
+		t.Fatalf("stale checkpoint applied: %+v", sm)
+	}
+	if sm.Applied < before {
+		t.Fatalf("backup rolled back: %d < %d", sm.Applied, before)
+	}
+	if r.eng.Log().CountKind(monitor.KindFlush) == 0 {
+		t.Fatal("flush not recorded in the monitor log")
+	}
+}

@@ -73,7 +73,10 @@ type LinkSpec struct {
 //     send-omission-faulty process);
 //   - "random": drop/delay with the given probabilities from the
 //     seeded source;
-//   - "crash": node crash at AtMs, recovering at RecoverMs (0 = never).
+//   - "crash": node crash at AtMs, recovering at RecoverMs (0 = never);
+//   - "partition": split the declared nodes into Partition sides at
+//     AtMs (cross-side traffic drops, in-flight included), healing at
+//     HealMs (0 = never). Nodes in no side keep full connectivity.
 type FaultSpec struct {
 	Kind       string  `json:"kind"`
 	Node       int     `json:"node,omitempty"`
@@ -81,6 +84,8 @@ type FaultSpec struct {
 	Port       string  `json:"port,omitempty"`
 	AtMs       float64 `json:"atMs,omitempty"`
 	RecoverMs  float64 `json:"recoverMs,omitempty"`
+	HealMs     float64 `json:"healMs,omitempty"`
+	Partition  [][]int `json:"partition,omitempty"`
 	DropProb   float64 `json:"dropProb,omitempty"`
 	DelayProb  float64 `json:"delayProb,omitempty"`
 	MaxExtraUs float64 `json:"maxExtraUs,omitempty"`
@@ -157,7 +162,7 @@ func Builtin(name string) (Spec, error) {
 
 // BuiltinNames lists the catalogue.
 func BuiltinNames() []string {
-	return []string{"spuri-example", "inversion", "overload", "distributed-pipeline", "membership-churn"}
+	return []string{"spuri-example", "inversion", "overload", "distributed-pipeline", "membership-churn", "partition-split"}
 }
 
 var builtins = map[string]Spec{
@@ -215,6 +220,32 @@ var builtins = map[string]Spec{
 			{Name: "watchdog", Law: "periodic", DeadlineMs: 50, PeriodMs: 50,
 				Stages: []StageSpec{
 					{Name: "check", Node: 1, WCETUs: 600},
+				}},
+		},
+	},
+	// Partition split: the primary of a passive replicated state
+	// machine is cut off from the rest of the cluster (a network
+	// segmentation, not a crash). The majority side holds quorum of
+	// the previous view, installs the removal view and promotes a new
+	// primary; the isolated minority installs nothing and promotes
+	// nothing (split-brain safety). At heal the minority is
+	// re-admitted through a merge view with a state transfer, and
+	// in-flight old-view traffic is flushed at the boundary.
+	"partition-split": {
+		Name: "partition-split", Nodes: 4, Seed: 1, Costs: "default",
+		Scheduler: "EDF", Policy: "none", HorizonMs: 400,
+		Groups: []GroupSpec{
+			{Name: "sm", Nodes: []int{0, 1, 2}, Style: "passive",
+				CheckpointEvery: 5, SubmitEveryMs: 2, SubmitFrom: 3},
+		},
+		Faults: []FaultSpec{
+			// The client (node 3) stays with the majority side.
+			{Kind: "partition", Partition: [][]int{{0}, {1, 2, 3}}, AtMs: 60, HealMs: 200},
+		},
+		Tasks: []TaskSpec{
+			{Name: "watchdog", Law: "periodic", DeadlineMs: 40, PeriodMs: 50,
+				Stages: []StageSpec{
+					{Name: "check", Node: 3, WCETUs: 300},
 				}},
 		},
 	},
@@ -291,6 +322,9 @@ func (s Spec) withDefaults() (Spec, error) {
 		return s, fmt.Errorf("scenario %q: faults need a network (nodes > 1 or links)", s.Name)
 	}
 	for _, f := range s.Faults {
+		if f.AtMs < 0 {
+			return s, fmt.Errorf("scenario %q: %s fault at negative instant %gms", s.Name, f.Kind, f.AtMs)
+		}
 		switch f.Kind {
 		case "drop-every":
 			if f.K < 1 {
@@ -300,9 +334,34 @@ func (s Spec) withDefaults() (Spec, error) {
 			if f.Node < 0 || f.Node >= s.Nodes {
 				return s, fmt.Errorf("scenario %q: %s fault on unknown node %d (have %d)", s.Name, f.Kind, f.Node, s.Nodes)
 			}
+			if f.Kind == "crash" && f.RecoverMs != 0 && f.RecoverMs <= f.AtMs {
+				return s, fmt.Errorf("scenario %q: crash of node %d recovers at %gms, not after the crash at %gms", s.Name, f.Node, f.RecoverMs, f.AtMs)
+			}
 		case "random":
 			if f.DropProb < 0 || f.DelayProb < 0 || f.DropProb+f.DelayProb > 1 {
 				return s, fmt.Errorf("scenario %q: random fault needs probabilities in [0,1] with dropProb+delayProb <= 1", s.Name)
+			}
+		case "partition":
+			if len(f.Partition) < 2 {
+				return s, fmt.Errorf("scenario %q: partition fault needs at least 2 sides (got %d)", s.Name, len(f.Partition))
+			}
+			seen := map[int]bool{}
+			for _, side := range f.Partition {
+				if len(side) == 0 {
+					return s, fmt.Errorf("scenario %q: partition fault has an empty side", s.Name)
+				}
+				for _, n := range side {
+					if n < 0 || n >= s.Nodes {
+						return s, fmt.Errorf("scenario %q: partition side names unknown node %d (have %d)", s.Name, n, s.Nodes)
+					}
+					if seen[n] {
+						return s, fmt.Errorf("scenario %q: partition lists node %d in two sides", s.Name, n)
+					}
+					seen[n] = true
+				}
+			}
+			if f.HealMs != 0 && f.HealMs <= f.AtMs {
+				return s, fmt.Errorf("scenario %q: partition heals at %gms, not after the split at %gms", s.Name, f.HealMs, f.AtMs)
 			}
 		default:
 			return s, fmt.Errorf("scenario %q: unknown fault kind %q", s.Name, f.Kind)
@@ -552,6 +611,11 @@ func (s Spec) Build() (*cluster.Cluster, error) {
 			c.DropRandom(f.DropProb, f.DelayProb, us(f.MaxExtraUs))
 		case "crash":
 			c.Crash(f.Node, vtime.Time(msd(f.AtMs)), vtime.Time(msd(f.RecoverMs)))
+		case "partition":
+			c.PartitionAt(vtime.Time(msd(f.AtMs)), f.Partition...)
+			if f.HealMs > 0 {
+				c.HealAt(vtime.Time(msd(f.HealMs)))
+			}
 		}
 	}
 	for _, gs := range s.Groups {

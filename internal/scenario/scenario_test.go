@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"hades/internal/feasibility"
+	"hades/internal/vtime"
 )
 
 func TestBuiltinsLoadAndBuild(t *testing.T) {
@@ -521,5 +522,139 @@ func TestFaultValidationRejectsSilentNoOps(t *testing.T) {
 	s.Placement = map[string]int{"typo": 1}
 	if _, err := s.withDefaults(); err == nil {
 		t.Fatal("placement on unknown task accepted")
+	}
+}
+
+// TestMisconfigurationRejected locks in that misconfigured scenarios
+// fail loudly instead of being silently ignored: group members must be
+// declared nodes, fault kinds must be known, and fault schedules must
+// be self-consistent.
+func TestMisconfigurationRejected(t *testing.T) {
+	base := func() Spec {
+		return Spec{
+			Name: "v", Nodes: 3, HorizonMs: 100,
+			Tasks: []TaskSpec{{Name: "t", Node: 0, CBeforeUs: 100, DeadlineMs: 10, PeriodMs: 10}},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"group member not a declared node", func(s *Spec) {
+			s.Groups = []GroupSpec{{Name: "g", Nodes: []int{0, 5}}}
+		}},
+		{"group member listed twice", func(s *Spec) {
+			s.Groups = []GroupSpec{{Name: "g", Nodes: []int{0, 0}}}
+		}},
+		{"replica not a group member", func(s *Spec) {
+			s.Groups = []GroupSpec{{Name: "g", Nodes: []int{0, 1}, Style: "passive", Replicas: []int{0, 2}}}
+		}},
+		{"unknown fault kind", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: "meteor-strike"}}
+		}},
+		{"crash on unknown node", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: "crash", Node: 9, AtMs: 10}}
+		}},
+		{"crash recovering before the crash", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: "crash", Node: 0, AtMs: 50, RecoverMs: 40}}
+		}},
+		{"fault at negative instant", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: "crash", Node: 0, AtMs: -1}}
+		}},
+		{"partition with one side", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: "partition", Partition: [][]int{{0, 1}}, AtMs: 10}}
+		}},
+		{"partition with empty side", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: "partition", Partition: [][]int{{0}, {}}, AtMs: 10}}
+		}},
+		{"partition naming unknown node", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: "partition", Partition: [][]int{{0}, {7}}, AtMs: 10}}
+		}},
+		{"partition with node in two sides", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: "partition", Partition: [][]int{{0, 1}, {1, 2}}, AtMs: 10}}
+		}},
+		{"partition healing before the split", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: "partition", Partition: [][]int{{0}, {1}}, AtMs: 50, HealMs: 40}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mutate(&s)
+			if _, err := s.withDefaults(); err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+		})
+	}
+}
+
+// TestPartitionSplitBuiltinIsSplitBrainSafe is the acceptance sweep:
+// under every seeded run of the partition-split builtin the minority
+// side installs no view and promotes no primary while partitioned,
+// and after the heal every replica converges to the one majority log,
+// the minority re-admitted through a merge view plus state transfer.
+func TestPartitionSplitBuiltinIsSplitBrainSafe(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			spec, err := Builtin("partition-split")
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec.Seed = seed
+			clu, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := clu.Run(spec.Horizon())
+			splitAt := vtime.Time(msd(60))
+			healAt := vtime.Time(msd(200))
+
+			g := clu.Groups()[0]
+			mem := g.Membership()
+			rep := g.Replicas()[0]
+			// The minority (node 0) installed nothing during the split.
+			for _, in := range mem.Installs {
+				if in.Node == 0 && in.At > splitAt && in.At < healAt {
+					t.Fatalf("minority installed %v at %s while partitioned", in.View, in.At)
+				}
+			}
+			// Exactly one promotion, away from the minority, never back.
+			if len(rep.Failovers) != 1 {
+				t.Fatalf("failovers %+v, want exactly 1", rep.Failovers)
+			}
+			if fo := rep.Failovers[0]; fo.From != 0 || fo.To == 0 {
+				t.Fatalf("failover %+v promotes the minority", fo)
+			}
+			// Merge view re-admitted the minority with a state transfer.
+			final := mem.Agreed()
+			if !final.Contains(0) {
+				t.Fatalf("final view %v lacks the healed minority", final)
+			}
+			if len(mem.Merges) != 1 {
+				t.Fatalf("merges %+v, want 1", mem.Merges)
+			}
+			xfers := 0
+			for _, tr := range mem.Transfers {
+				if tr.To == 0 {
+					xfers++
+				}
+			}
+			if xfers == 0 {
+				t.Fatal("minority re-admitted without a state transfer")
+			}
+			// Convergence: the re-admitted replica holds the majority
+			// log within one checkpoint interval of the primary.
+			primary, rejoined := rep.Machine(rep.Primary()), rep.Machine(0)
+			if rejoined.Applied == 0 {
+				t.Fatal("re-admitted replica holds no state")
+			}
+			if lag := primary.Applied - rejoined.Applied; lag < 0 || lag > int64(spec.Groups[0].CheckpointEvery) {
+				t.Fatalf("re-admitted replica lag %d outside [0, checkpoint interval]", lag)
+			}
+			gr, ok := res.Group("sm")
+			if !ok || gr.BlockedTime == 0 || gr.Merges != 1 {
+				t.Fatalf("partition stats missing from Result: %+v", gr)
+			}
+		})
 	}
 }
