@@ -1,10 +1,14 @@
 // Command hades-bench converts `go test -bench` output on stdin into
 // a JSON benchmark baseline, so CI can persist a BENCH_<sha>.json
-// artifact per commit and track the performance trajectory.
+// artifact per commit and track the performance trajectory — and
+// diffs two baselines, flagging regressions past a threshold with a
+// nonzero exit (the CI trend gate).
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | hades-bench -sha $GITHUB_SHA -out BENCH_$GITHUB_SHA.json
+//	hades-bench -diff old.json new.json            # exit 1 on >10% regressions
+//	hades-bench -diff -threshold 0.25 old.json new.json
 package main
 
 import (
@@ -17,10 +21,17 @@ import (
 
 func main() {
 	var (
-		sha = flag.String("sha", "", "commit SHA to stamp into the baseline")
-		out = flag.String("out", "", "output file (default stdout)")
+		sha       = flag.String("sha", "", "commit SHA to stamp into the baseline")
+		out       = flag.String("out", "", "output file (default stdout)")
+		diff      = flag.Bool("diff", false, "compare two baselines: -diff old.json new.json")
+		threshold = flag.Float64("threshold", 0.10, "fractional ns/op movement flagged as a regression")
 	)
 	flag.Parse()
+
+	if *diff {
+		runDiff(flag.Args(), *threshold)
+		return
+	}
 
 	b, err := benchparse.Parse(os.Stdin)
 	if err != nil {
@@ -48,4 +59,28 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "hades-bench: %d benchmark(s) recorded\n", len(b.Benchmarks))
+}
+
+// runDiff compares two baseline files and exits nonzero when any
+// benchmark regressed past the threshold.
+func runDiff(args []string, threshold float64) {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "hades-bench: -diff needs exactly two baseline files: old.json new.json")
+		os.Exit(2)
+	}
+	old, err := benchparse.Read(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cur, err := benchparse.Read(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rep := benchparse.Diff(old, cur, threshold)
+	fmt.Print(rep)
+	if rep.HasRegressions() {
+		os.Exit(1)
+	}
 }

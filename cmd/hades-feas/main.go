@@ -62,6 +62,30 @@ func main() {
 	printVerdict("EDF+SRP (naive, no costs)", naive)
 	printVerdict("EDF+SRP (§5.3 cost-integrated)", integrated)
 
+	// Membership-aware admission: when the scenario declares groups (or
+	// a sharded data plane), one failover window — the provable
+	// view-change bound — is charged as a top-priority blackout, so
+	// the admitted set stays schedulable across a failover.
+	if len(spec.Groups) > 0 || spec.Shards != nil {
+		clu, err := spec.Build()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warning: cannot compute the view-change blackout (scenario build failed: %v)\n", err)
+		} else {
+			var blackout vtime.Duration
+			for _, g := range clu.Groups() {
+				if b := g.Membership().Bound(); b > blackout {
+					blackout = b
+				}
+			}
+			if blackout > 0 {
+				ovb := *ov
+				ovb.ViewChangeBlackout = blackout
+				printVerdict(fmt.Sprintf("EDF+SRP (+view-change blackout %s)", blackout),
+					feasibility.EDFSpuri(tasks, &ovb))
+			}
+		}
+	}
+
 	if rs, all := feasibility.ResponseTime(tasks, feasibility.DeadlineMonotonic, ov); true {
 		fmt.Printf("%-34s feasible=%v\n", "DM response-time (with costs):", all)
 		for _, r := range rs {

@@ -11,6 +11,7 @@
 //	hades-sim -builtin distributed-pipeline
 //	hades-sim -builtin inversion -trace
 //	hades-sim -builtin partition-split -views -partition
+//	hades-sim -builtin sharded-kv -shards
 //	hades-sim -scenario myset.json
 //	hades-sim -builtins              # list built-in scenarios
 package main
@@ -32,6 +33,7 @@ func main() {
 		gantt    = flag.Bool("gantt", false, "print a per-node CPU occupancy chart")
 		views    = flag.Bool("views", false, "print per-node membership view histories")
 		partRep  = flag.Bool("partition", false, "print per-group partition/quorum/merge report")
+		shardRep = flag.Bool("shards", false, "print the sharded data plane routing report")
 		listThem = flag.Bool("builtins", false, "list built-in scenarios and exit")
 	)
 	flag.Parse()
@@ -110,6 +112,34 @@ func main() {
 				flushed += rep.Flushed
 			}
 			fmt.Printf("  flushed at view boundaries: %d message(s)\n", flushed)
+		}
+	}
+	if *shardRep {
+		for _, set := range clu.ShardSets() {
+			fmt.Println("--- sharded data plane ---")
+			for _, g := range set.Groups() {
+				rep := g.Replication()
+				fmt.Printf("  %s nodes=%v primary=n%d style=%s\n", g.Name(), g.Nodes(), rep.Primary(), rep.Style())
+				fmt.Printf("    requests=%d served=%d redirects=%d blocked=%d duplicates=%d applied=%d\n",
+					g.Stats.Requests, g.Stats.Served, g.Stats.Redirects, g.Stats.Blocked, rep.Duplicates,
+					rep.Machine(rep.Primary()).Applied)
+				for _, fo := range rep.Failovers {
+					fmt.Printf("    failover n%d -> n%d in view %d at %s\n", fo.From, fo.To, fo.InView, fo.At)
+				}
+			}
+			fmt.Printf("  router republishes: %d\n", set.Router().Republishes)
+			for _, cl := range set.Clients() {
+				st := cl.Stats
+				fmt.Printf("  client n%d (%s): submitted=%d acked=%d redirects=%d retries=%d queued=%d resubmitted=%d failed=%d blocked=%d\n",
+					cl.Node(), cl.Params().Policy, st.Submitted, st.Acked, st.Redirects, st.Retries,
+					st.Queued, st.Resubmitted, st.FailedFast, st.Blocked)
+				fmt.Printf("    latency avg=%s max=%s\n", st.AvgLatency(), st.MaxLatency)
+			}
+			if err := set.Check(); err != nil {
+				fmt.Printf("  CONSISTENCY VIOLATION: %v\n", err)
+			} else {
+				fmt.Println("  consistency: every acked request applied exactly once, per-key order intact")
+			}
 		}
 	}
 	if *gantt {

@@ -3,6 +3,7 @@ package benchparse
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -73,5 +74,86 @@ func TestWriteRoundTrips(t *testing.T) {
 	}
 	if back.Benchmarks[1].NsPerOp != 61250 {
 		t.Fatalf("ns/op lost: %+v", back.Benchmarks[1])
+	}
+}
+
+func baselineOf(benches ...Benchmark) Baseline { return Baseline{Benchmarks: benches} }
+
+// TestDiffClassifiesMovement: movements past the threshold are
+// regressions/improvements, inside it unchanged, and one-sided
+// benchmarks are added/removed.
+func TestDiffClassifiesMovement(t *testing.T) {
+	old := baselineOf(
+		Benchmark{Name: "BenchmarkA-8", Package: "p", NsPerOp: 100},
+		Benchmark{Name: "BenchmarkB-8", Package: "p", NsPerOp: 100},
+		Benchmark{Name: "BenchmarkC-8", Package: "p", NsPerOp: 100},
+		Benchmark{Name: "BenchmarkGone-8", Package: "p", NsPerOp: 50},
+	)
+	cur := baselineOf(
+		Benchmark{Name: "BenchmarkA-8", Package: "p", NsPerOp: 125}, // +25%: regression
+		Benchmark{Name: "BenchmarkB-8", Package: "p", NsPerOp: 70},  // -30%: improvement
+		Benchmark{Name: "BenchmarkC-8", Package: "p", NsPerOp: 105}, // +5%: unchanged
+		Benchmark{Name: "BenchmarkNew-8", Package: "p", NsPerOp: 10},
+	)
+	r := Diff(old, cur, 0.10)
+	if !r.HasRegressions() || len(r.Regressions) != 1 || r.Regressions[0].Name != "BenchmarkA-8" {
+		t.Fatalf("regressions %+v", r.Regressions)
+	}
+	if got := r.Regressions[0].Change; got < 0.24 || got > 0.26 {
+		t.Fatalf("regression change %v, want ~0.25", got)
+	}
+	if len(r.Improvements) != 1 || r.Improvements[0].Name != "BenchmarkB-8" {
+		t.Fatalf("improvements %+v", r.Improvements)
+	}
+	if r.Unchanged != 1 {
+		t.Fatalf("unchanged %d, want 1", r.Unchanged)
+	}
+	if len(r.Added) != 1 || r.Added[0] != "p.BenchmarkNew-8" {
+		t.Fatalf("added %v", r.Added)
+	}
+	if len(r.Removed) != 1 || r.Removed[0] != "p.BenchmarkGone-8" {
+		t.Fatalf("removed %v", r.Removed)
+	}
+}
+
+// TestDiffThresholdBoundary: exactly-at-threshold movement is not a
+// regression (strictly greater flags), and the default threshold is
+// 10%.
+func TestDiffThresholdBoundary(t *testing.T) {
+	old := baselineOf(Benchmark{Name: "BenchmarkX-8", NsPerOp: 100})
+	atTen := baselineOf(Benchmark{Name: "BenchmarkX-8", NsPerOp: 110})
+	if r := Diff(old, atTen, 0); r.HasRegressions() {
+		t.Fatalf("+10.0%% flagged at a 10%% threshold: %+v", r.Regressions)
+	}
+	over := baselineOf(Benchmark{Name: "BenchmarkX-8", NsPerOp: 111})
+	if r := Diff(old, over, 0); !r.HasRegressions() {
+		t.Fatal("+11% not flagged at the default threshold")
+	}
+}
+
+// TestDiffRoundTripThroughFiles: a baseline written with Write is read
+// back by Read and diffs cleanly against itself.
+func TestDiffRoundTripThroughFiles(t *testing.T) {
+	b := baselineOf(Benchmark{Name: "BenchmarkY-8", Package: "q", Iterations: 10, NsPerOp: 42})
+	b.SHA = "abc"
+	path := t.TempDir() + "/BENCH_abc.json"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SHA != "abc" || len(got.Benchmarks) != 1 || got.Benchmarks[0].NsPerOp != 42 {
+		t.Fatalf("round trip mangled the baseline: %+v", got)
+	}
+	r := Diff(got, got, 0.10)
+	if r.HasRegressions() || len(r.Improvements) != 0 || r.Unchanged != 1 {
+		t.Fatalf("self-diff not clean: %+v", r)
 	}
 }

@@ -1,0 +1,132 @@
+package benchparse
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Delta is one benchmark's movement between two baselines.
+type Delta struct {
+	Name    string  `json:"name"`
+	Package string  `json:"package,omitempty"`
+	OldNs   float64 `json:"oldNs"`
+	NewNs   float64 `json:"newNs"`
+	// Change is the fractional ns/op movement, (new-old)/old:
+	// positive = slower (a regression candidate).
+	Change float64 `json:"change"`
+}
+
+// DiffReport compares two baselines benchmark-by-benchmark.
+type DiffReport struct {
+	// Threshold is the fractional movement that classifies a
+	// regression or an improvement.
+	Threshold float64
+	// Regressions are benchmarks slower by more than Threshold,
+	// largest movement first; Improvements the mirror image.
+	Regressions  []Delta
+	Improvements []Delta
+	// Unchanged counts benchmarks within the threshold band.
+	Unchanged int
+	// Added and Removed list benchmarks present in only one baseline.
+	Added, Removed []string
+}
+
+// HasRegressions reports whether any benchmark regressed past the
+// threshold — the CI trend job's failure condition.
+func (r DiffReport) HasRegressions() bool { return len(r.Regressions) > 0 }
+
+// benchKey identifies a benchmark across baselines.
+func benchKey(b Benchmark) string {
+	if b.Package == "" {
+		return b.Name
+	}
+	return b.Package + "." + b.Name
+}
+
+// Diff compares two baselines. threshold <= 0 selects 0.10 (10%).
+// Benchmarks with a zero old ns/op are treated as added (no
+// meaningful ratio).
+func Diff(old, new Baseline, threshold float64) DiffReport {
+	if threshold <= 0 {
+		threshold = 0.10
+	}
+	r := DiffReport{Threshold: threshold}
+	olds := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		olds[benchKey(b)] = b
+	}
+	seen := make(map[string]bool, len(new.Benchmarks))
+	for _, b := range new.Benchmarks {
+		key := benchKey(b)
+		seen[key] = true
+		ob, ok := olds[key]
+		if !ok || ob.NsPerOp == 0 {
+			r.Added = append(r.Added, key)
+			continue
+		}
+		d := Delta{Name: b.Name, Package: b.Package, OldNs: ob.NsPerOp, NewNs: b.NsPerOp,
+			Change: (b.NsPerOp - ob.NsPerOp) / ob.NsPerOp}
+		switch {
+		case d.Change > threshold:
+			r.Regressions = append(r.Regressions, d)
+		case d.Change < -threshold:
+			r.Improvements = append(r.Improvements, d)
+		default:
+			r.Unchanged++
+		}
+	}
+	for _, b := range old.Benchmarks {
+		if key := benchKey(b); !seen[key] {
+			r.Removed = append(r.Removed, key)
+		}
+	}
+	sort.Slice(r.Regressions, func(i, j int) bool { return r.Regressions[i].Change > r.Regressions[j].Change })
+	sort.Slice(r.Improvements, func(i, j int) bool { return r.Improvements[i].Change < r.Improvements[j].Change })
+	sort.Strings(r.Added)
+	sort.Strings(r.Removed)
+	return r
+}
+
+// String renders the report for the CI log.
+func (r DiffReport) String() string {
+	var b strings.Builder
+	pct := func(f float64) string { return fmt.Sprintf("%+.1f%%", f*100) }
+	for _, d := range r.Regressions {
+		fmt.Fprintf(&b, "REGRESSION %-50s %12.1f -> %12.1f ns/op (%s)\n", deltaKey(d), d.OldNs, d.NewNs, pct(d.Change))
+	}
+	for _, d := range r.Improvements {
+		fmt.Fprintf(&b, "improved   %-50s %12.1f -> %12.1f ns/op (%s)\n", deltaKey(d), d.OldNs, d.NewNs, pct(d.Change))
+	}
+	for _, k := range r.Added {
+		fmt.Fprintf(&b, "added      %s\n", k)
+	}
+	for _, k := range r.Removed {
+		fmt.Fprintf(&b, "removed    %s\n", k)
+	}
+	fmt.Fprintf(&b, "%d regression(s), %d improvement(s), %d unchanged (threshold %.0f%%)\n",
+		len(r.Regressions), len(r.Improvements), r.Unchanged, r.Threshold*100)
+	return b.String()
+}
+
+func deltaKey(d Delta) string {
+	if d.Package == "" {
+		return d.Name
+	}
+	return d.Package + "." + d.Name
+}
+
+// Read loads a baseline JSON file written by Baseline.Write.
+func Read(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, fmt.Errorf("benchparse: %w", err)
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("benchparse: parsing %s: %w", path, err)
+	}
+	return b, nil
+}

@@ -96,11 +96,12 @@ type Cluster struct {
 	disp *dispatcher.Dispatcher
 	apps []*App
 
-	hooks   fault.Hooks
-	spawns  []spawned
-	groups  []*Group
-	started map[string]bool
-	built   bool
+	hooks     fault.Hooks
+	spawns    []spawned
+	groups    []*Group
+	shardSets []*ShardSet
+	started   map[string]bool
+	built     bool
 }
 
 // DefaultLinkDMin and DefaultLinkDMax bound point-to-point delays when

@@ -20,7 +20,45 @@ type Result struct {
 	Tasks      []TaskResult
 	Net        netsim.Stats // zero when the cluster has no network
 	Groups     []GroupResult
+	Shards     []ShardResult
+	Clients    []ClientResult
 	Violations []monitor.Event
+}
+
+// ShardResult is one shard group's routing and service record (its
+// membership/replication record appears under Groups as usual).
+type ShardResult struct {
+	Name    string
+	Index   int
+	Nodes   []int
+	Primary int
+	// Requests counts client requests arriving at replicas; Served the
+	// OK responses; Redirects the bounces to the current primary;
+	// Blocked the stale-view (no local quorum) rejections; Duplicates
+	// the retried requests answered from the replicated dedup cache.
+	Requests   int
+	Served     int
+	Redirects  int
+	Blocked    int
+	Duplicates int
+	// Applied is the primary state machine's apply counter.
+	Applied int64
+}
+
+// ClientResult is one shard client's request-layer record.
+type ClientResult struct {
+	Node        int
+	Submitted   int
+	Acked       int
+	Redirects   int
+	Timeouts    int
+	Retries     int
+	Blocked     int
+	Queued      int
+	Resubmitted int
+	FailedFast  int
+	AvgLatency  vtime.Duration
+	MaxLatency  vtime.Duration
 }
 
 // GroupResult is one membership group's runtime record: the agreed
@@ -96,6 +134,40 @@ func (c *Cluster) ResultNow() Result {
 	for _, g := range c.groups {
 		r.Groups = append(r.Groups, g.result())
 	}
+	for _, set := range c.shardSets {
+		for _, sg := range set.shards {
+			rep := sg.Replication()
+			r.Shards = append(r.Shards, ShardResult{
+				Name:       sg.Name(),
+				Index:      sg.Index(),
+				Nodes:      sg.Nodes(),
+				Primary:    rep.Primary(),
+				Requests:   sg.Stats.Requests,
+				Served:     sg.Stats.Served,
+				Redirects:  sg.Stats.Redirects,
+				Blocked:    sg.Stats.Blocked,
+				Duplicates: rep.Duplicates,
+				Applied:    rep.Machine(rep.Primary()).Applied,
+			})
+		}
+		for _, cl := range set.clients {
+			st := cl.Stats
+			r.Clients = append(r.Clients, ClientResult{
+				Node:        cl.Node(),
+				Submitted:   st.Submitted,
+				Acked:       st.Acked,
+				Redirects:   st.Redirects,
+				Timeouts:    st.Timeouts,
+				Retries:     st.Retries,
+				Blocked:     st.Blocked,
+				Queued:      st.Queued,
+				Resubmitted: st.Resubmitted,
+				FailedFast:  st.FailedFast,
+				AvgLatency:  st.AvgLatency(),
+				MaxLatency:  st.MaxLatency,
+			})
+		}
+	}
 	return r
 }
 
@@ -152,6 +224,26 @@ func (r Result) Task(name string) (TaskResult, bool) {
 	return TaskResult{}, false
 }
 
+// Shard returns the named shard group's record.
+func (r Result) Shard(name string) (ShardResult, bool) {
+	for _, s := range r.Shards {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return ShardResult{}, false
+}
+
+// Client returns the shard client record of the given node.
+func (r Result) Client(node int) (ClientResult, bool) {
+	for _, c := range r.Clients {
+		if c.Node == node {
+			return c, true
+		}
+	}
+	return ClientResult{}, false
+}
+
 // Group returns the named membership group's record.
 func (r Result) Group(name string) (GroupResult, bool) {
 	for _, g := range r.Groups {
@@ -190,6 +282,14 @@ func (r Result) String() string {
 			out += fmt.Sprintf("    quorum=%d blocked=%s noQuorum=%s merges=%d mergeLat=%s flushed=%d\n",
 				g.Quorum, g.BlockedTime, g.NoQuorumTime, g.Merges, g.MergeLatency, g.Flushed)
 		}
+	}
+	for _, s := range r.Shards {
+		out += fmt.Sprintf("  shard %-10s nodes=%v primary=n%d req=%-5d served=%-5d redirect=%-4d blocked=%-4d dup=%-4d applied=%d\n",
+			s.Name, s.Nodes, s.Primary, s.Requests, s.Served, s.Redirects, s.Blocked, s.Duplicates, s.Applied)
+	}
+	for _, c := range r.Clients {
+		out += fmt.Sprintf("  client n%-3d sub=%-5d ack=%-5d redirect=%-4d retry=%-4d queued=%-4d resub=%-4d failed=%-4d avgLat=%-12s maxLat=%s\n",
+			c.Node, c.Submitted, c.Acked, c.Redirects, c.Retries, c.Queued, c.Resubmitted, c.FailedFast, c.AvgLatency, c.MaxLatency)
 	}
 	return out
 }

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"fmt"
+
+	"hades/internal/replication"
+	"hades/internal/shard"
+	"hades/internal/vtime"
+)
+
+// ShardConfig tunes a sharded data plane declared with ShardsWith.
+// The zero value selects semi-active replication, DefaultVNodes ring
+// points per shard, consecutive node layout and the replication
+// defaults.
+type ShardConfig struct {
+	// Name prefixes the shard group names ("shard" → shard0, shard1…).
+	Name string
+	// Groups pins the replica node sets explicitly (promotion order =
+	// declaration order); empty selects consecutive layout.
+	Groups [][]int
+	// Style selects the replication protocol (default SemiActive; the
+	// client layer's exactly-once verification requires it).
+	Style replication.Style
+	// VNodes is the ring's virtual-node count per shard.
+	VNodes int
+	// Routes pins keys to shard indices, bypassing the hash.
+	Routes map[string]int
+	// WExec, CheckpointEvery and StorageLatency configure the replicas
+	// (zero selects 100 µs, the replication default, and 20 µs).
+	WExec           vtime.Duration
+	CheckpointEvery int
+	StorageLatency  vtime.Duration
+}
+
+// ShardSet is a sharded data plane on the cluster: N replication
+// groups (each a view-synchronous membership group carrying a
+// replicated state machine) behind a consistent-hash router, plus the
+// clients created with ClientAt. Its statistics are rolled into the
+// cluster Result.
+type ShardSet struct {
+	c           *Cluster
+	name        string
+	respPort    string
+	router      *shard.Router
+	shards      []*shard.Group
+	clients     []*shard.Client
+	clientNodes map[int]bool
+}
+
+// Shards declares a sharded data plane of n replication groups with
+// replicasPer replicas each, laid out over consecutive nodes (shard i
+// owns nodes [i·replicasPer, (i+1)·replicasPer)), semi-active style.
+// It finalizes the platform and needs a network. Submit keyed
+// requests through ClientAt.
+func (c *Cluster) Shards(n, replicasPer int) *ShardSet {
+	return c.ShardsWith(n, replicasPer, ShardConfig{})
+}
+
+// ShardsWith is Shards with explicit configuration; cfg.Groups
+// overrides the consecutive layout (n and replicasPer are then
+// ignored).
+func (c *Cluster) ShardsWith(n, replicasPer int, cfg ShardConfig) *ShardSet {
+	c.build()
+	if c.net == nil {
+		panic("cluster: Shards needs a network (declare links or multiple nodes)")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "shard"
+	}
+	// Coexisting data planes need distinct names: the name scopes the
+	// shard group names (hence their membership/request ports) and the
+	// set's response port.
+	for _, prev := range c.shardSets {
+		if prev.name == cfg.Name {
+			panic(fmt.Sprintf("cluster: shard set %q already exists (give coexisting sets distinct Names)", cfg.Name))
+		}
+	}
+	if cfg.Style == 0 {
+		cfg.Style = replication.SemiActive
+	}
+	groups := cfg.Groups
+	if len(groups) == 0 {
+		if n < 1 {
+			panic(fmt.Sprintf("cluster: Shards(%d, %d): need at least 1 shard", n, replicasPer))
+		}
+		if replicasPer < 2 {
+			panic(fmt.Sprintf("cluster: Shards(%d, %d): need at least 2 replicas per shard", n, replicasPer))
+		}
+		if n*replicasPer > len(c.nodes) {
+			panic(fmt.Sprintf("cluster: Shards(%d, %d) needs %d nodes, have %d", n, replicasPer, n*replicasPer, len(c.nodes)))
+		}
+		for i := 0; i < n; i++ {
+			var set []int
+			for r := 0; r < replicasPer; r++ {
+				set = append(set, i*replicasPer+r)
+			}
+			groups = append(groups, set)
+		}
+	} else {
+		// Explicit layouts get the same loud validation the scenario
+		// layer gives the JSON path: disjoint, in-range, replicated.
+		owner := make(map[int]int)
+		for i, g := range groups {
+			if len(g) < 2 {
+				panic(fmt.Sprintf("cluster: shard group %d needs at least 2 replicas (got %d)", i, len(g)))
+			}
+			for _, node := range g {
+				if node < 0 || node >= len(c.nodes) {
+					panic(fmt.Sprintf("cluster: shard group %d names unknown node %d (have %d)", i, node, len(c.nodes)))
+				}
+				if prev, dup := owner[node]; dup {
+					panic(fmt.Sprintf("cluster: node %d is a replica of shard groups %d and %d (overlapping group membership)", node, prev, i))
+				}
+				owner[node] = i
+			}
+		}
+	}
+	wexec := cfg.WExec
+	if wexec <= 0 {
+		wexec = 100 * vtime.Microsecond
+	}
+	storeLat := cfg.StorageLatency
+	if storeLat <= 0 {
+		storeLat = 20 * vtime.Microsecond
+	}
+	respPort := "shard." + cfg.Name + ".resp"
+	ring := shard.NewRing(len(groups), cfg.VNodes)
+	sgroups := make([]*shard.Group, 0, len(groups))
+	for i, nodes := range groups {
+		name := fmt.Sprintf("%s%d", cfg.Name, i)
+		mg := c.Group(name, nodes...)
+		sg, err := shard.NewGroup(c.eng, c.net, mg.svc, shard.GroupConfig{
+			Name:     name,
+			Index:    i,
+			RespPort: respPort,
+			Replication: replication.Config{
+				Name:            name,
+				Replicas:        nodes,
+				Style:           cfg.Style,
+				WExec:           wexec,
+				CheckpointEvery: cfg.CheckpointEvery,
+				StorageLatency:  storeLat,
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		mg.rep = append(mg.rep, sg.Replication())
+		sgroups = append(sgroups, sg)
+	}
+	router, err := shard.NewRouter(c.eng, ring, sgroups, cfg.Routes)
+	if err != nil {
+		panic(err)
+	}
+	set := &ShardSet{c: c, name: cfg.Name, respPort: respPort, router: router,
+		shards: sgroups, clientNodes: make(map[int]bool)}
+	c.shardSets = append(c.shardSets, set)
+	return set
+}
+
+// Name returns the set's name prefix.
+func (s *ShardSet) Name() string { return s.name }
+
+// ShardSets returns the cluster's sharded data planes, creation order.
+func (c *Cluster) ShardSets() []*ShardSet { return c.shardSets }
+
+// Router returns the set's key → shard → primary resolver.
+func (s *ShardSet) Router() *shard.Router { return s.router }
+
+// Groups returns the shard groups, ring-index order.
+func (s *ShardSet) Groups() []*shard.Group { return append([]*shard.Group(nil), s.shards...) }
+
+// Clients returns the clients created with ClientAt, creation order.
+func (s *ShardSet) Clients() []*shard.Client { return append([]*shard.Client(nil), s.clients...) }
+
+// ClientAt creates a request client on the given node with default
+// retry parameters and the queue-on-failure policy.
+func (s *ShardSet) ClientAt(node int) *shard.Client {
+	return s.ClientWith(shard.ClientParams{Node: node})
+}
+
+// ClientWith creates a request client with explicit parameters. One
+// client per node; clients may not be co-located with shard replicas
+// (a split would then cut the client's own shard in two ways at once
+// and the response port would collide with serving duties).
+func (s *ShardSet) ClientWith(p shard.ClientParams) *shard.Client {
+	if p.Node < 0 || p.Node >= len(s.c.nodes) {
+		panic(fmt.Sprintf("cluster: shard client on unknown node %d", p.Node))
+	}
+	if s.clientNodes[p.Node] {
+		panic(fmt.Sprintf("cluster: node %d already has a shard client", p.Node))
+	}
+	for _, g := range s.shards {
+		for _, n := range g.Nodes() {
+			if n == p.Node {
+				panic(fmt.Sprintf("cluster: shard client on node %d collides with replica of %q", p.Node, g.Name()))
+			}
+		}
+	}
+	p.RespPort = s.respPort
+	cl := shard.NewClient(s.c.eng, s.c.net, s.router, p)
+	s.clientNodes[p.Node] = true
+	s.clients = append(s.clients, cl)
+	return cl
+}
+
+// Check verifies the safety contract of the run so far: every
+// acknowledged request applied exactly once in the owning shard's
+// authoritative history, in per-key submission order (see
+// shard.Verify).
+func (s *ShardSet) Check() error { return shard.Verify(s.router, s.clients) }

@@ -85,7 +85,7 @@ func busyPeriod(tasks []Task, ov *Overheads) (vtime.Duration, bool) {
 			next += vtime.Duration(vtime.CeilDiv(l, t.T)) * effectiveC(t, ov)
 		}
 		if ov != nil {
-			next += ov.SchedDemand(tasks, l) + ov.KernelDemand(l)
+			next += ov.SchedDemand(tasks, l) + ov.KernelDemand(l) + ov.ViewChangeBlackout
 		}
 		if next == l {
 			return l, true
@@ -102,13 +102,15 @@ func busyPeriod(tasks []Task, ov *Overheads) (vtime.Duration, bool) {
 // [Spu96] theorem 7.1 (the paper's §5.1): every absolute deadline d in
 // the first synchronous busy period must satisfy
 //
-//	h(d) + B(d) ≤ d                         (naive, ov == nil)
-//	h'(d) + B'(d) + sched(d) + kern(d) ≤ d  (§5.3 cost-integrated)
+//	h(d) + B(d) ≤ d                               (naive, ov == nil)
+//	h'(d) + B'(d) + sched(d) + kern(d) + V ≤ d    (§5.3 cost-integrated)
 //
-// where the primed quantities fold in the §4.1 dispatcher constants and
+// where the primed quantities fold in the §4.1 dispatcher constants,
 // the sched/kern terms are the scheduler and kernel activities that
 // "always execute at a higher priority" (§5.3 withdraws them from the
-// available time — moved to the left-hand side here, equivalently).
+// available time — moved to the left-hand side here, equivalently),
+// and V is the optional view-change blackout (one membership failover
+// window, membership.Service.Bound(), charged once at top priority).
 func EDFSpuri(tasks []Task, ov *Overheads) Verdict {
 	if len(tasks) == 0 {
 		return Verdict{Feasible: true}
@@ -146,7 +148,7 @@ func EDFSpuri(tasks []Task, ov *Overheads) Verdict {
 		checked++
 		need := demand(tasks, d, ov) + srpBlocking(tasks, d, ov)
 		if ov != nil {
-			need += ov.SchedDemand(tasks, d) + ov.KernelDemand(d)
+			need += ov.SchedDemand(tasks, d) + ov.KernelDemand(d) + ov.ViewChangeBlackout
 		}
 		if need > d {
 			return Verdict{

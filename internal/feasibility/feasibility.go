@@ -115,6 +115,15 @@ type Overheads struct {
 	// period disables the term.
 	NetReceivePath  vtime.Duration
 	NetPseudoPeriod vtime.Duration
+	// ViewChangeBlackout is the membership term: the worst-case
+	// view-change window (detection + agreement + install,
+	// membership.Service.Bound()) during which a failover may preempt
+	// the node's application work at service priority. Charged as a
+	// one-shot highest-priority demand against every deadline, it
+	// makes the admission test answer the composed question of §2.2:
+	// does the task set stay schedulable across one failover window?
+	// Zero disables the term.
+	ViewChangeBlackout vtime.Duration
 }
 
 // notifs returns the notification count for a task.

@@ -303,3 +303,29 @@ func TestDemandMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestViewChangeBlackoutTerm: the membership blackout is charged as a
+// one-shot top-priority demand — a set feasible on pure task demand
+// becomes infeasible when one failover window no longer fits before
+// its deadlines, with the flip exactly at the slack boundary.
+func TestViewChangeBlackoutTerm(t *testing.T) {
+	tasks := []Task{{Name: "ctl", C: 2 * vtime.Millisecond, D: 10 * vtime.Millisecond, T: 10 * vtime.Millisecond, NumEU: 1}}
+	ov := &Overheads{} // isolate the blackout term from cost inflation
+	if v := EDFSpuri(tasks, ov); !v.Feasible {
+		t.Fatalf("baseline infeasible: %+v", v)
+	}
+	// Slack before the 10 ms deadline is 8 ms: a blackout that exactly
+	// fits still admits, one past it rejects.
+	ov.ViewChangeBlackout = 8 * vtime.Millisecond
+	if v := EDFSpuri(tasks, ov); !v.Feasible {
+		t.Fatalf("blackout equal to the slack rejected: %+v", v)
+	}
+	ov.ViewChangeBlackout = 8*vtime.Millisecond + vtime.Microsecond
+	v := EDFSpuri(tasks, ov)
+	if v.Feasible {
+		t.Fatal("blackout past the slack admitted — failover window not charged")
+	}
+	if v.FailAt != 10*vtime.Millisecond {
+		t.Fatalf("failure at %s, want the 10ms deadline", v.FailAt)
+	}
+}

@@ -211,6 +211,7 @@ type Service struct {
 
 	onInstall map[int][]func(View)
 	onChange  []func(View)
+	onMerge   []func(Merge)
 	states    []stateHook
 
 	// Installs, Transfers and Merges record every event for the harness.
@@ -416,6 +417,41 @@ func (s *Service) OnInstall(node int, fn func(View)) {
 // OnChange registers a handler fired once per agreed view, at the
 // install instant (and once for the initial view at Start).
 func (s *Service) OnChange(fn func(View)) { s.onChange = append(s.onChange, fn) }
+
+// OnMerge registers a handler fired once per partition merge — an
+// agreed view that re-admits members which had been blocked (excluded
+// while alive). Merge views also fire OnChange like any other agreed
+// view; this hook is for observers that care specifically about
+// re-admissions (the Merge record carries who and the heal latency).
+func (s *Service) OnMerge(fn func(Merge)) { s.onMerge = append(s.onMerge, fn) }
+
+// HasQuorum reports whether node, by its own local knowledge — its
+// installed view and its detector's current suspicions — can still
+// reach a strict majority of that view's live members. A primary
+// stranded on a minority side fails this as soon as its detector
+// times out on the unreachable majority, and must stop serving (the
+// stale-view rejection of the sharded request layer): any result it
+// produced would be overwritten by the authoritative majority state
+// at the merge. Known-crashed members leave the denominator, exactly
+// as in the primary-partition rule, so plain crash churn never blocks
+// a surviving majority.
+func (s *Service) HasQuorum(node int) bool {
+	v := s.current[node]
+	if v.ID == 0 {
+		return false
+	}
+	live, reach := 0, 0
+	for _, m := range v.Members {
+		if s.net.NodeDown(m) {
+			continue
+		}
+		live++
+		if m == node || !s.det.Suspected(node, m) {
+			reach++
+		}
+	}
+	return reach >= live/2+1
+}
 
 // RegisterState adds an application state to the join protocol:
 // snapshot(donor, joiner) captures the donor-side state shipped to the
@@ -869,6 +905,9 @@ func (s *Service) completeChange(v View, vm viewMsg, at vtime.Time) {
 		s.Merges = append(s.Merges, mg)
 		if log := s.eng.Log(); log != nil {
 			log.Recordf(at, monitor.KindMerge, -1, s.cfg.Name, "%s readmits %v lat=%s", v, readmitted, mg.Latency)
+		}
+		for _, fn := range s.onMerge {
+			fn(mg)
 		}
 	}
 	if len(joined) > 0 && prev.ID != 0 {

@@ -479,3 +479,61 @@ func TestBlockedNodeCrashAndRecoveryStaysAMerge(t *testing.T) {
 		t.Fatalf("blocked time %s too small — recovery span not reopened", b)
 	}
 }
+
+// TestHasQuorumLocalKnowledge: HasQuorum tracks each node's *own* view
+// of reachability. Under a partition the minority member loses it as
+// soon as its detector times out on the unreachable majority — the
+// stale-view serving gate of the sharded request layer — and regains
+// it after the heal; plain crash churn never costs the survivors
+// their quorum.
+func TestHasQuorumLocalKnowledge(t *testing.T) {
+	r := rig(t, 3, 3)
+	r.svc.Start()
+	r.eng.Run(vtime.Time(30 * ms))
+	for n := 0; n < 3; n++ {
+		if !r.svc.HasQuorum(n) {
+			t.Fatalf("node %d lacks quorum with full connectivity", n)
+		}
+	}
+	// Segment node 0 off alone; its detector must reveal the loss.
+	r.net.SetPartition([]int{0}, []int{1, 2})
+	r.eng.Run(r.eng.Now().Add(60 * ms))
+	if r.svc.HasQuorum(0) {
+		t.Fatal("isolated minority member still claims a quorum")
+	}
+	if !r.svc.HasQuorum(1) || !r.svc.HasQuorum(2) {
+		t.Fatal("majority side lost its quorum")
+	}
+	// Heal: heartbeats resume, rehabilitation restores the claim (the
+	// merge view re-admits node 0, whose own view then holds again).
+	r.net.Heal()
+	r.eng.Run(r.eng.Now().Add(80 * ms))
+	if !r.svc.HasQuorum(0) {
+		t.Fatal("healed member never regained its quorum")
+	}
+	// A crash shrinks the live denominator instead of blocking the
+	// survivors.
+	fault.CrashAt(r.eng, r.net, 2, r.eng.Now().Add(1*ms), 0)
+	r.eng.Run(r.eng.Now().Add(60 * ms))
+	if !r.svc.HasQuorum(0) || !r.svc.HasQuorum(1) {
+		t.Fatal("crash churn cost the survivors their quorum")
+	}
+}
+
+// TestOnMergeFires: the merge hook fires exactly once per partition
+// merge, with the re-admitted members.
+func TestOnMergeFires(t *testing.T) {
+	r := rig(t, 3, 5)
+	var merges []Merge
+	r.svc.OnMerge(func(m Merge) { merges = append(merges, m) })
+	r.svc.Start()
+	r.net.PartitionAt(vtime.Time(20*ms), []int{0}, []int{1, 2})
+	r.net.HealAt(vtime.Time(120 * ms))
+	r.eng.Run(vtime.Time(250 * ms))
+	if len(merges) != 1 {
+		t.Fatalf("merge hook fired %d times, want 1", len(merges))
+	}
+	if got := merges[0].Readmitted; len(got) != 1 || got[0] != 0 {
+		t.Fatalf("merge re-admitted %v, want [0]", got)
+	}
+}

@@ -68,6 +68,15 @@ const (
 	KindQuorumBlocked
 	KindMerge
 	KindFlush
+
+	// Sharded data-plane events (request routing over replication
+	// groups): redirects to the owning primary, client retries,
+	// queued-request resubmission after a merge view, and router
+	// ownership republication on view changes.
+	KindRedirect
+	KindRetry
+	KindResubmit
+	KindRepublish
 )
 
 var kindNames = map[Kind]string{
@@ -111,6 +120,10 @@ var kindNames = map[Kind]string{
 	KindQuorumBlocked:       "QuorumBlock",
 	KindMerge:               "ViewMerge",
 	KindFlush:               "Flush",
+	KindRedirect:            "Redirect",
+	KindRetry:               "Retry",
+	KindResubmit:            "Resubmit",
+	KindRepublish:           "Republish",
 }
 
 // String returns the short mnemonic for the kind.

@@ -78,11 +78,26 @@ func (s Style) String() string {
 	}
 }
 
+// ClientSeq identifies one client request for exactly-once
+// deduplication: the client's identity plus its per-client sequence
+// number. The zero value tags untracked (at-least-once) requests.
+type ClientSeq struct {
+	Client uint64
+	Seq    uint64
+}
+
 // StateMachine is the deterministic replicated service: state' = f(state,
 // cmd). Value faults are injected by corrupting one replica's Apply.
 type StateMachine struct {
 	State   int64
 	Applied int64
+	// Seen is the replicated deduplication table: the result of every
+	// tagged request this machine has applied, so a retried request
+	// (client timeout racing a slow reply, a redirect after failover)
+	// is answered from the cache instead of applied twice. It moves
+	// with the state: checkpoints and join state transfers carry it, so
+	// exactly-once survives exactly as far as the state itself does.
+	Seen map[ClientSeq]int64
 	// Corrupt, when non-nil, perturbs results (a coherent value
 	// failure, §2.1).
 	Corrupt func(int64) int64
@@ -149,6 +164,13 @@ type Group struct {
 	// Flushed counts old-view requests/checkpoints discarded at the
 	// view boundary (virtual-synchrony flushing).
 	Flushed int
+	// Duplicates counts tagged requests suppressed by the replicated
+	// dedup table (answered from cache instead of re-applied).
+	Duplicates int
+	// OnApply, when non-nil, observes every fresh state-machine apply
+	// (suppressed duplicates excluded) at every replica — the sharding
+	// layer builds its per-replica apply logs from it.
+	OnApply func(node int, reqID uint64, result int64)
 }
 
 // Failover records one primary/leader promotion. The failover latency
@@ -164,19 +186,36 @@ type Failover struct {
 
 // reqMsg crosses the wire for request dissemination. View is the
 // sender's installed membership view at send time (0 for clients
-// outside the group, which are not view-synchronized).
+// outside the group, which are not view-synchronized). Tag carries the
+// client identity for exactly-once dedup (zero = untracked).
 type reqMsg struct {
 	ID   uint64
 	Cmd  int64
 	View uint64
+	Tag  ClientSeq
 }
 
 // ckptMsg carries a passive checkpoint, tagged with the view the
-// checkpointing primary had installed when it was taken.
+// checkpointing primary had installed when it was taken. Seen is the
+// dedup table frozen at the same instant as the state, so a promoted
+// backup suppresses exactly the duplicates its restored state covers.
 type ckptMsg struct {
 	State   int64
 	Applied int64
 	View    uint64
+	Seen    map[ClientSeq]int64
+}
+
+// copySeen freezes a dedup table for shipping (checkpoint, snapshot).
+func copySeen(in map[ClientSeq]int64) map[ClientSeq]int64 {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make(map[ClientSeq]int64, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
 }
 
 // NewGroup builds a replica group over a membership service. mem may
@@ -330,7 +369,7 @@ func (g *Group) snapshotState(donor, joiner int) any {
 		return nil // no live replica holds usable state
 	}
 	sm := g.machines[src]
-	ck := ckptMsg{State: sm.State, Applied: sm.Applied, View: g.viewAt(src)}
+	ck := ckptMsg{State: sm.State, Applied: sm.Applied, View: g.viewAt(src), Seen: copySeen(sm.Seen)}
 	g.stores[src].Write(fmt.Sprintf("ckpt.%s", g.cfg.Name), ck, func(error) {})
 	return ck
 }
@@ -344,6 +383,7 @@ func (g *Group) restoreState(node int, data any) {
 	}
 	sm := g.machines[node]
 	sm.State, sm.Applied = ck.State, ck.Applied
+	sm.Seen = copySeen(ck.Seen)
 	g.stores[node].Write(fmt.Sprintf("ckpt.%s", g.cfg.Name), ck, func(error) {})
 }
 
@@ -353,11 +393,24 @@ func (g *Group) Machine(node int) *StateMachine { return g.machines[node] }
 // Primary returns the current primary/leader node.
 func (g *Group) Primary() int { return g.cfg.Replicas[g.primary] }
 
-// Submit issues one request to the group, returning its ID.
+// Style returns the group's replication style.
+func (g *Group) Style() Style { return g.cfg.Style }
+
+// Submit issues one untracked (at-least-once) request to the group,
+// returning its ID.
 func (g *Group) Submit(from int, cmd int64) uint64 {
+	return g.SubmitTagged(from, cmd, ClientSeq{})
+}
+
+// SubmitTagged issues one request carrying a client dedup tag: a
+// request with the same non-zero tag that was already applied anywhere
+// in the surviving state lineage is answered from the replicated dedup
+// cache instead of applied again — the exactly-once contract the
+// sharded client layer's retries rely on.
+func (g *Group) SubmitTagged(from int, cmd int64, tag ClientSeq) uint64 {
 	g.nextReq++
 	id := g.nextReq
-	msg := reqMsg{ID: id, Cmd: cmd, View: g.viewAt(from)}
+	msg := reqMsg{ID: id, Cmd: cmd, View: g.viewAt(from), Tag: tag}
 	switch g.cfg.Style {
 	case Active, SemiActive:
 		// All replicas receive and execute.
@@ -408,7 +461,24 @@ func (g *Group) execute(node int, msg reqMsg) {
 		if g.net.NodeDown(node) {
 			return
 		}
-		res := g.machines[node].Apply(msg.Cmd)
+		sm := g.machines[node]
+		if msg.Tag != (ClientSeq{}) {
+			if cached, dup := sm.Seen[msg.Tag]; dup {
+				g.Duplicates++
+				g.reply(node, msg.ID, cached)
+				return
+			}
+		}
+		res := sm.Apply(msg.Cmd)
+		if msg.Tag != (ClientSeq{}) {
+			if sm.Seen == nil {
+				sm.Seen = make(map[ClientSeq]int64)
+			}
+			sm.Seen[msg.Tag] = res
+		}
+		if g.OnApply != nil {
+			g.OnApply(node, msg.ID, res)
+		}
 		g.reply(node, msg.ID, res)
 		if g.cfg.Style == Passive && node == g.Primary() {
 			g.sinceCheckpoint++
@@ -481,7 +551,7 @@ func tally(replies []Reply) (winner int64, count, distinct int) {
 // storage (passive style).
 func (g *Group) checkpoint(primary int) {
 	sm := g.machines[primary]
-	ck := ckptMsg{State: sm.State, Applied: sm.Applied, View: g.viewAt(primary)}
+	ck := ckptMsg{State: sm.State, Applied: sm.Applied, View: g.viewAt(primary), Seen: copySeen(sm.Seen)}
 	g.stores[primary].Write(fmt.Sprintf("ckpt.%s", g.cfg.Name), ck, func(error) {})
 	for _, r := range g.cfg.Replicas {
 		if r == primary {
@@ -507,6 +577,7 @@ func (g *Group) handleCheckpoint(node int, m *netsim.Message) {
 	sm := g.machines[node]
 	if ck.Applied > sm.Applied || g.cfg.Style == Passive {
 		sm.State, sm.Applied = ck.State, ck.Applied
+		sm.Seen = copySeen(ck.Seen)
 	}
 	g.stores[node].Write(fmt.Sprintf("ckpt.%s", g.cfg.Name), ck, func(error) {})
 }

@@ -388,3 +388,96 @@ func TestStaleCheckpointFlushedAtViewBoundary(t *testing.T) {
 		t.Fatal("flush not recorded in the monitor log")
 	}
 }
+
+// TestTaggedRequestDedup: resubmitting a request with the same client
+// tag is answered from the replicated dedup cache instead of applied
+// again — the exactly-once contract the sharded client layer's
+// retries rely on.
+func TestTaggedRequestDedup(t *testing.T) {
+	r := rig(t, 4)
+	g, results := newGroup(t, r, SemiActive, []int{0, 1, 2})
+	tag := ClientSeq{Client: 42, Seq: 1}
+	r.eng.At(vtime.Time(1*ms), eventq.ClassApp, func() { g.SubmitTagged(0, 7, tag) })
+	r.eng.At(vtime.Time(5*ms), eventq.ClassApp, func() { g.SubmitTagged(0, 7, tag) }) // a retry
+	r.eng.At(vtime.Time(9*ms), eventq.ClassApp, func() { g.SubmitTagged(0, 9, ClientSeq{Client: 42, Seq: 2}) })
+	r.eng.Run(vtime.Time(30 * ms))
+
+	if got := g.Machine(0).Applied; got != 2 {
+		t.Fatalf("leader applied %d commands, want 2 (retry suppressed)", got)
+	}
+	if g.Duplicates == 0 {
+		t.Fatal("no duplicate recorded")
+	}
+	if len(*results) != 3 {
+		t.Fatalf("replies %d, want 3 (duplicates still answered)", len(*results))
+	}
+	if (*results)[0] != (*results)[1] {
+		t.Fatalf("retry answered %d, original %d — cache miss", (*results)[1], (*results)[0])
+	}
+	// Followers deduplicate identically (they execute everything).
+	if got := g.Machine(1).Applied; got != 2 {
+		t.Fatalf("follower applied %d commands, want 2", got)
+	}
+}
+
+// TestDedupSurvivesFailover: a request applied by the leader and its
+// followers just before the leader crashes is answered from the new
+// leader's dedup cache when retried — not applied twice.
+func TestDedupSurvivesFailover(t *testing.T) {
+	r := rig(t, 4)
+	g, results := newGroup(t, r, SemiActive, []int{0, 1, 2})
+	tag := ClientSeq{Client: 7, Seq: 1}
+	r.eng.At(vtime.Time(1*ms), eventq.ClassApp, func() { g.SubmitTagged(0, 5, tag) })
+	fault.CrashAt(r.eng, r.net, 0, vtime.Time(5*ms), 0)
+	// Retry against the group after the failover view installed.
+	r.eng.At(vtime.Time(60*ms), eventq.ClassApp, func() { g.SubmitTagged(1, 5, tag) })
+	r.eng.Run(vtime.Time(100 * ms))
+
+	if len(g.Failovers) != 1 {
+		t.Fatalf("failovers %+v, want 1", g.Failovers)
+	}
+	p := g.Primary()
+	if got := g.Machine(p).Applied; got != 1 {
+		t.Fatalf("new leader applied %d, want 1 (retry suppressed by replicated dedup)", got)
+	}
+	if len(*results) < 2 {
+		t.Fatalf("replies %d, want the original and the cached retry", len(*results))
+	}
+	last := (*results)[len(*results)-1]
+	if last != (*results)[0] {
+		t.Fatalf("cached retry answered %d, original %d", last, (*results)[0])
+	}
+}
+
+// TestDedupTravelsWithPassiveCheckpoint: the dedup table moves with
+// the state — a passive checkpoint carries it, so a promoted backup
+// suppresses exactly the duplicates its restored state covers.
+func TestDedupTravelsWithPassiveCheckpoint(t *testing.T) {
+	r := rig(t, 4)
+	g, _ := newGroup(t, r, Passive, []int{0, 1, 2}) // CheckpointEvery: 5
+	for i := 0; i < 5; i++ {
+		cmd := int64(i + 1)
+		seq := uint64(i + 1)
+		r.eng.At(vtime.Time(vtime.Duration(i)*ms), eventq.ClassApp, func() {
+			g.SubmitTagged(3, cmd, ClientSeq{Client: 9, Seq: seq})
+		})
+	}
+	r.eng.Run(vtime.Time(20 * ms))
+	if len(g.Machine(1).Seen) != 5 {
+		t.Fatalf("backup dedup table has %d entries after the checkpoint, want 5", len(g.Machine(1).Seen))
+	}
+	// Crash the primary; the promoted backup must suppress a retry of
+	// a checkpointed request.
+	fault.CrashAt(r.eng, r.net, 0, vtime.Time(21*ms), 0)
+	r.eng.At(vtime.Time(80*ms), eventq.ClassApp, func() {
+		g.SubmitTagged(3, 3, ClientSeq{Client: 9, Seq: 3})
+	})
+	r.eng.Run(vtime.Time(120 * ms))
+	p := g.Primary()
+	if p == 0 {
+		t.Fatal("no failover")
+	}
+	if got := g.Machine(p).Applied; got != 5 {
+		t.Fatalf("promoted backup applied %d, want 5 (checkpointed retry suppressed)", got)
+	}
+}

@@ -7,10 +7,13 @@
 // faulty workloads are data, not code: "nodes" sizes the platform,
 // "links" declares bounded-delay point-to-point links (omit for a full
 // mesh), "placement" pins tasks or stages to nodes, "faults" schedules
-// deterministic omission/delay/crash(/recover) injection, and "groups"
+// deterministic omission/delay/crash(/recover) injection, "groups"
 // declares view-synchronous membership groups with optional replicated
-// state machines and a request driver — the crash/partition/rejoin
-// workloads of the membership-churn builtin are pure data.
+// state machines and a request driver, and "shards" declares a sharded
+// data plane (consistent-hash routing over replication groups with
+// retrying/redirecting clients) — the crash/partition/rejoin workloads
+// of the membership-churn, partition-split and sharded-kv builtins are
+// pure data.
 package scenario
 
 import (
@@ -24,6 +27,7 @@ import (
 	"hades/internal/heug"
 	"hades/internal/replication"
 	"hades/internal/sched"
+	"hades/internal/shard"
 	"hades/internal/vtime"
 )
 
@@ -112,6 +116,51 @@ type GroupSpec struct {
 	SubmitFrom       int     `json:"submitFrom,omitempty"`
 }
 
+// ShardClientSpec declares one request client of a sharded data
+// plane: a keyed workload submitted round-robin over Keys, one
+// request every SubmitEveryMs for the whole horizon.
+type ShardClientSpec struct {
+	Node int      `json:"node"`
+	Keys []string `json:"keys"`
+	// SubmitEveryMs is the submission interval.
+	SubmitEveryMs float64 `json:"submitEveryMs"`
+	// Policy is "queue" (default: park exhausted requests, resubmit
+	// after a view change or heal) or "fail-fast".
+	Policy string `json:"policy,omitempty"`
+	// RetryTimeoutMs and MaxRetries override the client defaults.
+	RetryTimeoutMs float64 `json:"retryTimeoutMs,omitempty"`
+	MaxRetries     int     `json:"maxRetries,omitempty"`
+}
+
+// ShardsSpec declares a sharded data plane: Count replication groups
+// behind a deterministic consistent-hash ring, plus the clients that
+// drive it. Each shard is one view-synchronous membership group
+// carrying one replicated state machine.
+type ShardsSpec struct {
+	// Count is the number of shards (>= 1 — zero shards is an error).
+	Count int `json:"count"`
+	// ReplicasPer sizes each shard's replica set under the consecutive
+	// default layout (shard i owns nodes [i·ReplicasPer,(i+1)·ReplicasPer)).
+	ReplicasPer int `json:"replicasPer,omitempty"`
+	// Groups pins the replica node sets explicitly (len must equal
+	// Count; sets must be disjoint — overlapping membership is an error).
+	Groups [][]int `json:"groups,omitempty"`
+	// Style is "semi-active" (default) or "passive"; "active" has no
+	// primary to route to and is rejected.
+	Style string `json:"style,omitempty"`
+	// VNodes is the ring's virtual-node count per shard (0 = default).
+	VNodes int `json:"vnodes,omitempty"`
+	// Routes pins keys to shard indices, bypassing the hash; a route
+	// to an index outside [0, Count) is an error.
+	Routes map[string]int `json:"routes,omitempty"`
+	// WExecUs, CheckpointEvery, StorageLatencyUs configure the replicas.
+	WExecUs          float64 `json:"wExecUs,omitempty"`
+	CheckpointEvery  int     `json:"checkpointEvery,omitempty"`
+	StorageLatencyUs float64 `json:"storageLatencyUs,omitempty"`
+	// Clients drive the keyed workload.
+	Clients []ShardClientSpec `json:"clients,omitempty"`
+}
+
 // Spec is a full scenario.
 type Spec struct {
 	Name      string     `json:"name"`
@@ -129,6 +178,9 @@ type Spec struct {
 	Faults []FaultSpec `json:"faults,omitempty"`
 	// Groups declares membership groups (and replicated machines).
 	Groups []GroupSpec `json:"groups,omitempty"`
+	// Shards declares a sharded data plane (consistent-hash routing
+	// over replication groups with a client request layer).
+	Shards *ShardsSpec `json:"shards,omitempty"`
 	// Placement overrides node assignments: "task" pins a Spuri task
 	// (or every stage of a pipeline), "task/stage" pins one stage.
 	Placement map[string]int `json:"placement,omitempty"`
@@ -162,7 +214,7 @@ func Builtin(name string) (Spec, error) {
 
 // BuiltinNames lists the catalogue.
 func BuiltinNames() []string {
-	return []string{"spuri-example", "inversion", "overload", "distributed-pipeline", "membership-churn", "partition-split"}
+	return []string{"spuri-example", "inversion", "overload", "distributed-pipeline", "membership-churn", "partition-split", "sharded-kv"}
 }
 
 var builtins = map[string]Spec{
@@ -249,6 +301,38 @@ var builtins = map[string]Spec{
 				}},
 		},
 	},
+	// Sharded KV: a keyspace consistent-hashed over two semi-active
+	// replication groups, driven by a client that survives a primary
+	// crash on one shard AND a primary partition on the other — the
+	// request layer redirects to promoted replicas, retries through
+	// the failover windows, and queued split-window requests land
+	// after the merge, applied exactly once (per-key linearizability
+	// is asserted by the scenario test across seeds). The client stays
+	// on the majority side of the split (the fencing caveat).
+	"sharded-kv": {
+		Name: "sharded-kv", Nodes: 7, Seed: 1, Costs: "default",
+		Scheduler: "EDF", Policy: "none", HorizonMs: 400,
+		Shards: &ShardsSpec{
+			Count: 2, ReplicasPer: 3, Style: "semi-active",
+			Clients: []ShardClientSpec{
+				{Node: 6, SubmitEveryMs: 2, Policy: "queue",
+					Keys: []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"}},
+			},
+		},
+		Faults: []FaultSpec{
+			// Shard 0's primary crashes and later rejoins.
+			{Kind: "crash", Node: 0, AtMs: 60, RecoverMs: 260},
+			// Shard 1's primary is segmented off alone; the client
+			// (node 6) stays with the majority.
+			{Kind: "partition", Partition: [][]int{{3}, {0, 1, 2, 4, 5, 6}}, AtMs: 140, HealMs: 240},
+		},
+		Tasks: []TaskSpec{
+			{Name: "watchdog", Law: "periodic", DeadlineMs: 40, PeriodMs: 50,
+				Stages: []StageSpec{
+					{Name: "check", Node: 6, WCETUs: 300},
+				}},
+		},
+	},
 	// Membership churn: a passive replicated state machine over a
 	// three-member view-synchronous group, fed by a client on node 3;
 	// the primary crashes mid-run and recovers later, exercising the
@@ -285,8 +369,8 @@ func (s Spec) withDefaults() (Spec, error) {
 	if s.HorizonMs <= 0 {
 		s.HorizonMs = 500
 	}
-	if len(s.Tasks) == 0 && len(s.Groups) == 0 {
-		return s, fmt.Errorf("scenario %q has no tasks and no groups", s.Name)
+	if len(s.Tasks) == 0 && len(s.Groups) == 0 && s.Shards == nil {
+		return s, fmt.Errorf("scenario %q has no tasks, no groups and no shards", s.Name)
 	}
 	for i, t := range s.Tasks {
 		if t.Name == "" {
@@ -416,6 +500,9 @@ func (s Spec) withDefaults() (Spec, error) {
 			return s, fmt.Errorf("scenario %q: group %q submits from unknown node %d", s.Name, g.Name, g.SubmitFrom)
 		}
 	}
+	if err := s.validateShards(); err != nil {
+		return s, err
+	}
 	for key, node := range s.Placement {
 		if node < 0 || node >= s.Nodes {
 			return s, fmt.Errorf("scenario %q: placement %q on unknown node %d (have %d)", s.Name, key, node, s.Nodes)
@@ -425,6 +512,94 @@ func (s Spec) withDefaults() (Spec, error) {
 		}
 	}
 	return s, nil
+}
+
+// validateShards rejects malformed sharded-data-plane specs with loud
+// errors: zero shards, overlapping replica sets, keys routed to
+// undeclared groups, colliding or out-of-range clients.
+func (s Spec) validateShards() error {
+	sp := s.Shards
+	if sp == nil {
+		return nil
+	}
+	if s.Nodes < 2 && len(s.Links) == 0 {
+		return fmt.Errorf("scenario %q: shards need a network (nodes > 1 or links)", s.Name)
+	}
+	if sp.Count < 1 {
+		return fmt.Errorf("scenario %q: shards spec declares zero shards (count=%d)", s.Name, sp.Count)
+	}
+	switch sp.Style {
+	case "", "semi-active", "passive":
+	case "active":
+		return fmt.Errorf("scenario %q: shard style \"active\" has no primary to route to", s.Name)
+	default:
+		return fmt.Errorf("scenario %q: unknown shard style %q", s.Name, sp.Style)
+	}
+	owner := map[int]int{} // node → shard index
+	if len(sp.Groups) > 0 {
+		if len(sp.Groups) != sp.Count {
+			return fmt.Errorf("scenario %q: shards declare count=%d but %d explicit groups", s.Name, sp.Count, len(sp.Groups))
+		}
+		for i, g := range sp.Groups {
+			if len(g) < 2 {
+				return fmt.Errorf("scenario %q: shard group %d needs at least 2 replicas (got %d)", s.Name, i, len(g))
+			}
+			for _, n := range g {
+				if n < 0 || n >= s.Nodes {
+					return fmt.Errorf("scenario %q: shard group %d names unknown node %d (have %d)", s.Name, i, n, s.Nodes)
+				}
+				if prev, dup := owner[n]; dup {
+					return fmt.Errorf("scenario %q: node %d is a replica of shard groups %d and %d (overlapping group membership)", s.Name, n, prev, i)
+				}
+				owner[n] = i
+			}
+		}
+	} else {
+		if sp.ReplicasPer < 2 {
+			return fmt.Errorf("scenario %q: shards need replicasPer >= 2 (got %d)", s.Name, sp.ReplicasPer)
+		}
+		if need := sp.Count * sp.ReplicasPer; need > s.Nodes {
+			return fmt.Errorf("scenario %q: %d shards × %d replicas need %d nodes, have %d", s.Name, sp.Count, sp.ReplicasPer, need, s.Nodes)
+		}
+		for i := 0; i < sp.Count; i++ {
+			for r := 0; r < sp.ReplicasPer; r++ {
+				owner[i*sp.ReplicasPer+r] = i
+			}
+		}
+	}
+	for key, idx := range sp.Routes {
+		if idx < 0 || idx >= sp.Count {
+			return fmt.Errorf("scenario %q: key %q routed to undeclared shard group %d (have %d)", s.Name, key, idx, sp.Count)
+		}
+	}
+	clientNodes := map[int]bool{}
+	for i, cl := range sp.Clients {
+		if cl.Node < 0 || cl.Node >= s.Nodes {
+			return fmt.Errorf("scenario %q: shard client %d on unknown node %d (have %d)", s.Name, i, cl.Node, s.Nodes)
+		}
+		if _, replica := owner[cl.Node]; replica {
+			return fmt.Errorf("scenario %q: shard client %d on node %d collides with a shard replica", s.Name, i, cl.Node)
+		}
+		if clientNodes[cl.Node] {
+			return fmt.Errorf("scenario %q: two shard clients on node %d", s.Name, cl.Node)
+		}
+		clientNodes[cl.Node] = true
+		if len(cl.Keys) == 0 {
+			return fmt.Errorf("scenario %q: shard client %d has no keys", s.Name, i)
+		}
+		if cl.SubmitEveryMs <= 0 {
+			return fmt.Errorf("scenario %q: shard client %d needs a positive submitEveryMs", s.Name, i)
+		}
+		switch cl.Policy {
+		case "", "queue", "fail-fast":
+		default:
+			return fmt.Errorf("scenario %q: shard client %d has unknown policy %q", s.Name, i, cl.Policy)
+		}
+		if cl.RetryTimeoutMs < 0 || cl.MaxRetries < 0 {
+			return fmt.Errorf("scenario %q: shard client %d has negative retry parameters", s.Name, i)
+		}
+	}
+	return nil
 }
 
 // placementKeyKnown reports whether key names a task ("task") or one
@@ -618,6 +793,35 @@ func (s Spec) Build() (*cluster.Cluster, error) {
 			}
 		}
 	}
+	if sp := s.Shards; sp != nil {
+		cfg := cluster.ShardConfig{
+			Groups:          sp.Groups,
+			Style:           shardStyle(sp.Style),
+			VNodes:          sp.VNodes,
+			Routes:          sp.Routes,
+			WExec:           us(sp.WExecUs),
+			CheckpointEvery: sp.CheckpointEvery,
+			StorageLatency:  us(sp.StorageLatencyUs),
+		}
+		set := c.ShardsWith(sp.Count, sp.ReplicasPer, cfg)
+		for _, cs := range sp.Clients {
+			cl := set.ClientWith(shard.ClientParams{
+				Node:         cs.Node,
+				RetryTimeout: msd(cs.RetryTimeoutMs),
+				MaxRetries:   cs.MaxRetries,
+				Policy:       shardPolicy(cs.Policy),
+			})
+			every := msd(cs.SubmitEveryMs)
+			keys := cs.Keys
+			i := 0
+			for t := vtime.Duration(0); t < s.Horizon(); t += every {
+				key := keys[i%len(keys)]
+				cmd := int64(i + 1)
+				i++
+				c.At(vtime.Time(t), func() { cl.Submit(key, cmd) })
+			}
+		}
+	}
 	for _, gs := range s.Groups {
 		g := c.Group(gs.Name, gs.Nodes...)
 		if gs.Style == "" {
@@ -662,6 +866,24 @@ func replicationStyle(name string) replication.Style {
 	default:
 		return replication.Passive
 	}
+}
+
+// shardStyle maps the shard style name (already validated; the shard
+// default is semi-active, the style the exactly-once verification
+// requires).
+func shardStyle(name string) replication.Style {
+	if name == "passive" {
+		return replication.Passive
+	}
+	return replication.SemiActive
+}
+
+// shardPolicy maps the client policy name (already validated).
+func shardPolicy(name string) shard.Policy {
+	if name == "fail-fast" {
+		return shard.FailFast
+	}
+	return shard.QueueOnFailure
 }
 
 // Horizon returns the simulation horizon.

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"hades/internal/feasibility"
@@ -656,5 +657,198 @@ func TestPartitionSplitBuiltinIsSplitBrainSafe(t *testing.T) {
 				t.Fatalf("partition stats missing from Result: %+v", gr)
 			}
 		})
+	}
+}
+
+// TestShardValidationErrors locks in that malformed sharded-data-plane
+// specs are rejected loudly: zero shards, overlapping replica sets,
+// keys routed to undeclared groups, misplaced clients.
+func TestShardValidationErrors(t *testing.T) {
+	base := func() Spec {
+		return Spec{Name: "s", Nodes: 7, Shards: &ShardsSpec{
+			Count: 2, ReplicasPer: 3,
+			Clients: []ShardClientSpec{{Node: 6, Keys: []string{"a", "b"}, SubmitEveryMs: 2}},
+		}}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"zero shards", func(s *Spec) { s.Shards.Count = 0 }, "zero shards"},
+		{"negative shards", func(s *Spec) { s.Shards.Count = -3 }, "zero shards"},
+		{"overlapping groups", func(s *Spec) { s.Shards.Groups = [][]int{{0, 1, 2}, {2, 3, 4}} }, "overlapping group membership"},
+		{"group count mismatch", func(s *Spec) { s.Shards.Groups = [][]int{{0, 1, 2}} }, "explicit groups"},
+		{"single-replica group", func(s *Spec) { s.Shards.Groups = [][]int{{0}, {1, 2}} }, "at least 2 replicas"},
+		{"group off platform", func(s *Spec) { s.Shards.Groups = [][]int{{0, 1}, {2, 9}} }, "unknown node"},
+		{"route to undeclared group", func(s *Spec) { s.Shards.Routes = map[string]int{"a": 5} }, "undeclared shard group"},
+		{"negative route", func(s *Spec) { s.Shards.Routes = map[string]int{"a": -1} }, "undeclared shard group"},
+		{"active style", func(s *Spec) { s.Shards.Style = "active" }, "no primary"},
+		{"unknown style", func(s *Spec) { s.Shards.Style = "quantum" }, "unknown shard style"},
+		{"too few replicas per shard", func(s *Spec) { s.Shards.ReplicasPer = 1 }, "replicasPer >= 2"},
+		{"not enough nodes", func(s *Spec) { s.Shards.ReplicasPer = 4 }, "have 7"},
+		{"client on replica", func(s *Spec) { s.Shards.Clients[0].Node = 2 }, "collides with a shard replica"},
+		{"client off platform", func(s *Spec) { s.Shards.Clients[0].Node = 9 }, "unknown node"},
+		{"two clients one node", func(s *Spec) {
+			s.Shards.Clients = append(s.Shards.Clients, s.Shards.Clients[0])
+		}, "two shard clients"},
+		{"client without keys", func(s *Spec) { s.Shards.Clients[0].Keys = nil }, "no keys"},
+		{"client without interval", func(s *Spec) { s.Shards.Clients[0].SubmitEveryMs = 0 }, "positive submitEveryMs"},
+		{"client unknown policy", func(s *Spec) { s.Shards.Clients[0].Policy = "yolo" }, "unknown policy"},
+		{"shards without network", func(s *Spec) { s.Nodes = 1 }, "need"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mutate(&s)
+			_, err := s.withDefaults()
+			if err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+			}
+		})
+	}
+	if _, err := base().withDefaults(); err != nil {
+		t.Fatalf("valid base rejected: %v", err)
+	}
+}
+
+// TestShardedKVLinearizablePerKeyAcrossSeeds is the acceptance gate of
+// the sharded data plane: under a combined primary crash (shard 0) and
+// primary partition (shard 1), every acknowledged request is applied
+// exactly once in the owning shard's authoritative history, in per-key
+// submission order, across 5 seeds — and the request layer visibly did
+// work (failovers on both shards, retries or redirects at the client).
+func TestShardedKVLinearizablePerKeyAcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			spec, err := Builtin("sharded-kv")
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec.Seed = seed
+			clu, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := clu.Run(spec.Horizon())
+
+			set := clu.ShardSets()[0]
+			if err := set.Check(); err != nil {
+				t.Fatalf("linearizability/exactly-once check: %v", err)
+			}
+			cl := set.Clients()[0]
+			if cl.Stats.Submitted == 0 || cl.Stats.Acked != cl.Stats.Submitted {
+				t.Fatalf("acked %d of %d submitted (%+v)", cl.Stats.Acked, cl.Stats.Submitted, cl.Stats)
+			}
+			if cl.Stats.Retries == 0 && cl.Stats.Redirects == 0 {
+				t.Fatal("fault windows produced neither retries nor redirects")
+			}
+			for _, name := range []string{"shard0", "shard1"} {
+				sr, ok := res.Shard(name)
+				if !ok || sr.Requests == 0 {
+					t.Fatalf("shard %s served no requests: %+v", name, res.Shards)
+				}
+				gr, _ := res.Group(name)
+				if gr.Failovers != 1 {
+					t.Fatalf("%s failovers %d, want 1", name, gr.Failovers)
+				}
+			}
+			// The split window really was a split: shard1's isolated
+			// primary was blocked and re-admitted through a merge.
+			gr1, _ := res.Group("shard1")
+			if gr1.BlockedTime == 0 || gr1.Merges != 1 {
+				t.Fatalf("shard1 partition stats: %+v", gr1)
+			}
+		})
+	}
+}
+
+// TestShardedKVDeterministic: the whole sharded data plane is a pure
+// function of spec + seed.
+func TestShardedKVDeterministic(t *testing.T) {
+	run := func() string {
+		spec, err := Builtin("sharded-kv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		clu, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		clu.Run(spec.Horizon())
+		var b strings.Builder
+		for _, a := range clu.ShardSets()[0].Clients()[0].Acks {
+			fmt.Fprintf(&b, "%s#%d=%d@%s;", a.Key, a.Seq, a.Result, a.At)
+		}
+		return b.String()
+	}
+	h1, h2 := run(), run()
+	if h1 == "" {
+		t.Fatal("no acks recorded")
+	}
+	if h1 != h2 {
+		t.Fatalf("same spec+seed, different ack histories:\n%s\n%s", h1, h2)
+	}
+}
+
+// TestShardRoutesPinKeys: pinned routes override the hash ring, and
+// the whole keyed workload lands on the pinned shard.
+func TestShardRoutesPinKeys(t *testing.T) {
+	spec := Spec{Name: "routes", Nodes: 5, Seed: 1, HorizonMs: 100,
+		Scheduler: "EDF",
+		Shards: &ShardsSpec{
+			Count: 2, ReplicasPer: 2,
+			Routes: map[string]int{"a": 1, "b": 1},
+			Clients: []ShardClientSpec{
+				{Node: 4, Keys: []string{"a", "b"}, SubmitEveryMs: 5},
+			},
+		}}
+	s, err := spec.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clu, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := clu.Run(s.Horizon())
+	s0, _ := res.Shard("shard0")
+	s1, _ := res.Shard("shard1")
+	if s0.Requests != 0 || s1.Requests == 0 {
+		t.Fatalf("pinned routes ignored: shard0=%+v shard1=%+v", s0, s1)
+	}
+	if err := clu.ShardSets()[0].Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMembershipBoundFeedsAdmission: the provable view-change bound of
+// a scenario's membership group wires into the admission test as a
+// blackout term — a task set with less slack than one failover window
+// is rejected, the same set with enough slack admitted.
+func TestMembershipBoundFeedsAdmission(t *testing.T) {
+	spec, err := Builtin("membership-churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clu, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := clu.Groups()[0].Membership().Bound()
+	if bound <= 0 {
+		t.Fatalf("view-change bound %s", bound)
+	}
+	tight := []feasibility.Task{{Name: "ctl", C: msd(2), D: bound + msd(3), T: bound + msd(3), NumEU: 1}}
+	ov := &feasibility.Overheads{ViewChangeBlackout: bound}
+	if v := feasibility.EDFSpuri(tight, ov); !v.Feasible {
+		t.Fatalf("slack > blackout rejected: %+v", v)
+	}
+	noSlack := []feasibility.Task{{Name: "ctl", C: msd(2), D: bound, T: bound, NumEU: 1}}
+	if v := feasibility.EDFSpuri(noSlack, ov); v.Feasible {
+		t.Fatal("task set without room for a failover window admitted")
 	}
 }

@@ -1,0 +1,385 @@
+package shard
+
+import (
+	"fmt"
+
+	"hades/internal/eventq"
+	"hades/internal/membership"
+	"hades/internal/monitor"
+	"hades/internal/netsim"
+	"hades/internal/simkern"
+	"hades/internal/vtime"
+)
+
+// Policy selects what a client does with a request that exhausted its
+// retries (a partition window, an unreachable shard).
+type Policy uint8
+
+const (
+	// QueueOnFailure parks the request and resubmits it when ownership
+	// can have changed — a new agreed view (failover, merge) or a
+	// partition heal. Requests issued into a split window are not
+	// lost: they land after the merge, applied exactly once.
+	QueueOnFailure Policy = iota
+	// FailFast reports the request failed instead of parking it.
+	FailFast
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	if p == FailFast {
+		return "fail-fast"
+	}
+	return "queue"
+}
+
+// Default client parameters: the retry timeout comfortably covers one
+// request round trip (two link crossings, the receive paths and the
+// execution cost), and the retry budget spans one uncontended
+// view-change bound, so a plain crash failover is ridden out by
+// retries alone and only genuine partition windows park requests.
+const (
+	DefaultRetryTimeout = 5 * vtime.Millisecond
+	DefaultMaxRetries   = 8
+)
+
+// ClientParams parameterises one client.
+type ClientParams struct {
+	// Node is the client's processor (one client per node and per
+	// data plane).
+	Node int
+	// RespPort is the port responses arrive on; it must match the
+	// shard groups' response port (empty selects the shared default).
+	RespPort string
+	// RetryTimeout is the per-attempt reply timeout (0 selects
+	// DefaultRetryTimeout).
+	RetryTimeout vtime.Duration
+	// MaxRetries bounds consecutive timeouts before the policy applies
+	// (0 selects DefaultMaxRetries).
+	MaxRetries int
+	// Policy selects queueing or failing fast on exhaustion.
+	Policy Policy
+}
+
+// ClientStats counts one client's request outcomes.
+type ClientStats struct {
+	Submitted   int
+	Acked       int
+	Redirects   int // redirect responses + router-republish redirects
+	Timeouts    int // reply timeouts observed
+	Retries     int // re-dispatches after a timeout
+	Blocked     int // stale-view rejections received
+	Queued      int // park events (queue policy)
+	Resubmitted int // dispatches of parked requests after a view/heal
+	FailedFast  int // requests abandoned by the fail-fast policy
+	SumLatency  vtime.Duration
+	MaxLatency  vtime.Duration
+}
+
+// AvgLatency returns the mean submit-to-ack latency (queue time
+// included).
+func (s ClientStats) AvgLatency() vtime.Duration {
+	if s.Acked == 0 {
+		return 0
+	}
+	return s.SumLatency / vtime.Duration(s.Acked)
+}
+
+// Ack records one acknowledged request.
+type Ack struct {
+	Key     string
+	Seq     uint64
+	Cmd     int64
+	Result  int64
+	At      vtime.Time
+	Latency vtime.Duration
+}
+
+// reqState tracks one request through the client.
+type reqState uint8
+
+const (
+	// stWaiting: an earlier request on the same key is still
+	// outstanding; this one holds its turn (per-key FIFO — without it,
+	// independent retry schedules could apply two writes to one key in
+	// the wrong order across a failover).
+	stWaiting reqState = iota + 1
+	stInflight
+	stParked
+	stAcked
+	stFailed
+)
+
+// request is one keyed request owned by the client.
+type request struct {
+	key         string
+	cmd         int64
+	seq         uint64
+	shard       int
+	target      int
+	submittedAt vtime.Time
+	state       reqState
+	attempt     int // bumping invalidates the armed timeout
+	retries     int
+}
+
+// Client is the session layer of the sharded data plane: it submits
+// keyed requests, follows the ring to the owning group's current
+// primary, and transparently retries and redirects across crash
+// failover, stale-view rejection and partition windows.
+type Client struct {
+	eng    *simkern.Engine
+	net    *netsim.Network
+	router *Router
+	p      ClientParams
+
+	seq    uint64
+	reqs   map[uint64]*request
+	order  []uint64
+	perKey map[string][]*request // unfinished requests per key, FIFO
+
+	// Stats counts outcomes; Acks and Failed record them for the
+	// harness (Verify checks Acks against the shard apply logs).
+	Stats  ClientStats
+	Acks   []Ack
+	Failed []uint64
+}
+
+// NewClient builds a client on params.Node and wires its reactive
+// paths: server responses, router republications (in-flight requests
+// redirect), and the resubmission triggers for parked requests (any
+// new agreed view on any shard, and partition heals).
+func NewClient(eng *simkern.Engine, net *netsim.Network, router *Router, params ClientParams) *Client {
+	if params.RespPort == "" {
+		params.RespPort = respPort
+	}
+	if params.RetryTimeout <= 0 {
+		params.RetryTimeout = DefaultRetryTimeout
+	}
+	if params.MaxRetries <= 0 {
+		params.MaxRetries = DefaultMaxRetries
+	}
+	c := &Client{eng: eng, net: net, router: router, p: params,
+		reqs: make(map[uint64]*request), perKey: make(map[string][]*request)}
+	net.Bind(params.Node, params.RespPort, c.handleResp)
+	router.OnRepublish(c.redirectInflight)
+	for _, g := range router.Groups() {
+		g.Membership().OnChange(func(membership.View) { c.flushParked("view") })
+	}
+	net.OnPartitionChange(func(partitioned bool) {
+		if !partitioned {
+			c.flushParked("heal")
+		}
+	})
+	return c
+}
+
+// Node returns the client's processor.
+func (c *Client) Node() int { return c.p.Node }
+
+// Params returns the client's effective parameters.
+func (c *Client) Params() ClientParams { return c.p }
+
+// Submit issues one keyed request and returns its sequence number. The
+// command is applied exactly once on the owning shard regardless of
+// how many retries, redirects or resubmissions it takes to land.
+// Requests on the same key are a session: they apply in submission
+// order (per-key FIFO — a later request waits for the earlier one's
+// outcome), while distinct keys proceed in parallel.
+func (c *Client) Submit(key string, cmd int64) uint64 {
+	c.seq++
+	r := &request{
+		key:         key,
+		cmd:         cmd,
+		seq:         c.seq,
+		shard:       c.router.ShardFor(key),
+		submittedAt: c.eng.Now(),
+	}
+	c.reqs[r.seq] = r
+	c.order = append(c.order, r.seq)
+	c.Stats.Submitted++
+	q := c.perKey[key]
+	c.perKey[key] = append(q, r)
+	if len(q) > 0 {
+		r.state = stWaiting // an earlier request on key holds the turn
+		return r.seq
+	}
+	c.dispatch(r)
+	return r.seq
+}
+
+// finish retires the head request of its key's session (acked or
+// abandoned) and hands the turn to the next waiting request.
+func (c *Client) finish(r *request) {
+	q := c.perKey[r.key]
+	if len(q) == 0 || q[0] != r {
+		return
+	}
+	q = q[1:]
+	if len(q) == 0 {
+		delete(c.perKey, r.key)
+		return
+	}
+	c.perKey[r.key] = q
+	c.dispatch(q[0])
+}
+
+// dispatch sends (or resends) one attempt at the owning group's
+// current primary and arms the reply timeout.
+func (c *Client) dispatch(r *request) {
+	r.state = stInflight
+	r.attempt++
+	g := c.router.group(r.shard)
+	r.target = g.Replication().Primary()
+	_, _ = c.net.Send(c.p.Node, r.target, g.ReqPort(),
+		reqEnv{Key: r.key, Cmd: r.cmd, Client: c.p.Node, Seq: r.seq, Attempt: r.attempt}, 48)
+	attempt := r.attempt
+	c.eng.After(c.p.RetryTimeout, eventq.ClassApp, func() {
+		if r.state != stInflight || r.attempt != attempt {
+			return // answered or re-dispatched in the meantime
+		}
+		c.Stats.Timeouts++
+		c.onFailure(r, "timeout")
+	})
+}
+
+// onFailure handles one failed attempt (timeout or stale-view
+// rejection): retry while budget remains, then apply the policy.
+func (c *Client) onFailure(r *request, why string) {
+	r.retries++
+	if r.retries <= c.p.MaxRetries {
+		c.Stats.Retries++
+		if log := c.eng.Log(); log != nil {
+			log.Recordf(c.eng.Now(), monitor.KindRetry, c.p.Node, reqLabel(r), "%s retry %d/%d", why, r.retries, c.p.MaxRetries)
+		}
+		c.dispatch(r)
+		return
+	}
+	if c.p.Policy == FailFast {
+		r.state = stFailed
+		r.attempt++
+		c.Stats.FailedFast++
+		c.Failed = append(c.Failed, r.seq)
+		c.finish(r)
+		return
+	}
+	r.state = stParked
+	r.attempt++
+	c.Stats.Queued++
+	if log := c.eng.Log(); log != nil {
+		log.Recordf(c.eng.Now(), monitor.KindRetry, c.p.Node, reqLabel(r), "%s: parked after %d retries", why, r.retries)
+	}
+	// Backoff safety net: view installs and heals resubmit parked
+	// requests promptly, but a request can park after the last such
+	// trigger (its retry budget outlasting the merge) — re-probe at a
+	// deep backoff so nothing is stranded.
+	attempt := r.attempt
+	c.eng.After(5*c.p.RetryTimeout, eventq.ClassApp, func() {
+		if r.state != stParked || r.attempt != attempt {
+			return
+		}
+		c.resubmit(r, "backoff")
+	})
+}
+
+// resubmit re-dispatches one parked request with a fresh retry budget.
+func (c *Client) resubmit(r *request, why string) {
+	c.Stats.Resubmitted++
+	r.retries = 0
+	if log := c.eng.Log(); log != nil {
+		log.Recordf(c.eng.Now(), monitor.KindResubmit, c.p.Node, reqLabel(r), "after %s", why)
+	}
+	c.dispatch(r)
+}
+
+// sweepLive iterates the outstanding requests in submission order,
+// compacting retired (acked/failed) entries out of c.order on the way
+// — the scan fires on every view change, republish and heal, so it
+// must stay proportional to the live set, not the run's history.
+func (c *Client) sweepLive(fn func(*request)) {
+	live := c.order[:0]
+	for _, seq := range c.order {
+		r := c.reqs[seq]
+		if r.state == stAcked || r.state == stFailed {
+			continue
+		}
+		live = append(live, seq)
+		fn(r)
+	}
+	c.order = live
+}
+
+// redirectInflight re-resolves in-flight requests of a republished
+// shard: when the new primary differs from the attempt's target the
+// request redirects immediately instead of waiting out its timeout.
+func (c *Client) redirectInflight(g *Group) {
+	p := g.Replication().Primary()
+	c.sweepLive(func(r *request) {
+		if r.state != stInflight || r.shard != g.Index() || r.target == p {
+			return
+		}
+		c.Stats.Redirects++
+		if log := c.eng.Log(); log != nil {
+			log.Recordf(c.eng.Now(), monitor.KindRedirect, c.p.Node, reqLabel(r), "republish: n%d -> n%d", r.target, p)
+		}
+		c.dispatch(r)
+	})
+}
+
+// flushParked resubmits every parked request — fired on any new agreed
+// view (failover or merge) and on partition heals, so requests issued
+// into a split window land after the merge.
+func (c *Client) flushParked(why string) {
+	c.sweepLive(func(r *request) {
+		if r.state == stParked {
+			c.resubmit(r, why)
+		}
+	})
+}
+
+// handleResp consumes one server response.
+func (c *Client) handleResp(m *netsim.Message) {
+	env, ok := m.Payload.(respEnv)
+	if !ok {
+		return
+	}
+	r := c.reqs[env.Seq]
+	if r == nil || r.state == stAcked || r.state == stFailed {
+		return // late duplicate of an answered request
+	}
+	switch env.Kind {
+	case respOK:
+		if r.state == stWaiting {
+			return // cannot happen: waiting requests were never sent
+		}
+		r.state = stAcked
+		r.attempt++
+		now := c.eng.Now()
+		lat := now.Sub(r.submittedAt)
+		c.Stats.Acked++
+		c.Stats.SumLatency += lat
+		if lat > c.Stats.MaxLatency {
+			c.Stats.MaxLatency = lat
+		}
+		c.Acks = append(c.Acks, Ack{Key: r.key, Seq: r.seq, Cmd: r.cmd, Result: env.Result, At: now, Latency: lat})
+		c.finish(r)
+	case respRedirect:
+		if r.state != stInflight || env.Attempt != r.attempt {
+			return // a superseded attempt's verdict; the live one decides
+		}
+		c.Stats.Redirects++
+		if log := c.eng.Log(); log != nil {
+			log.Recordf(c.eng.Now(), monitor.KindRedirect, c.p.Node, reqLabel(r), "server: n%d -> n%d", r.target, env.Primary)
+		}
+		c.dispatch(r)
+	case respBlocked:
+		if r.state != stInflight || env.Attempt != r.attempt {
+			return // a superseded attempt's verdict; the live one decides
+		}
+		c.Stats.Blocked++
+		c.onFailure(r, "blocked")
+	}
+}
+
+// reqLabel renders a request for the monitor log.
+func reqLabel(r *request) string { return fmt.Sprintf("shard.%s#%d", r.key, r.seq) }

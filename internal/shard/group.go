@@ -1,0 +1,297 @@
+package shard
+
+import (
+	"fmt"
+
+	"hades/internal/membership"
+	"hades/internal/monitor"
+	"hades/internal/netsim"
+	"hades/internal/replication"
+	"hades/internal/simkern"
+	"hades/internal/vtime"
+)
+
+// respPort is the default port client replies arrive on (one client
+// per node and per data plane; the cluster layer scopes it per set).
+const respPort = "shard.resp"
+
+// reqEnv is one keyed client request crossing the wire. Attempt is
+// the client's attempt counter, echoed back in the response so the
+// client can discard failure responses of superseded attempts.
+type reqEnv struct {
+	Key     string
+	Cmd     int64
+	Client  int // client node id
+	Seq     uint64
+	Attempt int
+}
+
+// respKind classifies a server response.
+type respKind uint8
+
+const (
+	// respOK carries the applied (or dedup-cached) result.
+	respOK respKind = iota + 1
+	// respRedirect tells the client which node the server believes is
+	// the group's current primary.
+	respRedirect
+	// respBlocked is the stale-view rejection: the server cannot reach
+	// a majority of its installed view, so serving would risk acking a
+	// write the merge view will discard.
+	respBlocked
+)
+
+// respEnv is one server response. Attempt echoes the request's
+// attempt counter (stale-attempt failure responses are ignored by the
+// client; a late OK is accepted from any attempt — the command landed).
+type respEnv struct {
+	Shard   string
+	Seq     uint64
+	Attempt int
+	Kind    respKind
+	Result  int64
+	Primary int // respRedirect only
+}
+
+// Applied records one fresh state-machine apply at one replica — the
+// per-replica log Verify checks exactly-once and per-key order against.
+type Applied struct {
+	Key    string
+	Client int
+	Seq    uint64
+	Cmd    int64
+	Result int64
+	At     vtime.Time
+}
+
+// GroupStats counts the routing outcomes at one shard's replicas.
+type GroupStats struct {
+	// Requests counts client requests arriving at any replica.
+	Requests int
+	// Served counts OK responses sent (fresh applies and dedup hits).
+	Served int
+	// Redirects counts requests bounced to the current primary.
+	Redirects int
+	// Blocked counts stale-view rejections (no local quorum).
+	Blocked int
+}
+
+// pendingReq tracks one accepted client request through the
+// replication layer until its reply.
+type pendingReq struct {
+	env       reqEnv
+	from      int // client node to answer
+	responded bool
+}
+
+// GroupConfig parameterises one shard group.
+type GroupConfig struct {
+	// Name scopes the shard's network ports and its monitor records.
+	Name string
+	// Index is the shard's position on the ring.
+	Index int
+	// RespPort is the port client responses are sent to (empty selects
+	// the default; data planes coexisting on one cluster need distinct
+	// ports, which the cluster layer derives from the set name).
+	RespPort string
+	// Replication configures the underlying replica group. Replicas
+	// must be members of the membership service's universe.
+	Replication replication.Config
+}
+
+// Group is the server side of one shard: a replicated state machine
+// whose replicas accept keyed client requests, redirect non-primaries
+// to the current primary, reject service without a local quorum, and
+// keep per-replica apply logs for verification.
+type Group struct {
+	eng *simkern.Engine
+	net *netsim.Network
+	mem *membership.Service
+	rep *replication.Group
+
+	name     string
+	index    int
+	respPort string
+	nodes    []int
+
+	pending map[uint64]*pendingReq
+	logs    map[int][]Applied
+	// holed marks replicas whose apply log has a hole: they were down,
+	// or excluded from an agreed view while alive (a partition-isolated
+	// replica misses the majority's applies, and the merge state
+	// transfer restores State/Seen but does not backfill the log).
+	holed map[int]bool
+
+	// Stats counts the routing outcomes for the harness.
+	Stats GroupStats
+}
+
+// NewGroup builds one shard group over a membership service: it owns
+// its replication group (failover driven by installed views) and binds
+// the shard request port on every replica.
+func NewGroup(eng *simkern.Engine, net *netsim.Network, mem *membership.Service, cfg GroupConfig) (*Group, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("shard: group needs a name")
+	}
+	if cfg.Replication.Name == "" {
+		cfg.Replication.Name = cfg.Name
+	}
+	if cfg.Replication.Style == 0 {
+		cfg.Replication.Style = replication.SemiActive
+	}
+	if cfg.Replication.Style == replication.Active {
+		return nil, fmt.Errorf("shard: group %q: active replication has no primary to route to", cfg.Name)
+	}
+	if len(cfg.Replication.Replicas) == 0 {
+		cfg.Replication.Replicas = mem.Nodes()
+	}
+	if cfg.RespPort == "" {
+		cfg.RespPort = respPort
+	}
+	g := &Group{
+		eng:      eng,
+		net:      net,
+		mem:      mem,
+		name:     cfg.Name,
+		index:    cfg.Index,
+		respPort: cfg.RespPort,
+		nodes:    append([]int(nil), cfg.Replication.Replicas...),
+		pending:  make(map[uint64]*pendingReq),
+		logs:     make(map[int][]Applied),
+		holed:    make(map[int]bool),
+	}
+	rep, err := replication.NewGroup(eng, net, mem, cfg.Replication, g.finish)
+	if err != nil {
+		return nil, err
+	}
+	g.rep = rep
+	rep.OnApply = g.recordApply
+	for _, n := range g.nodes {
+		node := n
+		net.Bind(node, g.ReqPort(), func(m *netsim.Message) { g.handleRequest(node, m) })
+	}
+	net.OnDownChange(func(node int, down bool) {
+		if down && g.rep.Machine(node) != nil {
+			g.holed[node] = true
+		}
+	})
+	// A replica excluded from an agreed view while alive (a blocked
+	// minority) misses every apply of that view: its log is holed even
+	// though it was never down.
+	mem.OnChange(func(v membership.View) {
+		for _, n := range g.nodes {
+			if !v.Contains(n) {
+				g.holed[n] = true
+			}
+		}
+	})
+	return g, nil
+}
+
+// Name returns the shard group's name.
+func (g *Group) Name() string { return g.name }
+
+// Index returns the shard's position on the ring.
+func (g *Group) Index() int { return g.index }
+
+// Nodes returns the replica nodes, in promotion order.
+func (g *Group) Nodes() []int { return append([]int(nil), g.nodes...) }
+
+// Replication returns the underlying replica group.
+func (g *Group) Replication() *replication.Group { return g.rep }
+
+// Membership returns the shard's membership service.
+func (g *Group) Membership() *membership.Service { return g.mem }
+
+// ReqPort returns the port replicas accept client requests on.
+func (g *Group) ReqPort() string { return "shard." + g.name + ".req" }
+
+// ApplyLog returns the fresh applies observed at one replica, in order.
+func (g *Group) ApplyLog(node int) []Applied {
+	return append([]Applied(nil), g.logs[node]...)
+}
+
+// AuthoritativeNode returns the replica whose apply log is the
+// authoritative history: the current primary, or — if the primary's
+// log is holed (it was down, or view-excluded while partitioned;
+// rejoin state transfers restore state, not logs) — the first
+// hole-free replica in promotion order.
+func (g *Group) AuthoritativeNode() (int, bool) {
+	p := g.rep.Primary()
+	if !g.holed[p] {
+		return p, true
+	}
+	for _, n := range g.nodes {
+		if !g.holed[n] {
+			return n, true
+		}
+	}
+	return -1, false
+}
+
+// handleRequest serves one client request arriving at replica node.
+func (g *Group) handleRequest(node int, m *netsim.Message) {
+	env, ok := m.Payload.(reqEnv)
+	if !ok || g.net.NodeDown(node) {
+		return
+	}
+	g.Stats.Requests++
+	if !g.mem.HasQuorum(node) {
+		// Stale-view rejection: this replica cannot reach a majority of
+		// its installed view, so it must not serve — an ack here could
+		// be overwritten by the authoritative majority at the merge.
+		g.Stats.Blocked++
+		if log := g.eng.Log(); log != nil {
+			log.Recordf(g.eng.Now(), monitor.KindQuorumBlocked, node, g.name, "rejected c%d#%d: no quorum", env.Client, env.Seq)
+		}
+		g.respond(node, m.From, respEnv{Shard: g.name, Seq: env.Seq, Attempt: env.Attempt, Kind: respBlocked})
+		return
+	}
+	if p := g.rep.Primary(); node != p {
+		g.Stats.Redirects++
+		if log := g.eng.Log(); log != nil {
+			log.Recordf(g.eng.Now(), monitor.KindRedirect, node, g.name, "c%d#%d -> n%d", env.Client, env.Seq, p)
+		}
+		g.respond(node, m.From, respEnv{Shard: g.name, Seq: env.Seq, Attempt: env.Attempt, Kind: respRedirect, Primary: p})
+		return
+	}
+	id := g.rep.SubmitTagged(node, env.Cmd, replication.ClientSeq{Client: uint64(env.Client) + 1, Seq: env.Seq})
+	g.pending[id] = &pendingReq{env: env, from: m.From}
+}
+
+// recordApply appends one fresh apply to node's log (replication's
+// OnApply hook; suppressed duplicates never reach it).
+func (g *Group) recordApply(node int, reqID uint64, result int64) {
+	pr := g.pending[reqID]
+	if pr == nil {
+		return // a direct Submit, not a routed client request
+	}
+	g.logs[node] = append(g.logs[node], Applied{
+		Key:    pr.env.Key,
+		Client: pr.env.Client,
+		Seq:    pr.env.Seq,
+		Cmd:    pr.env.Cmd,
+		Result: result,
+		At:     g.eng.Now(),
+	})
+}
+
+// finish is the replication reply hook: the primary's (authoritative)
+// reply answers the client.
+func (g *Group) finish(reqID uint64, result int64, _ bool) {
+	pr := g.pending[reqID]
+	if pr == nil || pr.responded {
+		return
+	}
+	pr.responded = true
+	g.Stats.Served++
+	g.respond(g.rep.Primary(), pr.from, respEnv{Shard: g.name, Seq: pr.env.Seq, Attempt: pr.env.Attempt, Kind: respOK, Result: result})
+}
+
+// respond sends one response back to the client node.
+func (g *Group) respond(from, to int, env respEnv) {
+	if from == to {
+		return // a co-located client would be a direct call; unsupported
+	}
+	_, _ = g.net.Send(from, to, g.respPort, env, 32)
+}

@@ -1,0 +1,88 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministicAndTotal: the ring is a pure function of its
+// parameters — two identically-built rings route every key the same
+// way, and every key lands on a valid shard.
+func TestRingDeterministicAndTotal(t *testing.T) {
+	a := NewRing(4, 16)
+	b := NewRing(4, 16)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		sa, sb := a.Shard(key), b.Shard(key)
+		if sa != sb {
+			t.Fatalf("key %q routes to %d and %d on identical rings", key, sa, sb)
+		}
+		if sa < 0 || sa >= 4 {
+			t.Fatalf("key %q routed to invalid shard %d", key, sa)
+		}
+	}
+}
+
+// TestRingBalance: with enough keys every shard owns a non-trivial
+// slice of the keyspace (no empty shard, no shard over half).
+func TestRingBalance(t *testing.T) {
+	r := NewRing(4, 32)
+	counts := make([]int, 4)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[r.Shard(fmt.Sprintf("key-%d", i))]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d owns no keys: %v", s, counts)
+		}
+		if c > n/2 {
+			t.Fatalf("shard %d owns %d of %d keys (unbalanced): %v", s, c, n, counts)
+		}
+	}
+}
+
+// TestRingConsistency: growing the ring by one shard moves only a
+// bounded fraction of the keyspace — the consistent-hashing property
+// resharding relies on (ideally 1/(n+1); assert well under a naive
+// mod-hash's (n)/(n+1)).
+func TestRingConsistency(t *testing.T) {
+	old := NewRing(4, 32)
+	grown := NewRing(5, 32)
+	const n = 4000
+	moved := 0
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if old.Shard(key) != grown.Shard(key) {
+			moved++
+		}
+	}
+	if frac := float64(moved) / n; frac > 0.45 {
+		t.Fatalf("growing 4→5 shards moved %.0f%% of keys, want a bounded fraction", frac*100)
+	}
+}
+
+// TestRingZeroShardsPanics: a ring over zero shards is a configuration
+// error, loudly.
+func TestRingZeroShardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0, ...) did not panic")
+		}
+	}()
+	NewRing(0, 8)
+}
+
+// BenchmarkRingShard measures the per-request routing cost — it sits
+// on the client hot path of every keyed submission.
+func BenchmarkRingShard(b *testing.B) {
+	r := NewRing(16, 32)
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Shard(keys[i%len(keys)])
+	}
+}

@@ -1,0 +1,83 @@
+package shard
+
+import (
+	"fmt"
+
+	"hades/internal/replication"
+)
+
+// Verify checks the sharded data plane's safety contract after a run,
+// against the authoritative apply logs of the shard groups:
+//
+//   - exactly-once: every acknowledged request appears in the owning
+//     group's authoritative history exactly once, with the result the
+//     client was given;
+//   - per-key order: within the authoritative history, each client's
+//     requests on each key apply in submission (sequence) order —
+//     with single-writer keys this is per-key linearizability, since
+//     acks only ever come from the quorum-holding primary lineage.
+//
+// The authoritative history is a hole-free replica's log — one never
+// down and never view-excluded (semi-active followers execute
+// everything, so any replica that stayed in every view holds the full
+// lineage). Verify requires semi-active shards: under passive
+// replication acknowledged work since the last checkpoint is lost on
+// failover by design, so the exactly-once clause cannot hold.
+func Verify(r *Router, clients []*Client) error {
+	for _, g := range r.Groups() {
+		if s := g.Replication().Style(); s != replication.SemiActive {
+			return fmt.Errorf("shard: verify needs semi-active shards (group %q is %s)", g.Name(), s)
+		}
+	}
+	// Authoritative logs, indexed per group once.
+	type entryKey struct {
+		client int
+		seq    uint64
+	}
+	logs := make([]map[entryKey]Applied, len(r.Groups()))
+	counts := make([]map[entryKey]int, len(r.Groups()))
+	for i, g := range r.Groups() {
+		node, ok := g.AuthoritativeNode()
+		if !ok {
+			return fmt.Errorf("shard: group %q has no hole-free replica to verify against", g.Name())
+		}
+		logs[i] = make(map[entryKey]Applied)
+		counts[i] = make(map[entryKey]int)
+		lastSeq := make(map[string]map[int]uint64) // key → client → last seq
+		for _, a := range g.ApplyLog(node) {
+			k := entryKey{client: a.Client, seq: a.Seq}
+			counts[i][k]++
+			logs[i][k] = a
+			perKey := lastSeq[a.Key]
+			if perKey == nil {
+				perKey = make(map[int]uint64)
+				lastSeq[a.Key] = perKey
+			}
+			if last := perKey[a.Client]; a.Seq <= last {
+				return fmt.Errorf("shard: group %q key %q: client n%d seq %d applied after seq %d (per-key order violated)",
+					g.Name(), a.Key, a.Client, a.Seq, last)
+			}
+			perKey[a.Client] = a.Seq
+		}
+	}
+	for _, c := range clients {
+		for _, ack := range c.Acks {
+			idx := r.ShardFor(ack.Key)
+			k := entryKey{client: c.Node(), seq: ack.Seq}
+			switch n := counts[idx][k]; {
+			case n == 0:
+				return fmt.Errorf("shard: acked request n%d#%d (key %q) missing from group %q history (acknowledged write lost)",
+					c.Node(), ack.Seq, ack.Key, r.Groups()[idx].Name())
+			case n > 1:
+				return fmt.Errorf("shard: acked request n%d#%d (key %q) applied %d times in group %q (exactly-once violated)",
+					c.Node(), ack.Seq, ack.Key, n, r.Groups()[idx].Name())
+			}
+			a := logs[idx][k]
+			if a.Result != ack.Result || a.Key != ack.Key {
+				return fmt.Errorf("shard: acked request n%d#%d: client saw (key %q, result %d), history holds (key %q, result %d)",
+					c.Node(), ack.Seq, ack.Key, ack.Result, a.Key, a.Result)
+			}
+		}
+	}
+	return nil
+}
