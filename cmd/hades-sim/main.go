@@ -12,8 +12,9 @@
 //	hades-sim -builtin inversion -trace
 //	hades-sim -builtin partition-split -views -partition
 //	hades-sim -builtin sharded-kv -shards
+//	hades-sim -builtin bank-transfer -txns
 //	hades-sim -scenario myset.json
-//	hades-sim -builtins              # list built-in scenarios
+//	hades-sim -list                  # list built-in scenarios
 package main
 
 import (
@@ -34,11 +35,13 @@ func main() {
 		views    = flag.Bool("views", false, "print per-node membership view histories")
 		partRep  = flag.Bool("partition", false, "print per-group partition/quorum/merge report")
 		shardRep = flag.Bool("shards", false, "print the sharded data plane routing report")
+		txnRep   = flag.Bool("txns", false, "print the cross-shard transaction report")
 		listThem = flag.Bool("builtins", false, "list built-in scenarios and exit")
+		listAlt  = flag.Bool("list", false, "alias for -builtins")
 	)
 	flag.Parse()
 
-	if *listThem {
+	if *listThem || *listAlt {
 		fmt.Println(strings.Join(scenario.BuiltinNames(), "\n"))
 		return
 	}
@@ -139,6 +142,32 @@ func main() {
 				fmt.Printf("  CONSISTENCY VIOLATION: %v\n", err)
 			} else {
 				fmt.Println("  consistency: every acked request applied exactly once, per-key order intact")
+			}
+		}
+	}
+	if *txnRep {
+		for _, set := range clu.ShardSets() {
+			plane := set.TxnPlane()
+			fmt.Println("--- cross-shard transactions ---")
+			for i, co := range plane.Coordinators() {
+				pa := plane.Participants()[i]
+				fmt.Printf("  %s: coord begins=%d commits=%d aborts=%d (deadline=%d) queries=%d\n",
+					co.Group().Name(), co.Stats.Begins, co.Stats.Commits, co.Stats.Aborts,
+					co.Stats.DeadlineAborts, co.Stats.Queries)
+				fmt.Printf("    part prepares=%d lockWaits=%d votes=%d/%d commits=%d aborts=%d deadlineReleases=%d locksHeld=%d\n",
+					pa.Stats.Prepares, pa.Stats.LockWaits, pa.Stats.VotesYes, pa.Stats.VotesNo,
+					pa.Stats.Commits, pa.Stats.Aborts, pa.Stats.DeadlineReleases, pa.LockedKeys())
+			}
+			for _, tc := range plane.Clients() {
+				st := tc.Stats
+				fmt.Printf("  client n%d: begun=%d committed=%d aborted=%d (deadline=%d) retries=%d queued=%d resubmitted=%d\n",
+					tc.Node(), st.Begun, st.Committed, st.Aborted, st.DeadlineAborts, st.Retries, st.Queued, st.Resubmitted)
+				fmt.Printf("    latency avg=%s max=%s\n", st.AvgLatency(), st.MaxLatency)
+			}
+			if err := set.CheckTxns(); err != nil {
+				fmt.Printf("  ATOMICITY VIOLATION: %v\n", err)
+			} else {
+				fmt.Println("  atomicity: committed transfers all-or-nothing, aborted ones write nothing, no lock past its deadline")
 			}
 		}
 	}

@@ -22,6 +22,7 @@ type Result struct {
 	Groups     []GroupResult
 	Shards     []ShardResult
 	Clients    []ClientResult
+	TxnClients []TxnClientResult
 	Violations []monitor.Event
 }
 
@@ -43,6 +44,25 @@ type ShardResult struct {
 	Duplicates int
 	// Applied is the primary state machine's apply counter.
 	Applied int64
+	// Txn aggregates the shard's transaction-layer roles (zero when the
+	// set's transaction plane was never created).
+	Txn TxnShardResult
+}
+
+// TxnShardResult is one shard's transaction coordinator/participant
+// record.
+type TxnShardResult struct {
+	// Begins, Commits, Aborts and DeadlineAborts count this shard's
+	// coordinator decisions (transactions hashed onto it).
+	Begins         int
+	Commits        int
+	Aborts         int
+	DeadlineAborts int
+	// Prepares, LockWaits and DeadlineReleases count this shard's
+	// participant activity (transactions touching its keys).
+	Prepares         int
+	LockWaits        int
+	DeadlineReleases int
 }
 
 // ClientResult is one shard client's request-layer record.
@@ -59,6 +79,20 @@ type ClientResult struct {
 	FailedFast  int
 	AvgLatency  vtime.Duration
 	MaxLatency  vtime.Duration
+}
+
+// TxnClientResult is one transaction client's record.
+type TxnClientResult struct {
+	Node           int
+	Begun          int
+	Committed      int
+	Aborted        int
+	DeadlineAborts int
+	Retries        int
+	Queued         int
+	Resubmitted    int
+	AvgLatency     vtime.Duration
+	MaxLatency     vtime.Duration
 }
 
 // GroupResult is one membership group's runtime record: the agreed
@@ -137,7 +171,7 @@ func (c *Cluster) ResultNow() Result {
 	for _, set := range c.shardSets {
 		for _, sg := range set.shards {
 			rep := sg.Replication()
-			r.Shards = append(r.Shards, ShardResult{
+			sr := ShardResult{
 				Name:       sg.Name(),
 				Index:      sg.Index(),
 				Nodes:      sg.Nodes(),
@@ -148,7 +182,38 @@ func (c *Cluster) ResultNow() Result {
 				Blocked:    sg.Stats.Blocked,
 				Duplicates: rep.Duplicates,
 				Applied:    rep.Machine(rep.Primary()).Applied,
-			})
+			}
+			if set.txnPlane != nil {
+				co := set.txnPlane.Coordinators()[sg.Index()]
+				pa := set.txnPlane.Participants()[sg.Index()]
+				sr.Txn = TxnShardResult{
+					Begins:           co.Stats.Begins,
+					Commits:          co.Stats.Commits,
+					Aborts:           co.Stats.Aborts,
+					DeadlineAborts:   co.Stats.DeadlineAborts,
+					Prepares:         pa.Stats.Prepares,
+					LockWaits:        pa.Stats.LockWaits,
+					DeadlineReleases: pa.Stats.DeadlineReleases,
+				}
+			}
+			r.Shards = append(r.Shards, sr)
+		}
+		if set.txnPlane != nil {
+			for _, tc := range set.txnPlane.Clients() {
+				st := tc.Stats
+				r.TxnClients = append(r.TxnClients, TxnClientResult{
+					Node:           tc.Node(),
+					Begun:          st.Begun,
+					Committed:      st.Committed,
+					Aborted:        st.Aborted,
+					DeadlineAborts: st.DeadlineAborts,
+					Retries:        st.Retries,
+					Queued:         st.Queued,
+					Resubmitted:    st.Resubmitted,
+					AvgLatency:     st.AvgLatency(),
+					MaxLatency:     st.MaxLatency,
+				})
+			}
 		}
 		for _, cl := range set.clients {
 			st := cl.Stats
@@ -286,10 +351,28 @@ func (r Result) String() string {
 	for _, s := range r.Shards {
 		out += fmt.Sprintf("  shard %-10s nodes=%v primary=n%d req=%-5d served=%-5d redirect=%-4d blocked=%-4d dup=%-4d applied=%d\n",
 			s.Name, s.Nodes, s.Primary, s.Requests, s.Served, s.Redirects, s.Blocked, s.Duplicates, s.Applied)
+		if t := s.Txn; t.Begins > 0 || t.Prepares > 0 {
+			out += fmt.Sprintf("    txn: coord begins=%d commits=%d aborts=%d (deadline=%d); part prepares=%d lockWaits=%d deadlineReleases=%d\n",
+				t.Begins, t.Commits, t.Aborts, t.DeadlineAborts, t.Prepares, t.LockWaits, t.DeadlineReleases)
+		}
 	}
 	for _, c := range r.Clients {
 		out += fmt.Sprintf("  client n%-3d sub=%-5d ack=%-5d redirect=%-4d retry=%-4d queued=%-4d resub=%-4d failed=%-4d avgLat=%-12s maxLat=%s\n",
 			c.Node, c.Submitted, c.Acked, c.Redirects, c.Retries, c.Queued, c.Resubmitted, c.FailedFast, c.AvgLatency, c.MaxLatency)
 	}
+	for _, t := range r.TxnClients {
+		out += fmt.Sprintf("  txn    n%-3d begun=%-4d committed=%-4d aborted=%-4d deadline=%-4d retry=%-4d queued=%-4d resub=%-4d avgLat=%-12s maxLat=%s\n",
+			t.Node, t.Begun, t.Committed, t.Aborted, t.DeadlineAborts, t.Retries, t.Queued, t.Resubmitted, t.AvgLatency, t.MaxLatency)
+	}
 	return out
+}
+
+// TxnClient returns the transaction client record of the given node.
+func (r Result) TxnClient(node int) (TxnClientResult, bool) {
+	for _, c := range r.TxnClients {
+		if c.Node == node {
+			return c, true
+		}
+	}
+	return TxnClientResult{}, false
 }

@@ -5,6 +5,7 @@ import (
 
 	"hades/internal/replication"
 	"hades/internal/shard"
+	"hades/internal/txn"
 	"hades/internal/vtime"
 )
 
@@ -45,6 +46,7 @@ type ShardSet struct {
 	shards      []*shard.Group
 	clients     []*shard.Client
 	clientNodes map[int]bool
+	txnPlane    *txn.Plane
 }
 
 // Shards declares a sharded data plane of n replication groups with
@@ -209,3 +211,52 @@ func (s *ShardSet) ClientWith(p shard.ClientParams) *shard.Client {
 // authoritative history, in per-key submission order (see
 // shard.Verify).
 func (s *ShardSet) Check() error { return shard.Verify(s.router, s.clients) }
+
+// TxnPlane returns the set's transaction layer (coordinator and
+// participant roles on every shard group), creating it on first use.
+func (s *ShardSet) TxnPlane() *txn.Plane {
+	if s.txnPlane == nil {
+		s.txnPlane = txn.NewPlane(s.c.eng, s.c.net, s.router, s.name)
+	}
+	return s.txnPlane
+}
+
+// TxnClientAt creates a transaction client on the given node with
+// default retry parameters and deadline.
+func (s *ShardSet) TxnClientAt(node int) *txn.Client {
+	return s.TxnClientWith(txn.ClientParams{Node: node})
+}
+
+// TxnClientWith creates a transaction client with explicit parameters.
+// Like request clients, transaction clients get a node of their own:
+// co-locating one with a replica or another client of this set would
+// collide on serving duties and dedup-tag spaces.
+func (s *ShardSet) TxnClientWith(p txn.ClientParams) *txn.Client {
+	if p.Node < 0 || p.Node >= len(s.c.nodes) {
+		panic(fmt.Sprintf("cluster: txn client on unknown node %d", p.Node))
+	}
+	if s.clientNodes[p.Node] {
+		panic(fmt.Sprintf("cluster: node %d already has a client of shard set %q", p.Node, s.name))
+	}
+	for _, g := range s.shards {
+		for _, n := range g.Nodes() {
+			if n == p.Node {
+				panic(fmt.Sprintf("cluster: txn client on node %d collides with replica of %q", p.Node, g.Name()))
+			}
+		}
+	}
+	cl := txn.NewClient(s.TxnPlane(), p)
+	s.clientNodes[p.Node] = true
+	return cl
+}
+
+// CheckTxns verifies the atomic-commitment contract of the run so
+// far: committed transactions all-or-nothing across shards, aborted
+// ones leaving no partial writes, no lock held past its deadline (see
+// txn.Verify). A set without transactions passes vacuously.
+func (s *ShardSet) CheckTxns() error {
+	if s.txnPlane == nil {
+		return nil
+	}
+	return txn.Verify(s.txnPlane)
+}

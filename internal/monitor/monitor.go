@@ -77,6 +77,14 @@ const (
 	KindRetry
 	KindResubmit
 	KindRepublish
+
+	// Transaction events (cross-shard atomic commitment): participant
+	// prepares, coordinator decisions, lock-queue waits and
+	// deadline/conflict aborts.
+	KindPrepare
+	KindDecide
+	KindLockWait
+	KindTxnAbort
 )
 
 var kindNames = map[Kind]string{
@@ -124,6 +132,10 @@ var kindNames = map[Kind]string{
 	KindRetry:               "Retry",
 	KindResubmit:            "Resubmit",
 	KindRepublish:           "Republish",
+	KindPrepare:             "Prepare",
+	KindDecide:              "Decide",
+	KindLockWait:            "LockWait",
+	KindTxnAbort:            "TxnAbort",
 }
 
 // String returns the short mnemonic for the kind.

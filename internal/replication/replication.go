@@ -167,10 +167,20 @@ type Group struct {
 	// Duplicates counts tagged requests suppressed by the replicated
 	// dedup table (answered from cache instead of re-applied).
 	Duplicates int
-	// OnApply, when non-nil, observes every fresh state-machine apply
-	// (suppressed duplicates excluded) at every replica — the sharding
-	// layer builds its per-replica apply logs from it.
-	OnApply func(node int, reqID uint64, result int64)
+	// onApply observes every fresh state-machine apply (suppressed
+	// duplicates excluded) at every replica — the sharding layer builds
+	// its per-replica apply logs from it and the transaction layer
+	// mirrors coordinator decisions through it. Register with
+	// OnApplyHook; hooks fire in registration order.
+	onApply []func(node int, reqID uint64, result int64)
+}
+
+// OnApplyHook registers an observer of every fresh state-machine apply
+// (suppressed duplicates excluded) at every replica. Multiple layers
+// may subscribe to one group (the shard layer's apply logs and the
+// transaction layer's decision mirror share the replicated machine).
+func (g *Group) OnApplyHook(fn func(node int, reqID uint64, result int64)) {
+	g.onApply = append(g.onApply, fn)
 }
 
 // Failover records one primary/leader promotion. The failover latency
@@ -476,8 +486,8 @@ func (g *Group) execute(node int, msg reqMsg) {
 			}
 			sm.Seen[msg.Tag] = res
 		}
-		if g.OnApply != nil {
-			g.OnApply(node, msg.ID, res)
+		for _, fn := range g.onApply {
+			fn(node, msg.ID, res)
 		}
 		g.reply(node, msg.ID, res)
 		if g.cfg.Style == Passive && node == g.Primary() {

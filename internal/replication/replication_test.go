@@ -449,6 +449,60 @@ func TestDedupSurvivesFailover(t *testing.T) {
 	}
 }
 
+// TestDedupSurvivesJoinTransferThenMergeView pins the PR 4 transfer
+// path under a back-to-back recovery sequence: the same replica first
+// rejoins after a crash (join state transfer carries the Seen table),
+// then is partitioned off and re-admitted through a merge view (a
+// second state transfer). After BOTH transitions the replica must
+// still suppress a retry of a request applied before the crash —
+// i.e. the replicated dedup table survives each hop of the
+// snapshot/restore chain, not just the first.
+func TestDedupSurvivesJoinTransferThenMergeView(t *testing.T) {
+	r := rig(t, 4)
+	g, results := newGroup(t, r, SemiActive, []int{0, 1, 2})
+	tag := ClientSeq{Client: 11, Seq: 1}
+	r.eng.At(vtime.Time(1*ms), eventq.ClassApp, func() { g.SubmitTagged(3, 7, tag) })
+	// Crash replica 2 after the apply; it rejoins with a join state
+	// transfer at 100 ms.
+	fault.CrashAt(r.eng, r.net, 2, vtime.Time(5*ms), vtime.Time(100*ms))
+	r.eng.Run(vtime.Time(150 * ms)) // join view installed, transfer done
+	if len(r.mem.Transfers) != 1 {
+		t.Fatalf("transfers after rejoin %+v, want 1", r.mem.Transfers)
+	}
+	if len(g.Machine(2).Seen) != 1 {
+		t.Fatalf("join transfer dropped the dedup table: %d entries, want 1", len(g.Machine(2).Seen))
+	}
+	// Immediately partition the same replica off; the majority excludes
+	// it, and the heal re-admits it through a merge view with a second
+	// state transfer.
+	r.net.PartitionAt(vtime.Time(151*ms), []int{2}, []int{0, 1, 3})
+	r.net.HealAt(vtime.Time(220 * ms))
+	r.eng.Run(vtime.Time(300 * ms))
+	if len(r.mem.Merges) != 1 {
+		t.Fatalf("merges %+v, want 1", r.mem.Merges)
+	}
+	if got := len(r.mem.Transfers); got != 2 {
+		t.Fatalf("transfers after merge %d, want 2 (join + merge re-admission)", got)
+	}
+	if len(g.Machine(2).Seen) != 1 {
+		t.Fatalf("merge transfer dropped the dedup table: %d entries, want 1", len(g.Machine(2).Seen))
+	}
+	// The retry of the pre-crash request must be a cache hit everywhere
+	// — including at the twice-restored replica.
+	applied := g.Machine(2).Applied
+	r.eng.At(vtime.Time(301*ms), eventq.ClassApp, func() { g.SubmitTagged(3, 7, tag) })
+	r.eng.Run(vtime.Time(350 * ms))
+	if g.Duplicates == 0 {
+		t.Fatal("retry after join+merge not suppressed by the dedup table")
+	}
+	if got := g.Machine(2).Applied; got != applied {
+		t.Fatalf("twice-restored replica re-applied the retry: %d -> %d", applied, got)
+	}
+	if last, first := (*results)[len(*results)-1], (*results)[0]; last != first {
+		t.Fatalf("cached retry answered %d, original %d", last, first)
+	}
+}
+
 // TestDedupTravelsWithPassiveCheckpoint: the dedup table moves with
 // the state — a passive checkpoint carries it, so a promoted backup
 // suppresses exactly the duplicates its restored state covers.

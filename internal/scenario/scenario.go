@@ -11,9 +11,11 @@
 // declares view-synchronous membership groups with optional replicated
 // state machines and a request driver, and "shards" declares a sharded
 // data plane (consistent-hash routing over replication groups with
-// retrying/redirecting clients) — the crash/partition/rejoin workloads
-// of the membership-churn, partition-split and sharded-kv builtins are
-// pure data.
+// retrying/redirecting clients, plus "txns" transaction clients
+// driving deadline-carrying cross-shard atomic transfers) — the
+// crash/partition/rejoin workloads of the membership-churn,
+// partition-split, sharded-kv and bank-transfer builtins are pure
+// data.
 package scenario
 
 import (
@@ -28,6 +30,7 @@ import (
 	"hades/internal/replication"
 	"hades/internal/sched"
 	"hades/internal/shard"
+	"hades/internal/txn"
 	"hades/internal/vtime"
 )
 
@@ -132,6 +135,27 @@ type ShardClientSpec struct {
 	MaxRetries     int     `json:"maxRetries,omitempty"`
 }
 
+// TxnClientSpec declares one transaction client of a sharded data
+// plane: a bank-transfer workload — every SubmitEveryMs one two-key
+// atomic transfer (read both accounts, debit one, credit the other)
+// rotating over consecutive Accounts pairs, each transaction carrying
+// a relative virtual-time deadline.
+type TxnClientSpec struct {
+	Node int `json:"node"`
+	// Accounts is the keyed account set (at least 2).
+	Accounts []string `json:"accounts"`
+	// SubmitEveryMs is the submission interval.
+	SubmitEveryMs float64 `json:"submitEveryMs"`
+	// DeadlineMs is the relative transaction deadline (0 selects the
+	// client default): a transaction not committed by its deadline
+	// deterministically aborts and releases its locks.
+	DeadlineMs float64 `json:"deadlineMs,omitempty"`
+	// RetryTimeoutMs and MaxRetries override the submission retry
+	// discipline.
+	RetryTimeoutMs float64 `json:"retryTimeoutMs,omitempty"`
+	MaxRetries     int     `json:"maxRetries,omitempty"`
+}
+
 // ShardsSpec declares a sharded data plane: Count replication groups
 // behind a deterministic consistent-hash ring, plus the clients that
 // drive it. Each shard is one view-synchronous membership group
@@ -159,6 +183,9 @@ type ShardsSpec struct {
 	StorageLatencyUs float64 `json:"storageLatencyUs,omitempty"`
 	// Clients drive the keyed workload.
 	Clients []ShardClientSpec `json:"clients,omitempty"`
+	// Txns drive a cross-shard atomic-transfer workload (two-phase
+	// commit over the shard groups with per-transaction deadlines).
+	Txns []TxnClientSpec `json:"txns,omitempty"`
 }
 
 // Spec is a full scenario.
@@ -203,18 +230,14 @@ func Load(path string) (Spec, error) {
 func Builtin(name string) (Spec, error) {
 	s, ok := builtins[name]
 	if !ok {
-		names := make([]string, 0, len(builtins))
-		for n := range builtins {
-			names = append(names, n)
-		}
-		return Spec{}, fmt.Errorf("scenario: unknown builtin %q (have %v)", name, names)
+		return Spec{}, fmt.Errorf("scenario: unknown builtin %q (have %v)", name, BuiltinNames())
 	}
 	return s.withDefaults()
 }
 
 // BuiltinNames lists the catalogue.
 func BuiltinNames() []string {
-	return []string{"spuri-example", "inversion", "overload", "distributed-pipeline", "membership-churn", "partition-split", "sharded-kv"}
+	return []string{"spuri-example", "inversion", "overload", "distributed-pipeline", "membership-churn", "partition-split", "sharded-kv", "bank-transfer"}
 }
 
 var builtins = map[string]Spec{
@@ -333,6 +356,46 @@ var builtins = map[string]Spec{
 				}},
 		},
 	},
+	// Bank transfer: cross-shard atomic transactions (2PC over the
+	// sharded data plane) under a combined primary crash AND a
+	// partition that segments one shard's serving quorum away from the
+	// clients. Two transaction clients transfer between shared accounts
+	// spread over both shards, every transaction carrying a 30 ms
+	// deadline: transfers that cannot prepare across the fault windows
+	// deterministically abort and release their locks; the rest commit
+	// atomically. The scenario test asserts, across seeds, that
+	// committed transfers are all-or-nothing in both shards'
+	// authoritative histories, aborted ones leave no partial writes,
+	// and no lock outlives its deadline (txn.Verify).
+	"bank-transfer": {
+		Name: "bank-transfer", Nodes: 8, Seed: 1, Costs: "default",
+		Scheduler: "EDF", Policy: "none", HorizonMs: 400,
+		Shards: &ShardsSpec{
+			Count: 2, ReplicasPer: 3, Style: "semi-active",
+			Txns: []TxnClientSpec{
+				{Node: 6, SubmitEveryMs: 3, DeadlineMs: 30,
+					Accounts: []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"}},
+				{Node: 7, SubmitEveryMs: 4, DeadlineMs: 30,
+					Accounts: []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"}},
+			},
+		},
+		Faults: []FaultSpec{
+			// Shard 0's primary crashes and later rejoins.
+			{Kind: "crash", Node: 0, AtMs: 60, RecoverMs: 260},
+			// Shard 1's serving quorum {3,4} is segmented away from the
+			// clients (its primary keeps quorum on the far side, so no
+			// failover rescues client-side traffic): transactions
+			// touching shard 1 can only deadline-abort until the heal.
+			{Kind: "partition", Partition: [][]int{{3, 4}, {0, 1, 2, 5, 6, 7}}, AtMs: 140, HealMs: 240},
+		},
+		Tasks: []TaskSpec{
+			{Name: "watchdog", Law: "periodic", DeadlineMs: 40, PeriodMs: 50,
+				Stages: []StageSpec{
+					{Name: "check", Node: 6, WCETUs: 300},
+				}},
+		},
+	},
+
 	// Membership churn: a passive replicated state machine over a
 	// three-member view-synchronous group, fed by a client on node 3;
 	// the primary crashes mid-run and recovers later, exercising the
@@ -599,6 +662,27 @@ func (s Spec) validateShards() error {
 			return fmt.Errorf("scenario %q: shard client %d has negative retry parameters", s.Name, i)
 		}
 	}
+	for i, tc := range sp.Txns {
+		if tc.Node < 0 || tc.Node >= s.Nodes {
+			return fmt.Errorf("scenario %q: txn client %d on unknown node %d (have %d)", s.Name, i, tc.Node, s.Nodes)
+		}
+		if _, replica := owner[tc.Node]; replica {
+			return fmt.Errorf("scenario %q: txn client %d on node %d collides with a shard replica", s.Name, i, tc.Node)
+		}
+		if clientNodes[tc.Node] {
+			return fmt.Errorf("scenario %q: two clients on node %d", s.Name, tc.Node)
+		}
+		clientNodes[tc.Node] = true
+		if len(tc.Accounts) < 2 {
+			return fmt.Errorf("scenario %q: txn client %d needs at least 2 accounts (got %d)", s.Name, i, len(tc.Accounts))
+		}
+		if tc.SubmitEveryMs <= 0 {
+			return fmt.Errorf("scenario %q: txn client %d needs a positive submitEveryMs", s.Name, i)
+		}
+		if tc.DeadlineMs < 0 || tc.RetryTimeoutMs < 0 || tc.MaxRetries < 0 {
+			return fmt.Errorf("scenario %q: txn client %d has negative timing parameters", s.Name, i)
+		}
+	}
 	return nil
 }
 
@@ -819,6 +903,24 @@ func (s Spec) Build() (*cluster.Cluster, error) {
 				cmd := int64(i + 1)
 				i++
 				c.At(vtime.Time(t), func() { cl.Submit(key, cmd) })
+			}
+		}
+		for _, ts := range sp.Txns {
+			tc := set.TxnClientWith(txn.ClientParams{
+				Node:         ts.Node,
+				Deadline:     msd(ts.DeadlineMs),
+				RetryTimeout: msd(ts.RetryTimeoutMs),
+				MaxRetries:   ts.MaxRetries,
+			})
+			every := msd(ts.SubmitEveryMs)
+			accounts := ts.Accounts
+			i := 0
+			for t := vtime.Duration(0); t < s.Horizon(); t += every {
+				src := accounts[i%len(accounts)]
+				dst := accounts[(i+1)%len(accounts)]
+				amount := int64(i + 1)
+				i++
+				c.At(vtime.Time(t), func() { tc.Transfer(src, dst, amount) })
 			}
 		}
 	}

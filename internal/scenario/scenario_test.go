@@ -696,6 +696,27 @@ func TestShardValidationErrors(t *testing.T) {
 		{"client without interval", func(s *Spec) { s.Shards.Clients[0].SubmitEveryMs = 0 }, "positive submitEveryMs"},
 		{"client unknown policy", func(s *Spec) { s.Shards.Clients[0].Policy = "yolo" }, "unknown policy"},
 		{"shards without network", func(s *Spec) { s.Nodes = 1 }, "need"},
+		{"txn client on replica", func(s *Spec) {
+			s.Shards.Txns = []TxnClientSpec{{Node: 1, Accounts: []string{"a", "b"}, SubmitEveryMs: 2}}
+		}, "collides with a shard replica"},
+		{"txn client off platform", func(s *Spec) {
+			s.Shards.Txns = []TxnClientSpec{{Node: 9, Accounts: []string{"a", "b"}, SubmitEveryMs: 2}}
+		}, "unknown node"},
+		{"txn client colliding with shard client", func(s *Spec) {
+			s.Shards.Txns = []TxnClientSpec{{Node: 6, Accounts: []string{"a", "b"}, SubmitEveryMs: 2}}
+		}, "two clients"},
+		{"txn client one account", func(s *Spec) {
+			s.Shards.Clients = nil
+			s.Shards.Txns = []TxnClientSpec{{Node: 6, Accounts: []string{"a"}, SubmitEveryMs: 2}}
+		}, "at least 2 accounts"},
+		{"txn client without interval", func(s *Spec) {
+			s.Shards.Clients = nil
+			s.Shards.Txns = []TxnClientSpec{{Node: 6, Accounts: []string{"a", "b"}}}
+		}, "positive submitEveryMs"},
+		{"txn client negative deadline", func(s *Spec) {
+			s.Shards.Clients = nil
+			s.Shards.Txns = []TxnClientSpec{{Node: 6, Accounts: []string{"a", "b"}, SubmitEveryMs: 2, DeadlineMs: -5}}
+		}, "negative timing"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -791,6 +812,68 @@ func TestShardedKVDeterministic(t *testing.T) {
 	}
 	if h1 != h2 {
 		t.Fatalf("same spec+seed, different ack histories:\n%s\n%s", h1, h2)
+	}
+}
+
+// TestBankTransferAtomicAcrossSeeds is the acceptance gate of the
+// transaction layer: under a combined primary crash (shard 0) and a
+// quorum-segmenting partition (shard 1), across 5 seeds, every
+// committed transfer is all-or-nothing across both shards'
+// authoritative histories, every aborted transfer leaves no partial
+// write, no lock outlives its transaction's deadline — and the fault
+// windows visibly exercised the deadline discipline (both clients
+// commit AND abort work, locks drain, both shards coordinate and
+// prepare).
+func TestBankTransferAtomicAcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			spec, err := Builtin("bank-transfer")
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec.Seed = seed
+			clu, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			clu.Run(spec.Horizon())
+			// Submissions stop at the horizon; drain one deadline span
+			// so the final in-flight transactions decide and release.
+			res := clu.Run(60 * vtime.Millisecond)
+
+			set := clu.ShardSets()[0]
+			if err := set.CheckTxns(); err != nil {
+				t.Fatalf("atomicity/isolation check: %v", err)
+			}
+			plane := set.TxnPlane()
+			deadlineAborts := 0
+			for _, cl := range plane.Clients() {
+				if cl.Stats.Committed == 0 {
+					t.Fatalf("client n%d committed nothing: %+v", cl.Node(), cl.Stats)
+				}
+				if cl.Stats.Aborted == 0 {
+					t.Fatalf("client n%d aborted nothing across the fault windows: %+v", cl.Node(), cl.Stats)
+				}
+				deadlineAborts += cl.Stats.DeadlineAborts
+			}
+			if deadlineAborts == 0 {
+				t.Fatal("no deadline aborts — the fault windows never forced the deadline discipline")
+			}
+			for _, name := range []string{"shard0", "shard1"} {
+				sr, ok := res.Shard(name)
+				if !ok || sr.Txn.Prepares == 0 {
+					t.Fatalf("shard %s prepared nothing: %+v", name, sr.Txn)
+				}
+				if sr.Txn.Begins == 0 {
+					t.Fatalf("shard %s coordinated nothing (ring placement degenerate): %+v", name, sr.Txn)
+				}
+			}
+			for _, pa := range plane.Participants() {
+				if pa.LockedKeys() != 0 {
+					t.Fatalf("shard %d still holds %d locks at end of run", pa.Shard(), pa.LockedKeys())
+				}
+			}
+		})
 	}
 }
 

@@ -116,6 +116,10 @@ type Group struct {
 
 	pending map[uint64]*pendingReq
 	logs    map[int][]Applied
+	// kv is each replica's keyed view: the last applied write's command
+	// per key, derived from the apply log (the transaction layer reads
+	// it at prepare time).
+	kv map[int]map[string]int64
 	// holed marks replicas whose apply log has a hole: they were down,
 	// or excluded from an agreed view while alive (a partition-isolated
 	// replica misses the majority's applies, and the merge state
@@ -158,6 +162,7 @@ func NewGroup(eng *simkern.Engine, net *netsim.Network, mem *membership.Service,
 		nodes:    append([]int(nil), cfg.Replication.Replicas...),
 		pending:  make(map[uint64]*pendingReq),
 		logs:     make(map[int][]Applied),
+		kv:       make(map[int]map[string]int64),
 		holed:    make(map[int]bool),
 	}
 	rep, err := replication.NewGroup(eng, net, mem, cfg.Replication, g.finish)
@@ -165,7 +170,7 @@ func NewGroup(eng *simkern.Engine, net *netsim.Network, mem *membership.Service,
 		return nil, err
 	}
 	g.rep = rep
-	rep.OnApply = g.recordApply
+	rep.OnApplyHook(g.recordApply)
 	for _, n := range g.nodes {
 		node := n
 		net.Bind(node, g.ReqPort(), func(m *netsim.Message) { g.handleRequest(node, m) })
@@ -274,6 +279,46 @@ func (g *Group) recordApply(node int, reqID uint64, result int64) {
 		Result: result,
 		At:     g.eng.Now(),
 	})
+	view := g.kv[node]
+	if view == nil {
+		view = make(map[string]int64)
+		g.kv[node] = view
+	}
+	view[pr.env.Key] = pr.env.Cmd
+}
+
+// KeyValue returns node's view of the last applied write command on
+// key (false if the key was never written there). The transaction
+// layer serves reads from the primary's view under the key's lock.
+func (g *Group) KeyValue(node int, key string) (int64, bool) {
+	v, ok := g.kv[node][key]
+	return v, ok
+}
+
+// TxnTagSpace offsets transaction-write dedup tags away from the data
+// plane clients' tag space, so a transaction client and a request
+// client never collide in the replicated dedup table.
+const TxnTagSpace = uint64(1) << 32
+
+// TxnTag builds the dedup tag of one transactional write.
+func TxnTag(client int, seq uint64) replication.ClientSeq {
+	return replication.ClientSeq{Client: TxnTagSpace | (uint64(client) + 1), Seq: seq}
+}
+
+// SubmitKeyed routes one keyed command into the shard's replicated
+// machine on behalf of the transaction layer: submitted at the current
+// primary, deduplicated under the transaction tag space, and recorded
+// in the per-replica apply logs under the owning client's identity —
+// the same histories Verify and txn.Verify audit. It returns the
+// replication request id so the caller can observe the apply.
+func (g *Group) SubmitKeyed(key string, cmd int64, client int, seq uint64) uint64 {
+	id := g.rep.SubmitTagged(g.rep.Primary(), cmd, TxnTag(client, seq))
+	g.pending[id] = &pendingReq{
+		env:       reqEnv{Key: key, Cmd: cmd, Client: client, Seq: seq},
+		from:      -1,
+		responded: true, // the transaction layer answers its own client
+	}
+	return id
 }
 
 // finish is the replication reply hook: the primary's (authoritative)

@@ -1,0 +1,432 @@
+package txn
+
+import (
+	"fmt"
+
+	"hades/internal/eventq"
+	"hades/internal/membership"
+	"hades/internal/monitor"
+	"hades/internal/netsim"
+	"hades/internal/shard"
+	"hades/internal/vtime"
+)
+
+// Default client parameters: the retry timeout and budget mirror the
+// data-plane client's calibration; the default deadline comfortably
+// covers one fault-free two-phase commit round (two coordinator hops
+// plus the prepare/vote/decision round trips) with slack for one
+// crash-failover window.
+const (
+	DefaultRetryTimeout = 5 * vtime.Millisecond
+	DefaultMaxRetries   = 8
+	DefaultDeadline     = 30 * vtime.Millisecond
+)
+
+// ClientParams parameterises one transaction client.
+type ClientParams struct {
+	// Node is the client's processor (one transaction client per node
+	// and per data plane; it may not share a node with a request client
+	// — the cluster layer enforces it).
+	Node int
+	// RetryTimeout is the per-attempt reply timeout (0 selects the
+	// default).
+	RetryTimeout vtime.Duration
+	// MaxRetries bounds consecutive timeouts before a submission parks
+	// (0 selects the default).
+	MaxRetries int
+	// Deadline is the default relative transaction deadline used by
+	// Begin (0 selects DefaultDeadline).
+	Deadline vtime.Duration
+}
+
+// ClientStats counts one transaction client's outcomes.
+type ClientStats struct {
+	Begun     int
+	Committed int
+	Aborted   int
+	// DeadlineAborts counts aborts caused by the deadline discipline —
+	// a structured cause carried end-to-end from wherever it fired
+	// (client queue, coordinator timer, participant lock wait).
+	DeadlineAborts int
+	Redirects      int
+	Timeouts       int
+	Retries        int
+	Blocked        int
+	Queued         int
+	Resubmitted    int
+	SumLatency     vtime.Duration
+	MaxLatency     vtime.Duration
+}
+
+// AvgLatency returns the mean commit-call-to-outcome latency over
+// decided transactions.
+func (s ClientStats) AvgLatency() vtime.Duration {
+	decided := s.Committed + s.Aborted
+	if decided == 0 {
+		return 0
+	}
+	return s.SumLatency / vtime.Duration(decided)
+}
+
+// Record is one decided transaction, kept for Verify.
+type Record struct {
+	ID        ID
+	Ops       []Op
+	Deadline  vtime.Time
+	Status    Status
+	Reason    string
+	Reads     map[string]int64
+	DecidedAt vtime.Time
+}
+
+// Txn is one transaction under construction or in flight. Build it
+// with Read/Write, submit it with Commit; the outcome lands in the
+// client's Done records (and OnDone, when set).
+type Txn struct {
+	id       ID
+	deadline vtime.Time
+	ops      []Op
+	status   Status
+	reason   string
+	reads    map[string]int64
+
+	committedCall bool
+	submittedAt   vtime.Time
+	attempt       int
+	retries       int
+	parked        bool
+	target        int
+	coordShard    int
+
+	// OnDone, when set, observes the decided transaction.
+	OnDone func(Record)
+}
+
+// ID returns the transaction's identity.
+func (t *Txn) ID() ID { return t.id }
+
+// Status returns the transaction's current lifecycle state.
+func (t *Txn) Status() Status { return t.status }
+
+// Reason returns the abort reason (empty for commits).
+func (t *Txn) Reason() string { return t.reason }
+
+// Deadline returns the transaction's absolute virtual-time deadline.
+func (t *Txn) Deadline() vtime.Time { return t.deadline }
+
+// Read batches one keyed read; the value (the key's last committed
+// write, 0 if none) is delivered with the commit outcome.
+func (t *Txn) Read(key string) {
+	if t.committedCall {
+		panic("txn: Read after Commit")
+	}
+	t.ops = append(t.ops, Op{Kind: OpRead, Key: key})
+}
+
+// Client is the transaction session layer on one node: Begin/Read/
+// Write/Commit batch keyed operations into deadline-carrying
+// transactions submitted to the ring-chosen coordinator, with the
+// data-plane retry discipline (timeout/retry, redirects, stale-view
+// handling, park-and-resubmit after merge views) on the submission.
+type Client struct {
+	p *Plane
+	c ClientParams
+
+	nextTxn uint64
+	nextSeq uint64
+
+	queue    []*Txn // commit FIFO: one transaction in flight at a time
+	inflight *Txn
+
+	// Stats counts outcomes; Done records decided transactions for
+	// Verify.
+	Stats ClientStats
+	Done  []Record
+}
+
+// NewClient builds a transaction client on params.Node and wires its
+// reactive paths: coordinator responses, router republications
+// (in-flight submissions redirect) and the resubmission triggers for
+// parked submissions (any new agreed view, partition heals).
+func NewClient(p *Plane, params ClientParams) *Client {
+	if params.RetryTimeout <= 0 {
+		params.RetryTimeout = DefaultRetryTimeout
+	}
+	if params.MaxRetries <= 0 {
+		params.MaxRetries = DefaultMaxRetries
+	}
+	if params.Deadline <= 0 {
+		params.Deadline = DefaultDeadline
+	}
+	c := &Client{p: p, c: params}
+	p.bind(params.Node, p.respPort(), c.handleResp)
+	p.router.OnRepublish(c.redirectInflight)
+	for _, g := range p.router.Groups() {
+		g.Membership().OnChange(func(membership.View) { c.flushParked("view") })
+	}
+	p.net.OnPartitionChange(func(partitioned bool) {
+		if !partitioned {
+			c.flushParked("heal")
+		}
+	})
+	p.clients = append(p.clients, c)
+	return c
+}
+
+// Node returns the client's processor.
+func (c *Client) Node() int { return c.c.Node }
+
+// Params returns the client's effective parameters.
+func (c *Client) Params() ClientParams { return c.c }
+
+// Begin opens a transaction with the client's default relative
+// deadline.
+func (c *Client) Begin() *Txn { return c.BeginWithDeadline(c.c.Deadline) }
+
+// BeginWithDeadline opens a transaction whose deadline is d from now:
+// if it has not committed by then, it deterministically aborts — locks
+// are never held past it.
+func (c *Client) BeginWithDeadline(d vtime.Duration) *Txn {
+	c.nextTxn++
+	c.Stats.Begun++
+	return &Txn{
+		id:       ID{Client: c.c.Node, Num: c.nextTxn},
+		deadline: c.p.eng.Now().Add(d),
+		status:   StatusPending,
+	}
+}
+
+// Write batches one keyed write into the transaction, assigning its
+// client-wide sequence number (its identity in the shard histories).
+func (c *Client) Write(t *Txn, key string, cmd int64) {
+	if t.committedCall {
+		panic("txn: Write after Commit")
+	}
+	c.nextSeq++
+	t.ops = append(t.ops, Op{Kind: OpWrite, Key: key, Cmd: cmd, Seq: c.nextSeq})
+}
+
+// Commit submits the transaction. Commits are a per-client session
+// (FIFO): a later transaction waits for the earlier one's outcome, so
+// one client's writes reach each key in sequence order. The outcome
+// lands in Done (and t.OnDone).
+func (c *Client) Commit(t *Txn) {
+	if t.committedCall {
+		panic("txn: Commit called twice")
+	}
+	if len(t.ops) == 0 {
+		panic("txn: Commit of an empty transaction")
+	}
+	t.committedCall = true
+	t.submittedAt = c.p.eng.Now()
+	for i := range t.ops {
+		t.ops[i].Shard = c.p.router.ShardFor(t.ops[i].Key)
+	}
+	t.coordShard = c.p.coordShard(t.id)
+	c.queue = append(c.queue, t)
+	// Deadline-aware admission at the client: a transaction still
+	// queued behind the session when its deadline passes aborts without
+	// ever acquiring a lock.
+	c.p.eng.At(t.deadline, eventq.ClassApp, func() {
+		if t.status == StatusPending && c.inflight != t {
+			c.removeQueued(t)
+			c.finish(t, false, "deadline passed in client queue", true, nil)
+		}
+	})
+	c.pump()
+}
+
+// pump dispatches the next queued transaction when none is in flight.
+func (c *Client) pump() {
+	if c.inflight != nil || len(c.queue) == 0 {
+		return
+	}
+	t := c.queue[0]
+	c.queue = c.queue[1:]
+	c.inflight = t
+	c.dispatch(t)
+}
+
+// removeQueued drops one transaction from the commit queue.
+func (c *Client) removeQueued(t *Txn) {
+	q := c.queue[:0]
+	for _, x := range c.queue {
+		if x != t {
+			q = append(q, x)
+		}
+	}
+	c.queue = q
+}
+
+// dispatch sends (or resends) one submission attempt at the
+// coordinator group's current primary and arms the reply timeout.
+func (c *Client) dispatch(t *Txn) {
+	t.parked = false
+	t.attempt++
+	g := c.p.router.Groups()[t.coordShard]
+	t.target = g.Replication().Primary()
+	env := beginEnv{ID: t.id, Ops: t.ops, Deadline: t.deadline, Client: c.c.Node, Attempt: t.attempt}
+	c.p.send(c.c.Node, t.target, c.p.coordPort(), env, 64)
+	attempt := t.attempt
+	c.p.eng.After(c.c.RetryTimeout, eventq.ClassApp, func() {
+		if t.status != StatusPending || t.attempt != attempt || t.parked {
+			return
+		}
+		c.Stats.Timeouts++
+		c.onFailure(t, "timeout")
+	})
+}
+
+// onFailure handles one failed attempt: retry while budget remains,
+// then park until a view install or heal resubmits (the queue policy —
+// a transaction submission is never abandoned; the coordinator's
+// deadline discipline decides it, and the outcome query is idempotent).
+func (c *Client) onFailure(t *Txn, why string) {
+	t.retries++
+	if t.retries <= c.c.MaxRetries {
+		c.Stats.Retries++
+		if log := c.p.eng.Log(); log != nil {
+			log.Recordf(c.p.eng.Now(), monitor.KindRetry, c.c.Node, t.id.String(), "%s retry %d/%d", why, t.retries, c.c.MaxRetries)
+		}
+		c.dispatch(t)
+		return
+	}
+	t.parked = true
+	t.attempt++
+	c.Stats.Queued++
+	if log := c.p.eng.Log(); log != nil {
+		log.Recordf(c.p.eng.Now(), monitor.KindRetry, c.c.Node, t.id.String(), "%s: parked after %d retries", why, t.retries)
+	}
+	attempt := t.attempt
+	c.p.eng.After(5*c.c.RetryTimeout, eventq.ClassApp, func() {
+		if t.status == StatusPending && t.parked && t.attempt == attempt {
+			c.resubmit(t, "backoff")
+		}
+	})
+}
+
+// resubmit re-dispatches one parked submission with a fresh budget.
+func (c *Client) resubmit(t *Txn, why string) {
+	c.Stats.Resubmitted++
+	t.retries = 0
+	if log := c.p.eng.Log(); log != nil {
+		log.Recordf(c.p.eng.Now(), monitor.KindResubmit, c.c.Node, t.id.String(), "after %s", why)
+	}
+	c.dispatch(t)
+}
+
+// flushParked resubmits a parked in-flight submission — fired on any
+// new agreed view and on partition heals.
+func (c *Client) flushParked(why string) {
+	if t := c.inflight; t != nil && t.parked && t.status == StatusPending {
+		c.resubmit(t, why)
+	}
+}
+
+// redirectInflight re-resolves the in-flight submission when its
+// coordinator shard republishes ownership.
+func (c *Client) redirectInflight(g *shard.Group) {
+	t := c.inflight
+	if t == nil || t.status != StatusPending || t.parked || t.coordShard != g.Index() {
+		return
+	}
+	if p := g.Replication().Primary(); p != t.target {
+		c.Stats.Redirects++
+		if log := c.p.eng.Log(); log != nil {
+			log.Recordf(c.p.eng.Now(), monitor.KindRedirect, c.c.Node, t.id.String(), "republish: n%d -> n%d", t.target, p)
+		}
+		c.dispatch(t)
+	}
+}
+
+// handleResp consumes one coordinator response.
+func (c *Client) handleResp(m *netsim.Message) {
+	env, ok := m.Payload.(outcomeEnv)
+	if !ok {
+		return
+	}
+	t := c.inflight
+	if t == nil || t.id != env.ID || t.status != StatusPending {
+		return // a late duplicate of a decided transaction
+	}
+	switch env.Kind {
+	case respOutcome:
+		c.finish(t, env.Committed, env.Reason, env.Deadline, env.Reads)
+	case respRedirect:
+		if env.Attempt != t.attempt || t.parked {
+			return // a superseded attempt's verdict
+		}
+		c.Stats.Redirects++
+		if log := c.p.eng.Log(); log != nil {
+			log.Recordf(c.p.eng.Now(), monitor.KindRedirect, c.c.Node, t.id.String(), "server: n%d -> n%d", t.target, env.Primary)
+		}
+		c.dispatch(t)
+	case respBlocked:
+		if env.Attempt != t.attempt || t.parked {
+			return
+		}
+		c.Stats.Blocked++
+		c.onFailure(t, "blocked")
+	}
+}
+
+// finish records one decided transaction and hands the session to the
+// next queued one. byDeadline is the structured abort cause carried
+// end-to-end from wherever the deadline discipline fired.
+func (c *Client) finish(t *Txn, committed bool, reason string, byDeadline bool, reads map[string]int64) {
+	if t.status != StatusPending {
+		return
+	}
+	if committed {
+		t.status = StatusCommitted
+		c.Stats.Committed++
+	} else {
+		t.status = StatusAborted
+		c.Stats.Aborted++
+		if byDeadline {
+			c.Stats.DeadlineAborts++
+		}
+	}
+	t.reason = reason
+	t.reads = reads
+	now := c.p.eng.Now()
+	lat := now.Sub(t.submittedAt)
+	c.Stats.SumLatency += lat
+	if lat > c.Stats.MaxLatency {
+		c.Stats.MaxLatency = lat
+	}
+	rec := Record{
+		ID:        t.id,
+		Ops:       append([]Op(nil), t.ops...),
+		Deadline:  t.deadline,
+		Status:    t.status,
+		Reason:    reason,
+		Reads:     reads,
+		DecidedAt: now,
+	}
+	c.Done = append(c.Done, rec)
+	if t.OnDone != nil {
+		t.OnDone(rec)
+	}
+	if c.inflight == t {
+		c.inflight = nil
+	}
+	c.pump()
+}
+
+// Transfer is the canonical two-key transaction: read both accounts,
+// debit from, credit to. It returns the submitted transaction.
+func (c *Client) Transfer(from, to string, amount int64) *Txn {
+	t := c.Begin()
+	t.Read(from)
+	t.Read(to)
+	c.Write(t, from, -amount)
+	c.Write(t, to, amount)
+	c.Commit(t)
+	return t
+}
+
+// String renders the client for debugging.
+func (c *Client) String() string {
+	return fmt.Sprintf("txn.Client{n%d begun=%d committed=%d aborted=%d}", c.c.Node, c.Stats.Begun, c.Stats.Committed, c.Stats.Aborted)
+}

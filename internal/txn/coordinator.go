@@ -1,0 +1,481 @@
+package txn
+
+import (
+	"fmt"
+	"sort"
+
+	"hades/internal/eventq"
+	"hades/internal/monitor"
+	"hades/internal/netsim"
+	"hades/internal/replication"
+	"hades/internal/shard"
+	"hades/internal/vtime"
+)
+
+// prepareTimeout and prepareRetries bound one PREPARE/decision send
+// before the queue policy parks it: the timeout covers a request round
+// trip, the budget one uncontended view change — the same calibration
+// the data-plane client uses.
+const (
+	prepareTimeout = 5 * vtime.Millisecond
+	prepareRetries = 8
+)
+
+// decisionTagSpace offsets the coordinator's decision-log dedup tags
+// away from both the data-plane clients and the transaction writes.
+const decisionTagSpace = uint64(1) << 33
+
+// CoordStats counts one coordinator shard's outcomes.
+type CoordStats struct {
+	// Begins counts transaction submissions accepted (first receipt).
+	Begins int
+	// Redirects and Blocked count submissions bounced to the current
+	// primary and stale-view rejections.
+	Redirects int
+	Blocked   int
+	// Commits and Aborts count decisions; DeadlineAborts the subset
+	// aborted because the deadline passed undecided.
+	Commits        int
+	Aborts         int
+	DeadlineAborts int
+	// Queries counts participant decision-resolution requests served.
+	Queries int
+}
+
+// partState tracks one participant shard through a transaction.
+type partState struct {
+	shard    int
+	ops      []Op
+	voted    bool
+	yes      bool
+	reason   string
+	acked    bool
+	prepared bool // prepare loop started
+}
+
+// coordTxn is one transaction's coordinator-side state. Like the shard
+// layer's pending table it lives on the (conceptually replicated) role
+// object shared by the group's replicas; the decision itself is
+// additionally logged through the replicated machine.
+type coordTxn struct {
+	id       ID
+	ops      []Op
+	deadline vtime.Time
+	client   int
+	attempt  int
+	parts    []*partState // ascending shard order (deterministic sends)
+	reads    map[string]int64
+
+	decided     bool
+	commit      bool
+	reason      string
+	byDeadline  bool
+	distributed bool
+	decidedAt   vtime.Time
+}
+
+// part returns the participant state of one shard index.
+func (ct *coordTxn) part(idx int) *partState {
+	for _, ps := range ct.parts {
+		if ps.shard == idx {
+			return ps
+		}
+	}
+	return nil
+}
+
+// decisionRec maps one replicated decision-log apply back to its
+// transaction (the apply stream carries only request ids).
+type decisionRec struct {
+	id     ID
+	commit bool
+}
+
+// Coordinator is the transaction-coordinator role of one shard group:
+// it accepts client submissions for transactions hashed onto its
+// shard, drives PREPARE/COMMIT/ABORT, and logs every decision through
+// the group's replicated machine before distributing it.
+type Coordinator struct {
+	p     *Plane
+	g     *shard.Group
+	shard int
+
+	pending map[ID]*coordTxn
+	// decided mirrors the replicated decision log at every replica:
+	// node → transaction → commit. Maintained from the apply stream
+	// (so it survives primary failover — followers applied the same
+	// decision entries) and shipped to rejoining replicas through the
+	// membership state transfer.
+	decided map[int]map[ID]bool
+	// pendingDecision resolves decision-log applies (request ids) back
+	// to transactions.
+	pendingDecision map[uint64]decisionRec
+
+	// Stats counts outcomes for the harness.
+	Stats CoordStats
+}
+
+// newCoordinator builds the coordinator role of one shard group and
+// binds its port on every replica.
+func newCoordinator(p *Plane, g *shard.Group, idx int) *Coordinator {
+	c := &Coordinator{
+		p:               p,
+		g:               g,
+		shard:           idx,
+		pending:         make(map[ID]*coordTxn),
+		decided:         make(map[int]map[ID]bool),
+		pendingDecision: make(map[uint64]decisionRec),
+	}
+	for _, n := range g.Nodes() {
+		node := n
+		p.bind(node, p.coordPort(), func(m *netsim.Message) { c.handle(node, m) })
+	}
+	g.Replication().OnApplyHook(c.onApply)
+	// A rejoining replica missed the decision entries applied while it
+	// was away; the join/merge state transfer ships the mirror with the
+	// rest of the group state.
+	g.Membership().RegisterState("txn."+g.Name(), c.snapshotDecided, c.restoreDecided)
+	return c
+}
+
+// Shard returns the coordinator's shard index.
+func (c *Coordinator) Shard() int { return c.shard }
+
+// Group returns the underlying shard group.
+func (c *Coordinator) Group() *shard.Group { return c.g }
+
+// snapshotDecided and restoreDecided move the decision mirror with the
+// membership state-transfer path (donor's view → joiner).
+func (c *Coordinator) snapshotDecided(donor, joiner int) any {
+	if c.decided[joiner] == nil && c.g.Replication().Machine(joiner) == nil {
+		return nil
+	}
+	src := c.g.Replication().Primary()
+	if c.p.net.NodeDown(src) {
+		src = donor
+	}
+	return copyDecided(c.decided[src])
+}
+
+func (c *Coordinator) restoreDecided(node int, data any) {
+	d, ok := data.(map[ID]bool)
+	if !ok || d == nil {
+		return
+	}
+	c.decided[node] = copyDecided(d)
+}
+
+func copyDecided(in map[ID]bool) map[ID]bool {
+	out := make(map[ID]bool, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// handle dispatches one protocol message arriving at replica node.
+func (c *Coordinator) handle(node int, m *netsim.Message) {
+	if c.p.net.NodeDown(node) {
+		return
+	}
+	switch env := m.Payload.(type) {
+	case beginEnv:
+		c.handleBegin(node, m.From, env)
+	case voteEnv:
+		c.handleVote(node, env)
+	case ackEnv:
+		c.handleAck(env)
+	case queryEnv:
+		c.handleQuery(node, m.From, env)
+	}
+}
+
+// handleBegin serves one client submission (or retry) at replica node.
+func (c *Coordinator) handleBegin(node, from int, env beginEnv) {
+	if !c.g.Membership().HasQuorum(node) {
+		c.Stats.Blocked++
+		c.p.send(node, from, c.p.respPort(), outcomeEnv{ID: env.ID, Attempt: env.Attempt, Kind: respBlocked}, 32)
+		return
+	}
+	if p := c.g.Replication().Primary(); node != p {
+		c.Stats.Redirects++
+		c.p.send(node, from, c.p.respPort(), outcomeEnv{ID: env.ID, Attempt: env.Attempt, Kind: respRedirect, Primary: p}, 32)
+		return
+	}
+	ct := c.pending[env.ID]
+	if ct == nil {
+		ct = c.admit(env)
+	} else {
+		ct.client, ct.attempt = env.Client, env.Attempt
+	}
+	// Reply only once the decision has both applied in the replicated
+	// log (distributed is set by the apply stream — log-then-send) and,
+	// for commits, been acknowledged by every participant. A retry
+	// landing in the submit-to-apply window gets no answer and retries.
+	if ct.decided && ct.distributed && ct.replyable() {
+		c.reply(node, ct)
+	}
+}
+
+// replyable reports whether the outcome may be released to the client:
+// aborts immediately, commits only once every participant acknowledged
+// its writes applied — so a client-visible commit implies the writes
+// are in all owning shards' histories, the invariant Verify audits.
+func (ct *coordTxn) replyable() bool {
+	if !ct.commit {
+		return true
+	}
+	for _, ps := range ct.parts {
+		if !ps.acked {
+			return false
+		}
+	}
+	return true
+}
+
+// admit registers one fresh transaction and starts its two-phase
+// commit — or aborts it immediately when its deadline already passed
+// (deadline-aware admission: locks are never acquired for a
+// transaction that cannot commit in time).
+func (c *Coordinator) admit(env beginEnv) *coordTxn {
+	ct := &coordTxn{
+		id:       env.ID,
+		ops:      env.Ops,
+		deadline: env.Deadline,
+		client:   env.Client,
+		attempt:  env.Attempt,
+		reads:    make(map[string]int64),
+	}
+	byShard := make(map[int]*partState)
+	for _, op := range env.Ops {
+		ps := byShard[op.Shard]
+		if ps == nil {
+			ps = &partState{shard: op.Shard}
+			byShard[op.Shard] = ps
+			ct.parts = append(ct.parts, ps)
+		}
+		ps.ops = append(ps.ops, op)
+	}
+	sort.Slice(ct.parts, func(i, j int) bool { return ct.parts[i].shard < ct.parts[j].shard })
+	c.pending[env.ID] = ct
+	c.Stats.Begins++
+	now := c.p.eng.Now()
+	if !now.Before(ct.deadline) {
+		c.abortByDeadline(ct, "deadline passed before prepare")
+		return ct
+	}
+	for _, ps := range ct.parts {
+		c.sendPrepare(ct, ps)
+	}
+	c.p.eng.At(ct.deadline, eventq.ClassApp, func() {
+		if !ct.decided {
+			c.abortByDeadline(ct, "deadline: votes incomplete")
+		}
+	})
+	return ct
+}
+
+// sendPrepare starts the retrying PREPARE loop towards one participant
+// shard's current primary.
+func (c *Coordinator) sendPrepare(ct *coordTxn, ps *partState) {
+	if ps.prepared {
+		return
+	}
+	ps.prepared = true
+	env := prepareEnv{ID: ct.id, Shard: ps.shard, Ops: ps.ops, Deadline: ct.deadline, Coord: c.shard}
+	c.p.newLoop(fmt.Sprintf("prep.%s.s%d", ct.id, ps.shard), prepareTimeout, prepareRetries,
+		func() {
+			from := c.g.Replication().Primary()
+			to := c.p.router.Groups()[ps.shard].Replication().Primary()
+			if log := c.p.eng.Log(); log != nil {
+				log.Recordf(c.p.eng.Now(), monitor.KindPrepare, from, ct.id.String(), "-> shard %d (n%d)", ps.shard, to)
+			}
+			c.p.send(from, to, c.p.partPort(), env, 48)
+		},
+		func() bool { return ps.voted || ct.decided })
+}
+
+// handleVote records one participant vote.
+func (c *Coordinator) handleVote(node int, env voteEnv) {
+	ct := c.pending[env.ID]
+	if ct == nil || ct.decided {
+		return
+	}
+	ps := ct.part(env.Shard)
+	if ps == nil || ps.voted {
+		return
+	}
+	ps.voted, ps.yes, ps.reason = true, env.Yes, env.Reason
+	for k, v := range env.Reads {
+		ct.reads[k] = v
+	}
+	if !env.Yes {
+		ct.byDeadline = env.Deadline
+		c.decide(ct, false, fmt.Sprintf("shard %d voted no: %s", env.Shard, env.Reason))
+		return
+	}
+	for _, p := range ct.parts {
+		if !p.voted || !p.yes {
+			return
+		}
+	}
+	if c.p.eng.Now().Before(ct.deadline) {
+		c.decide(ct, true, "")
+	} else {
+		c.abortByDeadline(ct, "deadline: unanimous vote arrived late")
+	}
+}
+
+// abortByDeadline is decide(false) with the structured deadline cause.
+func (c *Coordinator) abortByDeadline(ct *coordTxn, reason string) {
+	if !ct.decided {
+		ct.byDeadline = true
+	}
+	c.decide(ct, false, reason)
+}
+
+// decide fixes the transaction's outcome exactly once: the decision is
+// logged through the group's replicated machine (SubmitTagged — the
+// dedup tag makes it idempotent, checkpoints and state transfers carry
+// the table) and distributed only after the log entry applies locally.
+func (c *Coordinator) decide(ct *coordTxn, commit bool, reason string) {
+	if ct.decided {
+		return
+	}
+	ct.decided, ct.commit, ct.reason = true, commit, reason
+	ct.decidedAt = c.p.eng.Now()
+	if commit {
+		c.Stats.Commits++
+	} else {
+		c.Stats.Aborts++
+		if ct.byDeadline {
+			c.Stats.DeadlineAborts++
+		}
+	}
+	if log := c.p.eng.Log(); log != nil {
+		verdict := "abort"
+		if commit {
+			verdict = "commit"
+		}
+		log.Recordf(ct.decidedAt, monitor.KindDecide, c.g.Replication().Primary(), ct.id.String(), "%s %s", verdict, reason)
+	}
+	cmd := int64(ct.id.Num) * 2
+	if commit {
+		cmd++
+	}
+	tag := replication.ClientSeq{Client: decisionTagSpace | (uint64(ct.id.Client) + 1), Seq: ct.id.Num}
+	reqID := c.g.Replication().SubmitTagged(c.g.Replication().Primary(), cmd, tag)
+	c.pendingDecision[reqID] = decisionRec{id: ct.id, commit: commit}
+}
+
+// onApply mirrors decision-log applies at every replica and, on the
+// first apply anywhere, distributes the decision (log-then-send: the
+// decision is in the replicated lineage before any participant acts).
+func (c *Coordinator) onApply(node int, reqID uint64, _ int64) {
+	rec, ok := c.pendingDecision[reqID]
+	if !ok {
+		return
+	}
+	d := c.decided[node]
+	if d == nil {
+		d = make(map[ID]bool)
+		c.decided[node] = d
+	}
+	d[rec.id] = rec.commit
+	ct := c.pending[rec.id]
+	if ct != nil && ct.decided && !ct.distributed {
+		c.distribute(ct)
+		if ct.replyable() {
+			c.reply(c.g.Replication().Primary(), ct)
+		}
+	}
+}
+
+// distribute starts (once) the retrying decision sends towards every
+// participant and, for aborts, towards any shard that never voted.
+func (c *Coordinator) distribute(ct *coordTxn) {
+	if ct.distributed {
+		return
+	}
+	ct.distributed = true
+	env := decisionEnv{ID: ct.id, Commit: ct.commit}
+	for _, ps := range ct.parts {
+		p := ps
+		c.p.newLoop(fmt.Sprintf("dec.%s.s%d", ct.id, p.shard), prepareTimeout, prepareRetries,
+			func() {
+				from := c.g.Replication().Primary()
+				to := c.p.router.Groups()[p.shard].Replication().Primary()
+				c.p.send(from, to, c.p.partPort(), env, 24)
+			},
+			func() bool { return p.acked })
+	}
+}
+
+// reply answers the transaction's client from the decided state.
+func (c *Coordinator) reply(from int, ct *coordTxn) {
+	env := outcomeEnv{
+		ID:        ct.id,
+		Attempt:   ct.attempt,
+		Kind:      respOutcome,
+		Committed: ct.commit,
+		Reason:    ct.reason,
+		Deadline:  ct.byDeadline,
+		Reads:     copyReads(ct.reads),
+	}
+	c.p.send(from, ct.client, c.p.respPort(), env, 40)
+}
+
+// handleAck retires one participant's decision loop. Commit acks also
+// complete the client reply path: the coordinator re-answers the
+// client once every participant acknowledged (so a committed outcome
+// implies the writes are applied in the owning histories).
+func (c *Coordinator) handleAck(env ackEnv) {
+	ct := c.pending[env.ID]
+	if ct == nil {
+		return
+	}
+	ps := ct.part(env.Shard)
+	if ps == nil || ps.acked {
+		return
+	}
+	ps.acked = true
+	for _, p := range ct.parts {
+		if !p.acked {
+			return
+		}
+	}
+	c.reply(c.g.Replication().Primary(), ct)
+}
+
+// handleQuery serves a participant's decision-resolution request: the
+// decided verdict if one exists anywhere in this replica's mirror (or
+// the shared pending table), a presumed abort if the deadline passed
+// undecided — never an answer before the deadline.
+func (c *Coordinator) handleQuery(node, from int, env queryEnv) {
+	c.Stats.Queries++
+	if commit, ok := c.decided[node][env.ID]; ok {
+		c.p.send(node, from, c.p.partPort(), decisionEnv{ID: env.ID, Commit: commit}, 24)
+		return
+	}
+	ct := c.pending[env.ID]
+	if ct != nil {
+		if ct.decided {
+			if ct.distributed {
+				// Applied in the replicated log (log-then-send); the
+				// submit-to-apply window answers nothing — the query
+				// loop retries.
+				c.p.send(node, from, c.p.partPort(), decisionEnv{ID: env.ID, Commit: ct.commit}, 24)
+			}
+			return
+		}
+		if !c.p.eng.Now().Before(ct.deadline) {
+			c.decide(ct, false, "deadline: resolved by participant query")
+		}
+		return
+	}
+	// Unknown transaction past its deadline: presumed abort (the
+	// decision log holds no commit, so no participant applied).
+	if !c.p.eng.Now().Before(env.Deadline) {
+		c.p.send(node, from, c.p.partPort(), decisionEnv{ID: env.ID, Commit: false}, 24)
+	}
+}

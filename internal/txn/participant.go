@@ -1,0 +1,440 @@
+package txn
+
+import (
+	"fmt"
+
+	"hades/internal/eventq"
+	"hades/internal/monitor"
+	"hades/internal/netsim"
+	"hades/internal/shard"
+	"hades/internal/vtime"
+)
+
+// PartStats counts one participant shard's outcomes.
+type PartStats struct {
+	// Prepares counts distinct transactions prepared here.
+	Prepares int
+	// LockWaits counts prepares that queued behind a held lock.
+	LockWaits int
+	// VotesYes and VotesNo count the votes cast.
+	VotesYes int
+	VotesNo  int
+	// Commits and Aborts count decisions executed.
+	Commits int
+	Aborts  int
+	// DeadlineReleases counts YES-voted transactions whose locks were
+	// released at the deadline with the decision still pending (the
+	// parked-decision resolution path).
+	DeadlineReleases int
+	// HeldPastDeadline counts lock releases that happened after the
+	// owning transaction's deadline — always zero under the protocol's
+	// deadline discipline; Verify asserts it.
+	HeldPastDeadline int
+}
+
+// prepState is one transaction's participant-side state.
+type prepState uint8
+
+const (
+	// prepWaiting: queued behind a held lock, not yet voted.
+	prepWaiting prepState = iota + 1
+	// prepHeld: locks acquired, YES voted, decision pending.
+	prepHeld
+	// prepReleased: YES voted, locks released at the deadline, decision
+	// resolution in flight.
+	prepReleased
+	// prepDone: decision executed (or NO voted).
+	prepDone
+)
+
+// prep tracks one transaction at one participant shard.
+type prep struct {
+	id       ID
+	ops      []Op
+	deadline vtime.Time
+	coord    int
+	state    prepState
+	votedYes bool
+	commit   bool
+	// applying counts outstanding write applies; the commit is acked
+	// once it reaches zero (writes visibly in the primary's history).
+	applying int
+	acked    bool
+	lockedAt vtime.Time
+}
+
+// keys returns the prepare's lock set in op order (already
+// deterministic: the client recorded ops in call order).
+func (pr *prep) keys() []string {
+	out := make([]string, 0, len(pr.ops))
+	seen := make(map[string]bool, len(pr.ops))
+	for _, op := range pr.ops {
+		if !seen[op.Key] {
+			seen[op.Key] = true
+			out = append(out, op.Key)
+		}
+	}
+	return out
+}
+
+// applyRef resolves one outstanding write apply.
+type applyRef struct {
+	id  ID
+	key string
+}
+
+// overlayVal is one committed write awaiting its apply.
+type overlayVal struct {
+	cmd   int64
+	reqID uint64
+}
+
+// Participant is the transaction-participant role of one shard group:
+// it owns the per-key lock table of the keys this shard serves,
+// prepares and votes on behalf of the group, executes decisions, and
+// never holds a lock past the owning transaction's deadline.
+type Participant struct {
+	p     *Plane
+	g     *shard.Group
+	shard int
+
+	// locks maps key → holding transaction; waiters queue in arrival
+	// order (grants re-scan it FIFO — deterministic).
+	locks   map[string]ID
+	waiters []*prep
+	preps   map[ID]*prep
+	// applyWait resolves write applies (request ids) back to their
+	// transaction and key.
+	applyWait map[uint64]applyRef
+	// overlay holds committed-but-not-yet-applied write values: a
+	// waiter granted in the instant a commit releases its locks must
+	// read the committed value, not the pre-apply state (the keyed view
+	// only updates when the replication apply lands).
+	overlay map[string]overlayVal
+
+	// Stats counts outcomes for the harness.
+	Stats PartStats
+}
+
+// newParticipant builds the participant role of one shard group and
+// binds its port on every replica.
+func newParticipant(p *Plane, g *shard.Group, idx int) *Participant {
+	pa := &Participant{
+		p:         p,
+		g:         g,
+		shard:     idx,
+		locks:     make(map[string]ID),
+		preps:     make(map[ID]*prep),
+		applyWait: make(map[uint64]applyRef),
+		overlay:   make(map[string]overlayVal),
+	}
+	for _, n := range g.Nodes() {
+		node := n
+		p.bind(node, p.partPort(), func(m *netsim.Message) { pa.handle(node, m) })
+	}
+	g.Replication().OnApplyHook(pa.onApply)
+	return pa
+}
+
+// Shard returns the participant's shard index.
+func (pa *Participant) Shard() int { return pa.shard }
+
+// Group returns the underlying shard group.
+func (pa *Participant) Group() *shard.Group { return pa.g }
+
+// LockedKeys returns the number of currently held locks (harness and
+// Verify use it to assert the end-of-run lock table drained).
+func (pa *Participant) LockedKeys() int { return len(pa.locks) }
+
+// handle dispatches one protocol message arriving at replica node.
+func (pa *Participant) handle(node int, m *netsim.Message) {
+	if pa.p.net.NodeDown(node) {
+		return
+	}
+	switch env := m.Payload.(type) {
+	case prepareEnv:
+		pa.handlePrepare(node, m.From, env)
+	case decisionEnv:
+		pa.handleDecision(node, m.From, env)
+	}
+}
+
+// handlePrepare serves one PREPARE (or its retry) at replica node.
+// Only the current primary with a local quorum serves; other replicas
+// stay silent and the coordinator's retry loop re-resolves.
+func (pa *Participant) handlePrepare(node, from int, env prepareEnv) {
+	if node != pa.g.Replication().Primary() || !pa.g.Membership().HasQuorum(node) {
+		return
+	}
+	pr := pa.preps[env.ID]
+	if pr != nil {
+		// A retry: re-vote for states that already voted (the original
+		// vote may have raced a coordinator failover); waiting prepares
+		// vote when granted or at their deadline.
+		if pr.state == prepHeld || pr.state == prepReleased {
+			pa.vote(node, from, pr, true, "", false)
+		}
+		return
+	}
+	now := pa.p.eng.Now()
+	if !now.Before(env.Deadline) {
+		pa.Stats.VotesNo++
+		pa.p.send(node, from, pa.p.coordPort(),
+			voteEnv{ID: env.ID, Shard: pa.shard, Yes: false, Reason: "deadline passed", Deadline: true}, 32)
+		return
+	}
+	pr = &prep{id: env.ID, ops: env.Ops, deadline: env.Deadline, coord: env.Coord, state: prepWaiting}
+	pa.preps[env.ID] = pr
+	pa.Stats.Prepares++
+	if pa.tryAcquire(pr) {
+		pa.granted(node, from, pr)
+	} else {
+		pa.Stats.LockWaits++
+		pa.waiters = append(pa.waiters, pr)
+		if log := pa.p.eng.Log(); log != nil {
+			log.Recordf(now, monitor.KindLockWait, node, pr.id.String(), "shard %d: conflict on %v", pa.shard, pr.keys())
+		}
+	}
+	pa.p.eng.At(env.Deadline, eventq.ClassApp, func() { pa.atDeadline(pr) })
+}
+
+// tryAcquire takes every lock of the prepare if all are free (locks
+// are exclusive and all-or-nothing — partial acquisition under a
+// deadline regime would just manufacture deadlock windows).
+func (pa *Participant) tryAcquire(pr *prep) bool {
+	for _, k := range pr.keys() {
+		if _, held := pa.locks[k]; held {
+			return false
+		}
+	}
+	for _, k := range pr.keys() {
+		pa.locks[k] = pr.id
+	}
+	pr.lockedAt = pa.p.eng.Now()
+	return true
+}
+
+// granted votes YES for a prepare that holds all its locks, serving
+// its reads from the primary's keyed view under those locks.
+func (pa *Participant) granted(node, from int, pr *prep) {
+	pr.state = prepHeld
+	pr.votedYes = true
+	if log := pa.p.eng.Log(); log != nil {
+		log.Recordf(pa.p.eng.Now(), monitor.KindPrepare, node, pr.id.String(), "shard %d: locked %v", pa.shard, pr.keys())
+	}
+	pa.vote(node, from, pr, true, "", false)
+}
+
+// vote sends one vote, attaching read results on YES. byDeadline marks
+// NO votes forced by the deadline discipline (the structured abort
+// cause the client's statistics rely on).
+func (pa *Participant) vote(node, from int, pr *prep, yes bool, reason string, byDeadline bool) {
+	var reads map[string]int64
+	if yes {
+		for _, op := range pr.ops {
+			if op.Kind == OpRead {
+				if reads == nil {
+					reads = make(map[string]int64)
+				}
+				reads[op.Key] = pa.readKey(node, op.Key)
+			}
+		}
+	}
+	if yes {
+		pa.Stats.VotesYes++
+	} else {
+		pa.Stats.VotesNo++
+	}
+	pa.p.send(node, from, pa.p.coordPort(),
+		voteEnv{ID: pr.id, Shard: pa.shard, Yes: yes, Reason: reason, Deadline: byDeadline, Reads: reads}, 40)
+}
+
+// readKey serves one locked read: the last committed write — a
+// committed-but-not-yet-applied value from the overlay first, then
+// node's applied keyed view.
+func (pa *Participant) readKey(node int, key string) int64 {
+	if ov, ok := pa.overlay[key]; ok {
+		return ov.cmd
+	}
+	v, _ := pa.g.KeyValue(node, key)
+	return v
+}
+
+// atDeadline enforces the deadline discipline at this participant:
+// a still-waiting prepare votes NO and leaves the queue; a YES-voted
+// prepare releases its locks (never holding them into the fault
+// window) and parks a decision query against the coordinator group.
+func (pa *Participant) atDeadline(pr *prep) {
+	switch pr.state {
+	case prepWaiting:
+		pr.state = prepDone
+		pa.removeWaiter(pr)
+		pa.Stats.Aborts++
+		node := pa.g.Replication().Primary()
+		if log := pa.p.eng.Log(); log != nil {
+			log.Recordf(pa.p.eng.Now(), monitor.KindTxnAbort, node, pr.id.String(), "shard %d: lock wait exceeded deadline", pa.shard)
+		}
+		coordPrimary := pa.p.router.Groups()[pr.coord].Replication().Primary()
+		pa.vote(node, coordPrimary, pr, false, "lock wait exceeded deadline", true)
+	case prepHeld:
+		pa.release(pr)
+		pr.state = prepReleased
+		pa.Stats.DeadlineReleases++
+		if log := pa.p.eng.Log(); log != nil {
+			log.Recordf(pa.p.eng.Now(), monitor.KindLockWait, pa.g.Replication().Primary(), pr.id.String(),
+				"shard %d: released at deadline, decision pending", pa.shard)
+		}
+		env := queryEnv{ID: pr.id, Shard: pa.shard, Deadline: pr.deadline}
+		pa.p.newLoop(fmt.Sprintf("query.%s.s%d", pr.id, pa.shard), prepareTimeout, prepareRetries,
+			func() {
+				from := pa.g.Replication().Primary()
+				to := pa.p.router.Groups()[pr.coord].Replication().Primary()
+				pa.p.send(from, to, pa.p.coordPort(), env, 32)
+			},
+			func() bool { return pr.state == prepDone })
+	}
+}
+
+// release frees the prepare's locks, auditing the deadline discipline,
+// and re-scans the wait queue.
+func (pa *Participant) release(pr *prep) {
+	now := pa.p.eng.Now()
+	released := false
+	for _, k := range pr.keys() {
+		if pa.locks[k] == pr.id {
+			delete(pa.locks, k)
+			released = true
+		}
+	}
+	if released && now.After(pr.deadline) {
+		pa.Stats.HeldPastDeadline++
+	}
+	if released {
+		pa.grantWaiters()
+	}
+}
+
+// grantWaiters re-scans the wait queue in arrival order, granting
+// every prepare whose lock set became free.
+func (pa *Participant) grantWaiters() {
+	remaining := pa.waiters[:0]
+	for _, w := range pa.waiters {
+		if w.state != prepWaiting {
+			continue
+		}
+		if !pa.p.eng.Now().Before(w.deadline) {
+			// Its deadline timer votes NO this same instant; granting
+			// now would only acquire locks the coordinator is already
+			// committed to aborting.
+			remaining = append(remaining, w)
+			continue
+		}
+		if pa.tryAcquire(w) {
+			node := pa.g.Replication().Primary()
+			coordPrimary := pa.p.router.Groups()[w.coord].Replication().Primary()
+			pa.granted(node, coordPrimary, w)
+			continue
+		}
+		remaining = append(remaining, w)
+	}
+	pa.waiters = remaining
+}
+
+// removeWaiter drops one prepare from the wait queue.
+func (pa *Participant) removeWaiter(pr *prep) {
+	remaining := pa.waiters[:0]
+	for _, w := range pa.waiters {
+		if w != pr {
+			remaining = append(remaining, w)
+		}
+	}
+	pa.waiters = remaining
+}
+
+// handleDecision executes one COMMIT/ABORT at replica node. Commits
+// submit every write into the shard's replicated machine under the
+// transaction tag space (idempotent across decision retries) and ack
+// only once all writes applied; aborts release and ack immediately.
+func (pa *Participant) handleDecision(node, from int, env decisionEnv) {
+	if node != pa.g.Replication().Primary() {
+		return // the coordinator's retry loop re-resolves the primary
+	}
+	pr := pa.preps[env.ID]
+	if pr == nil {
+		// Abort of a transaction never prepared here (prepare lost or
+		// refused): nothing to undo.
+		if !env.Commit {
+			pa.p.send(node, from, pa.p.coordPort(), ackEnv{ID: env.ID, Shard: pa.shard}, 24)
+		}
+		return
+	}
+	if pr.state == prepDone {
+		if pr.acked || !pr.commit {
+			pa.p.send(node, from, pa.p.coordPort(), ackEnv{ID: env.ID, Shard: pa.shard}, 24)
+		}
+		return
+	}
+	prev := pr.state
+	pr.state = prepDone
+	pr.commit = env.Commit
+	if !env.Commit {
+		pa.release(pr)
+		pa.Stats.Aborts++
+		if log := pa.p.eng.Log(); log != nil {
+			log.Recordf(pa.p.eng.Now(), monitor.KindTxnAbort, node, pr.id.String(), "shard %d: decision abort", pa.shard)
+		}
+		pa.p.send(node, from, pa.p.coordPort(), ackEnv{ID: env.ID, Shard: pa.shard}, 24)
+		return
+	}
+	if prev == prepWaiting {
+		// Cannot happen: the coordinator only commits on unanimous YES
+		// votes, and this shard never voted. Guard anyway.
+		pa.removeWaiter(pr)
+	}
+	pa.Stats.Commits++
+	// Submit the writes (and publish their committed values in the
+	// overlay) BEFORE releasing the locks: a waiter granted by the
+	// release must read this transaction's committed values, not the
+	// pre-apply state.
+	for _, op := range pr.ops {
+		if op.Kind != OpWrite {
+			continue
+		}
+		reqID := pa.g.SubmitKeyed(op.Key, op.Cmd, pr.id.Client, op.Seq)
+		pa.applyWait[reqID] = applyRef{id: pr.id, key: op.Key}
+		pa.overlay[op.Key] = overlayVal{cmd: op.Cmd, reqID: reqID}
+		pr.applying++
+	}
+	pa.release(pr)
+	if pr.applying == 0 { // read-only at this shard
+		pr.acked = true
+		pa.p.send(node, from, pa.p.coordPort(), ackEnv{ID: env.ID, Shard: pa.shard}, 24)
+	}
+}
+
+// onApply retires outstanding write applies (first apply anywhere in
+// the group — the keyed view now holds the value, so the overlay entry
+// drops); when a transaction's last write lands, the commit is acked
+// to the coordinator's current primary.
+func (pa *Participant) onApply(node int, reqID uint64, _ int64) {
+	ref, ok := pa.applyWait[reqID]
+	if !ok {
+		return
+	}
+	delete(pa.applyWait, reqID)
+	if ov, ok := pa.overlay[ref.key]; ok && ov.reqID == reqID {
+		delete(pa.overlay, ref.key)
+	}
+	pr := pa.preps[ref.id]
+	if pr == nil || pr.acked {
+		return
+	}
+	pr.applying--
+	if pr.applying > 0 {
+		return
+	}
+	pr.acked = true
+	from := pa.g.Replication().Primary()
+	to := pa.p.router.Groups()[pr.coord].Replication().Primary()
+	pa.p.send(from, to, pa.p.coordPort(), ackEnv{ID: ref.id, Shard: pa.shard}, 24)
+}

@@ -1,0 +1,411 @@
+// Package txn gives the sharded data plane multi-key atomic
+// transactions: two-phase commit where both the coordinator log and
+// the participants are the existing replicated groups, and every
+// transaction carries a virtual-time deadline.
+//
+// The layering follows the middleware argument (Kim & Kumar; YASMIN):
+// coordination primitives must compose with timing guarantees, so the
+// commit protocol is deadline-aware rather than best-effort blocking —
+// a prepare that cannot complete by the transaction's deadline
+// (timeout, lock conflict, stale-view rejection, partition window)
+// deterministically aborts and releases its locks instead of holding
+// them into the fault window.
+//
+//   - The client (Begin/Read/Write/Commit) batches keyed operations
+//     and submits the whole transaction to its coordinator — the shard
+//     group chosen by hashing the transaction id on the existing
+//     consistent-hash ring. The submission rides the PR 4 session
+//     discipline: timeout/retry, redirect-following, stale-view
+//     handling, and parking with resubmission after merge views.
+//   - The coordinator drives PREPARE to every owning shard's primary,
+//     collects votes, and logs its COMMIT/ABORT decision through
+//     replication.SubmitTagged into its own replicated machine before
+//     distributing it — every replica of the coordinator group mirrors
+//     the decision from the apply stream, the dedup tag makes the log
+//     entry idempotent, and a rejoining replica receives the decision
+//     table through the membership state transfer, so the decision
+//     survives crash failover exactly as far as the group state does.
+//   - Participants acquire per-key locks in the session layer and vote.
+//     A conflicting prepare waits in the lock queue (LockWait) until
+//     its deadline; an unserved prepare votes NO at the deadline. A
+//     YES-voted participant never holds locks past the deadline either:
+//     at the deadline it releases them and resolves the pending
+//     decision by querying the coordinator group — queries park during
+//     partition windows and resubmit after the merge view, the same
+//     queue policy the data-plane client uses.
+//
+// Verify asserts the atomic-commitment contract after a run: every
+// committed transaction's writes appear exactly once in all owning
+// shards' authoritative histories, every aborted transaction's writes
+// appear in none, and no participant held a lock past its deadline.
+package txn
+
+import (
+	"fmt"
+
+	"hades/internal/eventq"
+	"hades/internal/membership"
+	"hades/internal/netsim"
+	"hades/internal/shard"
+	"hades/internal/simkern"
+	"hades/internal/vtime"
+)
+
+// ID identifies one transaction: the submitting client's node plus its
+// per-client transaction number.
+type ID struct {
+	Client int
+	Num    uint64
+}
+
+// String renders the id ("t6.3").
+func (id ID) String() string { return fmt.Sprintf("t%d.%d", id.Client, id.Num) }
+
+// Key returns the ring key the coordinator shard is chosen by.
+func (id ID) Key() string { return "txn:" + id.String() }
+
+// OpKind classifies one keyed operation.
+type OpKind uint8
+
+const (
+	// OpRead locks the key and returns its current value at prepare
+	// time (the last committed write, 0 if never written).
+	OpRead OpKind = iota + 1
+	// OpWrite locks the key and, on commit, applies Cmd to the owning
+	// shard's replicated machine.
+	OpWrite
+)
+
+// Op is one keyed operation of a transaction.
+type Op struct {
+	Kind OpKind
+	Key  string
+	// Cmd is the written command (writes only).
+	Cmd int64
+	// Seq is the client-wide write sequence number — the write's
+	// identity in the owning shard's apply log and dedup table.
+	Seq uint64
+	// Shard is the owning shard index, resolved at commit time.
+	Shard int
+}
+
+// Status is a transaction's lifecycle state.
+type Status uint8
+
+const (
+	// StatusPending: building, queued, or awaiting its outcome.
+	StatusPending Status = iota
+	// StatusCommitted: all participants voted yes before the deadline.
+	StatusCommitted
+	// StatusAborted: a participant voted no, or the deadline passed
+	// before the decision.
+	StatusAborted
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return "pending"
+	}
+}
+
+// respKind classifies a coordinator's response to a client submission.
+type respKind uint8
+
+const (
+	// respOutcome carries the decision (Committed + reads).
+	respOutcome respKind = iota + 1
+	// respRedirect names the coordinator group's current primary.
+	respRedirect
+	// respBlocked is the stale-view rejection: the receiving replica
+	// cannot reach a majority of its installed view.
+	respBlocked
+)
+
+// beginEnv is one client transaction submission crossing the wire.
+// Attempt echoes back in failure responses so superseded attempts'
+// verdicts are discarded (the PR 4 discipline).
+type beginEnv struct {
+	ID       ID
+	Ops      []Op
+	Deadline vtime.Time
+	Client   int
+	Attempt  int
+}
+
+// outcomeEnv is the coordinator's response to a submission. Deadline
+// marks aborts caused by the deadline discipline (a structured cause;
+// reasons are human-readable detail only).
+type outcomeEnv struct {
+	ID        ID
+	Attempt   int
+	Kind      respKind
+	Committed bool
+	Reason    string
+	Deadline  bool
+	Reads     map[string]int64
+	Primary   int // respRedirect only
+}
+
+// prepareEnv asks one owning shard to lock and vote.
+type prepareEnv struct {
+	ID       ID
+	Shard    int
+	Ops      []Op
+	Deadline vtime.Time
+	// Coord is the coordinator shard index (decision queries resolve
+	// against its current primary).
+	Coord int
+}
+
+// voteEnv is a participant's vote. Deadline marks NO votes cast
+// because the deadline discipline fired (lock wait expired, prepare
+// arrived late).
+type voteEnv struct {
+	ID       ID
+	Shard    int
+	Yes      bool
+	Reason   string
+	Deadline bool
+	Reads    map[string]int64
+}
+
+// decisionEnv distributes the logged COMMIT/ABORT decision.
+type decisionEnv struct {
+	ID     ID
+	Commit bool
+}
+
+// ackEnv confirms a participant executed the decision (commits are
+// acked only after every write applied at the participant's primary,
+// so a client-visible commit implies the writes are in the histories).
+type ackEnv struct {
+	ID    ID
+	Shard int
+}
+
+// queryEnv is a participant's decision-resolution request for a
+// YES-voted transaction whose decision had not arrived by the deadline.
+type queryEnv struct {
+	ID       ID
+	Shard    int
+	Deadline vtime.Time
+}
+
+// loopbackDelay stands in for the network link when the sender and
+// receiver are the same node (a transaction whose coordinator group
+// also owns some of its keys): the local dispatch cost, well under any
+// real link delay.
+const loopbackDelay = 10 * vtime.Microsecond
+
+// Plane is the transaction layer over one sharded data plane: a
+// coordinator and a participant role per shard group, the clients, and
+// the shared retry machinery. Create it with NewPlane, one per
+// shard.Router.
+type Plane struct {
+	eng    *simkern.Engine
+	net    *netsim.Network
+	router *shard.Router
+	name   string
+
+	coords  []*Coordinator
+	parts   []*Participant
+	clients []*Client
+
+	// local maps node → port → handler for loopback delivery (netsim
+	// has no self-links).
+	local map[int]map[string]func(*netsim.Message)
+
+	loops []*loop
+}
+
+// NewPlane builds the transaction layer over a router's shard groups:
+// one coordinator and one participant role per group, wired so that
+// any view install or partition heal re-probes parked work.
+func NewPlane(eng *simkern.Engine, net *netsim.Network, router *shard.Router, name string) *Plane {
+	p := &Plane{
+		eng:    eng,
+		net:    net,
+		router: router,
+		name:   name,
+		local:  make(map[int]map[string]func(*netsim.Message)),
+	}
+	for i, g := range router.Groups() {
+		p.coords = append(p.coords, newCoordinator(p, g, i))
+		p.parts = append(p.parts, newParticipant(p, g, i))
+	}
+	for _, g := range router.Groups() {
+		g.Membership().OnChange(func(membership.View) { p.poke("view") })
+	}
+	net.OnPartitionChange(func(partitioned bool) {
+		if !partitioned {
+			p.poke("heal")
+		}
+	})
+	return p
+}
+
+// Name returns the plane's scope name (the shard set's name).
+func (p *Plane) Name() string { return p.name }
+
+// Router returns the underlying shard router.
+func (p *Plane) Router() *shard.Router { return p.router }
+
+// Coordinators returns the per-shard coordinator roles, ring order.
+func (p *Plane) Coordinators() []*Coordinator { return append([]*Coordinator(nil), p.coords...) }
+
+// Participants returns the per-shard participant roles, ring order.
+func (p *Plane) Participants() []*Participant { return append([]*Participant(nil), p.parts...) }
+
+// Clients returns the transaction clients, creation order.
+func (p *Plane) Clients() []*Client { return append([]*Client(nil), p.clients...) }
+
+// coordShard returns the coordinator shard index for a transaction:
+// its id hashed on the existing ring (pinned key routes do not apply —
+// coordinator placement is not key ownership).
+func (p *Plane) coordShard(id ID) int { return p.router.Ring().Shard(id.Key()) }
+
+// coordPort, partPort and respPort scope the plane's wire protocol per
+// shard set, so coexisting data planes do not collide.
+func (p *Plane) coordPort() string { return "txn." + p.name + ".coord" }
+func (p *Plane) partPort() string  { return "txn." + p.name + ".part" }
+func (p *Plane) respPort() string  { return "txn." + p.name + ".resp" }
+
+// bind registers a handler with the network and the loopback table.
+func (p *Plane) bind(node int, port string, h func(*netsim.Message)) {
+	p.net.Bind(node, port, h)
+	m := p.local[node]
+	if m == nil {
+		m = make(map[string]func(*netsim.Message))
+		p.local[node] = m
+	}
+	m[port] = h
+}
+
+// send transmits one protocol message, falling back to a loopback
+// dispatch when sender and receiver are the same node.
+func (p *Plane) send(from, to int, port string, payload any, size int) {
+	if from != to {
+		_, _ = p.net.Send(from, to, port, payload, size)
+		return
+	}
+	if p.net.NodeDown(from) {
+		return
+	}
+	p.eng.After(loopbackDelay, eventq.ClassApp, func() {
+		if p.net.NodeDown(to) {
+			return
+		}
+		h := p.local[to][port]
+		if h == nil {
+			return
+		}
+		h(&netsim.Message{From: from, To: to, Port: port, Payload: payload, Size: size, SentAt: p.eng.Now()})
+	})
+}
+
+// loop is the shared retry discipline (the PR 4 queue policy, reused):
+// send an attempt, re-send on a timeout, and after the retry budget
+// park until a view install or a partition heal re-probes it — plus a
+// deep deterministic backoff so nothing is stranded when the parking
+// trigger raced the park itself.
+type loop struct {
+	label   string
+	send    func()
+	done    func() bool
+	timeout vtime.Duration
+	retries int
+	max     int
+	parked  bool
+	dead    bool
+	epoch   int // bumped by every state change; stale timers no-op
+}
+
+// newLoop starts a retry loop: the first attempt fires immediately.
+func (p *Plane) newLoop(label string, timeout vtime.Duration, max int, send func(), done func() bool) {
+	l := &loop{label: label, send: send, done: done, timeout: timeout, max: max}
+	p.loops = append(p.loops, l)
+	p.fire(l)
+}
+
+// fire runs one attempt and arms its timeout.
+func (p *Plane) fire(l *loop) {
+	if l.dead || l.done() {
+		l.dead = true
+		return
+	}
+	l.epoch++
+	epoch := l.epoch
+	l.send()
+	p.eng.After(l.timeout, eventq.ClassApp, func() {
+		if l.dead || l.epoch != epoch || l.parked {
+			return
+		}
+		if l.done() {
+			l.dead = true
+			return
+		}
+		if l.retries < l.max {
+			l.retries++
+			p.fire(l)
+			return
+		}
+		l.parked = true
+		l.epoch++
+		backoffEpoch := l.epoch
+		p.eng.After(5*l.timeout, eventq.ClassApp, func() {
+			if l.dead || !l.parked || l.epoch != backoffEpoch {
+				return
+			}
+			p.resume(l)
+		})
+	})
+}
+
+// resume re-probes a parked loop with a fresh retry budget.
+func (p *Plane) resume(l *loop) {
+	if l.dead {
+		return
+	}
+	if l.done() {
+		l.dead = true
+		return
+	}
+	l.parked = false
+	l.retries = 0
+	p.fire(l)
+}
+
+// poke resubmits every parked loop — fired on any view install and on
+// partition heals, compacting finished loops on the way.
+func (p *Plane) poke(string) {
+	live := p.loops[:0]
+	for _, l := range p.loops {
+		if l.dead || l.done() {
+			l.dead = true
+			continue
+		}
+		live = append(live, l)
+		if l.parked {
+			p.resume(l)
+		}
+	}
+	p.loops = live
+}
+
+// copyReads freezes a read-result map for shipping.
+func copyReads(in map[string]int64) map[string]int64 {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package txn
+
+import (
+	"fmt"
+
+	"hades/internal/shard"
+)
+
+// Verify audits the atomic-commitment contract of a run against the
+// shard groups' authoritative apply logs:
+//
+//   - all-or-nothing: every committed transaction's writes appear in
+//     all owning shards' authoritative histories, each exactly once,
+//     with the committed command;
+//   - no partial writes: every aborted transaction's writes appear in
+//     no shard's authoritative history;
+//   - deadline discipline: no participant ever released a lock after
+//     its transaction's deadline, and no lock belonging to an
+//     expired-deadline transaction is still held.
+//
+// The authoritative history is the same hole-free-replica log the
+// data-plane verifier uses (shard.Verify), so a plane that passes both
+// checks has single-key linearizability AND multi-key atomicity on one
+// set of histories.
+func Verify(p *Plane) error {
+	groups := p.router.Groups()
+	type entryKey struct {
+		client int
+		seq    uint64
+	}
+	counts := make([]map[entryKey]int, len(groups))
+	cmds := make([]map[entryKey]shard.Applied, len(groups))
+	for i, g := range groups {
+		node, ok := g.AuthoritativeNode()
+		if !ok {
+			return fmt.Errorf("txn: group %q has no hole-free replica to verify against", g.Name())
+		}
+		counts[i] = make(map[entryKey]int)
+		cmds[i] = make(map[entryKey]shard.Applied)
+		for _, a := range g.ApplyLog(node) {
+			k := entryKey{client: a.Client, seq: a.Seq}
+			counts[i][k]++
+			cmds[i][k] = a
+		}
+	}
+	for _, c := range p.clients {
+		for _, rec := range c.Done {
+			for _, op := range rec.Ops {
+				if op.Kind != OpWrite {
+					continue
+				}
+				k := entryKey{client: rec.ID.Client, seq: op.Seq}
+				n := counts[op.Shard][k]
+				switch rec.Status {
+				case StatusCommitted:
+					if n == 0 {
+						return fmt.Errorf("txn: committed %s write %q (seq %d) missing from group %q history (torn transaction)",
+							rec.ID, op.Key, op.Seq, groups[op.Shard].Name())
+					}
+					if n > 1 {
+						return fmt.Errorf("txn: committed %s write %q (seq %d) applied %d times in group %q (exactly-once violated)",
+							rec.ID, op.Key, op.Seq, n, groups[op.Shard].Name())
+					}
+					if a := cmds[op.Shard][k]; a.Cmd != op.Cmd || a.Key != op.Key {
+						return fmt.Errorf("txn: committed %s write %q: history holds (key %q, cmd %d), client wrote (key %q, cmd %d)",
+							rec.ID, op.Key, a.Key, a.Cmd, op.Key, op.Cmd)
+					}
+				case StatusAborted:
+					if n != 0 {
+						return fmt.Errorf("txn: aborted %s write %q (seq %d) present in group %q history (partial write leaked)",
+							rec.ID, op.Key, op.Seq, groups[op.Shard].Name())
+					}
+				}
+			}
+		}
+	}
+	now := p.eng.Now()
+	for _, pa := range p.parts {
+		if pa.Stats.HeldPastDeadline > 0 {
+			return fmt.Errorf("txn: shard %d released %d lock set(s) after their transaction deadlines", pa.shard, pa.Stats.HeldPastDeadline)
+		}
+		for key, id := range pa.locks {
+			pr := pa.preps[id]
+			if pr != nil && now.After(pr.deadline) {
+				return fmt.Errorf("txn: shard %d still holds lock %q for %s past its deadline %s", pa.shard, key, id, pr.deadline)
+			}
+		}
+	}
+	return nil
+}
