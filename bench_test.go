@@ -7,10 +7,13 @@
 package hades_test
 
 import (
+	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 
 	"hades/internal/clocksync"
+	"hades/internal/cluster"
 	"hades/internal/consensus"
 	"hades/internal/core"
 	"hades/internal/dispatcher"
@@ -25,6 +28,7 @@ import (
 	"hades/internal/rbcast"
 	"hades/internal/replication"
 	"hades/internal/sched"
+	"hades/internal/session"
 	"hades/internal/simkern"
 	"hades/internal/vtime"
 )
@@ -337,6 +341,105 @@ func BenchmarkConsensus(b *testing.B) {
 		eng.RunUntilIdle()
 		if len(c.Decisions()) != 4 {
 			b.Fatal("survivors did not decide")
+		}
+	}
+}
+
+// highFanoutSession picks the session discipline for the high-fanout
+// benchmarks: the HADES_SESSION=unbatched environment variable selects
+// the legacy one-op-per-round discipline, anything else the batched +
+// pipelined default. The benchmark names stay identical either way, so
+// `hades-bench -diff unbatched.json batched.json` compares them
+// directly.
+func highFanoutSession() session.Params {
+	if os.Getenv("HADES_SESSION") == "unbatched" {
+		return session.Params{MaxBatch: 1, FlushInterval: session.DefaultFlushInterval, PipelineDepth: 1}
+	}
+	return session.Params{MaxBatch: 8, FlushInterval: 500 * us, PipelineDepth: 4}
+}
+
+// highFanoutKeys spreads the keyed workload wide enough that every
+// burst has several ops per shard to coalesce.
+var highFanoutKeys = func() []string {
+	keys := make([]string, 32)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%02d", i)
+	}
+	return keys
+}()
+
+// BenchmarkHighFanoutKV is the batching/pipelining workload: one
+// client bursting 32 keys per millisecond over a 4-shard plane — the
+// shape where per-op wire messages and replication rounds dominate.
+// Run it twice (HADES_SESSION=unbatched, then default) and diff the
+// baselines to see the op-batching + pipelining win.
+func BenchmarkHighFanoutKV(b *testing.B) {
+	params := highFanoutSession()
+	for i := 0; i < b.N; i++ {
+		c := cluster.New(cluster.Config{Seed: 61})
+		c.AddNodes(9) // 4 shards × 2 replicas + client
+		c.ConnectAll(100*us, 300*us)
+		set := c.ShardsWith(4, 2, cluster.ShardConfig{Session: params})
+		cl := set.ClientAt(8)
+		n := 0
+		for t := vtime.Duration(0); t < 100*ms; t += 2 * ms {
+			for _, k := range highFanoutKeys {
+				key := k
+				n++
+				cmd := int64(n)
+				c.At(vtime.Time(t), func() { cl.Submit(key, cmd) })
+			}
+		}
+		// The horizon leaves the unbatched discipline room to drain: one
+		// wire message per op saturates the client's per-message cost,
+		// so its backlog outlives the 100 ms burst window by ~250 ms.
+		// The batched run drains early and fast-forwards the idle tail.
+		c.Run(600 * ms)
+		if cl.Stats.Acked != cl.Stats.Submitted {
+			b.Fatalf("acked %d of %d", cl.Stats.Acked, cl.Stats.Submitted)
+		}
+		if err := set.Check(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHighFanoutTxn is the group-commit workload: four
+// transaction clients driving concurrent transfers over a 4-shard
+// plane, so coordinator COMMIT/ABORT records pile up inside the flush
+// window and one replicated round carries many of them.
+func BenchmarkHighFanoutTxn(b *testing.B) {
+	params := highFanoutSession()
+	for i := 0; i < b.N; i++ {
+		c := cluster.New(cluster.Config{Seed: 67})
+		c.AddNodes(12) // 4 shards × 2 replicas + 4 txn clients
+		c.ConnectAll(100*us, 300*us)
+		set := c.ShardsWith(4, 2, cluster.ShardConfig{Session: params, GroupCommit: params})
+		plane := set.TxnPlane()
+		committed := 0
+		for cn := 0; cn < 4; cn++ {
+			tc := set.TxnClientAt(8 + cn)
+			n := cn
+			for t := vtime.Duration(0); t < 100*ms; t += 2 * ms {
+				at := t
+				c.At(vtime.Time(at), func() {
+					src := highFanoutKeys[n%len(highFanoutKeys)]
+					dst := highFanoutKeys[(n+5)%len(highFanoutKeys)]
+					n += 9
+					tc.Transfer(src, dst, 1)
+				})
+			}
+			_ = tc
+		}
+		c.Run(200 * ms)
+		for _, tc := range plane.Clients() {
+			committed += tc.Stats.Committed
+		}
+		if committed == 0 {
+			b.Fatal("no transaction committed")
+		}
+		if err := set.CheckTxns(); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

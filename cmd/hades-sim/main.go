@@ -137,6 +137,11 @@ func main() {
 					cl.Node(), cl.Params().Policy, st.Submitted, st.Acked, st.Redirects, st.Retries,
 					st.Queued, st.Resubmitted, st.FailedFast, st.Blocked)
 				fmt.Printf("    latency avg=%s max=%s\n", st.AvgLatency(), st.MaxLatency)
+				if bs := cl.BatchStats(); bs.Batches > 0 {
+					fmt.Printf("    batches=%d ops=%d maxOps=%d fullFlushes=%d timerFlushes=%d stalls=%d hist=[%s]\n",
+						bs.Batches, bs.Ops, bs.MaxBatchOps, bs.FullFlushes, bs.TimerFlushes, bs.Stalls, bs.HistString())
+					fmt.Printf("    pipeline depth: %v\n", cl.MaxInflight())
+				}
 			}
 			if err := set.Check(); err != nil {
 				fmt.Printf("  CONSISTENCY VIOLATION: %v\n", err)
@@ -151,9 +156,9 @@ func main() {
 			fmt.Println("--- cross-shard transactions ---")
 			for i, co := range plane.Coordinators() {
 				pa := plane.Participants()[i]
-				fmt.Printf("  %s: coord begins=%d commits=%d aborts=%d (deadline=%d) queries=%d\n",
+				fmt.Printf("  %s: coord begins=%d commits=%d aborts=%d (deadline=%d) queries=%d groupCommits=%d maxDecisionBatch=%d\n",
 					co.Group().Name(), co.Stats.Begins, co.Stats.Commits, co.Stats.Aborts,
-					co.Stats.DeadlineAborts, co.Stats.Queries)
+					co.Stats.DeadlineAborts, co.Stats.Queries, co.GroupCommits, co.MaxDecisionBatch)
 				fmt.Printf("    part prepares=%d lockWaits=%d votes=%d/%d commits=%d aborts=%d deadlineReleases=%d locksHeld=%d\n",
 					pa.Stats.Prepares, pa.Stats.LockWaits, pa.Stats.VotesYes, pa.Stats.VotesNo,
 					pa.Stats.Commits, pa.Stats.Aborts, pa.Stats.DeadlineReleases, pa.LockedKeys())

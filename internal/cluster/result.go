@@ -2,6 +2,9 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 
 	"hades/internal/dispatcher"
 	"hades/internal/membership"
@@ -63,6 +66,12 @@ type TxnShardResult struct {
 	Prepares         int
 	LockWaits        int
 	DeadlineReleases int
+	// GroupCommits counts decision-log rounds this coordinator
+	// submitted; with group commit on it is smaller than
+	// Commits+Aborts and MaxDecisionBatch reports the largest batch of
+	// COMMIT/ABORT records carried in one replicated round.
+	GroupCommits     int
+	MaxDecisionBatch int
 }
 
 // ClientResult is one shard client's request-layer record.
@@ -79,6 +88,18 @@ type ClientResult struct {
 	FailedFast  int
 	AvgLatency  vtime.Duration
 	MaxLatency  vtime.Duration
+	// Batches counts flushed submissions (each one wire message
+	// carrying one or more ops); MaxBatchOps is the largest batch;
+	// Stalls the flushes deferred by the pipeline-depth limit.
+	Batches     int
+	MaxBatchOps int
+	Stalls      int
+	// SizeHist renders the batch-size histogram ("1:3 4:2" = three
+	// singletons, two 4-op batches; "-" when no batch flushed).
+	SizeHist string
+	// Depth renders the deepest pipeline reached per shard lane
+	// ("s0:2 s1:1"; "-" when nothing was in flight).
+	Depth string
 }
 
 // TxnClientResult is one transaction client's record.
@@ -194,6 +215,8 @@ func (c *Cluster) ResultNow() Result {
 					Prepares:         pa.Stats.Prepares,
 					LockWaits:        pa.Stats.LockWaits,
 					DeadlineReleases: pa.Stats.DeadlineReleases,
+					GroupCommits:     co.GroupCommits,
+					MaxDecisionBatch: co.MaxDecisionBatch,
 				}
 			}
 			r.Shards = append(r.Shards, sr)
@@ -217,6 +240,7 @@ func (c *Cluster) ResultNow() Result {
 		}
 		for _, cl := range set.clients {
 			st := cl.Stats
+			bs := cl.BatchStats()
 			r.Clients = append(r.Clients, ClientResult{
 				Node:        cl.Node(),
 				Submitted:   st.Submitted,
@@ -230,10 +254,47 @@ func (c *Cluster) ResultNow() Result {
 				FailedFast:  st.FailedFast,
 				AvgLatency:  st.AvgLatency(),
 				MaxLatency:  st.MaxLatency,
+				Batches:     int(bs.Batches),
+				MaxBatchOps: bs.MaxBatchOps,
+				Stalls:      int(bs.Stalls),
+				SizeHist:    bs.HistString(),
+				Depth:       depthString(cl.MaxInflight()),
 			})
 		}
 	}
 	return r
+}
+
+// depthString renders a per-lane maximum-in-flight map in a
+// deterministic order (lanes named "s<idx>" sort by shard index, any
+// other lane name lexicographically after them).
+func depthString(m map[string]int) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	lanes := make([]string, 0, len(m))
+	for lane := range m {
+		lanes = append(lanes, lane)
+	}
+	sort.Slice(lanes, func(i, j int) bool {
+		a, errA := strconv.Atoi(strings.TrimPrefix(lanes[i], "s"))
+		b, errB := strconv.Atoi(strings.TrimPrefix(lanes[j], "s"))
+		if errA == nil && errB == nil {
+			return a < b
+		}
+		if (errA == nil) != (errB == nil) {
+			return errA == nil
+		}
+		return lanes[i] < lanes[j]
+	})
+	var sb strings.Builder
+	for i, lane := range lanes {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s:%d", lane, m[lane])
+	}
+	return sb.String()
 }
 
 // result snapshots one group's membership and replication counters.
@@ -354,11 +415,18 @@ func (r Result) String() string {
 		if t := s.Txn; t.Begins > 0 || t.Prepares > 0 {
 			out += fmt.Sprintf("    txn: coord begins=%d commits=%d aborts=%d (deadline=%d); part prepares=%d lockWaits=%d deadlineReleases=%d\n",
 				t.Begins, t.Commits, t.Aborts, t.DeadlineAborts, t.Prepares, t.LockWaits, t.DeadlineReleases)
+			if t.GroupCommits > 0 {
+				out += fmt.Sprintf("    txn: groupCommits=%d maxDecisionBatch=%d\n", t.GroupCommits, t.MaxDecisionBatch)
+			}
 		}
 	}
 	for _, c := range r.Clients {
 		out += fmt.Sprintf("  client n%-3d sub=%-5d ack=%-5d redirect=%-4d retry=%-4d queued=%-4d resub=%-4d failed=%-4d avgLat=%-12s maxLat=%s\n",
 			c.Node, c.Submitted, c.Acked, c.Redirects, c.Retries, c.Queued, c.Resubmitted, c.FailedFast, c.AvgLatency, c.MaxLatency)
+		if c.Batches > 0 {
+			out += fmt.Sprintf("    batch: flushed=%d maxOps=%d stalls=%d hist=[%s] depth=[%s]\n",
+				c.Batches, c.MaxBatchOps, c.Stalls, c.SizeHist, c.Depth)
+		}
 	}
 	for _, t := range r.TxnClients {
 		out += fmt.Sprintf("  txn    n%-3d begun=%-4d committed=%-4d aborted=%-4d deadline=%-4d retry=%-4d queued=%-4d resub=%-4d avgLat=%-12s maxLat=%s\n",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hades/internal/replication"
+	"hades/internal/session"
 	"hades/internal/shard"
 	"hades/internal/txn"
 	"hades/internal/vtime"
@@ -31,6 +32,15 @@ type ShardConfig struct {
 	WExec           vtime.Duration
 	CheckpointEvery int
 	StorageLatency  vtime.Duration
+	// Session sets the default throughput knobs of clients created on
+	// this set (op batching per shard, pipelined in-flight batches);
+	// a client's own non-zero ClientParams.Session wins. The zero value
+	// is the unbatched, unpipelined legacy discipline.
+	Session session.Params
+	// GroupCommit batches the transaction coordinators' decision log:
+	// one replicated round carries many COMMIT/ABORT records. The zero
+	// value logs each decision in its own round.
+	GroupCommit session.Params
 }
 
 // ShardSet is a sharded data plane on the cluster: N replication
@@ -47,6 +57,8 @@ type ShardSet struct {
 	clients     []*shard.Client
 	clientNodes map[int]bool
 	txnPlane    *txn.Plane
+	session     session.Params
+	groupCommit session.Params
 }
 
 // Shards declares a sharded data plane of n replication groups with
@@ -155,7 +167,8 @@ func (c *Cluster) ShardsWith(n, replicasPer int, cfg ShardConfig) *ShardSet {
 		panic(err)
 	}
 	set := &ShardSet{c: c, name: cfg.Name, respPort: respPort, router: router,
-		shards: sgroups, clientNodes: make(map[int]bool)}
+		shards: sgroups, clientNodes: make(map[int]bool),
+		session: cfg.Session, groupCommit: cfg.GroupCommit}
 	c.shardSets = append(c.shardSets, set)
 	return set
 }
@@ -186,6 +199,9 @@ func (s *ShardSet) ClientAt(node int) *shard.Client {
 // (a split would then cut the client's own shard in two ways at once
 // and the response port would collide with serving duties).
 func (s *ShardSet) ClientWith(p shard.ClientParams) *shard.Client {
+	if p.Session == (session.Params{}) {
+		p.Session = s.session // set-level default; explicit knobs win
+	}
 	if p.Node < 0 || p.Node >= len(s.c.nodes) {
 		panic(fmt.Sprintf("cluster: shard client on unknown node %d", p.Node))
 	}
@@ -217,6 +233,7 @@ func (s *ShardSet) Check() error { return shard.Verify(s.router, s.clients) }
 func (s *ShardSet) TxnPlane() *txn.Plane {
 	if s.txnPlane == nil {
 		s.txnPlane = txn.NewPlane(s.c.eng, s.c.net, s.router, s.name)
+		s.txnPlane.SetGroupCommit(s.groupCommit)
 	}
 	return s.txnPlane
 }

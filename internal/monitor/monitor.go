@@ -85,6 +85,14 @@ const (
 	KindDecide
 	KindLockWait
 	KindTxnAbort
+
+	// Session-engine throughput events (batched, pipelined
+	// submissions): batch emission, flush-policy firings (full batch or
+	// flush-interval timer), and pipeline-depth stalls. KindFlush above
+	// is the view-synchrony flush; these are the batcher's.
+	KindBatch
+	KindBatchFlush
+	KindPipeline
 )
 
 var kindNames = map[Kind]string{
@@ -136,6 +144,9 @@ var kindNames = map[Kind]string{
 	KindDecide:              "Decide",
 	KindLockWait:            "LockWait",
 	KindTxnAbort:            "TxnAbort",
+	KindBatch:               "Batch",
+	KindBatchFlush:          "BatchFlush",
+	KindPipeline:            "Pipeline",
 }
 
 // String returns the short mnemonic for the kind.

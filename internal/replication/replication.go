@@ -194,15 +194,22 @@ type Failover struct {
 	LostSince int64 // applied-counter gap (passive only)
 }
 
-// reqMsg crosses the wire for request dissemination. View is the
-// sender's installed membership view at send time (0 for clients
-// outside the group, which are not view-synchronized). Tag carries the
-// client identity for exactly-once dedup (zero = untracked).
+// reqMsg is one request inside a batch. Tag carries the client
+// identity for exactly-once dedup (zero = untracked).
 type reqMsg struct {
-	ID   uint64
-	Cmd  int64
-	View uint64
-	Tag  ClientSeq
+	ID  uint64
+	Cmd int64
+	Tag ClientSeq
+}
+
+// batchMsg crosses the wire for request dissemination: one envelope,
+// one execution thread, many requests — the per-request overhead the
+// session layer's batching amortizes. View is the sender's installed
+// membership view at send time (0 for clients outside the group, which
+// are not view-synchronized). Unbatched submissions are batches of 1.
+type batchMsg struct {
+	Items []reqMsg
+	View  uint64
 }
 
 // ckptMsg carries a passive checkpoint, tagged with the view the
@@ -418,9 +425,35 @@ func (g *Group) Submit(from int, cmd int64) uint64 {
 // cache instead of applied again — the exactly-once contract the
 // sharded client layer's retries rely on.
 func (g *Group) SubmitTagged(from int, cmd int64, tag ClientSeq) uint64 {
-	g.nextReq++
-	id := g.nextReq
-	msg := reqMsg{ID: id, Cmd: cmd, View: g.viewAt(from), Tag: tag}
+	return g.SubmitBatch(from, []BatchItem{{Cmd: cmd, Tag: tag}})[0]
+}
+
+// BatchItem is one request of a batched submission.
+type BatchItem struct {
+	Cmd int64
+	Tag ClientSeq
+}
+
+// SubmitBatch issues many requests as ONE replicated round: one wire
+// message per replica and one execution thread (one WExec charge)
+// carry the whole batch, amortizing the per-request dissemination and
+// scheduling cost. Each item keeps its own request ID, reply and dedup
+// tag, so exactly-once and retry-from-cache hold op-by-op — a retried
+// batch whose items were partially applied before a failover is
+// answered item-by-item from the replicated Seen table. Returns the
+// request IDs, item order.
+func (g *Group) SubmitBatch(from int, items []BatchItem) []uint64 {
+	ids := make([]uint64, len(items))
+	msg := batchMsg{Items: make([]reqMsg, len(items)), View: g.viewAt(from)}
+	for i, it := range items {
+		g.nextReq++
+		ids[i] = g.nextReq
+		msg.Items[i] = reqMsg{ID: g.nextReq, Cmd: it.Cmd, Tag: it.Tag}
+	}
+	if len(items) == 0 {
+		return ids
+	}
+	size := 16 * len(items)
 	switch g.cfg.Style {
 	case Active, SemiActive:
 		// All replicas receive and execute.
@@ -429,7 +462,7 @@ func (g *Group) SubmitTagged(from int, cmd int64, tag ClientSeq) uint64 {
 				g.execute(r, msg)
 				continue
 			}
-			if _, err := g.net.Send(from, r, g.port("req"), msg, 16); err != nil {
+			if _, err := g.net.Send(from, r, g.port("req"), msg, size); err != nil {
 				continue
 			}
 		}
@@ -437,15 +470,15 @@ func (g *Group) SubmitTagged(from int, cmd int64, tag ClientSeq) uint64 {
 		p := g.Primary()
 		if p == from {
 			g.execute(p, msg)
-		} else if _, err := g.net.Send(from, p, g.port("req"), msg, 16); err != nil {
-			return id
+		} else if _, err := g.net.Send(from, p, g.port("req"), msg, size); err != nil {
+			return ids
 		}
 	}
-	return id
+	return ids
 }
 
 func (g *Group) handleRequest(node int, m *netsim.Message) {
-	msg, ok := m.Payload.(reqMsg)
+	msg, ok := m.Payload.(batchMsg)
 	if !ok {
 		return
 	}
@@ -458,47 +491,58 @@ func (g *Group) handleRequest(node int, m *netsim.Message) {
 	g.execute(node, msg)
 }
 
-// execute runs the request on one replica, charging WExec, then reports
-// the reply.
-func (g *Group) execute(node int, msg reqMsg) {
+// execute runs one batch on one replica — a single thread charging a
+// single WExec for the whole batch — then applies and replies to its
+// items in order. Per-item dedup means a batch that straddles a retry
+// boundary re-applies only the items the surviving lineage has not
+// seen.
+func (g *Group) execute(node int, msg batchMsg) {
 	if g.net.NodeDown(node) {
 		return
 	}
 	proc := g.eng.Processors()[node]
-	th := proc.NewThread(fmt.Sprintf("repl.%s.exec#%d@n%d", g.cfg.Name, msg.ID, node), simkern.PrioMax-5000)
+	th := proc.NewThread(fmt.Sprintf("repl.%s.exec#%d@n%d", g.cfg.Name, msg.Items[0].ID, node), simkern.PrioMax-5000)
 	th.AddSegment(simkern.Segment{Name: "exec", Work: g.cfg.WExec, PT: simkern.PrioMax - 5000})
 	th.OnComplete = func() {
 		if g.net.NodeDown(node) {
 			return
 		}
 		sm := g.machines[node]
-		if msg.Tag != (ClientSeq{}) {
-			if cached, dup := sm.Seen[msg.Tag]; dup {
-				g.Duplicates++
-				g.reply(node, msg.ID, cached)
-				return
-			}
-		}
-		res := sm.Apply(msg.Cmd)
-		if msg.Tag != (ClientSeq{}) {
-			if sm.Seen == nil {
-				sm.Seen = make(map[ClientSeq]int64)
-			}
-			sm.Seen[msg.Tag] = res
-		}
-		for _, fn := range g.onApply {
-			fn(node, msg.ID, res)
-		}
-		g.reply(node, msg.ID, res)
-		if g.cfg.Style == Passive && node == g.Primary() {
-			g.sinceCheckpoint++
-			if g.sinceCheckpoint >= g.cfg.CheckpointEvery {
-				g.sinceCheckpoint = 0
-				g.checkpoint(node)
-			}
+		for _, item := range msg.Items {
+			g.applyOne(node, sm, item)
 		}
 	}
 	th.Ready()
+}
+
+// applyOne applies one batch item at one replica: dedup, apply, record,
+// hooks, reply, passive checkpoint cadence.
+func (g *Group) applyOne(node int, sm *StateMachine, item reqMsg) {
+	if item.Tag != (ClientSeq{}) {
+		if cached, dup := sm.Seen[item.Tag]; dup {
+			g.Duplicates++
+			g.reply(node, item.ID, cached)
+			return
+		}
+	}
+	res := sm.Apply(item.Cmd)
+	if item.Tag != (ClientSeq{}) {
+		if sm.Seen == nil {
+			sm.Seen = make(map[ClientSeq]int64)
+		}
+		sm.Seen[item.Tag] = res
+	}
+	for _, fn := range g.onApply {
+		fn(node, item.ID, res)
+	}
+	g.reply(node, item.ID, res)
+	if g.cfg.Style == Passive && node == g.Primary() {
+		g.sinceCheckpoint++
+		if g.sinceCheckpoint >= g.cfg.CheckpointEvery {
+			g.sinceCheckpoint = 0
+			g.checkpoint(node)
+		}
+	}
 }
 
 // reply collects replies; active groups vote: a result is delivered as

@@ -29,6 +29,7 @@ import (
 	"hades/internal/heug"
 	"hades/internal/replication"
 	"hades/internal/sched"
+	"hades/internal/session"
 	"hades/internal/shard"
 	"hades/internal/txn"
 	"hades/internal/vtime"
@@ -156,6 +157,26 @@ type TxnClientSpec struct {
 	MaxRetries     int     `json:"maxRetries,omitempty"`
 }
 
+// SessionSpec tunes the data plane's session throughput knobs: op
+// batching (per-shard coalescing of client submissions into one wire
+// message and one replicated round) and pipelining (several batches in
+// flight per shard). On a plane with transaction clients the same
+// knobs batch the coordinators' decision log (group commit). All
+// three fields are required and must be positive — a partial or
+// zeroed block is rejected loudly rather than silently defaulted.
+type SessionSpec struct {
+	// MaxBatch caps the ops coalesced into one submission (1 = the
+	// unbatched legacy discipline).
+	MaxBatch int `json:"maxBatch"`
+	// FlushIntervalMs bounds how long a partial batch may wait before
+	// it is flushed anyway (virtual time).
+	FlushIntervalMs float64 `json:"flushIntervalMs"`
+	// PipelineDepth caps the batches in flight per shard (1 = stop
+	// and wait; the decision log ignores it — decisions complete
+	// through the replicated apply stream).
+	PipelineDepth int `json:"pipelineDepth"`
+}
+
 // ShardsSpec declares a sharded data plane: Count replication groups
 // behind a deterministic consistent-hash ring, plus the clients that
 // drive it. Each shard is one view-synchronous membership group
@@ -181,6 +202,11 @@ type ShardsSpec struct {
 	WExecUs          float64 `json:"wExecUs,omitempty"`
 	CheckpointEvery  int     `json:"checkpointEvery,omitempty"`
 	StorageLatencyUs float64 `json:"storageLatencyUs,omitempty"`
+	// Session, when present, turns on op batching/pipelining for the
+	// plane's clients and group commit for its transaction
+	// coordinators; omitted means the unbatched legacy discipline. It
+	// is rejected on a spec with neither clients nor txns.
+	Session *SessionSpec `json:"session,omitempty"`
 	// Clients drive the keyed workload.
 	Clients []ShardClientSpec `json:"clients,omitempty"`
 	// Txns drive a cross-shard atomic-transfer workload (two-phase
@@ -337,6 +363,7 @@ var builtins = map[string]Spec{
 		Scheduler: "EDF", Policy: "none", HorizonMs: 400,
 		Shards: &ShardsSpec{
 			Count: 2, ReplicasPer: 3, Style: "semi-active",
+			Session: &SessionSpec{MaxBatch: 4, FlushIntervalMs: 0.5, PipelineDepth: 2},
 			Clients: []ShardClientSpec{
 				{Node: 6, SubmitEveryMs: 2, Policy: "queue",
 					Keys: []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"}},
@@ -372,6 +399,7 @@ var builtins = map[string]Spec{
 		Scheduler: "EDF", Policy: "none", HorizonMs: 400,
 		Shards: &ShardsSpec{
 			Count: 2, ReplicasPer: 3, Style: "semi-active",
+			Session: &SessionSpec{MaxBatch: 4, FlushIntervalMs: 0.5, PipelineDepth: 2},
 			Txns: []TxnClientSpec{
 				{Node: 6, SubmitEveryMs: 3, DeadlineMs: 30,
 					Accounts: []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"}},
@@ -635,6 +663,20 @@ func (s Spec) validateShards() error {
 			return fmt.Errorf("scenario %q: key %q routed to undeclared shard group %d (have %d)", s.Name, key, idx, sp.Count)
 		}
 	}
+	if se := sp.Session; se != nil {
+		if len(sp.Clients) == 0 && len(sp.Txns) == 0 {
+			return fmt.Errorf("scenario %q: session knobs on a shards spec with no clients and no txns (nothing to batch)", s.Name)
+		}
+		if se.MaxBatch < 1 {
+			return fmt.Errorf("scenario %q: session maxBatch must be >= 1 (got %d)", s.Name, se.MaxBatch)
+		}
+		if se.FlushIntervalMs <= 0 {
+			return fmt.Errorf("scenario %q: session flushIntervalMs must be positive (got %g)", s.Name, se.FlushIntervalMs)
+		}
+		if se.PipelineDepth < 1 {
+			return fmt.Errorf("scenario %q: session pipelineDepth must be >= 1 (got %d)", s.Name, se.PipelineDepth)
+		}
+	}
 	clientNodes := map[int]bool{}
 	for i, cl := range sp.Clients {
 		if cl.Node < 0 || cl.Node >= s.Nodes {
@@ -886,6 +928,15 @@ func (s Spec) Build() (*cluster.Cluster, error) {
 			WExec:           us(sp.WExecUs),
 			CheckpointEvery: sp.CheckpointEvery,
 			StorageLatency:  us(sp.StorageLatencyUs),
+		}
+		if se := sp.Session; se != nil {
+			knobs := session.Params{
+				MaxBatch:      se.MaxBatch,
+				FlushInterval: msd(se.FlushIntervalMs),
+				PipelineDepth: se.PipelineDepth,
+			}
+			cfg.Session = knobs
+			cfg.GroupCommit = knobs
 		}
 		set := c.ShardsWith(sp.Count, sp.ReplicasPer, cfg)
 		for _, cs := range sp.Clients {

@@ -717,6 +717,28 @@ func TestShardValidationErrors(t *testing.T) {
 			s.Shards.Clients = nil
 			s.Shards.Txns = []TxnClientSpec{{Node: 6, Accounts: []string{"a", "b"}, SubmitEveryMs: 2, DeadlineMs: -5}}
 		}, "negative timing"},
+		{"session without clients or txns", func(s *Spec) {
+			s.Shards.Clients = nil
+			s.Shards.Session = &SessionSpec{MaxBatch: 4, FlushIntervalMs: 0.5, PipelineDepth: 2}
+		}, "nothing to batch"},
+		{"session zero maxBatch", func(s *Spec) {
+			s.Shards.Session = &SessionSpec{MaxBatch: 0, FlushIntervalMs: 0.5, PipelineDepth: 2}
+		}, "maxBatch must be >= 1"},
+		{"session negative maxBatch", func(s *Spec) {
+			s.Shards.Session = &SessionSpec{MaxBatch: -4, FlushIntervalMs: 0.5, PipelineDepth: 2}
+		}, "maxBatch must be >= 1"},
+		{"session zero flush interval", func(s *Spec) {
+			s.Shards.Session = &SessionSpec{MaxBatch: 4, PipelineDepth: 2}
+		}, "flushIntervalMs must be positive"},
+		{"session negative flush interval", func(s *Spec) {
+			s.Shards.Session = &SessionSpec{MaxBatch: 4, FlushIntervalMs: -1, PipelineDepth: 2}
+		}, "flushIntervalMs must be positive"},
+		{"session zero pipeline depth", func(s *Spec) {
+			s.Shards.Session = &SessionSpec{MaxBatch: 4, FlushIntervalMs: 0.5}
+		}, "pipelineDepth must be >= 1"},
+		{"session negative pipeline depth", func(s *Spec) {
+			s.Shards.Session = &SessionSpec{MaxBatch: 4, FlushIntervalMs: 0.5, PipelineDepth: -2}
+		}, "pipelineDepth must be >= 1"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

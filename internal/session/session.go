@@ -1,0 +1,288 @@
+// Package session is the single calibrated session discipline of the
+// data plane: every client-facing submission path (keyed requests,
+// transaction begins, the coordinator's PREPARE/decision/query loops)
+// drives its attempts through one Engine instead of re-implementing
+// timeout/retry, redirect-following, stale-view handling and
+// park-and-resubmit per layer.
+//
+// The discipline is the PR 4 queue policy, factored out:
+//
+//   - an attempt is sent and a reply timeout armed; a timeout consumes
+//     one retry and re-sends;
+//   - an exhausted budget parks the call (or fails it, under the
+//     fail-fast option) — parked calls resubmit with a fresh budget on
+//     any installed membership view and on partition heals (ownership
+//     can have changed), plus a deep deterministic backoff so nothing
+//     is stranded when the trigger raced the park itself;
+//   - redirects re-dispatch immediately (a new attempt, fresh timeout)
+//     without consuming the retry budget;
+//   - attempt counters invalidate armed timers and let adapters discard
+//     failure verdicts of superseded attempts, while a late OK is
+//     always acceptable (the command landed).
+//
+// The package also provides the throughput machinery layered on the
+// same calls: Batcher coalesces per-key operations bound for the same
+// shard into batched submissions (max-batch-size plus a virtual-time
+// flush interval, so batching composes with deadlines instead of
+// weakening them) and pipelines K in-flight batches per shard with
+// deterministic completion ordering.
+package session
+
+import (
+	"hades/internal/eventq"
+	"hades/internal/membership"
+	"hades/internal/monitor"
+	"hades/internal/netsim"
+	"hades/internal/simkern"
+	"hades/internal/vtime"
+)
+
+// backoffFactor scales the retry timeout into the deep re-probe delay
+// of a parked call (the PR 4 calibration: view installs and heals are
+// the prompt triggers; the backoff is the safety net).
+const backoffFactor = 5
+
+// Spec parameterises one retried call. Send and the optional hooks are
+// the adapter's: the engine owns the state machine, the adapter owns
+// the wire format and its statistics.
+type Spec struct {
+	// Label names the call in monitor records.
+	Label string
+	// Node is the processor monitor records are attributed to.
+	Node int
+	// Timeout is the per-attempt reply timeout.
+	Timeout vtime.Duration
+	// MaxRetries bounds consecutive timeouts before the policy applies.
+	MaxRetries int
+	// FailFast abandons the call on exhaustion instead of parking it.
+	FailFast bool
+	// Send fires one attempt (the adapter's wire send).
+	Send func(attempt int)
+	// Done, when set, reports the call completed: checked before every
+	// (re)send and at every timeout, so loops whose completion is
+	// observed out-of-band (votes, acks) retire without a Finish call.
+	Done func() bool
+	// OnTimeout, OnRetry, OnPark, OnResubmit and OnFail observe the
+	// state machine for the adapter's statistics (all optional).
+	OnTimeout  func()
+	OnRetry    func()
+	OnPark     func()
+	OnResubmit func()
+	OnFail     func()
+}
+
+// callState tracks one call through the engine.
+type callState uint8
+
+const (
+	csInflight callState = iota + 1
+	csParked
+	csDone
+	csFailed
+)
+
+// Call is one retried submission owned by an Engine.
+type Call struct {
+	e       *Engine
+	s       Spec
+	state   callState
+	attempt int // bumping invalidates the armed timeout
+	retries int
+}
+
+// Attempt returns the current attempt counter (echoed on the wire so
+// failure verdicts of superseded attempts are discarded).
+func (c *Call) Attempt() int { return c.attempt }
+
+// Inflight reports whether an attempt is outstanding.
+func (c *Call) Inflight() bool { return c.state == csInflight }
+
+// Parked reports whether the call is parked awaiting a resubmission
+// trigger.
+func (c *Call) Parked() bool { return c.state == csParked }
+
+// Finished reports whether the call retired (done or failed).
+func (c *Call) Finished() bool { return c.state == csDone || c.state == csFailed }
+
+// Engine runs the session discipline for one adapter (a client or a
+// protocol role): it owns the live calls and resubmits parked ones on
+// view installs, partition heals and the deep backoff.
+type Engine struct {
+	eng   *simkern.Engine
+	calls []*Call
+}
+
+// New builds an engine on the simulation kernel. Wire its resubmission
+// triggers with WireViews and WireHeals.
+func New(eng *simkern.Engine) *Engine { return &Engine{eng: eng} }
+
+// WireViews pokes the engine on every installed view of the membership
+// service (failover and merge views both republish ownership).
+func (e *Engine) WireViews(mem *membership.Service) {
+	mem.OnChange(func(membership.View) { e.Poke("view") })
+}
+
+// WireHeals pokes the engine when a network partition heals.
+func (e *Engine) WireHeals(net *netsim.Network) {
+	net.OnPartitionChange(func(partitioned bool) {
+		if !partitioned {
+			e.Poke("heal")
+		}
+	})
+}
+
+// Go starts one retried call: the first attempt fires immediately.
+func (e *Engine) Go(s Spec) *Call {
+	c := &Call{e: e, s: s}
+	e.calls = append(e.calls, c)
+	e.dispatch(c)
+	return c
+}
+
+// dispatch fires one attempt and arms its reply timeout.
+func (e *Engine) dispatch(c *Call) {
+	if c.Finished() {
+		return
+	}
+	if c.s.Done != nil && c.s.Done() {
+		c.state = csDone
+		return
+	}
+	c.state = csInflight
+	c.attempt++
+	attempt := c.attempt
+	c.s.Send(attempt)
+	e.eng.After(c.s.Timeout, eventq.ClassApp, func() {
+		if c.state != csInflight || c.attempt != attempt {
+			return // answered or re-dispatched in the meantime
+		}
+		if c.s.Done != nil && c.s.Done() {
+			c.state = csDone
+			return
+		}
+		if c.s.OnTimeout != nil {
+			c.s.OnTimeout()
+		}
+		e.fail(c, "timeout")
+	})
+}
+
+// fail handles one failed attempt (timeout or an explicit verdict such
+// as a stale-view rejection): retry while budget remains, then apply
+// the policy — park under the queue policy, abandon under fail-fast.
+func (e *Engine) fail(c *Call, why string) {
+	c.retries++
+	if c.retries <= c.s.MaxRetries {
+		if c.s.OnRetry != nil {
+			c.s.OnRetry()
+		}
+		if log := e.eng.Log(); log != nil {
+			log.Recordf(e.eng.Now(), monitor.KindRetry, c.s.Node, c.s.Label, "%s retry %d/%d", why, c.retries, c.s.MaxRetries)
+		}
+		e.dispatch(c)
+		return
+	}
+	if c.s.FailFast {
+		c.state = csFailed
+		c.attempt++
+		if c.s.OnFail != nil {
+			c.s.OnFail()
+		}
+		return
+	}
+	c.state = csParked
+	c.attempt++
+	if c.s.OnPark != nil {
+		c.s.OnPark()
+	}
+	if log := e.eng.Log(); log != nil {
+		log.Recordf(e.eng.Now(), monitor.KindRetry, c.s.Node, c.s.Label, "%s: parked after %d retries", why, c.retries)
+	}
+	// Backoff safety net: view installs and heals resubmit parked calls
+	// promptly, but a call can park after the last such trigger (its
+	// retry budget outlasting the merge) — re-probe at a deep backoff so
+	// nothing is stranded.
+	attempt := c.attempt
+	e.eng.After(backoffFactor*c.s.Timeout, eventq.ClassApp, func() {
+		if c.state != csParked || c.attempt != attempt {
+			return
+		}
+		e.resume(c, "backoff")
+	})
+}
+
+// resume re-dispatches one parked call with a fresh retry budget.
+func (e *Engine) resume(c *Call, why string) {
+	if c.s.OnResubmit != nil {
+		c.s.OnResubmit()
+	}
+	if log := e.eng.Log(); log != nil {
+		log.Recordf(e.eng.Now(), monitor.KindResubmit, c.s.Node, c.s.Label, "after %s", why)
+	}
+	c.retries = 0
+	e.dispatch(c)
+}
+
+// Finish retires the call (its reply landed). Idempotent; late
+// duplicate replies are the adapter's to discard.
+func (c *Call) Finish() {
+	if !c.Finished() {
+		c.state = csDone
+	}
+}
+
+// Redirect re-dispatches the call immediately (a new attempt, fresh
+// timeout) without consuming the retry budget — the redirect-following
+// path for server redirects and router republications. detail feeds
+// the monitor record.
+func (c *Call) Redirect(detail string) {
+	if c.Finished() || c.state == csParked {
+		return
+	}
+	if log := c.e.eng.Log(); log != nil {
+		log.Recordf(c.e.eng.Now(), monitor.KindRedirect, c.s.Node, c.s.Label, "%s", detail)
+	}
+	c.e.dispatch(c)
+}
+
+// Fail reports an explicit failure verdict for the current attempt (a
+// stale-view rejection): it consumes the retry budget exactly as a
+// timeout does.
+func (c *Call) Fail(why string) {
+	if c.state != csInflight {
+		return
+	}
+	c.e.fail(c, why)
+}
+
+// Poke resubmits every parked call — fired on any installed view and on
+// partition heals — and compacts retired calls on the way, so the scan
+// stays proportional to the live set.
+func (e *Engine) Poke(why string) {
+	live := e.calls[:0]
+	for _, c := range e.calls {
+		if c.Finished() {
+			continue
+		}
+		if c.s.Done != nil && c.s.Done() {
+			c.state = csDone
+			continue
+		}
+		live = append(live, c)
+		if c.state == csParked {
+			e.resume(c, why)
+		}
+	}
+	e.calls = live
+}
+
+// Live returns the number of unretired calls (test hook).
+func (e *Engine) Live() int {
+	n := 0
+	for _, c := range e.calls {
+		if !c.Finished() {
+			n++
+		}
+	}
+	return n
+}

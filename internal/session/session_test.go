@@ -1,0 +1,339 @@
+package session
+
+import (
+	"testing"
+
+	"hades/internal/eventq"
+	"hades/internal/monitor"
+	"hades/internal/simkern"
+	"hades/internal/vtime"
+)
+
+const (
+	us = vtime.Microsecond
+	ms = vtime.Millisecond
+)
+
+func testEngine() *simkern.Engine {
+	eng := simkern.NewEngine(monitor.NewLog(0), 1)
+	eng.AddProcessor("n", 0)
+	return eng
+}
+
+func TestCallRetriesThenParksAndResumesOnPoke(t *testing.T) {
+	eng := testEngine()
+	s := New(eng)
+	var sends, timeouts, retries, parks, resubmits int
+	s.Go(Spec{
+		Label: "call", Node: 0, Timeout: 1 * ms, MaxRetries: 2,
+		Send:       func(int) { sends++ },
+		OnTimeout:  func() { timeouts++ },
+		OnRetry:    func() { retries++ },
+		OnPark:     func() { parks++ },
+		OnResubmit: func() { resubmits++ },
+	})
+	// No reply ever arrives: 1 initial + 2 retries, then park.
+	eng.Run(vtime.Time(4 * ms))
+	if sends != 3 || retries != 2 || parks != 1 {
+		t.Fatalf("sends=%d retries=%d parks=%d, want 3/2/1", sends, retries, parks)
+	}
+	if timeouts != 3 {
+		t.Fatalf("timeouts=%d, want 3", timeouts)
+	}
+	// A poke (view install) resumes with a fresh budget.
+	eng.After(0, eventq.ClassApp, func() { s.Poke("view") })
+	eng.Run(vtime.Time(4500 * us))
+	if resubmits != 1 || sends != 4 {
+		t.Fatalf("resubmits=%d sends=%d after poke, want 1/4", resubmits, sends)
+	}
+}
+
+func TestParkedCallResumesOnBackoffWithoutPoke(t *testing.T) {
+	eng := testEngine()
+	s := New(eng)
+	var sends, resubmits int
+	s.Go(Spec{
+		Label: "call", Node: 0, Timeout: 1 * ms, MaxRetries: 0,
+		Send:       func(int) { sends++ },
+		OnResubmit: func() { resubmits++ },
+	})
+	// Parks at 1ms; the 5×timeout backoff re-probes at 6ms.
+	eng.Run(vtime.Time(10 * ms))
+	if resubmits == 0 {
+		t.Fatalf("parked call never resumed via backoff (sends=%d)", sends)
+	}
+}
+
+func TestFinishInvalidatesPendingTimeout(t *testing.T) {
+	eng := testEngine()
+	s := New(eng)
+	var timeouts int
+	c := s.Go(Spec{
+		Label: "call", Node: 0, Timeout: 1 * ms, MaxRetries: 3,
+		Send:      func(int) {},
+		OnTimeout: func() { timeouts++ },
+	})
+	eng.After(500*us, eventq.ClassApp, func() { c.Finish() })
+	eng.Run(vtime.Time(10 * ms))
+	if timeouts != 0 {
+		t.Fatalf("timeouts=%d after Finish, want 0", timeouts)
+	}
+	if !c.Finished() {
+		t.Fatal("call not finished")
+	}
+	if got := s.Live(); got != 0 {
+		s.Poke("sweep")
+	}
+}
+
+func TestRedirectDoesNotConsumeRetryBudget(t *testing.T) {
+	eng := testEngine()
+	s := New(eng)
+	var sends, retries int
+	var c *Call
+	c = s.Go(Spec{
+		Label: "call", Node: 0, Timeout: 1 * ms, MaxRetries: 1,
+		Send:    func(int) { sends++ },
+		OnRetry: func() { retries++ },
+	})
+	// Redirect three times quickly: each re-dispatches without touching
+	// the retry counter.
+	for i := 1; i <= 3; i++ {
+		eng.At(vtime.Time(vtime.Duration(i)*100*us), eventq.ClassApp, func() { c.Redirect("redirect") })
+	}
+	eng.Run(vtime.Time(350 * us))
+	if sends != 4 || retries != 0 {
+		t.Fatalf("sends=%d retries=%d, want 4/0", sends, retries)
+	}
+	// Superseded attempts' timeouts must not fire.
+	eng.Run(vtime.Time(1200 * us))
+	if retries > 1 {
+		t.Fatalf("stale timeouts fired: retries=%d", retries)
+	}
+}
+
+func TestFailFastAbandonsAfterBudget(t *testing.T) {
+	eng := testEngine()
+	s := New(eng)
+	var fails, parks int
+	c := s.Go(Spec{
+		Label: "call", Node: 0, Timeout: 1 * ms, MaxRetries: 1, FailFast: true,
+		Send:   func(int) {},
+		OnFail: func() { fails++ },
+		OnPark: func() { parks++ },
+	})
+	eng.Run(vtime.Time(10 * ms))
+	if fails != 1 || parks != 0 || !c.Finished() {
+		t.Fatalf("fails=%d parks=%d finished=%v, want 1/0/true", fails, parks, c.Finished())
+	}
+}
+
+func TestDonePredicateRetiresWithoutFinish(t *testing.T) {
+	eng := testEngine()
+	s := New(eng)
+	done := false
+	var sends int
+	s.Go(Spec{
+		Label: "call", Node: 0, Timeout: 1 * ms, MaxRetries: 8,
+		Send: func(int) { sends++ },
+		Done: func() bool { return done },
+	})
+	eng.After(1500*us, eventq.ClassApp, func() { done = true })
+	eng.Run(vtime.Time(20 * ms))
+	// 1 initial send + 1 retry at 1ms; the 2ms timeout sees done.
+	if sends != 2 {
+		t.Fatalf("sends=%d, want 2", sends)
+	}
+}
+
+func TestExplicitFailConsumesBudgetLikeTimeout(t *testing.T) {
+	eng := testEngine()
+	s := New(eng)
+	var sends, parks int
+	var c *Call
+	c = s.Go(Spec{
+		Label: "call", Node: 0, Timeout: 10 * ms, MaxRetries: 1,
+		Send:   func(int) { sends++ },
+		OnPark: func() { parks++ },
+	})
+	eng.After(1*ms, eventq.ClassApp, func() { c.Fail("blocked") })
+	eng.After(2*ms, eventq.ClassApp, func() { c.Fail("blocked") })
+	eng.Run(vtime.Time(5 * ms))
+	if sends != 2 || parks != 1 {
+		t.Fatalf("sends=%d parks=%d, want 2/1", sends, parks)
+	}
+}
+
+func TestBatcherUnbatchedFlushesImmediately(t *testing.T) {
+	eng := testEngine()
+	var emitted [][]int
+	b := NewBatcher[int](eng, Params{}, "b", 0, func(_ string, items []int) {
+		emitted = append(emitted, items)
+	})
+	for i := 0; i < 3; i++ {
+		b.Add("s0", i)
+		b.Complete("s0")
+	}
+	if len(emitted) != 3 {
+		t.Fatalf("emitted %d batches, want 3 singletons", len(emitted))
+	}
+	for _, e := range emitted {
+		if len(e) != 1 {
+			t.Fatalf("unbatched emit carried %d items", len(e))
+		}
+	}
+}
+
+func TestBatcherCoalescesToMaxBatch(t *testing.T) {
+	eng := testEngine()
+	var emitted [][]int
+	b := NewBatcher[int](eng, Params{MaxBatch: 4}, "b", 0, func(_ string, items []int) {
+		emitted = append(emitted, items)
+	})
+	eng.After(0, eventq.ClassApp, func() {
+		for i := 0; i < 4; i++ {
+			b.Add("s0", i)
+		}
+	})
+	eng.Run(vtime.Time(1 * ms))
+	if len(emitted) != 1 || len(emitted[0]) != 4 {
+		t.Fatalf("emitted=%v, want one batch of 4", emitted)
+	}
+	if b.Stats.FullFlushes != 1 || b.Stats.MaxBatchOps != 4 {
+		t.Fatalf("stats=%+v, want 1 full flush of 4", b.Stats)
+	}
+}
+
+func TestBatcherTimerFlushesPartialBatch(t *testing.T) {
+	eng := testEngine()
+	var emitted [][]int
+	b := NewBatcher[int](eng, Params{MaxBatch: 8, FlushInterval: 200 * us}, "b", 0,
+		func(_ string, items []int) { emitted = append(emitted, items) })
+	eng.After(0, eventq.ClassApp, func() {
+		b.Add("s0", 1)
+		b.Add("s0", 2)
+	})
+	eng.Run(vtime.Time(100 * us))
+	if len(emitted) != 0 {
+		t.Fatal("partial batch flushed before the interval")
+	}
+	eng.Run(vtime.Time(1 * ms))
+	if len(emitted) != 1 || len(emitted[0]) != 2 {
+		t.Fatalf("emitted=%v, want one timer flush of 2", emitted)
+	}
+	if b.Stats.TimerFlushes != 1 {
+		t.Fatalf("stats=%+v, want 1 timer flush", b.Stats)
+	}
+}
+
+func TestBatcherPipelineDepthStallsAndDrains(t *testing.T) {
+	eng := testEngine()
+	var emitted [][]int
+	b := NewBatcher[int](eng, Params{MaxBatch: 2, PipelineDepth: 2}, "b", 0,
+		func(_ string, items []int) { emitted = append(emitted, items) })
+	eng.After(0, eventq.ClassApp, func() {
+		for i := 0; i < 8; i++ {
+			b.Add("s0", i)
+		}
+	})
+	eng.Run(vtime.Time(1 * ms))
+	// 8 items / batch 2 = 4 batches, but only 2 slots: two emit, two wait.
+	if len(emitted) != 2 || b.Inflight("s0") != 2 {
+		t.Fatalf("emitted=%d inflight=%d, want 2/2", len(emitted), b.Inflight("s0"))
+	}
+	if b.Stats.Stalls == 0 {
+		t.Fatal("depth-limited flush recorded no stall")
+	}
+	eng.After(0, eventq.ClassApp, func() { b.Complete("s0"); b.Complete("s0") })
+	eng.Run(vtime.Time(2 * ms))
+	if len(emitted) != 4 {
+		t.Fatalf("emitted=%d after completions, want 4", len(emitted))
+	}
+	if got := b.MaxInflight()["s0"]; got != 2 {
+		t.Fatalf("max inflight %d, want 2", got)
+	}
+}
+
+// TestBatcherEagerIdleGroupCommit pins the group-commit flush policy:
+// an idle lane flushes at once (no timer wait), items arriving while a
+// round is in flight coalesce until Complete releases them, and the
+// flush timer forces a round out past the depth bound when a
+// completion is lost.
+func TestBatcherEagerIdleGroupCommit(t *testing.T) {
+	eng := testEngine()
+	var emitted [][]int
+	b := NewBatcher[int](eng, Params{MaxBatch: 4, FlushInterval: 500 * us, PipelineDepth: 1}, "b", 0,
+		func(_ string, items []int) { emitted = append(emitted, items) })
+	b.EagerIdle = true
+	eng.After(0, eventq.ClassApp, func() {
+		b.Add("dec", 1) // idle → flushes immediately, round 1 in flight
+		b.Add("dec", 2) // coalesce behind round 1
+		b.Add("dec", 3)
+	})
+	eng.Run(vtime.Time(100 * us))
+	if len(emitted) != 1 || len(emitted[0]) != 1 {
+		t.Fatalf("emitted=%v, want an immediate singleton round", emitted)
+	}
+	eng.After(0, eventq.ClassApp, func() { b.Complete("dec") })
+	eng.Run(vtime.Time(200 * us))
+	if len(emitted) != 2 || len(emitted[1]) != 2 {
+		t.Fatalf("emitted=%v, want the coalesced pair released by Complete", emitted)
+	}
+	// Lose round 2's completion: the next item waits for the timer,
+	// which forces a flush past the depth bound instead of wedging.
+	eng.After(0, eventq.ClassApp, func() { b.Add("dec", 4) })
+	eng.Run(vtime.Time(300 * us))
+	if len(emitted) != 2 {
+		t.Fatalf("emitted=%v, item flushed while a round was in flight", emitted)
+	}
+	eng.Run(vtime.Time(1 * ms))
+	if len(emitted) != 3 || len(emitted[2]) != 1 {
+		t.Fatalf("emitted=%v, want the timer-forced fallback round", emitted)
+	}
+	if b.Stats.TimerFlushes != 1 {
+		t.Fatalf("stats=%+v, want 1 timer flush (the fallback)", b.Stats)
+	}
+}
+
+func TestBatcherLanesAreIndependent(t *testing.T) {
+	eng := testEngine()
+	byLane := map[string]int{}
+	b := NewBatcher[int](eng, Params{MaxBatch: 2}, "b", 0,
+		func(lane string, items []int) { byLane[lane] += len(items) })
+	eng.After(0, eventq.ClassApp, func() {
+		b.Add("s0", 1)
+		b.Add("s1", 2)
+		b.Add("s0", 3) // fills s0's batch
+	})
+	eng.Run(vtime.Time(10 * ms))
+	if byLane["s0"] != 2 {
+		t.Fatalf("s0 got %d ops, want 2 (full flush)", byLane["s0"])
+	}
+	if byLane["s1"] != 1 {
+		t.Fatalf("s1 got %d ops, want 1 (timer flush)", byLane["s1"])
+	}
+}
+
+func TestBatchStatsHistString(t *testing.T) {
+	var s BatchStats
+	if s.HistString() != "-" {
+		t.Fatalf("empty hist = %q", s.HistString())
+	}
+	s.record(1)
+	s.record(4)
+	s.record(4)
+	if got := s.HistString(); got != "1:1 4:2" {
+		t.Fatalf("hist = %q, want \"1:1 4:2\"", got)
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	var p Params
+	if p.Batching() || p.maxBatch() != 1 {
+		t.Fatal("zero Params must be unbatched")
+	}
+	p = Params{MaxBatch: 4}
+	if !p.Batching() || p.flushInterval() != DefaultFlushInterval {
+		t.Fatal("MaxBatch>1 must enable batching with the default interval")
+	}
+}

@@ -3,10 +3,8 @@ package shard
 import (
 	"fmt"
 
-	"hades/internal/eventq"
-	"hades/internal/membership"
-	"hades/internal/monitor"
 	"hades/internal/netsim"
+	"hades/internal/session"
 	"hades/internal/simkern"
 	"hades/internal/vtime"
 )
@@ -59,9 +57,16 @@ type ClientParams struct {
 	MaxRetries int
 	// Policy selects queueing or failing fast on exhaustion.
 	Policy Policy
+	// Session sets the throughput knobs: op batching per shard and
+	// pipelined in-flight batches. The zero value is the unbatched,
+	// unpipelined discipline.
+	Session session.Params
 }
 
-// ClientStats counts one client's request outcomes.
+// ClientStats counts one client's request outcomes. The retry-shaped
+// counters (Timeouts, Retries, Queued, Resubmitted, Blocked,
+// Redirects) count batch-level events — with batching off every batch
+// is one op and they coincide with per-op counts.
 type ClientStats struct {
 	Submitted   int
 	Acked       int
@@ -70,14 +75,14 @@ type ClientStats struct {
 	Retries     int // re-dispatches after a timeout
 	Blocked     int // stale-view rejections received
 	Queued      int // park events (queue policy)
-	Resubmitted int // dispatches of parked requests after a view/heal
+	Resubmitted int // dispatches of parked batches after a view/heal
 	FailedFast  int // requests abandoned by the fail-fast policy
 	SumLatency  vtime.Duration
 	MaxLatency  vtime.Duration
 }
 
-// AvgLatency returns the mean submit-to-ack latency (queue time
-// included).
+// AvgLatency returns the mean submit-to-ack latency (queue and
+// batching wait included).
 func (s ClientStats) AvgLatency() vtime.Duration {
 	if s.Acked == 0 {
 		return 0
@@ -104,8 +109,10 @@ const (
 	// independent retry schedules could apply two writes to one key in
 	// the wrong order across a failover).
 	stWaiting reqState = iota + 1
+	// stBatching: head of its key's session, accumulating in the
+	// batcher until its batch flushes.
+	stBatching
 	stInflight
-	stParked
 	stAcked
 	stFailed
 )
@@ -116,27 +123,41 @@ type request struct {
 	cmd         int64
 	seq         uint64
 	shard       int
-	target      int
 	submittedAt vtime.Time
 	state       reqState
-	attempt     int // bumping invalidates the armed timeout
-	retries     int
+}
+
+// batch is one emitted batched submission: its ops, its session call
+// (the retry discipline), and the target its live attempt was sent to.
+type batch struct {
+	id     uint64
+	shard  int
+	ops    []*request
+	call   *session.Call
+	target int
+	done   bool
 }
 
 // Client is the session layer of the sharded data plane: it submits
-// keyed requests, follows the ring to the owning group's current
-// primary, and transparently retries and redirects across crash
-// failover, stale-view rejection and partition windows.
+// keyed requests, coalesces ops bound for the same shard into batched
+// submissions (pipelined up to the configured depth), follows the ring
+// to the owning group's current primary, and transparently retries and
+// redirects across crash failover, stale-view rejection and partition
+// windows — the retry discipline itself lives in internal/session.
 type Client struct {
 	eng    *simkern.Engine
 	net    *netsim.Network
 	router *Router
 	p      ClientParams
+	sess   *session.Engine
 
-	seq    uint64
-	reqs   map[uint64]*request
-	order  []uint64
-	perKey map[string][]*request // unfinished requests per key, FIFO
+	seq     uint64
+	reqs    map[uint64]*request
+	perKey  map[string][]*request // unfinished requests per key, FIFO
+	batcher *session.Batcher[*request]
+	nextBat uint64
+	batches map[uint64]*batch
+	order   []uint64 // live batch ids, emission order
 
 	// Stats counts outcomes; Acks and Failed record them for the
 	// harness (Verify checks Acks against the shard apply logs).
@@ -146,8 +167,8 @@ type Client struct {
 }
 
 // NewClient builds a client on params.Node and wires its reactive
-// paths: server responses, router republications (in-flight requests
-// redirect), and the resubmission triggers for parked requests (any
+// paths: server responses, router republications (in-flight batches
+// redirect), and the resubmission triggers for parked batches (any
 // new agreed view on any shard, and partition heals).
 func NewClient(eng *simkern.Engine, net *netsim.Network, router *Router, params ClientParams) *Client {
 	if params.RespPort == "" {
@@ -160,17 +181,19 @@ func NewClient(eng *simkern.Engine, net *netsim.Network, router *Router, params 
 		params.MaxRetries = DefaultMaxRetries
 	}
 	c := &Client{eng: eng, net: net, router: router, p: params,
-		reqs: make(map[uint64]*request), perKey: make(map[string][]*request)}
+		sess:    session.New(eng),
+		reqs:    make(map[uint64]*request),
+		perKey:  make(map[string][]*request),
+		batches: make(map[uint64]*batch),
+	}
+	c.batcher = session.NewBatcher[*request](eng, params.Session,
+		fmt.Sprintf("shard.client@n%d", params.Node), params.Node, c.launch)
 	net.Bind(params.Node, params.RespPort, c.handleResp)
 	router.OnRepublish(c.redirectInflight)
 	for _, g := range router.Groups() {
-		g.Membership().OnChange(func(membership.View) { c.flushParked("view") })
+		c.sess.WireViews(g.Membership())
 	}
-	net.OnPartitionChange(func(partitioned bool) {
-		if !partitioned {
-			c.flushParked("heal")
-		}
-	})
+	c.sess.WireHeals(net)
 	return c
 }
 
@@ -180,12 +203,20 @@ func (c *Client) Node() int { return c.p.Node }
 // Params returns the client's effective parameters.
 func (c *Client) Params() ClientParams { return c.p }
 
+// BatchStats returns the client's batcher counters (sizes, flush
+// causes, pipeline stalls).
+func (c *Client) BatchStats() session.BatchStats { return c.batcher.Stats }
+
+// MaxInflight returns the deepest pipeline reached per shard lane.
+func (c *Client) MaxInflight() map[string]int { return c.batcher.MaxInflight() }
+
 // Submit issues one keyed request and returns its sequence number. The
 // command is applied exactly once on the owning shard regardless of
 // how many retries, redirects or resubmissions it takes to land.
 // Requests on the same key are a session: they apply in submission
 // order (per-key FIFO — a later request waits for the earlier one's
-// outcome), while distinct keys proceed in parallel.
+// outcome), while distinct keys proceed in parallel, batched per
+// owning shard.
 func (c *Client) Submit(key string, cmd int64) uint64 {
 	c.seq++
 	r := &request{
@@ -196,7 +227,6 @@ func (c *Client) Submit(key string, cmd int64) uint64 {
 		submittedAt: c.eng.Now(),
 	}
 	c.reqs[r.seq] = r
-	c.order = append(c.order, r.seq)
 	c.Stats.Submitted++
 	q := c.perKey[key]
 	c.perKey[key] = append(q, r)
@@ -204,13 +234,67 @@ func (c *Client) Submit(key string, cmd int64) uint64 {
 		r.state = stWaiting // an earlier request on key holds the turn
 		return r.seq
 	}
-	c.dispatch(r)
+	c.enqueue(r)
 	return r.seq
 }
 
-// finish retires the head request of its key's session (acked or
+// enqueue hands one head-of-key request to the batcher. Because only
+// heads enter, a batch never carries two ops on one key — the per-key
+// FIFO survives batching.
+func (c *Client) enqueue(r *request) {
+	r.state = stBatching
+	c.batcher.Add(laneName(r.shard), r)
+}
+
+// laneName renders a shard index as a batcher lane.
+func laneName(shard int) string { return fmt.Sprintf("s%d", shard) }
+
+// launch emits one flushed batch: it becomes a session call whose
+// attempts send the batch envelope at the owning group's current
+// primary.
+func (c *Client) launch(lane string, ops []*request) {
+	c.nextBat++
+	b := &batch{id: c.nextBat, shard: ops[0].shard, ops: ops}
+	c.batches[b.id] = b
+	c.order = append(c.order, b.id)
+	for _, r := range ops {
+		r.state = stInflight
+	}
+	g := c.router.group(b.shard)
+	b.call = c.sess.Go(session.Spec{
+		Label:      c.batchLabel(b),
+		Node:       c.p.Node,
+		Timeout:    c.p.RetryTimeout,
+		MaxRetries: c.p.MaxRetries,
+		FailFast:   c.p.Policy == FailFast,
+		Send: func(attempt int) {
+			b.target = g.Replication().Primary()
+			env := batchEnv{Client: c.p.Node, Batch: b.id, Attempt: attempt, Ops: make([]batchOp, len(b.ops))}
+			for i, r := range b.ops {
+				env.Ops[i] = batchOp{Key: r.key, Cmd: r.cmd, Seq: r.seq}
+			}
+			_, _ = c.net.Send(c.p.Node, b.target, g.ReqPort(), env, 48*len(b.ops))
+		},
+		OnTimeout:  func() { c.Stats.Timeouts++ },
+		OnRetry:    func() { c.Stats.Retries++ },
+		OnPark:     func() { c.Stats.Queued++ },
+		OnResubmit: func() { c.Stats.Resubmitted++ },
+		OnFail:     func() { c.failBatch(b) },
+	})
+}
+
+// batchLabel renders a batch for the monitor log: singletons keep the
+// per-request label, real batches carry their size.
+func (c *Client) batchLabel(b *batch) string {
+	if len(b.ops) == 1 {
+		return fmt.Sprintf("shard.%s#%d", b.ops[0].key, b.ops[0].seq)
+	}
+	return fmt.Sprintf("shard.b%d@s%d[%d]", b.id, b.shard, len(b.ops))
+}
+
+// finishKey retires the head request of its key's session (acked or
 // abandoned) and hands the turn to the next waiting request.
-func (c *Client) finish(r *request) {
+func (c *Client) finishKey(r *request) {
 	q := c.perKey[r.key]
 	if len(q) == 0 || q[0] != r {
 		return
@@ -221,119 +305,60 @@ func (c *Client) finish(r *request) {
 		return
 	}
 	c.perKey[r.key] = q
-	c.dispatch(q[0])
+	c.enqueue(q[0])
 }
 
-// dispatch sends (or resends) one attempt at the owning group's
-// current primary and arms the reply timeout.
-func (c *Client) dispatch(r *request) {
-	r.state = stInflight
-	r.attempt++
-	g := c.router.group(r.shard)
-	r.target = g.Replication().Primary()
-	_, _ = c.net.Send(c.p.Node, r.target, g.ReqPort(),
-		reqEnv{Key: r.key, Cmd: r.cmd, Client: c.p.Node, Seq: r.seq, Attempt: r.attempt}, 48)
-	attempt := r.attempt
-	c.eng.After(c.p.RetryTimeout, eventq.ClassApp, func() {
-		if r.state != stInflight || r.attempt != attempt {
-			return // answered or re-dispatched in the meantime
-		}
-		c.Stats.Timeouts++
-		c.onFailure(r, "timeout")
-	})
+// retire marks one batch done and frees its pipeline slot (after the
+// per-op bookkeeping ran, so freshly unblocked per-key successors can
+// ride the freed slot).
+func (c *Client) retire(b *batch) {
+	b.done = true
+	b.call.Finish()
+	delete(c.batches, b.id)
+	c.batcher.Complete(laneName(b.shard))
 }
 
-// onFailure handles one failed attempt (timeout or stale-view
-// rejection): retry while budget remains, then apply the policy.
-func (c *Client) onFailure(r *request, why string) {
-	r.retries++
-	if r.retries <= c.p.MaxRetries {
-		c.Stats.Retries++
-		if log := c.eng.Log(); log != nil {
-			log.Recordf(c.eng.Now(), monitor.KindRetry, c.p.Node, reqLabel(r), "%s retry %d/%d", why, r.retries, c.p.MaxRetries)
-		}
-		c.dispatch(r)
+// failBatch abandons every op of a batch (fail-fast exhaustion).
+func (c *Client) failBatch(b *batch) {
+	if b.done {
 		return
 	}
-	if c.p.Policy == FailFast {
+	for _, r := range b.ops {
 		r.state = stFailed
-		r.attempt++
 		c.Stats.FailedFast++
 		c.Failed = append(c.Failed, r.seq)
-		c.finish(r)
-		return
+		c.finishKey(r)
 	}
-	r.state = stParked
-	r.attempt++
-	c.Stats.Queued++
-	if log := c.eng.Log(); log != nil {
-		log.Recordf(c.eng.Now(), monitor.KindRetry, c.p.Node, reqLabel(r), "%s: parked after %d retries", why, r.retries)
-	}
-	// Backoff safety net: view installs and heals resubmit parked
-	// requests promptly, but a request can park after the last such
-	// trigger (its retry budget outlasting the merge) — re-probe at a
-	// deep backoff so nothing is stranded.
-	attempt := r.attempt
-	c.eng.After(5*c.p.RetryTimeout, eventq.ClassApp, func() {
-		if r.state != stParked || r.attempt != attempt {
-			return
-		}
-		c.resubmit(r, "backoff")
-	})
+	c.retire(b)
 }
 
-// resubmit re-dispatches one parked request with a fresh retry budget.
-func (c *Client) resubmit(r *request, why string) {
-	c.Stats.Resubmitted++
-	r.retries = 0
-	if log := c.eng.Log(); log != nil {
-		log.Recordf(c.eng.Now(), monitor.KindResubmit, c.p.Node, reqLabel(r), "after %s", why)
-	}
-	c.dispatch(r)
-}
-
-// sweepLive iterates the outstanding requests in submission order,
-// compacting retired (acked/failed) entries out of c.order on the way
-// — the scan fires on every view change, republish and heal, so it
+// sweepLive iterates the live batches in emission order, compacting
+// retired ids on the way — the scan fires on every republish, so it
 // must stay proportional to the live set, not the run's history.
-func (c *Client) sweepLive(fn func(*request)) {
+func (c *Client) sweepLive(fn func(*batch)) {
 	live := c.order[:0]
-	for _, seq := range c.order {
-		r := c.reqs[seq]
-		if r.state == stAcked || r.state == stFailed {
+	for _, id := range c.order {
+		b := c.batches[id]
+		if b == nil || b.done {
 			continue
 		}
-		live = append(live, seq)
-		fn(r)
+		live = append(live, id)
+		fn(b)
 	}
 	c.order = live
 }
 
-// redirectInflight re-resolves in-flight requests of a republished
+// redirectInflight re-resolves in-flight batches of a republished
 // shard: when the new primary differs from the attempt's target the
-// request redirects immediately instead of waiting out its timeout.
+// batch redirects immediately instead of waiting out its timeout.
 func (c *Client) redirectInflight(g *Group) {
 	p := g.Replication().Primary()
-	c.sweepLive(func(r *request) {
-		if r.state != stInflight || r.shard != g.Index() || r.target == p {
+	c.sweepLive(func(b *batch) {
+		if !b.call.Inflight() || b.shard != g.Index() || b.target == p {
 			return
 		}
 		c.Stats.Redirects++
-		if log := c.eng.Log(); log != nil {
-			log.Recordf(c.eng.Now(), monitor.KindRedirect, c.p.Node, reqLabel(r), "republish: n%d -> n%d", r.target, p)
-		}
-		c.dispatch(r)
-	})
-}
-
-// flushParked resubmits every parked request — fired on any new agreed
-// view (failover or merge) and on partition heals, so requests issued
-// into a split window land after the merge.
-func (c *Client) flushParked(why string) {
-	c.sweepLive(func(r *request) {
-		if r.state == stParked {
-			c.resubmit(r, why)
-		}
+		b.call.Redirect(fmt.Sprintf("republish: n%d -> n%d", b.target, p))
 	})
 }
 
@@ -343,43 +368,41 @@ func (c *Client) handleResp(m *netsim.Message) {
 	if !ok {
 		return
 	}
-	r := c.reqs[env.Seq]
-	if r == nil || r.state == stAcked || r.state == stFailed {
-		return // late duplicate of an answered request
+	b := c.batches[env.Batch]
+	if b == nil || b.done {
+		return // late duplicate of an answered batch
 	}
 	switch env.Kind {
 	case respOK:
-		if r.state == stWaiting {
-			return // cannot happen: waiting requests were never sent
-		}
-		r.state = stAcked
-		r.attempt++
+		// A late OK is accepted from any attempt — the commands landed.
 		now := c.eng.Now()
-		lat := now.Sub(r.submittedAt)
-		c.Stats.Acked++
-		c.Stats.SumLatency += lat
-		if lat > c.Stats.MaxLatency {
-			c.Stats.MaxLatency = lat
+		for _, res := range env.Results {
+			r := c.reqs[res.Seq]
+			if r == nil || r.state == stAcked || r.state == stFailed {
+				continue
+			}
+			r.state = stAcked
+			lat := now.Sub(r.submittedAt)
+			c.Stats.Acked++
+			c.Stats.SumLatency += lat
+			if lat > c.Stats.MaxLatency {
+				c.Stats.MaxLatency = lat
+			}
+			c.Acks = append(c.Acks, Ack{Key: r.key, Seq: r.seq, Cmd: r.cmd, Result: res.Result, At: now, Latency: lat})
+			c.finishKey(r)
 		}
-		c.Acks = append(c.Acks, Ack{Key: r.key, Seq: r.seq, Cmd: r.cmd, Result: env.Result, At: now, Latency: lat})
-		c.finish(r)
+		c.retire(b)
 	case respRedirect:
-		if r.state != stInflight || env.Attempt != r.attempt {
+		if !b.call.Inflight() || env.Attempt != b.call.Attempt() {
 			return // a superseded attempt's verdict; the live one decides
 		}
 		c.Stats.Redirects++
-		if log := c.eng.Log(); log != nil {
-			log.Recordf(c.eng.Now(), monitor.KindRedirect, c.p.Node, reqLabel(r), "server: n%d -> n%d", r.target, env.Primary)
-		}
-		c.dispatch(r)
+		b.call.Redirect(fmt.Sprintf("server: n%d -> n%d", b.target, env.Primary))
 	case respBlocked:
-		if r.state != stInflight || env.Attempt != r.attempt {
+		if !b.call.Inflight() || env.Attempt != b.call.Attempt() {
 			return // a superseded attempt's verdict; the live one decides
 		}
 		c.Stats.Blocked++
-		c.onFailure(r, "blocked")
+		b.call.Fail("blocked")
 	}
 }
-
-// reqLabel renders a request for the monitor log.
-func reqLabel(r *request) string { return fmt.Sprintf("shard.%s#%d", r.key, r.seq) }

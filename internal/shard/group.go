@@ -15,22 +15,30 @@ import (
 // per node and per data plane; the cluster layer scopes it per set).
 const respPort = "shard.resp"
 
-// reqEnv is one keyed client request crossing the wire. Attempt is
-// the client's attempt counter, echoed back in the response so the
-// client can discard failure responses of superseded attempts.
-type reqEnv struct {
-	Key     string
-	Cmd     int64
+// batchOp is one keyed operation inside a batched client submission.
+type batchOp struct {
+	Key string
+	Cmd int64
+	Seq uint64
+}
+
+// batchEnv is one batched client submission crossing the wire: every
+// op targets this shard, and the whole batch is admitted (or bounced)
+// as one routing decision. Unbatched clients send batches of one.
+// Attempt is the client's attempt counter for the batch, echoed back
+// in failure responses so superseded attempts' verdicts are discarded.
+type batchEnv struct {
 	Client  int // client node id
-	Seq     uint64
+	Batch   uint64
 	Attempt int
+	Ops     []batchOp
 }
 
 // respKind classifies a server response.
 type respKind uint8
 
 const (
-	// respOK carries the applied (or dedup-cached) result.
+	// respOK carries the applied (or dedup-cached) results, op order.
 	respOK respKind = iota + 1
 	// respRedirect tells the client which node the server believes is
 	// the group's current primary.
@@ -41,16 +49,23 @@ const (
 	respBlocked
 )
 
-// respEnv is one server response. Attempt echoes the request's
-// attempt counter (stale-attempt failure responses are ignored by the
-// client; a late OK is accepted from any attempt — the command landed).
+// opResult is one op's result inside a batch response.
+type opResult struct {
+	Seq    uint64
+	Result int64
+}
+
+// respEnv is one server response to a batch. Attempt echoes the
+// batch's attempt counter (stale-attempt failure responses are ignored
+// by the client; a late OK is accepted from any attempt — the commands
+// landed).
 type respEnv struct {
 	Shard   string
-	Seq     uint64
+	Batch   uint64
 	Attempt int
 	Kind    respKind
-	Result  int64
-	Primary int // respRedirect only
+	Primary int        // respRedirect only
+	Results []opResult // respOK only, op order
 }
 
 // Applied records one fresh state-machine apply at one replica — the
@@ -76,12 +91,27 @@ type GroupStats struct {
 	Blocked int
 }
 
-// pendingReq tracks one accepted client request through the
-// replication layer until its reply.
-type pendingReq struct {
-	env       reqEnv
+// pendingBatch tracks one accepted client batch until every op's
+// authoritative reply lands, at which point one response answers the
+// whole batch.
+type pendingBatch struct {
+	env       batchEnv
 	from      int // client node to answer
+	remaining int
+	results   []opResult
 	responded bool
+}
+
+// pendingOp tracks one accepted op through the replication layer: its
+// identity for the apply logs, and the batch its reply completes
+// (nil for transaction-layer submissions, which answer their own
+// client).
+type pendingOp struct {
+	op     batchOp
+	client int
+	batch  *pendingBatch
+	idx    int
+	done   bool
 }
 
 // GroupConfig parameterises one shard group.
@@ -114,7 +144,7 @@ type Group struct {
 	respPort string
 	nodes    []int
 
-	pending map[uint64]*pendingReq
+	pending map[uint64]*pendingOp
 	logs    map[int][]Applied
 	// kv is each replica's keyed view: the last applied write's command
 	// per key, derived from the apply log (the transaction layer reads
@@ -160,7 +190,7 @@ func NewGroup(eng *simkern.Engine, net *netsim.Network, mem *membership.Service,
 		index:    cfg.Index,
 		respPort: cfg.RespPort,
 		nodes:    append([]int(nil), cfg.Replication.Replicas...),
-		pending:  make(map[uint64]*pendingReq),
+		pending:  make(map[uint64]*pendingOp),
 		logs:     make(map[int][]Applied),
 		kv:       make(map[int]map[string]int64),
 		holed:    make(map[int]bool),
@@ -234,48 +264,62 @@ func (g *Group) AuthoritativeNode() (int, bool) {
 	return -1, false
 }
 
-// handleRequest serves one client request arriving at replica node.
+// handleRequest serves one client batch arriving at replica node: the
+// routing decision (quorum, primaryship) is made once for the batch,
+// and an admitted batch enters the replicated machine as one round
+// whose items keep their per-op dedup tags.
 func (g *Group) handleRequest(node int, m *netsim.Message) {
-	env, ok := m.Payload.(reqEnv)
-	if !ok || g.net.NodeDown(node) {
+	env, ok := m.Payload.(batchEnv)
+	if !ok || g.net.NodeDown(node) || len(env.Ops) == 0 {
 		return
 	}
-	g.Stats.Requests++
+	g.Stats.Requests += len(env.Ops)
 	if !g.mem.HasQuorum(node) {
 		// Stale-view rejection: this replica cannot reach a majority of
 		// its installed view, so it must not serve — an ack here could
 		// be overwritten by the authoritative majority at the merge.
 		g.Stats.Blocked++
 		if log := g.eng.Log(); log != nil {
-			log.Recordf(g.eng.Now(), monitor.KindQuorumBlocked, node, g.name, "rejected c%d#%d: no quorum", env.Client, env.Seq)
+			log.Recordf(g.eng.Now(), monitor.KindQuorumBlocked, node, g.name, "rejected c%d b%d (%d ops): no quorum", env.Client, env.Batch, len(env.Ops))
 		}
-		g.respond(node, m.From, respEnv{Shard: g.name, Seq: env.Seq, Attempt: env.Attempt, Kind: respBlocked})
+		g.respond(node, m.From, respEnv{Shard: g.name, Batch: env.Batch, Attempt: env.Attempt, Kind: respBlocked})
 		return
 	}
 	if p := g.rep.Primary(); node != p {
 		g.Stats.Redirects++
 		if log := g.eng.Log(); log != nil {
-			log.Recordf(g.eng.Now(), monitor.KindRedirect, node, g.name, "c%d#%d -> n%d", env.Client, env.Seq, p)
+			log.Recordf(g.eng.Now(), monitor.KindRedirect, node, g.name, "c%d b%d -> n%d", env.Client, env.Batch, p)
 		}
-		g.respond(node, m.From, respEnv{Shard: g.name, Seq: env.Seq, Attempt: env.Attempt, Kind: respRedirect, Primary: p})
+		g.respond(node, m.From, respEnv{Shard: g.name, Batch: env.Batch, Attempt: env.Attempt, Kind: respRedirect, Primary: p})
 		return
 	}
-	id := g.rep.SubmitTagged(node, env.Cmd, replication.ClientSeq{Client: uint64(env.Client) + 1, Seq: env.Seq})
-	g.pending[id] = &pendingReq{env: env, from: m.From}
+	pb := &pendingBatch{env: env, from: m.From, remaining: len(env.Ops), results: make([]opResult, len(env.Ops))}
+	items := make([]replication.BatchItem, len(env.Ops))
+	for i, op := range env.Ops {
+		items[i] = replication.BatchItem{
+			Cmd: op.Cmd,
+			Tag: replication.ClientSeq{Client: uint64(env.Client) + 1, Seq: op.Seq},
+		}
+		pb.results[i].Seq = op.Seq
+	}
+	ids := g.rep.SubmitBatch(node, items)
+	for i, id := range ids {
+		g.pending[id] = &pendingOp{op: env.Ops[i], client: env.Client, batch: pb, idx: i}
+	}
 }
 
 // recordApply appends one fresh apply to node's log (replication's
 // OnApply hook; suppressed duplicates never reach it).
 func (g *Group) recordApply(node int, reqID uint64, result int64) {
-	pr := g.pending[reqID]
-	if pr == nil {
+	po := g.pending[reqID]
+	if po == nil {
 		return // a direct Submit, not a routed client request
 	}
 	g.logs[node] = append(g.logs[node], Applied{
-		Key:    pr.env.Key,
-		Client: pr.env.Client,
-		Seq:    pr.env.Seq,
-		Cmd:    pr.env.Cmd,
+		Key:    po.op.Key,
+		Client: po.client,
+		Seq:    po.op.Seq,
+		Cmd:    po.op.Cmd,
 		Result: result,
 		At:     g.eng.Now(),
 	})
@@ -284,7 +328,7 @@ func (g *Group) recordApply(node int, reqID uint64, result int64) {
 		view = make(map[string]int64)
 		g.kv[node] = view
 	}
-	view[pr.env.Key] = pr.env.Cmd
+	view[po.op.Key] = po.op.Cmd
 }
 
 // KeyValue returns node's view of the last applied write command on
@@ -313,24 +357,35 @@ func TxnTag(client int, seq uint64) replication.ClientSeq {
 // replication request id so the caller can observe the apply.
 func (g *Group) SubmitKeyed(key string, cmd int64, client int, seq uint64) uint64 {
 	id := g.rep.SubmitTagged(g.rep.Primary(), cmd, TxnTag(client, seq))
-	g.pending[id] = &pendingReq{
-		env:       reqEnv{Key: key, Cmd: cmd, Client: client, Seq: seq},
-		from:      -1,
-		responded: true, // the transaction layer answers its own client
-	}
+	// No batch: the transaction layer answers its own client.
+	g.pending[id] = &pendingOp{op: batchOp{Key: key, Cmd: cmd, Seq: seq}, client: client}
 	return id
 }
 
 // finish is the replication reply hook: the primary's (authoritative)
-// reply answers the client.
+// reply retires one op, and the batch answers its client when its last
+// op retires.
 func (g *Group) finish(reqID uint64, result int64, _ bool) {
-	pr := g.pending[reqID]
-	if pr == nil || pr.responded {
+	po := g.pending[reqID]
+	if po == nil || po.done {
 		return
 	}
-	pr.responded = true
+	po.done = true
+	pb := po.batch
+	if pb == nil || pb.responded {
+		return
+	}
+	pb.results[po.idx].Result = result
 	g.Stats.Served++
-	g.respond(g.rep.Primary(), pr.from, respEnv{Shard: g.name, Seq: pr.env.Seq, Attempt: pr.env.Attempt, Kind: respOK, Result: result})
+	pb.remaining--
+	if pb.remaining > 0 {
+		return
+	}
+	pb.responded = true
+	g.respond(g.rep.Primary(), pb.from, respEnv{
+		Shard: g.name, Batch: pb.env.Batch, Attempt: pb.env.Attempt,
+		Kind: respOK, Results: pb.results,
+	})
 }
 
 // respond sends one response back to the client node.

@@ -4,9 +4,8 @@ import (
 	"fmt"
 
 	"hades/internal/eventq"
-	"hades/internal/membership"
-	"hades/internal/monitor"
 	"hades/internal/netsim"
+	"hades/internal/session"
 	"hades/internal/shard"
 	"hades/internal/vtime"
 )
@@ -92,11 +91,11 @@ type Txn struct {
 
 	committedCall bool
 	submittedAt   vtime.Time
-	attempt       int
-	retries       int
-	parked        bool
 	target        int
 	coordShard    int
+	// call is the submission's session call (the shared retry
+	// discipline; nil until dispatched).
+	call *session.Call
 
 	// OnDone, when set, observes the decided transaction.
 	OnDone func(Record)
@@ -145,9 +144,10 @@ type Client struct {
 }
 
 // NewClient builds a transaction client on params.Node and wires its
-// reactive paths: coordinator responses, router republications
-// (in-flight submissions redirect) and the resubmission triggers for
-// parked submissions (any new agreed view, partition heals).
+// reactive paths: coordinator responses and router republications
+// (in-flight submissions redirect). Parked submissions resubmit
+// through the plane's session engine (any new agreed view, partition
+// heals).
 func NewClient(p *Plane, params ClientParams) *Client {
 	if params.RetryTimeout <= 0 {
 		params.RetryTimeout = DefaultRetryTimeout
@@ -161,14 +161,6 @@ func NewClient(p *Plane, params ClientParams) *Client {
 	c := &Client{p: p, c: params}
 	p.bind(params.Node, p.respPort(), c.handleResp)
 	p.router.OnRepublish(c.redirectInflight)
-	for _, g := range p.router.Groups() {
-		g.Membership().OnChange(func(membership.View) { c.flushParked("view") })
-	}
-	p.net.OnPartitionChange(func(partitioned bool) {
-		if !partitioned {
-			c.flushParked("heal")
-		}
-	})
 	p.clients = append(p.clients, c)
 	return c
 }
@@ -258,84 +250,42 @@ func (c *Client) removeQueued(t *Txn) {
 	c.queue = q
 }
 
-// dispatch sends (or resends) one submission attempt at the
-// coordinator group's current primary and arms the reply timeout.
+// dispatch starts the submission's session call: attempts send the
+// transaction at the coordinator group's current primary, with the
+// shared retry discipline (timeout/retry, park-and-resubmit on view
+// installs and heals — a transaction submission is never abandoned;
+// the coordinator's deadline discipline decides it, and the outcome
+// query is idempotent).
 func (c *Client) dispatch(t *Txn) {
-	t.parked = false
-	t.attempt++
 	g := c.p.router.Groups()[t.coordShard]
-	t.target = g.Replication().Primary()
-	env := beginEnv{ID: t.id, Ops: t.ops, Deadline: t.deadline, Client: c.c.Node, Attempt: t.attempt}
-	c.p.send(c.c.Node, t.target, c.p.coordPort(), env, 64)
-	attempt := t.attempt
-	c.p.eng.After(c.c.RetryTimeout, eventq.ClassApp, func() {
-		if t.status != StatusPending || t.attempt != attempt || t.parked {
-			return
-		}
-		c.Stats.Timeouts++
-		c.onFailure(t, "timeout")
+	t.call = c.p.sess.Go(session.Spec{
+		Label:      t.id.String(),
+		Node:       c.c.Node,
+		Timeout:    c.c.RetryTimeout,
+		MaxRetries: c.c.MaxRetries,
+		Send: func(attempt int) {
+			t.target = g.Replication().Primary()
+			env := beginEnv{ID: t.id, Ops: t.ops, Deadline: t.deadline, Client: c.c.Node, Attempt: attempt}
+			c.p.send(c.c.Node, t.target, c.p.coordPort(), env, 64)
+		},
+		Done:       func() bool { return t.status != StatusPending },
+		OnTimeout:  func() { c.Stats.Timeouts++ },
+		OnRetry:    func() { c.Stats.Retries++ },
+		OnPark:     func() { c.Stats.Queued++ },
+		OnResubmit: func() { c.Stats.Resubmitted++ },
 	})
-}
-
-// onFailure handles one failed attempt: retry while budget remains,
-// then park until a view install or heal resubmits (the queue policy —
-// a transaction submission is never abandoned; the coordinator's
-// deadline discipline decides it, and the outcome query is idempotent).
-func (c *Client) onFailure(t *Txn, why string) {
-	t.retries++
-	if t.retries <= c.c.MaxRetries {
-		c.Stats.Retries++
-		if log := c.p.eng.Log(); log != nil {
-			log.Recordf(c.p.eng.Now(), monitor.KindRetry, c.c.Node, t.id.String(), "%s retry %d/%d", why, t.retries, c.c.MaxRetries)
-		}
-		c.dispatch(t)
-		return
-	}
-	t.parked = true
-	t.attempt++
-	c.Stats.Queued++
-	if log := c.p.eng.Log(); log != nil {
-		log.Recordf(c.p.eng.Now(), monitor.KindRetry, c.c.Node, t.id.String(), "%s: parked after %d retries", why, t.retries)
-	}
-	attempt := t.attempt
-	c.p.eng.After(5*c.c.RetryTimeout, eventq.ClassApp, func() {
-		if t.status == StatusPending && t.parked && t.attempt == attempt {
-			c.resubmit(t, "backoff")
-		}
-	})
-}
-
-// resubmit re-dispatches one parked submission with a fresh budget.
-func (c *Client) resubmit(t *Txn, why string) {
-	c.Stats.Resubmitted++
-	t.retries = 0
-	if log := c.p.eng.Log(); log != nil {
-		log.Recordf(c.p.eng.Now(), monitor.KindResubmit, c.c.Node, t.id.String(), "after %s", why)
-	}
-	c.dispatch(t)
-}
-
-// flushParked resubmits a parked in-flight submission — fired on any
-// new agreed view and on partition heals.
-func (c *Client) flushParked(why string) {
-	if t := c.inflight; t != nil && t.parked && t.status == StatusPending {
-		c.resubmit(t, why)
-	}
 }
 
 // redirectInflight re-resolves the in-flight submission when its
 // coordinator shard republishes ownership.
 func (c *Client) redirectInflight(g *shard.Group) {
 	t := c.inflight
-	if t == nil || t.status != StatusPending || t.parked || t.coordShard != g.Index() {
+	if t == nil || t.status != StatusPending || t.call == nil || !t.call.Inflight() || t.coordShard != g.Index() {
 		return
 	}
 	if p := g.Replication().Primary(); p != t.target {
 		c.Stats.Redirects++
-		if log := c.p.eng.Log(); log != nil {
-			log.Recordf(c.p.eng.Now(), monitor.KindRedirect, c.c.Node, t.id.String(), "republish: n%d -> n%d", t.target, p)
-		}
-		c.dispatch(t)
+		t.call.Redirect(fmt.Sprintf("republish: n%d -> n%d", t.target, p))
 	}
 }
 
@@ -353,20 +303,17 @@ func (c *Client) handleResp(m *netsim.Message) {
 	case respOutcome:
 		c.finish(t, env.Committed, env.Reason, env.Deadline, env.Reads)
 	case respRedirect:
-		if env.Attempt != t.attempt || t.parked {
+		if !t.call.Inflight() || env.Attempt != t.call.Attempt() {
 			return // a superseded attempt's verdict
 		}
 		c.Stats.Redirects++
-		if log := c.p.eng.Log(); log != nil {
-			log.Recordf(c.p.eng.Now(), monitor.KindRedirect, c.c.Node, t.id.String(), "server: n%d -> n%d", t.target, env.Primary)
-		}
-		c.dispatch(t)
+		t.call.Redirect(fmt.Sprintf("server: n%d -> n%d", t.target, env.Primary))
 	case respBlocked:
-		if env.Attempt != t.attempt || t.parked {
+		if !t.call.Inflight() || env.Attempt != t.call.Attempt() {
 			return
 		}
 		c.Stats.Blocked++
-		c.onFailure(t, "blocked")
+		t.call.Fail("blocked")
 	}
 }
 
@@ -389,6 +336,9 @@ func (c *Client) finish(t *Txn, committed bool, reason string, byDeadline bool, 
 	}
 	t.reason = reason
 	t.reads = reads
+	if t.call != nil {
+		t.call.Finish()
+	}
 	now := c.p.eng.Now()
 	lat := now.Sub(t.submittedAt)
 	c.Stats.SumLatency += lat

@@ -8,6 +8,7 @@ import (
 	"hades/internal/monitor"
 	"hades/internal/netsim"
 	"hades/internal/replication"
+	"hades/internal/session"
 	"hades/internal/shard"
 	"hades/internal/vtime"
 )
@@ -91,6 +92,14 @@ type decisionRec struct {
 	commit bool
 }
 
+// decisionItem is one decision awaiting its (group-committed)
+// replicated log round.
+type decisionItem struct {
+	rec decisionRec
+	cmd int64
+	tag replication.ClientSeq
+}
+
 // Coordinator is the transaction-coordinator role of one shard group:
 // it accepts client submissions for transactions hashed onto its
 // shard, drives PREPARE/COMMIT/ABORT, and logs every decision through
@@ -110,9 +119,24 @@ type Coordinator struct {
 	// pendingDecision resolves decision-log applies (request ids) back
 	// to transactions.
 	pendingDecision map[uint64]decisionRec
+	// gc group-commits the decision log: one replicated round carries
+	// many COMMIT/ABORT records (built lazily from the plane's knobs).
+	gc *session.Batcher[decisionItem]
+	// decisionRound maps each in-flight decision's request id to its
+	// group-commit round; roundLeft counts a round's not-yet-applied
+	// decisions. The first apply of a round's last decision retires the
+	// round (gc.Complete), releasing the next coalesced batch.
+	decisionRound map[uint64]int
+	roundLeft     map[int]int
+	nextRound     int
 
 	// Stats counts outcomes for the harness.
 	Stats CoordStats
+	// GroupCommits counts decision-log rounds submitted; with batching
+	// on, GroupCommits < Commits+Aborts measures the amortization.
+	GroupCommits int
+	// MaxDecisionBatch is the largest decision batch logged in one round.
+	MaxDecisionBatch int
 }
 
 // newCoordinator builds the coordinator role of one shard group and
@@ -125,6 +149,8 @@ func newCoordinator(p *Plane, g *shard.Group, idx int) *Coordinator {
 		pending:         make(map[ID]*coordTxn),
 		decided:         make(map[int]map[ID]bool),
 		pendingDecision: make(map[uint64]decisionRec),
+		decisionRound:   make(map[uint64]int),
+		roundLeft:       make(map[int]int),
 	}
 	for _, n := range g.Nodes() {
 		node := n
@@ -283,7 +309,7 @@ func (c *Coordinator) sendPrepare(ct *coordTxn, ps *partState) {
 	}
 	ps.prepared = true
 	env := prepareEnv{ID: ct.id, Shard: ps.shard, Ops: ps.ops, Deadline: ct.deadline, Coord: c.shard}
-	c.p.newLoop(fmt.Sprintf("prep.%s.s%d", ct.id, ps.shard), prepareTimeout, prepareRetries,
+	c.p.protoLoop(fmt.Sprintf("prep.%s.s%d", ct.id, ps.shard), c.g.Replication().Primary(),
 		func() {
 			from := c.g.Replication().Primary()
 			to := c.p.router.Groups()[ps.shard].Replication().Primary()
@@ -364,8 +390,44 @@ func (c *Coordinator) decide(ct *coordTxn, commit bool, reason string) {
 		cmd++
 	}
 	tag := replication.ClientSeq{Client: decisionTagSpace | (uint64(ct.id.Client) + 1), Seq: ct.id.Num}
-	reqID := c.g.Replication().SubmitTagged(c.g.Replication().Primary(), cmd, tag)
-	c.pendingDecision[reqID] = decisionRec{id: ct.id, commit: commit}
+	c.logDecision(decisionItem{rec: decisionRec{id: ct.id, commit: commit}, cmd: cmd, tag: tag})
+}
+
+// logDecision routes one decision into the replicated log through the
+// group-commit batcher. The policy is the classic one: an idle log
+// flushes the decision at once (zero added latency over a direct
+// submit), and decisions arriving while a round is in flight coalesce
+// into the next round, released when the in-flight round's entries
+// apply — so amortization appears exactly when the log is loaded. The
+// flush timer is only the fallback for a round lost to a crash, after
+// which the log degrades to timer-paced rounds rather than wedging.
+func (c *Coordinator) logDecision(item decisionItem) {
+	if c.gc == nil {
+		gc := c.p.groupCommit
+		gc.PipelineDepth = 1
+		c.gc = session.NewBatcher[decisionItem](c.p.eng, gc,
+			fmt.Sprintf("txn.%s.gc", c.g.Name()), c.g.Replication().Primary(),
+			func(lane string, items []decisionItem) {
+				batch := make([]replication.BatchItem, len(items))
+				for i, it := range items {
+					batch[i] = replication.BatchItem{Cmd: it.cmd, Tag: it.tag}
+				}
+				ids := c.g.Replication().SubmitBatch(c.g.Replication().Primary(), batch)
+				round := c.nextRound
+				c.nextRound++
+				c.roundLeft[round] = len(ids)
+				for i, id := range ids {
+					c.pendingDecision[id] = items[i].rec
+					c.decisionRound[id] = round
+				}
+				c.GroupCommits++
+				if len(items) > c.MaxDecisionBatch {
+					c.MaxDecisionBatch = len(items)
+				}
+			})
+		c.gc.EagerIdle = true
+	}
+	c.gc.Add("dec", item)
 }
 
 // onApply mirrors decision-log applies at every replica and, on the
@@ -382,6 +444,17 @@ func (c *Coordinator) onApply(node int, reqID uint64, _ int64) {
 		c.decided[node] = d
 	}
 	d[rec.id] = rec.commit
+	// First apply of this decision anywhere retires it from its
+	// group-commit round; the round's last retirement frees the log for
+	// the next coalesced batch.
+	if round, ok := c.decisionRound[reqID]; ok {
+		delete(c.decisionRound, reqID)
+		c.roundLeft[round]--
+		if c.roundLeft[round] == 0 {
+			delete(c.roundLeft, round)
+			c.gc.Complete("dec")
+		}
+	}
 	ct := c.pending[rec.id]
 	if ct != nil && ct.decided && !ct.distributed {
 		c.distribute(ct)
@@ -401,7 +474,7 @@ func (c *Coordinator) distribute(ct *coordTxn) {
 	env := decisionEnv{ID: ct.id, Commit: ct.commit}
 	for _, ps := range ct.parts {
 		p := ps
-		c.p.newLoop(fmt.Sprintf("dec.%s.s%d", ct.id, p.shard), prepareTimeout, prepareRetries,
+		c.p.protoLoop(fmt.Sprintf("dec.%s.s%d", ct.id, p.shard), c.g.Replication().Primary(),
 			func() {
 				from := c.g.Replication().Primary()
 				to := c.p.router.Groups()[p.shard].Replication().Primary()

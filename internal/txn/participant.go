@@ -285,7 +285,7 @@ func (pa *Participant) atDeadline(pr *prep) {
 				"shard %d: released at deadline, decision pending", pa.shard)
 		}
 		env := queryEnv{ID: pr.id, Shard: pa.shard, Deadline: pr.deadline}
-		pa.p.newLoop(fmt.Sprintf("query.%s.s%d", pr.id, pa.shard), prepareTimeout, prepareRetries,
+		pa.p.protoLoop(fmt.Sprintf("query.%s.s%d", pr.id, pa.shard), pa.g.Replication().Primary(),
 			func() {
 				from := pa.g.Replication().Primary()
 				to := pa.p.router.Groups()[pr.coord].Replication().Primary()

@@ -44,8 +44,8 @@ import (
 	"fmt"
 
 	"hades/internal/eventq"
-	"hades/internal/membership"
 	"hades/internal/netsim"
+	"hades/internal/session"
 	"hades/internal/shard"
 	"hades/internal/simkern"
 	"hades/internal/vtime"
@@ -221,7 +221,13 @@ type Plane struct {
 	// has no self-links).
 	local map[int]map[string]func(*netsim.Message)
 
-	loops []*loop
+	// sess runs the retry discipline for every role of the plane
+	// (client submissions, PREPARE/decision/query loops) — one engine,
+	// poked by view installs and partition heals.
+	sess *session.Engine
+	// groupCommit batches the coordinators' decision-log submissions
+	// (zero value: every decision its own replicated round).
+	groupCommit session.Params
 }
 
 // NewPlane builds the transaction layer over a router's shard groups:
@@ -234,21 +240,23 @@ func NewPlane(eng *simkern.Engine, net *netsim.Network, router *shard.Router, na
 		router: router,
 		name:   name,
 		local:  make(map[int]map[string]func(*netsim.Message)),
+		sess:   session.New(eng),
 	}
 	for i, g := range router.Groups() {
 		p.coords = append(p.coords, newCoordinator(p, g, i))
 		p.parts = append(p.parts, newParticipant(p, g, i))
 	}
 	for _, g := range router.Groups() {
-		g.Membership().OnChange(func(membership.View) { p.poke("view") })
+		p.sess.WireViews(g.Membership())
 	}
-	net.OnPartitionChange(func(partitioned bool) {
-		if !partitioned {
-			p.poke("heal")
-		}
-	})
+	p.sess.WireHeals(net)
 	return p
 }
+
+// SetGroupCommit sets the coordinator decision-log batching knobs
+// (call before transactions run; the zero value keeps one replicated
+// round per decision).
+func (p *Plane) SetGroupCommit(params session.Params) { p.groupCommit = params }
 
 // Name returns the plane's scope name (the shard set's name).
 func (p *Plane) Name() string { return p.name }
@@ -309,93 +317,19 @@ func (p *Plane) send(from, to int, port string, payload any, size int) {
 	})
 }
 
-// loop is the shared retry discipline (the PR 4 queue policy, reused):
-// send an attempt, re-send on a timeout, and after the retry budget
-// park until a view install or a partition heal re-probes it — plus a
-// deep deterministic backoff so nothing is stranded when the parking
-// trigger raced the park itself.
-type loop struct {
-	label   string
-	send    func()
-	done    func() bool
-	timeout vtime.Duration
-	retries int
-	max     int
-	parked  bool
-	dead    bool
-	epoch   int // bumped by every state change; stale timers no-op
-}
-
-// newLoop starts a retry loop: the first attempt fires immediately.
-func (p *Plane) newLoop(label string, timeout vtime.Duration, max int, send func(), done func() bool) {
-	l := &loop{label: label, send: send, done: done, timeout: timeout, max: max}
-	p.loops = append(p.loops, l)
-	p.fire(l)
-}
-
-// fire runs one attempt and arms its timeout.
-func (p *Plane) fire(l *loop) {
-	if l.dead || l.done() {
-		l.dead = true
-		return
-	}
-	l.epoch++
-	epoch := l.epoch
-	l.send()
-	p.eng.After(l.timeout, eventq.ClassApp, func() {
-		if l.dead || l.epoch != epoch || l.parked {
-			return
-		}
-		if l.done() {
-			l.dead = true
-			return
-		}
-		if l.retries < l.max {
-			l.retries++
-			p.fire(l)
-			return
-		}
-		l.parked = true
-		l.epoch++
-		backoffEpoch := l.epoch
-		p.eng.After(5*l.timeout, eventq.ClassApp, func() {
-			if l.dead || !l.parked || l.epoch != backoffEpoch {
-				return
-			}
-			p.resume(l)
-		})
+// protoLoop starts one fire-and-observe protocol loop (PREPARE,
+// decision distribution, decision query) on the plane's session
+// engine: the shared retry discipline with completion observed
+// out-of-band through done.
+func (p *Plane) protoLoop(label string, node int, send func(), done func() bool) {
+	p.sess.Go(session.Spec{
+		Label:      label,
+		Node:       node,
+		Timeout:    prepareTimeout,
+		MaxRetries: prepareRetries,
+		Send:       func(int) { send() },
+		Done:       done,
 	})
-}
-
-// resume re-probes a parked loop with a fresh retry budget.
-func (p *Plane) resume(l *loop) {
-	if l.dead {
-		return
-	}
-	if l.done() {
-		l.dead = true
-		return
-	}
-	l.parked = false
-	l.retries = 0
-	p.fire(l)
-}
-
-// poke resubmits every parked loop — fired on any view install and on
-// partition heals, compacting finished loops on the way.
-func (p *Plane) poke(string) {
-	live := p.loops[:0]
-	for _, l := range p.loops {
-		if l.dead || l.done() {
-			l.dead = true
-			continue
-		}
-		live = append(live, l)
-		if l.parked {
-			p.resume(l)
-		}
-	}
-	p.loops = live
 }
 
 // copyReads freezes a read-result map for shipping.
