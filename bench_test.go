@@ -358,6 +358,24 @@ func highFanoutSession() session.Params {
 	return session.Params{MaxBatch: 8, FlushInterval: 500 * us, PipelineDepth: 4}
 }
 
+// benchTrace picks the tracing configuration for the high-fanout
+// benchmarks: HADES_TRACE=off disables the tracer entirely, zero/one
+// pin the sample rate for A/B runs, and anything else leaves the
+// cluster default (sample 10%). The CI tracing overhead gate lives in
+// trace_overhead_test.go — cross-process benchmark diffs cannot
+// resolve single-digit percentages.
+func benchTrace() *cluster.TraceParams {
+	switch os.Getenv("HADES_TRACE") {
+	case "off":
+		return &cluster.TraceParams{Disabled: true}
+	case "zero":
+		return &cluster.TraceParams{SampleRate: 0}
+	case "one":
+		return &cluster.TraceParams{SampleRate: 1}
+	}
+	return nil
+}
+
 // highFanoutKeys spreads the keyed workload wide enough that every
 // burst has several ops per shard to coalesce.
 var highFanoutKeys = func() []string {
@@ -376,7 +394,7 @@ var highFanoutKeys = func() []string {
 func BenchmarkHighFanoutKV(b *testing.B) {
 	params := highFanoutSession()
 	for i := 0; i < b.N; i++ {
-		c := cluster.New(cluster.Config{Seed: 61})
+		c := cluster.New(cluster.Config{Seed: 61, Trace: benchTrace()})
 		c.AddNodes(9) // 4 shards × 2 replicas + client
 		c.ConnectAll(100*us, 300*us)
 		set := c.ShardsWith(4, 2, cluster.ShardConfig{Session: params})
@@ -411,7 +429,7 @@ func BenchmarkHighFanoutKV(b *testing.B) {
 func BenchmarkHighFanoutTxn(b *testing.B) {
 	params := highFanoutSession()
 	for i := 0; i < b.N; i++ {
-		c := cluster.New(cluster.Config{Seed: 67})
+		c := cluster.New(cluster.Config{Seed: 67, Trace: benchTrace()})
 		c.AddNodes(12) // 4 shards × 2 replicas + 4 txn clients
 		c.ConnectAll(100*us, 300*us)
 		set := c.ShardsWith(4, 2, cluster.ShardConfig{Session: params, GroupCommit: params})

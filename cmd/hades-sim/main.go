@@ -9,41 +9,60 @@
 //
 //	hades-sim -builtin spuri-example
 //	hades-sim -builtin distributed-pipeline
-//	hades-sim -builtin inversion -trace
+//	hades-sim -builtin inversion -events
 //	hades-sim -builtin partition-split -views -partition
-//	hades-sim -builtin sharded-kv -shards
-//	hades-sim -builtin bank-transfer -txns
+//	hades-sim -builtin sharded-kv -shards -percentiles
+//	hades-sim -builtin bank-transfer -txns -trace out.json
 //	hades-sim -scenario myset.json
 //	hades-sim -list                  # list built-in scenarios
+//
+// -trace exports the run's retained causal traces as Chrome
+// trace-event JSON, loadable in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing; -percentiles prints the per-shard, per-op-class
+// latency percentile table with the layer breakdown.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"hades/internal/scenario"
+	"hades/internal/trace"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: parses args, executes the scenario
+// and writes reports to stdout, errors to stderr.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hades-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		builtin  = flag.String("builtin", "", "built-in scenario name")
-		file     = flag.String("scenario", "", "scenario JSON file")
-		trace    = flag.Bool("trace", false, "print the full event trace")
-		gantt    = flag.Bool("gantt", false, "print a per-node CPU occupancy chart")
-		views    = flag.Bool("views", false, "print per-node membership view histories")
-		partRep  = flag.Bool("partition", false, "print per-group partition/quorum/merge report")
-		shardRep = flag.Bool("shards", false, "print the sharded data plane routing report")
-		txnRep   = flag.Bool("txns", false, "print the cross-shard transaction report")
-		listThem = flag.Bool("builtins", false, "list built-in scenarios and exit")
-		listAlt  = flag.Bool("list", false, "alias for -builtins")
+		builtin     = fs.String("builtin", "", "built-in scenario name")
+		file        = fs.String("scenario", "", "scenario JSON file")
+		traceOut    = fs.String("trace", "", "export retained causal traces as Chrome trace-event JSON to this file (Perfetto-loadable)")
+		percentiles = fs.Bool("percentiles", false, "print the per-shard, per-op-class latency percentile table")
+		events      = fs.Bool("events", false, "print the full monitor event trace")
+		gantt       = fs.Bool("gantt", false, "print a per-node CPU occupancy chart")
+		views       = fs.Bool("views", false, "print per-node membership view histories")
+		partRep     = fs.Bool("partition", false, "print per-group partition/quorum/merge report")
+		shardRep    = fs.Bool("shards", false, "print the sharded data plane routing report")
+		txnRep      = fs.Bool("txns", false, "print the cross-shard transaction report")
+		listThem    = fs.Bool("builtins", false, "list built-in scenarios and exit")
+		listAlt     = fs.Bool("list", false, "alias for -builtins")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
 
 	if *listThem || *listAlt {
-		fmt.Println(strings.Join(scenario.BuiltinNames(), "\n"))
-		return
+		fmt.Fprintln(stdout, strings.Join(scenario.BuiltinNames(), "\n"))
+		return 0
 	}
 	var (
 		spec scenario.Spec
@@ -58,137 +77,181 @@ func main() {
 		err = fmt.Errorf("need -builtin <name> or -scenario <file> (see -builtins)")
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
 	clu, err := spec.Build()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	rep := clu.Run(spec.Horizon())
-	fmt.Printf("scenario %q: %d node(s), %d link(s), %d fault(s), scheduler %s, policy %s, costs %s\n",
+	fmt.Fprintf(stdout, "scenario %q: %d node(s), %d link(s), %d fault(s), scheduler %s, policy %s, costs %s\n",
 		spec.Name, spec.Nodes, len(spec.Links), len(spec.Faults), spec.Scheduler, orNone(spec.Policy), orDefault(spec.Costs))
-	fmt.Print(rep)
+	fmt.Fprint(stdout, rep)
 	if len(rep.Violations) > 0 {
-		fmt.Printf("violations (%d):\n", len(rep.Violations))
+		fmt.Fprintf(stdout, "violations (%d):\n", len(rep.Violations))
 		for _, v := range rep.Violations {
-			fmt.Println(" ", v)
+			fmt.Fprintln(stdout, " ", v)
+		}
+	}
+	if *percentiles {
+		tr := clu.Tracer()
+		if tr == nil {
+			fmt.Fprintln(stderr, "hades-sim: -percentiles needs tracing enabled (the scenario disabled it)")
+			return 1
+		}
+		started, finished, retained, violating := tr.Counts()
+		fmt.Fprintf(stdout, "--- latency percentiles (traces: started=%d finished=%d retained=%d violating=%d, sample rate %g) ---\n",
+			started, finished, retained, violating, tr.Rate())
+		for _, l := range rep.Latency {
+			shard := fmt.Sprintf("shard %d", l.Shard)
+			if l.Shard < 0 {
+				shard = "all shards"
+			}
+			fmt.Fprintf(stdout, "  %-11s %-9s n=%-5d p50=%-10s p99=%-10s p999=%-10s max=%s\n",
+				l.Class, shard, l.Count, l.P50, l.P99, l.P999, l.Max)
+			fmt.Fprintf(stdout, "    mean=%s = queue %s + batch %s + wire %s + replicate %s + lock %s + other %s\n",
+				l.Mean, l.Queued, l.Batched, l.Wire, l.Replicating, l.Locked, l.Other)
 		}
 	}
 	if *views {
 		for _, g := range clu.Groups() {
 			mem := g.Membership()
-			fmt.Printf("--- group %s (view-change bound %s) ---\n", mem.Name(), mem.Bound())
+			fmt.Fprintf(stdout, "--- group %s (view-change bound %s) ---\n", mem.Name(), mem.Bound())
 			for _, node := range mem.Nodes() {
-				fmt.Printf("  n%d:", node)
+				fmt.Fprintf(stdout, "  n%d:", node)
 				for _, v := range mem.History(node) {
-					fmt.Printf(" %s", v)
+					fmt.Fprintf(stdout, " %s", v)
 				}
-				fmt.Println()
+				fmt.Fprintln(stdout)
 			}
 			for _, in := range mem.Installs {
 				if in.View.ID == 1 {
 					continue
 				}
-				fmt.Printf("  install n%d %s at %s (%s, lat %s)\n", in.Node, in.View, in.At, in.Reason, in.Latency)
+				fmt.Fprintf(stdout, "  install n%d %s at %s (%s, lat %s)\n", in.Node, in.View, in.At, in.Reason, in.Latency)
 			}
 		}
 	}
 	if *partRep {
 		for _, g := range clu.Groups() {
 			mem := g.Membership()
-			fmt.Printf("--- group %s partition report ---\n", mem.Name())
-			fmt.Printf("  quorum: %d of %s; no-quorum time %s\n", mem.Quorum(), mem.Agreed(), mem.NoQuorumTime())
+			fmt.Fprintf(stdout, "--- group %s partition report ---\n", mem.Name())
+			fmt.Fprintf(stdout, "  quorum: %d of %s; no-quorum time %s\n", mem.Quorum(), mem.Agreed(), mem.NoQuorumTime())
 			for _, node := range mem.Nodes() {
 				if b := mem.BlockedTime(node); b > 0 {
-					fmt.Printf("  n%d blocked (excluded while alive): %s\n", node, b)
+					fmt.Fprintf(stdout, "  n%d blocked (excluded while alive): %s\n", node, b)
 				}
 			}
 			for _, mg := range mem.Merges {
-				fmt.Printf("  merge %s at %s readmitted %v (heal %s, latency %s)\n",
+				fmt.Fprintf(stdout, "  merge %s at %s readmitted %v (heal %s, latency %s)\n",
 					mg.View, mg.At, mg.Readmitted, mg.HealAt, mg.Latency)
 			}
 			flushed := mem.FlushedMessages()
 			for _, rep := range g.Replicas() {
 				flushed += rep.Flushed
 			}
-			fmt.Printf("  flushed at view boundaries: %d message(s)\n", flushed)
+			fmt.Fprintf(stdout, "  flushed at view boundaries: %d message(s)\n", flushed)
 		}
 	}
 	if *shardRep {
 		for _, set := range clu.ShardSets() {
-			fmt.Println("--- sharded data plane ---")
+			fmt.Fprintln(stdout, "--- sharded data plane ---")
 			for _, g := range set.Groups() {
 				rep := g.Replication()
-				fmt.Printf("  %s nodes=%v primary=n%d style=%s\n", g.Name(), g.Nodes(), rep.Primary(), rep.Style())
-				fmt.Printf("    requests=%d served=%d redirects=%d blocked=%d duplicates=%d applied=%d\n",
+				fmt.Fprintf(stdout, "  %s nodes=%v primary=n%d style=%s\n", g.Name(), g.Nodes(), rep.Primary(), rep.Style())
+				fmt.Fprintf(stdout, "    requests=%d served=%d redirects=%d blocked=%d duplicates=%d applied=%d\n",
 					g.Stats.Requests, g.Stats.Served, g.Stats.Redirects, g.Stats.Blocked, rep.Duplicates,
 					rep.Machine(rep.Primary()).Applied)
 				for _, fo := range rep.Failovers {
-					fmt.Printf("    failover n%d -> n%d in view %d at %s\n", fo.From, fo.To, fo.InView, fo.At)
+					fmt.Fprintf(stdout, "    failover n%d -> n%d in view %d at %s\n", fo.From, fo.To, fo.InView, fo.At)
 				}
 			}
-			fmt.Printf("  router republishes: %d\n", set.Router().Republishes)
+			fmt.Fprintf(stdout, "  router republishes: %d\n", set.Router().Republishes)
 			for _, cl := range set.Clients() {
 				st := cl.Stats
-				fmt.Printf("  client n%d (%s): submitted=%d acked=%d redirects=%d retries=%d queued=%d resubmitted=%d failed=%d blocked=%d\n",
+				fmt.Fprintf(stdout, "  client n%d (%s): submitted=%d acked=%d redirects=%d retries=%d queued=%d resubmitted=%d failed=%d blocked=%d\n",
 					cl.Node(), cl.Params().Policy, st.Submitted, st.Acked, st.Redirects, st.Retries,
 					st.Queued, st.Resubmitted, st.FailedFast, st.Blocked)
-				fmt.Printf("    latency avg=%s max=%s\n", st.AvgLatency(), st.MaxLatency)
+				fmt.Fprintf(stdout, "    latency avg=%s max=%s\n", st.AvgLatency(), st.MaxLatency)
 				if bs := cl.BatchStats(); bs.Batches > 0 {
-					fmt.Printf("    batches=%d ops=%d maxOps=%d fullFlushes=%d timerFlushes=%d stalls=%d hist=[%s]\n",
+					fmt.Fprintf(stdout, "    batches=%d ops=%d maxOps=%d fullFlushes=%d timerFlushes=%d stalls=%d hist=[%s]\n",
 						bs.Batches, bs.Ops, bs.MaxBatchOps, bs.FullFlushes, bs.TimerFlushes, bs.Stalls, bs.HistString())
-					fmt.Printf("    pipeline depth: %v\n", cl.MaxInflight())
+					fmt.Fprintf(stdout, "    pipeline depth: %v\n", cl.MaxInflight())
 				}
 			}
 			if err := set.Check(); err != nil {
-				fmt.Printf("  CONSISTENCY VIOLATION: %v\n", err)
+				fmt.Fprintf(stdout, "  CONSISTENCY VIOLATION: %v\n", err)
 			} else {
-				fmt.Println("  consistency: every acked request applied exactly once, per-key order intact")
+				fmt.Fprintln(stdout, "  consistency: every acked request applied exactly once, per-key order intact")
 			}
 		}
 	}
 	if *txnRep {
 		for _, set := range clu.ShardSets() {
 			plane := set.TxnPlane()
-			fmt.Println("--- cross-shard transactions ---")
+			fmt.Fprintln(stdout, "--- cross-shard transactions ---")
 			for i, co := range plane.Coordinators() {
 				pa := plane.Participants()[i]
-				fmt.Printf("  %s: coord begins=%d commits=%d aborts=%d (deadline=%d) queries=%d groupCommits=%d maxDecisionBatch=%d\n",
+				fmt.Fprintf(stdout, "  %s: coord begins=%d commits=%d aborts=%d (deadline=%d) queries=%d groupCommits=%d maxDecisionBatch=%d\n",
 					co.Group().Name(), co.Stats.Begins, co.Stats.Commits, co.Stats.Aborts,
 					co.Stats.DeadlineAborts, co.Stats.Queries, co.GroupCommits, co.MaxDecisionBatch)
-				fmt.Printf("    part prepares=%d lockWaits=%d votes=%d/%d commits=%d aborts=%d deadlineReleases=%d locksHeld=%d\n",
+				fmt.Fprintf(stdout, "    part prepares=%d lockWaits=%d votes=%d/%d commits=%d aborts=%d deadlineReleases=%d locksHeld=%d\n",
 					pa.Stats.Prepares, pa.Stats.LockWaits, pa.Stats.VotesYes, pa.Stats.VotesNo,
 					pa.Stats.Commits, pa.Stats.Aborts, pa.Stats.DeadlineReleases, pa.LockedKeys())
 			}
 			for _, tc := range plane.Clients() {
 				st := tc.Stats
-				fmt.Printf("  client n%d: begun=%d committed=%d aborted=%d (deadline=%d) retries=%d queued=%d resubmitted=%d\n",
+				fmt.Fprintf(stdout, "  client n%d: begun=%d committed=%d aborted=%d (deadline=%d) retries=%d queued=%d resubmitted=%d\n",
 					tc.Node(), st.Begun, st.Committed, st.Aborted, st.DeadlineAborts, st.Retries, st.Queued, st.Resubmitted)
-				fmt.Printf("    latency avg=%s max=%s\n", st.AvgLatency(), st.MaxLatency)
+				fmt.Fprintf(stdout, "    latency avg=%s max=%s\n", st.AvgLatency(), st.MaxLatency)
 			}
 			if err := set.CheckTxns(); err != nil {
-				fmt.Printf("  ATOMICITY VIOLATION: %v\n", err)
+				fmt.Fprintf(stdout, "  ATOMICITY VIOLATION: %v\n", err)
 			} else {
-				fmt.Println("  atomicity: committed transfers all-or-nothing, aborted ones write nothing, no lock past its deadline")
+				fmt.Fprintln(stdout, "  atomicity: committed transfers all-or-nothing, aborted ones write nothing, no lock past its deadline")
 			}
 		}
 	}
 	if *gantt {
 		for node := 0; node < spec.Nodes; node++ {
-			fmt.Printf("--- gantt node %d ---\n", node)
-			fmt.Print(clu.Log().Gantt(node, 0, clu.Now(), 100))
+			fmt.Fprintf(stdout, "--- gantt node %d ---\n", node)
+			fmt.Fprint(stdout, clu.Log().Gantt(node, 0, clu.Now(), 100))
 		}
 	}
-	if *trace {
-		fmt.Println("--- trace ---")
-		if err := clu.Log().WriteTrace(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	if *events {
+		fmt.Fprintln(stdout, "--- events ---")
+		if err := clu.Log().WriteTrace(stdout); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 	}
+	if *traceOut != "" {
+		tr := clu.Tracer()
+		if tr == nil {
+			fmt.Fprintln(stderr, "hades-sim: -trace needs tracing enabled (the scenario disabled it)")
+			return 1
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "hades-sim: cannot write trace file: %v\n", err)
+			return 1
+		}
+		werr := trace.WriteChrome(f, tr.Retained())
+		cerr := f.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "hades-sim: writing %s: %v\n", *traceOut, werr)
+			return 1
+		}
+		_, _, retained, _ := tr.Counts()
+		fmt.Fprintf(stdout, "wrote %d trace(s) to %s (load in https://ui.perfetto.dev)\n", retained, *traceOut)
+	}
+	return 0
 }
 
 func orNone(s string) string {

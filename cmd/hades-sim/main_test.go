@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hades/internal/trace"
+)
+
+// TestRunFlags table-tests the CLI surface: exit codes, error text and
+// success output for the observability flags.
+func TestRunFlags(t *testing.T) {
+	tmp := t.TempDir()
+	cases := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantStdout string // substring, "" to skip
+		wantStderr string // substring, "" to skip
+	}{
+		{
+			name:       "list builtins",
+			args:       []string{"-list"},
+			wantCode:   0,
+			wantStdout: "bank-transfer",
+		},
+		{
+			name:       "unknown builtin",
+			args:       []string{"-builtin", "no-such-scenario"},
+			wantCode:   1,
+			wantStderr: "no-such-scenario",
+		},
+		{
+			name:       "missing scenario file",
+			args:       []string{"-scenario", filepath.Join(tmp, "absent.json")},
+			wantCode:   1,
+			wantStderr: "absent.json",
+		},
+		{
+			name:       "unwritable trace path",
+			args:       []string{"-builtin", "sharded-kv", "-trace", filepath.Join(tmp, "no-such-dir", "out.json")},
+			wantCode:   1,
+			wantStderr: "cannot write trace file",
+		},
+		{
+			name:       "trace export",
+			args:       []string{"-builtin", "bank-transfer", "-trace", filepath.Join(tmp, "bt.json")},
+			wantCode:   0,
+			wantStdout: "trace(s) to",
+		},
+		{
+			name:       "percentiles report",
+			args:       []string{"-builtin", "bank-transfer", "-percentiles"},
+			wantCode:   0,
+			wantStdout: "latency percentiles",
+		},
+		{
+			name:       "bad flag",
+			args:       []string{"-no-such-flag"},
+			wantCode:   1,
+			wantStderr: "flag provided but not defined",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("exit code = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					code, tc.wantCode, stdout.String(), stderr.String())
+			}
+			if tc.wantStdout != "" && !strings.Contains(stdout.String(), tc.wantStdout) {
+				t.Errorf("stdout missing %q:\n%s", tc.wantStdout, stdout.String())
+			}
+			if tc.wantStderr != "" && !strings.Contains(stderr.String(), tc.wantStderr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantStderr, stderr.String())
+			}
+		})
+	}
+}
+
+// TestTraceExportIsLoadable runs a builtin with -trace and checks the
+// exported file parses as Chrome trace JSON with the span shapes the
+// acceptance criteria call for: a committed transaction whose tree
+// holds both a replication-round span and a lock-wait span.
+func TestTraceExportIsLoadable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bt.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-builtin", "bank-transfer", "-trace", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run failed (%d): %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc trace.ChromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("exported file is not Chrome trace JSON: %v", err)
+	}
+	// Regroup spans by trace (tid) and look for a commit with both a
+	// replication-round and a lock-wait child.
+	type rec struct {
+		commit, repl, lock bool
+	}
+	byID := make(map[uint64]*rec)
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		r := byID[e.Tid]
+		if r == nil {
+			r = &rec{}
+			byID[e.Tid] = r
+		}
+		switch {
+		case e.Name == "txn.commit":
+			r.commit = true
+		case strings.HasPrefix(e.Name, "2pc.decision.log"):
+			r.repl = true
+		case strings.HasPrefix(e.Name, "lock.wait"):
+			r.lock = true
+		}
+	}
+	found := 0
+	for _, r := range byID {
+		if r.commit && r.repl && r.lock {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("no committed transaction trace holds both a replication-round and a lock-wait span")
+	}
+}
+
+// TestTraceExportDeterminism is the satellite-4 guarantee: the same
+// seed yields byte-identical exported trace JSON across runs, for both
+// builtin scenarios.
+func TestTraceExportDeterminism(t *testing.T) {
+	for _, builtin := range []string{"sharded-kv", "bank-transfer"} {
+		t.Run(builtin, func(t *testing.T) {
+			tmp := t.TempDir()
+			var out [2][]byte
+			for i := range out {
+				path := filepath.Join(tmp, "run.json")
+				var stdout, stderr bytes.Buffer
+				if code := run([]string{"-builtin", builtin, "-trace", path}, &stdout, &stderr); code != 0 {
+					t.Fatalf("run %d failed: %s", i, stderr.String())
+				}
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out[i] = data
+			}
+			if !bytes.Equal(out[0], out[1]) {
+				t.Fatalf("exported trace JSON differs between identical runs (%d vs %d bytes)", len(out[0]), len(out[1]))
+			}
+		})
+	}
+}

@@ -1,0 +1,218 @@
+// Command hades-trace inspects Chrome trace-event JSON exported by
+// hades-sim -trace: it validates the file, lists the slowest traces,
+// and renders a per-trace waterfall of the span tree — a terminal
+// companion to loading the file in Perfetto.
+//
+// Usage:
+//
+//	hades-sim -builtin bank-transfer -trace out.json
+//	hades-trace out.json                 # slowest-10 report + waterfalls
+//	hades-trace -top 3 out.json
+//	hades-trace -check out.json          # exit 0 iff well-formed with spans
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"hades/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// span is one X event regrouped under its trace.
+type span struct {
+	name  string
+	layer string
+	ts    float64 // µs since run start
+	dur   float64 // µs
+}
+
+// traceRec is one trace reassembled from the event stream.
+type traceRec struct {
+	id    uint64
+	shard int
+	title string // thread_name metadata: "<class> #<id> <label>"
+	spans []span
+	marks []string
+	viols []string
+}
+
+// root returns the trace's end-to-end duration: its widest span (the
+// root span covers the whole trace by construction).
+func (t *traceRec) root() (span, bool) {
+	var best span
+	found := false
+	for _, s := range t.spans {
+		if !found || s.dur > best.dur {
+			best, found = s, true
+		}
+	}
+	return best, found
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hades-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		check = fs.Bool("check", false, "validate only: exit 0 iff the file parses as Chrome trace JSON with at least one span")
+		top   = fs.Int("top", 10, "number of slowest traces to report")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "hades-trace: need exactly one trace file (exported with hades-sim -trace)")
+		return 1
+	}
+	path := fs.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "hades-trace: %v\n", err)
+		return 1
+	}
+	var doc trace.ChromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(stderr, "hades-trace: %s is not Chrome trace JSON: %v\n", path, err)
+		return 1
+	}
+	traces, spans := regroup(doc)
+	if *check {
+		if spans == 0 {
+			fmt.Fprintf(stderr, "hades-trace: %s parses but holds no spans\n", path)
+			return 1
+		}
+		fmt.Fprintf(stdout, "ok: %d trace(s), %d span(s)\n", len(traces), spans)
+		return 0
+	}
+	if len(traces) == 0 {
+		fmt.Fprintf(stderr, "hades-trace: %s holds no traces\n", path)
+		return 1
+	}
+	sort.Slice(traces, func(i, j int) bool {
+		ri, _ := traces[i].root()
+		rj, _ := traces[j].root()
+		if ri.dur != rj.dur {
+			return ri.dur > rj.dur
+		}
+		return traces[i].id < traces[j].id
+	})
+	n := *top
+	if n > len(traces) {
+		n = len(traces)
+	}
+	fmt.Fprintf(stdout, "%d trace(s), %d span(s); slowest %d:\n", len(traces), spans, n)
+	for _, t := range traces[:n] {
+		waterfall(stdout, t)
+	}
+	return 0
+}
+
+// regroup reassembles traces from the flat event stream: X events by
+// tid, thread_name metadata for titles, instants for marks/violations.
+func regroup(doc trace.ChromeDoc) ([]*traceRec, int) {
+	byID := make(map[uint64]*traceRec)
+	order := []uint64{}
+	get := func(id uint64, shard int) *traceRec {
+		t := byID[id]
+		if t == nil {
+			t = &traceRec{id: id, shard: shard}
+			byID[id] = t
+			order = append(order, id)
+		}
+		return t
+	}
+	spans := 0
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name != "thread_name" {
+				continue
+			}
+			if name, ok := e.Args["name"].(string); ok {
+				get(e.Tid, e.Pid).title = name
+			}
+		case "X":
+			t := get(e.Tid, e.Pid)
+			dur := 0.0
+			if e.Dur != nil {
+				dur = *e.Dur
+			}
+			layer, _ := e.Args["layer"].(string)
+			t.spans = append(t.spans, span{name: e.Name, layer: layer, ts: e.Ts, dur: dur})
+			spans++
+		case "i":
+			t := get(e.Tid, e.Pid)
+			if e.S == "g" {
+				t.viols = append(t.viols, e.Name)
+			} else {
+				t.marks = append(t.marks, fmt.Sprintf("%.1fus %s", e.Ts, e.Name))
+			}
+		}
+	}
+	out := make([]*traceRec, 0, len(order))
+	for _, id := range order {
+		out = append(out, byID[id])
+	}
+	return out, spans
+}
+
+// waterfall renders one trace: a line per span, offset and scaled bar
+// against the trace's end-to-end window, plus marks and violations.
+func waterfall(w io.Writer, t *traceRec) {
+	root, ok := t.root()
+	if !ok {
+		return
+	}
+	title := t.title
+	if title == "" {
+		title = fmt.Sprintf("trace %d", t.id)
+	}
+	fmt.Fprintf(w, "\n%s (shard %d): %.1fus\n", title, t.shard, root.dur)
+	const cols = 40
+	sorted := append([]span(nil), t.spans...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].ts != sorted[j].ts {
+			return sorted[i].ts < sorted[j].ts
+		}
+		return sorted[i].dur > sorted[j].dur
+	})
+	for _, s := range sorted {
+		lead := 0
+		width := cols
+		if root.dur > 0 {
+			lead = int((s.ts - root.ts) / root.dur * cols)
+			width = int(s.dur / root.dur * cols)
+		}
+		if lead < 0 {
+			lead = 0
+		}
+		if lead > cols {
+			lead = cols
+		}
+		if width < 1 {
+			width = 1
+		}
+		if lead+width > cols {
+			width = cols - lead
+			if width < 1 {
+				width = 1
+			}
+		}
+		bar := strings.Repeat(" ", lead) + strings.Repeat("=", width)
+		fmt.Fprintf(w, "  %-44s |%-*s| +%-10.1f %10.1fus  %s\n", s.name, cols, bar, s.ts-root.ts, s.dur, s.layer)
+	}
+	for _, m := range t.marks {
+		fmt.Fprintf(w, "  * %s\n", m)
+	}
+	for _, v := range t.viols {
+		fmt.Fprintf(w, "  ! %s\n", v)
+	}
+}

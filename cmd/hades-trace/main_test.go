@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hades/internal/trace"
+	"hades/internal/vtime"
+)
+
+// writeSample exports a small hand-built trace file and returns its path.
+func writeSample(t *testing.T) string {
+	t.Helper()
+	now := vtime.Time(0)
+	tick := func(d vtime.Duration) { now += vtime.Time(d) }
+	tr := trace.New(1, 1.0, func() vtime.Time { return now })
+	tc := tr.Begin("txn", 0)
+	tc.SetLabel("t0.1")
+	s := tc.Span("queue.txn", trace.LayerQueue)
+	tick(50 * vtime.Microsecond)
+	s.End()
+	w := tc.Span("rpc.txn", trace.LayerWire)
+	tick(200 * vtime.Microsecond)
+	tc.Instant("retry after timeout")
+	tick(100 * vtime.Microsecond)
+	w.End()
+	tc.SetClass("txn.abort")
+	tc.Violate("abort: deadline")
+	tc.Finish()
+
+	path := filepath.Join(t.TempDir(), "sample.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteChrome(f, tr.Retained()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRun(t *testing.T) {
+	sample := writeSample(t)
+	garbage := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(garbage, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"traceEvents":[],"displayTimeUnit":"ms"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantStdout string
+		wantStderr string
+	}{
+		{"check ok", []string{"-check", sample}, 0, "ok: 1 trace(s)", ""},
+		{"check garbage", []string{"-check", garbage}, 1, "", "not Chrome trace JSON"},
+		{"check empty", []string{"-check", empty}, 1, "", "holds no spans"},
+		{"check missing file", []string{"-check", filepath.Join(t.TempDir(), "nope.json")}, 1, "", "hades-trace:"},
+		{"no args", nil, 1, "", "need exactly one trace file"},
+		{"two args", []string{sample, sample}, 1, "", "need exactly one trace file"},
+		{"waterfall", []string{"-top", "1", sample}, 0, "txn.abort", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("exit code = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					code, tc.wantCode, stdout.String(), stderr.String())
+			}
+			if tc.wantStdout != "" && !strings.Contains(stdout.String(), tc.wantStdout) {
+				t.Errorf("stdout missing %q:\n%s", tc.wantStdout, stdout.String())
+			}
+			if tc.wantStderr != "" && !strings.Contains(stderr.String(), tc.wantStderr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantStderr, stderr.String())
+			}
+		})
+	}
+}
+
+// TestWaterfallShowsMarksAndViolations checks the default report
+// renders instants and violations alongside the span bars.
+func TestWaterfallShowsMarksAndViolations(t *testing.T) {
+	sample := writeSample(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{sample}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run failed: %s", stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"queue.txn", "rpc.txn", "* ", "retry after timeout", "! ", "abort: deadline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

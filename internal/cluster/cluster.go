@@ -32,6 +32,7 @@ import (
 	"hades/internal/netsim"
 	"hades/internal/replication"
 	"hades/internal/simkern"
+	"hades/internal/trace"
 	"hades/internal/vtime"
 )
 
@@ -49,6 +50,27 @@ type NetParams struct {
 	PrioNet int
 }
 
+// TraceParams tunes the causal tracing plane. A nil Config.Trace
+// enables tracing at DefaultSampleRate; a non-nil value is used
+// verbatim, so SampleRate 0 means "histograms for all, full span trees
+// only for violating traces".
+// DefaultSampleRate is the span-tree retention rate a nil Config.Trace
+// selects: enough retained traces to debug from, cheap enough that
+// tracing stays within the benchmarked overhead budget. Scenarios that
+// want every span tree (the builtins do) pin the rate explicitly.
+const DefaultSampleRate = 0.1
+
+type TraceParams struct {
+	// SampleRate is the fraction of finished traces retained with full
+	// span trees, chosen by a deterministic hash of the trace id (never
+	// the engine's random stream). Violating traces — deadline misses,
+	// aborts, omission-hit ops — are always retained regardless.
+	SampleRate float64
+	// Disabled turns the tracing plane off entirely: no spans, no
+	// percentile aggregation, no retained traces.
+	Disabled bool
+}
+
 // Config describes the cluster to assemble.
 type Config struct {
 	// Seed drives all randomness (link delays, probabilistic faults):
@@ -63,9 +85,17 @@ type Config struct {
 	// LogLimit bounds the event log: 0 selects a generous default,
 	// negative disables the bound entirely.
 	LogLimit int
+	// RingLog keeps the most recent LogLimit events instead of the
+	// first (violations are retained either way); the default head mode
+	// preserves the run's prefix.
+	RingLog bool
 	// CancelOnMiss aborts instances at their deadline (orphan
 	// handling); the default false records misses only.
 	CancelOnMiss bool
+	// Trace tunes the causal tracing plane; nil enables tracing at
+	// DefaultSampleRate. Histograms observe every op either way —
+	// the rate only bounds span-tree retention.
+	Trace *TraceParams
 }
 
 // linkDecl is one declared point-to-point link.
@@ -85,12 +115,13 @@ type spawned struct {
 // (Crash, DropEvery, ...), then Run. Not safe for concurrent use; a
 // run is single-threaded by design.
 type Cluster struct {
-	cfg   Config
-	log   *monitor.Log
-	eng   *simkern.Engine
-	nodes []int
-	links []linkDecl
-	mesh  *linkDecl // ConnectAll request (a, b unused)
+	cfg    Config
+	log    *monitor.Log
+	eng    *simkern.Engine
+	tracer *trace.Tracer
+	nodes  []int
+	links  []linkDecl
+	mesh   *linkDecl // ConnectAll request (a, b unused)
 
 	net  *netsim.Network
 	disp *dispatcher.Dispatcher
@@ -125,12 +156,24 @@ func New(cfg Config) *Cluster {
 		limit = 0 // monitor.NewLog(0) = unbounded
 	}
 	log := monitor.NewLog(limit)
-	return &Cluster{
+	if cfg.RingLog {
+		log = monitor.NewRingLog(limit)
+	}
+	c := &Cluster{
 		cfg:     cfg,
 		log:     log,
 		eng:     simkern.NewEngine(log, cfg.Seed),
 		started: make(map[string]bool),
 	}
+	rate, disabled := DefaultSampleRate, false
+	if cfg.Trace != nil {
+		rate, disabled = cfg.Trace.SampleRate, cfg.Trace.Disabled
+	}
+	if !disabled {
+		c.tracer = trace.New(cfg.Seed, rate, c.eng.Now)
+		c.eng.SetTracer(c.tracer)
+	}
+	return c
 }
 
 // AddNode registers one mono-processor node and returns its id. An
@@ -229,6 +272,10 @@ func (c *Cluster) Dispatcher() *dispatcher.Dispatcher {
 
 // Log returns the shared monitoring event log.
 func (c *Cluster) Log() *monitor.Log { return c.log }
+
+// Tracer returns the causal tracing plane (nil when disabled — a valid
+// disabled tracer; every trace call no-ops).
+func (c *Cluster) Tracer() *trace.Tracer { return c.tracer }
 
 // Now returns the current virtual time.
 func (c *Cluster) Now() vtime.Time { return c.eng.Now() }

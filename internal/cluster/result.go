@@ -10,6 +10,7 @@ import (
 	"hades/internal/membership"
 	"hades/internal/monitor"
 	"hades/internal/netsim"
+	"hades/internal/trace"
 	"hades/internal/vtime"
 )
 
@@ -26,7 +27,37 @@ type Result struct {
 	Shards     []ShardResult
 	Clients    []ClientResult
 	TxnClients []TxnClientResult
+	// Latency aggregates the causal traces: one row per (op class,
+	// shard) plus an all-shards row (Shard = -1) per class, with
+	// percentiles and the mean per-layer breakdown. Empty when tracing
+	// is disabled.
+	Latency    []LatencyResult
 	Violations []monitor.Event
+}
+
+// LatencyResult is one op class's latency record on one shard (or all
+// shards, Shard = -1): end-to-end percentiles over every finished
+// trace of the scope, plus the mean time spent per layer. The layer
+// breakdown partitions the end-to-end time exactly (the trace plane
+// attributes every instant of a trace to its highest-priority active
+// layer), so the layer means sum to Mean up to integer rounding.
+type LatencyResult struct {
+	Class string
+	Shard int // -1 aggregates all shards
+	Count int
+	P50   vtime.Duration
+	P99   vtime.Duration
+	P999  vtime.Duration
+	Max   vtime.Duration
+	Mean  vtime.Duration
+	// Mean per-layer dwell: client queueing, batcher wait, wire round
+	// trips, replication rounds, lock waits, and everything else.
+	Queued      vtime.Duration
+	Batched     vtime.Duration
+	Wire        vtime.Duration
+	Replicating vtime.Duration
+	Locked      vtime.Duration
+	Other       vtime.Duration
 }
 
 // ShardResult is one shard group's routing and service record (its
@@ -262,7 +293,35 @@ func (c *Cluster) ResultNow() Result {
 			})
 		}
 	}
+	for _, st := range c.tracer.Stats() {
+		r.Latency = append(r.Latency, latencyFromScope(st))
+	}
 	return r
+}
+
+// latencyFromScope converts one tracer scope into the Result row,
+// dividing the layer sums into means.
+func latencyFromScope(st trace.ScopeStats) LatencyResult {
+	lr := LatencyResult{
+		Class: st.Class,
+		Shard: st.Shard,
+		Count: st.Count,
+		P50:   st.P50,
+		P99:   st.P99,
+		P999:  st.P999,
+		Max:   st.Max,
+		Mean:  st.Mean(),
+	}
+	if st.Count > 0 {
+		n := vtime.Duration(st.Count)
+		lr.Queued = st.Layers.Queue / n
+		lr.Batched = st.Layers.Batch / n
+		lr.Wire = st.Layers.Wire / n
+		lr.Replicating = st.Layers.Replicate / n
+		lr.Locked = st.Layers.Lock / n
+		lr.Other = st.Layers.Other / n
+	}
+	return lr
 }
 
 // depthString renders a per-lane maximum-in-flight map in a
@@ -432,7 +491,27 @@ func (r Result) String() string {
 		out += fmt.Sprintf("  txn    n%-3d begun=%-4d committed=%-4d aborted=%-4d deadline=%-4d retry=%-4d queued=%-4d resub=%-4d avgLat=%-12s maxLat=%s\n",
 			t.Node, t.Begun, t.Committed, t.Aborted, t.DeadlineAborts, t.Retries, t.Queued, t.Resubmitted, t.AvgLatency, t.MaxLatency)
 	}
+	for _, l := range r.Latency {
+		shard := fmt.Sprintf("s%d", l.Shard)
+		if l.Shard < 0 {
+			shard = "all"
+		}
+		out += fmt.Sprintf("  lat %-11s %-4s n=%-5d p50=%-10s p99=%-10s p999=%-10s max=%-10s | queue=%s batch=%s wire=%s repl=%s lock=%s other=%s\n",
+			l.Class, shard, l.Count, l.P50, l.P99, l.P999, l.Max,
+			l.Queued, l.Batched, l.Wire, l.Replicating, l.Locked, l.Other)
+	}
 	return out
+}
+
+// LatencyOf returns the latency record of one op class on one shard
+// (pass shard -1 for the all-shards aggregate).
+func (r Result) LatencyOf(class string, shard int) (LatencyResult, bool) {
+	for _, l := range r.Latency {
+		if l.Class == class && l.Shard == shard {
+			return l, true
+		}
+	}
+	return LatencyResult{}, false
 }
 
 // TxnClient returns the transaction client record of the given node.

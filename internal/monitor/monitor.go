@@ -193,10 +193,20 @@ func (e Event) String() string {
 
 // Log collects events in order. It is not safe for concurrent use: a HADES
 // run is single-threaded by design (determinism), so the log needs no lock.
+//
+// Two bounded modes exist. Head mode (NewLog) keeps the *first* limit
+// events — right for regenerating a figure from a run's opening, wrong
+// for diagnosing a long run, where violations cluster at the end and
+// the interesting tail is exactly what gets dropped. Ring mode
+// (NewRingLog) keeps the most *recent* limit events, and violations
+// are additionally retained forever regardless of the ring's churn.
 type Log struct {
 	events   []Event
 	capLimit int // 0 = unlimited
 	dropped  int
+	ring     bool
+	start    int     // ring mode: index of the oldest retained event
+	viol     []Event // ring mode: every violation, never dropped
 }
 
 // NewLog returns an empty log. limit, when positive, bounds memory by
@@ -204,9 +214,35 @@ type Log struct {
 // still tracked).
 func NewLog(limit int) *Log { return &Log{capLimit: limit} }
 
+// NewRingLog returns an empty ring-mode log: limit, when positive,
+// bounds memory by keeping the most recent limit events; violations
+// are always retained (Violations stays complete however far the ring
+// has churned). The drop counter counts non-violation events pushed
+// out of the ring.
+func NewRingLog(limit int) *Log { return &Log{capLimit: limit, ring: true} }
+
+// Ring reports whether the log retains the most recent events (ring
+// mode) rather than the first.
+func (l *Log) Ring() bool { return l != nil && l.ring }
+
 // Record appends an event.
 func (l *Log) Record(e Event) {
 	if l == nil {
+		return
+	}
+	if l.ring {
+		if e.Kind.IsViolation() {
+			l.viol = append(l.viol, e)
+		}
+		if l.capLimit > 0 && len(l.events) >= l.capLimit {
+			if !l.events[l.start].Kind.IsViolation() {
+				l.dropped++
+			}
+			l.events[l.start] = e
+			l.start = (l.start + 1) % l.capLimit
+			return
+		}
+		l.events = append(l.events, e)
 		return
 	}
 	if l.capLimit > 0 && len(l.events) >= l.capLimit {
@@ -244,14 +280,32 @@ func (l *Log) Dropped() int {
 	return l.dropped
 }
 
-// Events returns the retained events. The returned slice is a copy.
+// Events returns the retained events in chronological order. The
+// returned slice is a copy.
 func (l *Log) Events() []Event {
 	if l == nil {
 		return nil
 	}
-	out := make([]Event, len(l.events))
-	copy(out, l.events)
+	out := make([]Event, 0, len(l.events))
+	l.each(func(e Event) { out = append(out, e) })
 	return out
+}
+
+// each visits retained events in chronological order (unwinding the
+// ring when it has wrapped).
+func (l *Log) each(visit func(Event)) {
+	if l.ring && l.start > 0 {
+		for _, e := range l.events[l.start:] {
+			visit(e)
+		}
+		for _, e := range l.events[:l.start] {
+			visit(e)
+		}
+		return
+	}
+	for _, e := range l.events {
+		visit(e)
+	}
 }
 
 // Filter returns the events matching pred, in order.
@@ -260,11 +314,11 @@ func (l *Log) Filter(pred func(Event) bool) []Event {
 		return nil
 	}
 	var out []Event
-	for _, e := range l.events {
+	l.each(func(e Event) {
 		if pred(e) {
 			out = append(out, e)
 		}
-	}
+	})
 	return out
 }
 
@@ -277,8 +331,17 @@ func (l *Log) ByKind(kinds ...Kind) []Event {
 	return l.Filter(func(e Event) bool { return want[e.Kind] })
 }
 
-// Violations returns all recorded property violations.
+// Violations returns all recorded property violations. In ring mode
+// the list is complete even when the ring has churned past them.
 func (l *Log) Violations() []Event {
+	if l == nil {
+		return nil
+	}
+	if l.ring {
+		out := make([]Event, len(l.viol))
+		copy(out, l.viol)
+		return out
+	}
 	return l.Filter(func(e Event) bool { return e.Kind.IsViolation() })
 }
 
@@ -293,19 +356,28 @@ func (l *Log) CountKind(k Kind) int {
 	return n
 }
 
-// WriteTrace writes every retained event to w, one per line.
+// WriteTrace writes every retained event to w in chronological order,
+// one per line. In ring mode the drop note leads: the missing events
+// precede the retained window.
 func (l *Log) WriteTrace(w io.Writer) error {
-	for _, e := range l.events {
-		if _, err := fmt.Fprintln(w, e.String()); err != nil {
-			return err
+	var err error
+	note := func() {
+		if l.dropped > 0 && err == nil {
+			_, err = fmt.Fprintf(w, "... %d events dropped (log limit)\n", l.dropped)
 		}
 	}
-	if l.dropped > 0 {
-		if _, err := fmt.Fprintf(w, "... %d events dropped (log limit)\n", l.dropped); err != nil {
-			return err
-		}
+	if l.ring {
+		note()
 	}
-	return nil
+	l.each(func(e Event) {
+		if err == nil {
+			_, err = fmt.Fprintln(w, e.String())
+		}
+	})
+	if !l.ring {
+		note()
+	}
+	return err
 }
 
 // Summary aggregates the log into per-kind counts, rendered sorted by

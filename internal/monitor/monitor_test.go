@@ -27,6 +27,8 @@ func TestRecordAndFilter(t *testing.T) {
 	}
 }
 
+// TestLogLimit pins head-mode semantics: the first limit events are
+// retained, the tail is dropped and counted.
 func TestLogLimit(t *testing.T) {
 	l := NewLog(2)
 	for i := 0; i < 5; i++ {
@@ -34,6 +36,57 @@ func TestLogLimit(t *testing.T) {
 	}
 	if l.Len() != 2 || l.Dropped() != 3 {
 		t.Fatalf("Len=%d Dropped=%d", l.Len(), l.Dropped())
+	}
+	if ev := l.Events(); ev[0].At != 0 || ev[1].At != 1 {
+		t.Fatalf("head mode retained %v, want the first two", ev)
+	}
+	if l.Ring() {
+		t.Fatal("NewLog must not be ring mode")
+	}
+}
+
+// TestRingLogRetainsRecent: ring mode keeps the most recent limit
+// events in chronological order and counts the churned-out ones.
+func TestRingLogRetainsRecent(t *testing.T) {
+	l := NewRingLog(3)
+	for i := 0; i < 8; i++ {
+		l.Record(Event{At: vtime.Time(i), Kind: KindActivation})
+	}
+	if !l.Ring() || l.Len() != 3 || l.Dropped() != 5 {
+		t.Fatalf("Ring=%v Len=%d Dropped=%d", l.Ring(), l.Len(), l.Dropped())
+	}
+	ev := l.Events()
+	for i, e := range ev {
+		if e.At != vtime.Time(5+i) {
+			t.Fatalf("ring retained %v, want the last three in order", ev)
+		}
+	}
+	var sb strings.Builder
+	if err := l.WriteTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "5 events dropped") {
+		t.Fatalf("trace missing drop note: %q", sb.String())
+	}
+}
+
+// TestRingLogKeepsViolations: violations survive any amount of ring
+// churn and are not counted as dropped when overwritten.
+func TestRingLogKeepsViolations(t *testing.T) {
+	l := NewRingLog(2)
+	l.Record(Event{At: 1, Kind: KindDeadlineMiss, Subject: "early"})
+	for i := 0; i < 10; i++ {
+		l.Record(Event{At: vtime.Time(10 + i), Kind: KindActivation})
+	}
+	l.Record(Event{At: 99, Kind: KindNetworkOmission, Subject: "late"})
+	v := l.Violations()
+	if len(v) != 2 || v[0].Subject != "early" || v[1].Subject != "late" {
+		t.Fatalf("Violations = %v, want the churned-out miss plus the late omission", v)
+	}
+	// Ten overwrites pushed events out of the 2-slot ring: the one
+	// that evicted the violation must not count as a drop.
+	if l.Dropped() != 9 {
+		t.Fatalf("Dropped = %d, want 9 (violation eviction not counted)", l.Dropped())
 	}
 }
 

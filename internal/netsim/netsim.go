@@ -32,6 +32,7 @@ import (
 	"hades/internal/eventq"
 	"hades/internal/monitor"
 	"hades/internal/simkern"
+	"hades/internal/trace"
 	"hades/internal/vtime"
 )
 
@@ -322,12 +323,14 @@ func (n *Network) Send(from, to int, port string, payload any, size int) (*Messa
 	if n.down[from] || n.down[to] {
 		n.stats.Dropped++
 		log.Recordf(n.eng.Now(), monitor.KindMessageDrop, to, port, "id=%d node down", m.ID)
+		n.noteDrop(m, "node down")
 		return m, nil
 	}
 	if n.Partitioned(from, to) {
 		n.stats.Dropped++
 		n.stats.PartDropped++
 		log.Recordf(n.eng.Now(), monitor.KindMessageDrop, to, port, "id=%d partitioned", m.ID)
+		n.noteDrop(m, "partitioned")
 		return m, nil
 	}
 
@@ -340,6 +343,7 @@ func (n *Network) Send(from, to int, port string, payload any, size int) (*Messa
 		case FateDrop:
 			n.stats.Dropped++
 			log.Recordf(n.eng.Now(), monitor.KindMessageDrop, to, port, "id=%d omission", m.ID)
+			n.noteDrop(m, "omission")
 			return m, nil
 		case FateDelay:
 			n.stats.Late++
@@ -382,6 +386,7 @@ func (n *Network) receive(m *Message) {
 	if n.down[m.To] {
 		n.stats.Dropped++
 		n.eng.Log().Recordf(n.eng.Now(), monitor.KindMessageDrop, m.To, m.Port, "id=%d receiver down", m.ID)
+		n.noteDrop(m, "receiver down")
 		return
 	}
 	if n.Partitioned(m.From, m.To) {
@@ -390,6 +395,7 @@ func (n *Network) receive(m *Message) {
 		n.stats.Dropped++
 		n.stats.PartDropped++
 		n.eng.Log().Recordf(n.eng.Now(), monitor.KindMessageDrop, m.To, m.Port, "id=%d partitioned in flight", m.ID)
+		n.noteDrop(m, "partitioned in flight")
 		return
 	}
 	procs := n.eng.Processors()
@@ -422,6 +428,22 @@ func (n *Network) deliver(m *Message) {
 	}
 	// Unbound port: drop quietly but record, so tests can assert.
 	n.eng.Log().Recordf(n.eng.Now(), monitor.KindMessageDrop, m.To, m.Port, "id=%d no handler", m.ID)
+}
+
+// noteDrop links message loss back into the causal tracing plane: a
+// dropped payload implementing trace.Carrier marks every trace it
+// carries violating, which forces full-history retention regardless of
+// the sample rate — the "every omission carries its causal history"
+// rule. Purely observational; the retry machinery above this layer is
+// untouched.
+func (n *Network) noteDrop(m *Message, why string) {
+	c, ok := m.Payload.(trace.Carrier)
+	if !ok {
+		return
+	}
+	for _, tr := range c.TraceRefs() {
+		tr.Violate("omission: %s id=%d %s", m.Port, m.ID, why)
+	}
 }
 
 // WorstCaseReceivePath returns the CPU cost on the receiver for one

@@ -214,6 +214,26 @@ type ShardsSpec struct {
 	Txns []TxnClientSpec `json:"txns,omitempty"`
 }
 
+// ObserveSpec tunes the run's observability plane: causal-trace
+// sampling and the monitor event-log retention policy. All fields are
+// optional; a malformed value is rejected loudly rather than clamped.
+type ObserveSpec struct {
+	// TraceSampleRate is the fraction of finished traces retained with
+	// full span trees, within [0,1] (violating traces — deadline
+	// misses, aborts, omission-hit ops — are always retained
+	// regardless). Omitted selects the cluster default (0.1); the
+	// builtins pin 1.0 so every exported run is fully walkable.
+	// Percentile aggregation observes every trace whatever the rate.
+	TraceSampleRate *float64 `json:"traceSampleRate,omitempty"`
+	// LogLimit bounds the monitor event log (must be positive; omitted
+	// selects the cluster default).
+	LogLimit *int `json:"logLimit,omitempty"`
+	// RetainViolations switches the log to ring mode: the most recent
+	// LogLimit events are kept instead of the first, and violation
+	// events are never dropped however far the ring churns.
+	RetainViolations bool `json:"retainViolations,omitempty"`
+}
+
 // Spec is a full scenario.
 type Spec struct {
 	Name      string     `json:"name"`
@@ -237,6 +257,8 @@ type Spec struct {
 	// Placement overrides node assignments: "task" pins a Spuri task
 	// (or every stage of a pipeline), "task/stage" pins one stage.
 	Placement map[string]int `json:"placement,omitempty"`
+	// Observe tunes trace sampling and event-log retention.
+	Observe *ObserveSpec `json:"observe,omitempty"`
 }
 
 // Load reads a scenario from a JSON file.
@@ -361,6 +383,7 @@ var builtins = map[string]Spec{
 	"sharded-kv": {
 		Name: "sharded-kv", Nodes: 7, Seed: 1, Costs: "default",
 		Scheduler: "EDF", Policy: "none", HorizonMs: 400,
+		Observe: &ObserveSpec{TraceSampleRate: fptr(1.0), RetainViolations: true},
 		Shards: &ShardsSpec{
 			Count: 2, ReplicasPer: 3, Style: "semi-active",
 			Session: &SessionSpec{MaxBatch: 4, FlushIntervalMs: 0.5, PipelineDepth: 2},
@@ -397,6 +420,7 @@ var builtins = map[string]Spec{
 	"bank-transfer": {
 		Name: "bank-transfer", Nodes: 8, Seed: 1, Costs: "default",
 		Scheduler: "EDF", Policy: "none", HorizonMs: 400,
+		Observe: &ObserveSpec{TraceSampleRate: fptr(1.0), RetainViolations: true},
 		Shards: &ShardsSpec{
 			Count: 2, ReplicasPer: 3, Style: "semi-active",
 			Session: &SessionSpec{MaxBatch: 4, FlushIntervalMs: 0.5, PipelineDepth: 2},
@@ -594,6 +618,14 @@ func (s Spec) withDefaults() (Spec, error) {
 	if err := s.validateShards(); err != nil {
 		return s, err
 	}
+	if o := s.Observe; o != nil {
+		if o.TraceSampleRate != nil && (*o.TraceSampleRate < 0 || *o.TraceSampleRate > 1) {
+			return s, fmt.Errorf("scenario %q: observe traceSampleRate must be within [0,1] (got %g)", s.Name, *o.TraceSampleRate)
+		}
+		if o.LogLimit != nil && *o.LogLimit <= 0 {
+			return s, fmt.Errorf("scenario %q: observe logLimit must be positive (got %d)", s.Name, *o.LogLimit)
+		}
+	}
 	for key, node := range s.Placement {
 		if node < 0 || node >= s.Nodes {
 			return s, fmt.Errorf("scenario %q: placement %q on unknown node %d (have %d)", s.Name, key, node, s.Nodes)
@@ -744,6 +776,9 @@ func (s Spec) placementKeyKnown(key string) bool {
 	return false
 }
 
+// fptr lifts a literal into the optional-field pointer form.
+func fptr(f float64) *float64 { return &f }
+
 func us(f float64) vtime.Duration { return vtime.Duration(f * float64(vtime.Microsecond)) }
 func msd(f float64) vtime.Duration {
 	return vtime.Duration(f * float64(vtime.Millisecond))
@@ -879,7 +914,17 @@ func (s Spec) buildPolicy() (dispatcher.ResourcePolicy, error) {
 // topology, application, task placement, activation sources and fault
 // schedules. Run it with c.Run(spec.Horizon()).
 func (s Spec) Build() (*cluster.Cluster, error) {
-	c := cluster.New(cluster.Config{Seed: s.Seed, Costs: s.CostBook()})
+	cfg := cluster.Config{Seed: s.Seed, Costs: s.CostBook()}
+	if o := s.Observe; o != nil {
+		if o.TraceSampleRate != nil {
+			cfg.Trace = &cluster.TraceParams{SampleRate: *o.TraceSampleRate}
+		}
+		if o.LogLimit != nil {
+			cfg.LogLimit = *o.LogLimit
+		}
+		cfg.RingLog = o.RetainViolations
+	}
+	c := cluster.New(cfg)
 	c.AddNodes(s.Nodes)
 	for _, l := range s.Links {
 		c.Connect(l.A, l.B, us(l.DMinUs), us(l.DMaxUs))

@@ -34,6 +34,7 @@ import (
 	"hades/internal/monitor"
 	"hades/internal/netsim"
 	"hades/internal/simkern"
+	"hades/internal/trace"
 	"hades/internal/vtime"
 )
 
@@ -69,6 +70,19 @@ type Spec struct {
 	OnPark     func()
 	OnResubmit func()
 	OnFail     func()
+	// Traces are the causal traces riding this call (one per op in a
+	// batched submission): the engine records retries, parks,
+	// resubmissions and redirects as instants on each, so a trace keeps
+	// its full attempt history instead of just the final latency.
+	// Generation-checked refs, because a call can outlive its traces.
+	Traces []trace.Ref
+}
+
+// instant records a point event on every trace riding the call.
+func (s *Spec) instant(format string, args ...any) {
+	for _, tr := range s.Traces {
+		tr.Instant(format, args...)
+	}
 }
 
 // callState tracks one call through the engine.
@@ -179,6 +193,7 @@ func (e *Engine) fail(c *Call, why string) {
 		if log := e.eng.Log(); log != nil {
 			log.Recordf(e.eng.Now(), monitor.KindRetry, c.s.Node, c.s.Label, "%s retry %d/%d", why, c.retries, c.s.MaxRetries)
 		}
+		c.s.instant("%s retry %d/%d", why, c.retries, c.s.MaxRetries)
 		e.dispatch(c)
 		return
 	}
@@ -198,6 +213,7 @@ func (e *Engine) fail(c *Call, why string) {
 	if log := e.eng.Log(); log != nil {
 		log.Recordf(e.eng.Now(), monitor.KindRetry, c.s.Node, c.s.Label, "%s: parked after %d retries", why, c.retries)
 	}
+	c.s.instant("parked after %d retries (%s)", c.retries, why)
 	// Backoff safety net: view installs and heals resubmit parked calls
 	// promptly, but a call can park after the last such trigger (its
 	// retry budget outlasting the merge) — re-probe at a deep backoff so
@@ -219,6 +235,7 @@ func (e *Engine) resume(c *Call, why string) {
 	if log := e.eng.Log(); log != nil {
 		log.Recordf(e.eng.Now(), monitor.KindResubmit, c.s.Node, c.s.Label, "after %s", why)
 	}
+	c.s.instant("resubmit after %s", why)
 	c.retries = 0
 	e.dispatch(c)
 }
@@ -242,6 +259,7 @@ func (c *Call) Redirect(detail string) {
 	if log := c.e.eng.Log(); log != nil {
 		log.Recordf(c.e.eng.Now(), monitor.KindRedirect, c.s.Node, c.s.Label, "%s", detail)
 	}
+	c.s.instant("redirect: %s", detail)
 	c.e.dispatch(c)
 }
 

@@ -6,6 +6,7 @@ import (
 	"hades/internal/netsim"
 	"hades/internal/session"
 	"hades/internal/simkern"
+	"hades/internal/trace"
 	"hades/internal/vtime"
 )
 
@@ -125,6 +126,14 @@ type request struct {
 	shard       int
 	submittedAt vtime.Time
 	state       reqState
+
+	// trace is the request's causal trace; the spans mark its layer
+	// transitions (per-key queue → batcher → wire) on the client side,
+	// with the server opening the replication span on the same trace.
+	trace *trace.Trace
+	qspan trace.SpanRef // per-key FIFO wait
+	bspan trace.SpanRef // batcher coalescing + pipeline wait
+	wspan trace.SpanRef // session call in flight (retries included)
 }
 
 // batch is one emitted batched submission: its ops, its session call
@@ -228,10 +237,13 @@ func (c *Client) Submit(key string, cmd int64) uint64 {
 	}
 	c.reqs[r.seq] = r
 	c.Stats.Submitted++
+	r.trace = c.eng.Tracer().Begin("kv.write", r.shard)
+	r.trace.SetLabelKey(key, r.seq, c.p.Node)
 	q := c.perKey[key]
 	c.perKey[key] = append(q, r)
 	if len(q) > 0 {
 		r.state = stWaiting // an earlier request on key holds the turn
+		r.qspan = r.trace.Span("queue.key", trace.LayerQueue)
 		return r.seq
 	}
 	c.enqueue(r)
@@ -243,6 +255,8 @@ func (c *Client) Submit(key string, cmd int64) uint64 {
 // FIFO survives batching.
 func (c *Client) enqueue(r *request) {
 	r.state = stBatching
+	r.qspan.End()
+	r.bspan = r.trace.Span("batch.wait", trace.LayerBatch)
 	c.batcher.Add(laneName(r.shard), r)
 }
 
@@ -257,8 +271,12 @@ func (c *Client) launch(lane string, ops []*request) {
 	b := &batch{id: c.nextBat, shard: ops[0].shard, ops: ops}
 	c.batches[b.id] = b
 	c.order = append(c.order, b.id)
-	for _, r := range ops {
+	traces := make([]trace.Ref, len(ops))
+	for i, r := range ops {
 		r.state = stInflight
+		r.bspan.End()
+		r.wspan = r.trace.Span("rpc.batch", trace.LayerWire)
+		traces[i] = r.trace.Ref()
 	}
 	g := c.router.group(b.shard)
 	b.call = c.sess.Go(session.Spec{
@@ -267,11 +285,12 @@ func (c *Client) launch(lane string, ops []*request) {
 		Timeout:    c.p.RetryTimeout,
 		MaxRetries: c.p.MaxRetries,
 		FailFast:   c.p.Policy == FailFast,
+		Traces:     traces,
 		Send: func(attempt int) {
 			b.target = g.Replication().Primary()
 			env := batchEnv{Client: c.p.Node, Batch: b.id, Attempt: attempt, Ops: make([]batchOp, len(b.ops))}
 			for i, r := range b.ops {
-				env.Ops[i] = batchOp{Key: r.key, Cmd: r.cmd, Seq: r.seq}
+				env.Ops[i] = batchOp{Key: r.key, Cmd: r.cmd, Seq: r.seq, Trace: r.trace.Ref()}
 			}
 			_, _ = c.net.Send(c.p.Node, b.target, g.ReqPort(), env, 48*len(b.ops))
 		},
@@ -327,6 +346,8 @@ func (c *Client) failBatch(b *batch) {
 		r.state = stFailed
 		c.Stats.FailedFast++
 		c.Failed = append(c.Failed, r.seq)
+		r.trace.Violate("failed fast: retry budget exhausted")
+		r.trace.Finish()
 		c.finishKey(r)
 	}
 	c.retire(b)
@@ -389,6 +410,8 @@ func (c *Client) handleResp(m *netsim.Message) {
 				c.Stats.MaxLatency = lat
 			}
 			c.Acks = append(c.Acks, Ack{Key: r.key, Seq: r.seq, Cmd: r.cmd, Result: res.Result, At: now, Latency: lat})
+			r.wspan.End()
+			r.trace.Finish()
 			c.finishKey(r)
 		}
 		c.retire(b)

@@ -8,6 +8,7 @@ import (
 	"hades/internal/netsim"
 	"hades/internal/replication"
 	"hades/internal/simkern"
+	"hades/internal/trace"
 	"hades/internal/vtime"
 )
 
@@ -16,10 +17,15 @@ import (
 const respPort = "shard.resp"
 
 // batchOp is one keyed operation inside a batched client submission.
+// Trace rides the envelope so the server opens the replication span on
+// the op's own causal trace (single-process simulation: the
+// generation-checked ref is the propagation format — safe even when a
+// late duplicate outlives its recycled trace).
 type batchOp struct {
-	Key string
-	Cmd int64
-	Seq uint64
+	Key   string
+	Cmd   int64
+	Seq   uint64
+	Trace trace.Ref
 }
 
 // batchEnv is one batched client submission crossing the wire: every
@@ -32,6 +38,16 @@ type batchEnv struct {
 	Batch   uint64
 	Attempt int
 	Ops     []batchOp
+}
+
+// TraceRefs implements trace.Carrier: a dropped batch envelope marks
+// every op's trace violating (the omission rule).
+func (e batchEnv) TraceRefs() []trace.Ref {
+	out := make([]trace.Ref, len(e.Ops))
+	for i, op := range e.Ops {
+		out[i] = op.Trace
+	}
+	return out
 }
 
 // respKind classifies a server response.
@@ -112,6 +128,7 @@ type pendingOp struct {
 	batch  *pendingBatch
 	idx    int
 	done   bool
+	span   trace.SpanRef // the op's replication-round span
 }
 
 // GroupConfig parameterises one shard group.
@@ -143,6 +160,10 @@ type Group struct {
 	index    int
 	respPort string
 	nodes    []int
+	// replSpan/applySpan are the per-op trace span names, precomputed
+	// because they are minted on every replicated op.
+	replSpan  string
+	applySpan string
 
 	pending map[uint64]*pendingOp
 	logs    map[int][]Applied
@@ -195,6 +216,8 @@ func NewGroup(eng *simkern.Engine, net *netsim.Network, mem *membership.Service,
 		kv:       make(map[int]map[string]int64),
 		holed:    make(map[int]bool),
 	}
+	g.replSpan = "replicate." + g.name
+	g.applySpan = "apply." + g.name
 	rep, err := replication.NewGroup(eng, net, mem, cfg.Replication, g.finish)
 	if err != nil {
 		return nil, err
@@ -282,6 +305,9 @@ func (g *Group) handleRequest(node int, m *netsim.Message) {
 		if log := g.eng.Log(); log != nil {
 			log.Recordf(g.eng.Now(), monitor.KindQuorumBlocked, node, g.name, "rejected c%d b%d (%d ops): no quorum", env.Client, env.Batch, len(env.Ops))
 		}
+		for _, op := range env.Ops {
+			op.Trace.Instant("blocked at n%d: no quorum", node)
+		}
 		g.respond(node, m.From, respEnv{Shard: g.name, Batch: env.Batch, Attempt: env.Attempt, Kind: respBlocked})
 		return
 	}
@@ -304,7 +330,10 @@ func (g *Group) handleRequest(node int, m *netsim.Message) {
 	}
 	ids := g.rep.SubmitBatch(node, items)
 	for i, id := range ids {
-		g.pending[id] = &pendingOp{op: env.Ops[i], client: env.Client, batch: pb, idx: i}
+		g.pending[id] = &pendingOp{
+			op: env.Ops[i], client: env.Client, batch: pb, idx: i,
+			span: env.Ops[i].Trace.Span(g.replSpan, trace.LayerReplicate),
+		}
 	}
 }
 
@@ -355,10 +384,13 @@ func TxnTag(client int, seq uint64) replication.ClientSeq {
 // in the per-replica apply logs under the owning client's identity —
 // the same histories Verify and txn.Verify audit. It returns the
 // replication request id so the caller can observe the apply.
-func (g *Group) SubmitKeyed(key string, cmd int64, client int, seq uint64) uint64 {
+func (g *Group) SubmitKeyed(key string, cmd int64, client int, seq uint64, tr trace.Ref) uint64 {
 	id := g.rep.SubmitTagged(g.rep.Primary(), cmd, TxnTag(client, seq))
 	// No batch: the transaction layer answers its own client.
-	g.pending[id] = &pendingOp{op: batchOp{Key: key, Cmd: cmd, Seq: seq}, client: client}
+	g.pending[id] = &pendingOp{
+		op: batchOp{Key: key, Cmd: cmd, Seq: seq}, client: client,
+		span: tr.Span(g.applySpan, trace.LayerReplicate),
+	}
 	return id
 }
 
@@ -371,6 +403,7 @@ func (g *Group) finish(reqID uint64, result int64, _ bool) {
 		return
 	}
 	po.done = true
+	po.span.End()
 	pb := po.batch
 	if pb == nil || pb.responded {
 		return

@@ -26,6 +26,7 @@ import (
 
 	"hades/internal/eventq"
 	"hades/internal/monitor"
+	"hades/internal/trace"
 	"hades/internal/vtime"
 )
 
@@ -44,11 +45,12 @@ const (
 // shared by every processor and device of a run. It is not safe for
 // concurrent use; a run is single-threaded by design.
 type Engine struct {
-	now   vtime.Time
-	queue eventq.Queue
-	log   *monitor.Log
-	rand  *rand.Rand
-	procs []*Processor
+	now    vtime.Time
+	queue  eventq.Queue
+	log    *monitor.Log
+	rand   *rand.Rand
+	tracer *trace.Tracer
+	procs  []*Processor
 
 	running  bool
 	stopReq  bool
@@ -70,6 +72,15 @@ func (e *Engine) Log() *monitor.Log { return e.log }
 
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rand }
+
+// SetTracer attaches the causal tracing plane. The tracer is passive
+// (it never schedules events or consumes Rand), so attaching one does
+// not change a run's behaviour.
+func (e *Engine) SetTracer(t *trace.Tracer) { e.tracer = t }
+
+// Tracer returns the attached tracer; nil (a valid disabled tracer)
+// when tracing is off.
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 
 // Processors returns the registered processors in creation order.
 func (e *Engine) Processors() []*Processor { return e.procs }

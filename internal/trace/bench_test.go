@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"testing"
+
+	"hades/internal/vtime"
+)
+
+// BenchmarkTraceLifecycle measures the full per-op tracing cost on the
+// KV hot path: Begin, the five layer spans a batched write crosses,
+// Finish with the layer sweep, and histogram aggregation.
+func BenchmarkTraceLifecycle(b *testing.B) {
+	now := vtime.Time(0)
+	tc := New(1, 1.0, func() vtime.Time { return now })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := tc.Begin("kv.write", i%2)
+		tr.SetLabel("key01#1@n8")
+		q := tr.Span("queue.key", LayerQueue)
+		now += 50
+		q.End()
+		bt := tr.Span("batch.wait", LayerBatch)
+		now += 100
+		bt.End()
+		w := tr.Span("rpc.batch", LayerWire)
+		r := tr.Span("replicate.shard0", LayerReplicate)
+		now += 300
+		r.End()
+		a := tr.Span("apply.shard0", LayerReplicate)
+		now += 100
+		a.End()
+		w.End()
+		tr.Finish()
+	}
+}
+
+// BenchmarkTraceLifecycleUnretained is the same path at sample rate 0:
+// traces feed histograms and die, nothing is retained.
+func BenchmarkTraceLifecycleUnretained(b *testing.B) {
+	now := vtime.Time(0)
+	tc := New(1, 0, func() vtime.Time { return now })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := tc.Begin("kv.write", i%2)
+		tr.SetLabel("key01#1@n8")
+		q := tr.Span("queue.key", LayerQueue)
+		now += 50
+		q.End()
+		bt := tr.Span("batch.wait", LayerBatch)
+		now += 100
+		bt.End()
+		w := tr.Span("rpc.batch", LayerWire)
+		r := tr.Span("replicate.shard0", LayerReplicate)
+		now += 300
+		r.End()
+		a := tr.Span("apply.shard0", LayerReplicate)
+		now += 100
+		a.End()
+		w.End()
+		tr.Finish()
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"hades/internal/netsim"
 	"hades/internal/session"
 	"hades/internal/shard"
+	"hades/internal/trace"
 	"hades/internal/vtime"
 )
 
@@ -96,6 +97,11 @@ type Txn struct {
 	// call is the submission's session call (the shared retry
 	// discipline; nil until dispatched).
 	call *session.Call
+	// trace is the transaction's causal trace; qspan and wspan time the
+	// client-queue wait and the submission round trip.
+	trace *trace.Trace
+	qspan trace.SpanRef
+	wspan trace.SpanRef
 
 	// OnDone, when set, observes the decided transaction.
 	OnDone func(Record)
@@ -215,6 +221,9 @@ func (c *Client) Commit(t *Txn) {
 		t.ops[i].Shard = c.p.router.ShardFor(t.ops[i].Key)
 	}
 	t.coordShard = c.p.coordShard(t.id)
+	t.trace = c.p.eng.Tracer().Begin("txn", t.coordShard)
+	t.trace.SetLabel(t.id.String())
+	t.qspan = t.trace.Span("queue.txn", trace.LayerQueue)
 	c.queue = append(c.queue, t)
 	// Deadline-aware admission at the client: a transaction still
 	// queued behind the session when its deadline passes aborts without
@@ -258,6 +267,8 @@ func (c *Client) removeQueued(t *Txn) {
 // query is idempotent).
 func (c *Client) dispatch(t *Txn) {
 	g := c.p.router.Groups()[t.coordShard]
+	t.qspan.End()
+	t.wspan = t.trace.Span("rpc.txn", trace.LayerWire)
 	t.call = c.p.sess.Go(session.Spec{
 		Label:      t.id.String(),
 		Node:       c.c.Node,
@@ -265,9 +276,10 @@ func (c *Client) dispatch(t *Txn) {
 		MaxRetries: c.c.MaxRetries,
 		Send: func(attempt int) {
 			t.target = g.Replication().Primary()
-			env := beginEnv{ID: t.id, Ops: t.ops, Deadline: t.deadline, Client: c.c.Node, Attempt: attempt}
+			env := beginEnv{ID: t.id, Ops: t.ops, Deadline: t.deadline, Client: c.c.Node, Attempt: attempt, Trace: t.trace.Ref()}
 			c.p.send(c.c.Node, t.target, c.p.coordPort(), env, 64)
 		},
+		Traces:     []trace.Ref{t.trace.Ref()},
 		Done:       func() bool { return t.status != StatusPending },
 		OnTimeout:  func() { c.Stats.Timeouts++ },
 		OnRetry:    func() { c.Stats.Retries++ },
@@ -339,6 +351,14 @@ func (c *Client) finish(t *Txn, committed bool, reason string, byDeadline bool, 
 	if t.call != nil {
 		t.call.Finish()
 	}
+	t.wspan.End()
+	if committed {
+		t.trace.SetClass("txn.commit")
+	} else {
+		t.trace.SetClass("txn.abort")
+		t.trace.Violate("abort: %s", reason)
+	}
+	t.trace.Finish()
 	now := c.p.eng.Now()
 	lat := now.Sub(t.submittedAt)
 	c.Stats.SumLatency += lat

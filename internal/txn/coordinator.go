@@ -10,6 +10,7 @@ import (
 	"hades/internal/replication"
 	"hades/internal/session"
 	"hades/internal/shard"
+	"hades/internal/trace"
 	"hades/internal/vtime"
 )
 
@@ -52,6 +53,9 @@ type partState struct {
 	reason   string
 	acked    bool
 	prepared bool // prepare loop started
+	// prepSpan times PREPARE-to-vote; decSpan times decision-to-ack.
+	prepSpan trace.SpanRef
+	decSpan  trace.SpanRef
 }
 
 // coordTxn is one transaction's coordinator-side state. Like the shard
@@ -73,6 +77,11 @@ type coordTxn struct {
 	byDeadline  bool
 	distributed bool
 	decidedAt   vtime.Time
+
+	// trace is the transaction's causal trace (shipped in by the client's
+	// submission); logSpan times the replicated decision-log round.
+	trace   trace.Ref
+	logSpan trace.SpanRef
 }
 
 // part returns the participant state of one shard index.
@@ -271,6 +280,7 @@ func (c *Coordinator) admit(env beginEnv) *coordTxn {
 		client:   env.Client,
 		attempt:  env.Attempt,
 		reads:    make(map[string]int64),
+		trace:    env.Trace,
 	}
 	byShard := make(map[int]*partState)
 	for _, op := range env.Ops {
@@ -308,7 +318,8 @@ func (c *Coordinator) sendPrepare(ct *coordTxn, ps *partState) {
 		return
 	}
 	ps.prepared = true
-	env := prepareEnv{ID: ct.id, Shard: ps.shard, Ops: ps.ops, Deadline: ct.deadline, Coord: c.shard}
+	ps.prepSpan = ct.trace.Span(fmt.Sprintf("2pc.prepare.s%d", ps.shard), trace.LayerWire)
+	env := prepareEnv{ID: ct.id, Shard: ps.shard, Ops: ps.ops, Deadline: ct.deadline, Coord: c.shard, Trace: ct.trace}
 	c.p.protoLoop(fmt.Sprintf("prep.%s.s%d", ct.id, ps.shard), c.g.Replication().Primary(),
 		func() {
 			from := c.g.Replication().Primary()
@@ -332,6 +343,7 @@ func (c *Coordinator) handleVote(node int, env voteEnv) {
 		return
 	}
 	ps.voted, ps.yes, ps.reason = true, env.Yes, env.Reason
+	ps.prepSpan.End()
 	for k, v := range env.Reads {
 		ct.reads[k] = v
 	}
@@ -385,6 +397,7 @@ func (c *Coordinator) decide(ct *coordTxn, commit bool, reason string) {
 		}
 		log.Recordf(ct.decidedAt, monitor.KindDecide, c.g.Replication().Primary(), ct.id.String(), "%s %s", verdict, reason)
 	}
+	ct.logSpan = ct.trace.Span("2pc.decision.log", trace.LayerReplicate)
 	cmd := int64(ct.id.Num) * 2
 	if commit {
 		cmd++
@@ -457,6 +470,7 @@ func (c *Coordinator) onApply(node int, reqID uint64, _ int64) {
 	}
 	ct := c.pending[rec.id]
 	if ct != nil && ct.decided && !ct.distributed {
+		ct.logSpan.End()
 		c.distribute(ct)
 		if ct.replyable() {
 			c.reply(c.g.Replication().Primary(), ct)
@@ -474,6 +488,7 @@ func (c *Coordinator) distribute(ct *coordTxn) {
 	env := decisionEnv{ID: ct.id, Commit: ct.commit}
 	for _, ps := range ct.parts {
 		p := ps
+		p.decSpan = ct.trace.Span(fmt.Sprintf("2pc.decide.s%d", p.shard), trace.LayerWire)
 		c.p.protoLoop(fmt.Sprintf("dec.%s.s%d", ct.id, p.shard), c.g.Replication().Primary(),
 			func() {
 				from := c.g.Replication().Primary()
@@ -512,6 +527,7 @@ func (c *Coordinator) handleAck(env ackEnv) {
 		return
 	}
 	ps.acked = true
+	ps.decSpan.End()
 	for _, p := range ct.parts {
 		if !p.acked {
 			return

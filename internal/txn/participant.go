@@ -7,6 +7,7 @@ import (
 	"hades/internal/monitor"
 	"hades/internal/netsim"
 	"hades/internal/shard"
+	"hades/internal/trace"
 	"hades/internal/vtime"
 )
 
@@ -61,6 +62,10 @@ type prep struct {
 	applying int
 	acked    bool
 	lockedAt vtime.Time
+	// trace is the owning transaction's causal trace; lockSpan times a
+	// prepare's wait behind a held lock.
+	trace    trace.Ref
+	lockSpan trace.SpanRef
 }
 
 // keys returns the prepare's lock set in op order (already
@@ -183,13 +188,14 @@ func (pa *Participant) handlePrepare(node, from int, env prepareEnv) {
 			voteEnv{ID: env.ID, Shard: pa.shard, Yes: false, Reason: "deadline passed", Deadline: true}, 32)
 		return
 	}
-	pr = &prep{id: env.ID, ops: env.Ops, deadline: env.Deadline, coord: env.Coord, state: prepWaiting}
+	pr = &prep{id: env.ID, ops: env.Ops, deadline: env.Deadline, coord: env.Coord, state: prepWaiting, trace: env.Trace}
 	pa.preps[env.ID] = pr
 	pa.Stats.Prepares++
 	if pa.tryAcquire(pr) {
 		pa.granted(node, from, pr)
 	} else {
 		pa.Stats.LockWaits++
+		pr.lockSpan = pr.trace.Span(fmt.Sprintf("lock.wait.s%d", pa.shard), trace.LayerLock)
 		pa.waiters = append(pa.waiters, pr)
 		if log := pa.p.eng.Log(); log != nil {
 			log.Recordf(now, monitor.KindLockWait, node, pr.id.String(), "shard %d: conflict on %v", pa.shard, pr.keys())
@@ -219,6 +225,7 @@ func (pa *Participant) tryAcquire(pr *prep) bool {
 func (pa *Participant) granted(node, from int, pr *prep) {
 	pr.state = prepHeld
 	pr.votedYes = true
+	pr.lockSpan.End()
 	if log := pa.p.eng.Log(); log != nil {
 		log.Recordf(pa.p.eng.Now(), monitor.KindPrepare, node, pr.id.String(), "shard %d: locked %v", pa.shard, pr.keys())
 	}
@@ -269,6 +276,8 @@ func (pa *Participant) atDeadline(pr *prep) {
 	case prepWaiting:
 		pr.state = prepDone
 		pa.removeWaiter(pr)
+		pr.lockSpan.End()
+		pr.trace.Instant("shard %d: lock wait exceeded deadline", pa.shard)
 		pa.Stats.Aborts++
 		node := pa.g.Replication().Primary()
 		if log := pa.p.eng.Log(); log != nil {
@@ -400,7 +409,7 @@ func (pa *Participant) handleDecision(node, from int, env decisionEnv) {
 		if op.Kind != OpWrite {
 			continue
 		}
-		reqID := pa.g.SubmitKeyed(op.Key, op.Cmd, pr.id.Client, op.Seq)
+		reqID := pa.g.SubmitKeyed(op.Key, op.Cmd, pr.id.Client, op.Seq, pr.trace)
 		pa.applyWait[reqID] = applyRef{id: pr.id, key: op.Key}
 		pa.overlay[op.Key] = overlayVal{cmd: op.Cmd, reqID: reqID}
 		pr.applying++

@@ -48,6 +48,7 @@ import (
 	"hades/internal/session"
 	"hades/internal/shard"
 	"hades/internal/simkern"
+	"hades/internal/trace"
 	"hades/internal/vtime"
 )
 
@@ -136,6 +137,15 @@ type beginEnv struct {
 	Deadline vtime.Time
 	Client   int
 	Attempt  int
+	// Trace is the transaction's causal trace (the generation-checked
+	// ref is the propagation format in the single-process simulation;
+	// the zero ref when tracing is off).
+	Trace trace.Ref
+}
+
+// TraceRefs lets the network mark the carried trace on message drops.
+func (e beginEnv) TraceRefs() []trace.Ref {
+	return []trace.Ref{e.Trace}
 }
 
 // outcomeEnv is the coordinator's response to a submission. Deadline
@@ -161,6 +171,14 @@ type prepareEnv struct {
 	// Coord is the coordinator shard index (decision queries resolve
 	// against its current primary).
 	Coord int
+	// Trace is the owning transaction's causal trace (the zero ref
+	// when tracing is off).
+	Trace trace.Ref
+}
+
+// TraceRefs lets the network mark the carried trace on message drops.
+func (e prepareEnv) TraceRefs() []trace.Ref {
+	return []trace.Ref{e.Trace}
 }
 
 // voteEnv is a participant's vote. Deadline marks NO votes cast
