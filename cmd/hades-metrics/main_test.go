@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hades/internal/metrics"
+)
+
+// writeSample marshals a small hand-built export and returns its path.
+func writeSample(t *testing.T) string {
+	t.Helper()
+	doc := metrics.Export{
+		IntervalNs: 5_000_000, Capacity: 256, Scrapes: 3,
+		Series: []metrics.SeriesData{
+			{Name: "kv.ack.latency", Kind: "hist", Unit: "ns", Points: []metrics.PointData{
+				{T: 5_000_000, V: 4, P50: 1_200_000, P99: 1_400_000, Max: 1_400_000},
+				{T: 10_000_000, V: 6, P50: 1_100_000, P99: 9_000_000, Max: 10_000_000},
+				{T: 15_000_000, V: 5, P50: 1_300_000, P99: 1_500_000, Max: 1_500_000},
+			}},
+			{Name: "shard.ops.shard0", Kind: "counter", Dropped: 2, Points: []metrics.PointData{
+				{T: 5_000_000, V: 9}, {T: 10_000_000, V: 7}, {T: 15_000_000, V: 8},
+			}},
+		},
+		SLO: []metrics.RuleData{
+			{Name: "ack-p99", Expr: "p99(kv.ack.latency) <= 5e+06", Metric: "kv.ack.latency",
+				Stat: "p99", Op: "<=", Threshold: 5_000_000, For: 1, Evals: 3,
+				Breaches: []metrics.BreachData{{Onset: 10_000_000, Clear: 15_000_000, Intervals: 1, Worst: 9_000_000}}},
+		},
+		TopKeys: []metrics.HotKey{
+			{Key: "alpha", Shard: 0, Count: 19},
+			{Key: "bravo", Shard: 1, Count: 4},
+			{Key: "golf", Shard: 0, Count: 3, Err: 1},
+		},
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sample.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRun(t *testing.T) {
+	sample := writeSample(t)
+	garbage := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(garbage, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"interval_ns":5000000,"capacity":256,"scrapes":0,"series":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantStdout string
+		wantStderr string
+	}{
+		{"check ok", []string{"-check", sample}, 0, "ok: 2 series, 3 scrapes", ""},
+		{"check garbage", []string{"-check", garbage}, 1, "", "not a metrics export"},
+		{"check empty", []string{"-check", empty}, 1, "", "holds no scraped series"},
+		{"check missing file", []string{"-check", filepath.Join(t.TempDir(), "nope.json")}, 1, "", "hades-metrics:"},
+		{"no args", nil, 1, "", "need exactly one metrics file"},
+		{"two args", []string{sample, sample}, 1, "", "need exactly one metrics file"},
+		{"slo report", []string{"-slo", sample}, 0, "breach onset 10.0ms, cleared 15.0ms", ""},
+		{"top report", []string{"-top", "2", sample}, 0, "hot shard: 0", ""},
+		{"timeline", []string{sample}, 0, "kv.ack.latency", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("exit code = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					code, tc.wantCode, stdout.String(), stderr.String())
+			}
+			if tc.wantStdout != "" && !strings.Contains(stdout.String(), tc.wantStdout) {
+				t.Errorf("stdout missing %q:\n%s", tc.wantStdout, stdout.String())
+			}
+			if tc.wantStderr != "" && !strings.Contains(stderr.String(), tc.wantStderr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantStderr, stderr.String())
+			}
+		})
+	}
+}
+
+// TestReportsDetail pins the report contents: the timeline marks ring
+// evictions and histogram worst-p99; -top shows the admission error
+// bound; -slo prints the rule expression.
+func TestReportsDetail(t *testing.T) {
+	sample := writeSample(t)
+	var out bytes.Buffer
+	if code := run([]string{sample}, &out, &out); code != 0 {
+		t.Fatalf("timeline failed:\n%s", out.String())
+	}
+	for _, want := range []string{"(+2 points evicted)", "worst-p99=9.00ms", "counter", "hist"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("timeline missing %q:\n%s", want, out.String())
+		}
+	}
+	out.Reset()
+	if code := run([]string{"-top", "3", sample}, &out, &out); code != 0 {
+		t.Fatalf("-top failed:\n%s", out.String())
+	}
+	for _, want := range []string{"alpha", "~19 touch(es)", "(±1)", "hot shard: 0 (22 of 26"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-top missing %q:\n%s", want, out.String())
+		}
+	}
+	out.Reset()
+	if code := run([]string{"-slo", sample}, &out, &out); code != 0 {
+		t.Fatalf("-slo failed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "p99(kv.ack.latency) <= 5e+06") {
+		t.Errorf("-slo missing the rule expression:\n%s", out.String())
+	}
+}

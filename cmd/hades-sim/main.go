@@ -13,13 +13,16 @@
 //	hades-sim -builtin partition-split -views -partition
 //	hades-sim -builtin sharded-kv -shards -percentiles
 //	hades-sim -builtin bank-transfer -txns -trace out.json
+//	hades-sim -builtin hot-shard -metrics m.json
 //	hades-sim -scenario myset.json
 //	hades-sim -list                  # list built-in scenarios
 //
 // -trace exports the run's retained causal traces as Chrome
 // trace-event JSON, loadable in Perfetto (https://ui.perfetto.dev) or
 // chrome://tracing; -percentiles prints the per-shard, per-op-class
-// latency percentile table with the layer breakdown.
+// latency percentile table with the layer breakdown; -metrics exports
+// the virtual-time metrics timeline (per-interval series, SLO breach
+// windows, hot keys) as JSON for hades-metrics.
 package main
 
 import (
@@ -46,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		builtin     = fs.String("builtin", "", "built-in scenario name")
 		file        = fs.String("scenario", "", "scenario JSON file")
 		traceOut    = fs.String("trace", "", "export retained causal traces as Chrome trace-event JSON to this file (Perfetto-loadable)")
+		metricsOut  = fs.String("metrics", "", "export the metrics timeline (per-interval series, SLO breaches, hot keys) as JSON to this file")
 		percentiles = fs.Bool("percentiles", false, "print the per-shard, per-op-class latency percentile table")
 		events      = fs.Bool("events", false, "print the full monitor event trace")
 		gantt       = fs.Bool("gantt", false, "print a per-node CPU occupancy chart")
@@ -250,6 +254,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		_, _, retained, _ := tr.Counts()
 		fmt.Fprintf(stdout, "wrote %d trace(s) to %s (load in https://ui.perfetto.dev)\n", retained, *traceOut)
+	}
+	if *metricsOut != "" {
+		reg := clu.Metrics()
+		if reg == nil {
+			fmt.Fprintln(stderr, "hades-sim: -metrics needs the metrics plane enabled (the scenario disabled it)")
+			return 1
+		}
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "hades-sim: cannot write metrics file: %v\n", err)
+			return 1
+		}
+		werr := reg.WriteJSON(f)
+		cerr := f.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "hades-sim: writing %s: %v\n", *metricsOut, werr)
+			return 1
+		}
+		ex := reg.Export()
+		fmt.Fprintf(stdout, "wrote %d series (%d scrapes) to %s (inspect with hades-metrics)\n",
+			len(ex.Series), ex.Scrapes, *metricsOut)
 	}
 	return 0
 }

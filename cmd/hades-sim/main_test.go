@@ -59,6 +59,18 @@ func TestRunFlags(t *testing.T) {
 			wantStdout: "latency percentiles",
 		},
 		{
+			name:       "metrics export",
+			args:       []string{"-builtin", "hot-shard", "-metrics", filepath.Join(tmp, "m.json")},
+			wantCode:   0,
+			wantStdout: "series (80 scrapes) to",
+		},
+		{
+			name:       "unwritable metrics path",
+			args:       []string{"-builtin", "hot-shard", "-metrics", filepath.Join(tmp, "no-such-dir", "m.json")},
+			wantCode:   1,
+			wantStderr: "cannot write metrics file",
+		},
+		{
 			name:       "bad flag",
 			args:       []string{"-no-such-flag"},
 			wantCode:   1,

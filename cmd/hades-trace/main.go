@@ -215,4 +215,73 @@ func waterfall(w io.Writer, t *traceRec) {
 	for _, v := range t.viols {
 		fmt.Fprintf(w, "  ! %s\n", v)
 	}
+	if rows := layerBreakdown(sorted); len(rows) > 0 {
+		fmt.Fprint(w, "  layers:")
+		for _, lr := range rows {
+			pct := 0.0
+			if root.dur > 0 {
+				pct = lr.self / root.dur * 100
+			}
+			fmt.Fprintf(w, "  %s %.1fus (%.0f%%)", lr.layer, lr.self, pct)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// layerRow is one layer's share of a trace's end-to-end time.
+type layerRow struct {
+	layer string
+	self  float64 // µs of self-time attributed to the layer
+}
+
+// layerBreakdown attributes each span's self-time (its duration minus
+// its immediate children's) to the span's layer, so the rows sum to
+// the trace's end-to-end duration without double-counting nesting.
+// Spans must already be sorted by start time, widest first on ties.
+func layerBreakdown(sorted []span) []layerRow {
+	type open struct {
+		end float64
+		idx int
+	}
+	self := make([]float64, len(sorted))
+	layer := make([]string, len(sorted))
+	var stack []open
+	for i, s := range sorted {
+		self[i] = s.dur
+		layer[i] = s.layer
+		if layer[i] == "" {
+			layer[i] = "other"
+		}
+		// Tolerate float µs rounding at containment boundaries.
+		const eps = 1e-6
+		for len(stack) > 0 && s.ts >= stack[len(stack)-1].end-eps {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			self[stack[len(stack)-1].idx] -= s.dur
+		}
+		stack = append(stack, open{end: s.ts + s.dur, idx: i})
+	}
+	sums := map[string]float64{}
+	order := []string{}
+	for i := range sorted {
+		if self[i] < 0 {
+			self[i] = 0
+		}
+		if _, seen := sums[layer[i]]; !seen {
+			order = append(order, layer[i])
+		}
+		sums[layer[i]] += self[i]
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if sums[order[i]] != sums[order[j]] {
+			return sums[order[i]] > sums[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	rows := make([]layerRow, 0, len(order))
+	for _, l := range order {
+		rows = append(rows, layerRow{layer: l, self: sums[l]})
+	}
+	return rows
 }

@@ -98,7 +98,8 @@ func TestWaterfallShowsMarksAndViolations(t *testing.T) {
 		t.Fatalf("run failed: %s", stderr.String())
 	}
 	out := stdout.String()
-	for _, want := range []string{"queue.txn", "rpc.txn", "* ", "retry after timeout", "! ", "abort: deadline"} {
+	for _, want := range []string{"queue.txn", "rpc.txn", "* ", "retry after timeout", "! ", "abort: deadline",
+		"layers:", "wire 300.0us", "queue 50.0us"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}

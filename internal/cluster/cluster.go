@@ -28,6 +28,7 @@ import (
 	"hades/internal/fault"
 	"hades/internal/heug"
 	"hades/internal/membership"
+	"hades/internal/metrics"
 	"hades/internal/monitor"
 	"hades/internal/netsim"
 	"hades/internal/replication"
@@ -71,6 +72,28 @@ type TraceParams struct {
 	Disabled bool
 }
 
+// MetricsParams tunes the virtual-time metrics plane. A nil
+// Config.Metrics enables the plane with the package defaults (5ms
+// scrape interval, 256-point series); a non-nil value is used
+// verbatim with zero fields defaulting, so scenarios pin the interval
+// and declare SLO rules without restating the rest.
+type MetricsParams struct {
+	// Interval is the virtual-time scrape period (0 selects
+	// metrics.DefaultInterval).
+	Interval vtime.Duration
+	// Capacity bounds each series' ring buffer (0 selects
+	// metrics.DefaultCapacity).
+	Capacity int
+	// TopK bounds the key-hotness sketch (0 selects metrics.DefaultTopK).
+	TopK int
+	// Rules are the declarative SLO threshold rules evaluated each
+	// scrape interval; breaches and clears land in the monitor stream.
+	Rules []metrics.Rule
+	// Disabled turns the metrics plane off entirely: nil instrument
+	// handles everywhere, no scrape events, no export.
+	Disabled bool
+}
+
 // Config describes the cluster to assemble.
 type Config struct {
 	// Seed drives all randomness (link delays, probabilistic faults):
@@ -96,6 +119,9 @@ type Config struct {
 	// DefaultSampleRate. Histograms observe every op either way —
 	// the rate only bounds span-tree retention.
 	Trace *TraceParams
+	// Metrics tunes the virtual-time metrics plane; nil enables it
+	// with the package defaults.
+	Metrics *MetricsParams
 }
 
 // linkDecl is one declared point-to-point link.
@@ -115,13 +141,14 @@ type spawned struct {
 // (Crash, DropEvery, ...), then Run. Not safe for concurrent use; a
 // run is single-threaded by design.
 type Cluster struct {
-	cfg    Config
-	log    *monitor.Log
-	eng    *simkern.Engine
-	tracer *trace.Tracer
-	nodes  []int
-	links  []linkDecl
-	mesh   *linkDecl // ConnectAll request (a, b unused)
+	cfg     Config
+	log     *monitor.Log
+	eng     *simkern.Engine
+	tracer  *trace.Tracer
+	metrics *metrics.Registry
+	nodes   []int
+	links   []linkDecl
+	mesh    *linkDecl // ConnectAll request (a, b unused)
 
 	net  *netsim.Network
 	disp *dispatcher.Dispatcher
@@ -172,6 +199,27 @@ func New(cfg Config) *Cluster {
 	if !disabled {
 		c.tracer = trace.New(cfg.Seed, rate, c.eng.Now)
 		c.eng.SetTracer(c.tracer)
+	}
+	mp := MetricsParams{}
+	if cfg.Metrics != nil {
+		mp = *cfg.Metrics
+	}
+	if !mp.Disabled {
+		c.metrics = metrics.New(metrics.Options{
+			Interval: mp.Interval,
+			Capacity: mp.Capacity,
+			TopK:     mp.TopK,
+			Rules:    mp.Rules,
+			Now:      c.eng.Now,
+			Schedule: func(t vtime.Time, fn func()) { c.eng.At(t, eventq.ClassApp, fn) },
+			Log:      log,
+		})
+		c.eng.SetMetrics(c.metrics)
+		// Kernel-plane signals: live event-queue depth and events
+		// retired per interval, sampled from statistics the engine
+		// already keeps.
+		c.metrics.GaugeFunc("eventq.depth", func() int64 { return int64(c.eng.QueueLen()) })
+		c.metrics.CounterFunc("eventq.events", func() int64 { return int64(c.eng.EventsFired()) })
 	}
 	return c
 }
@@ -249,6 +297,11 @@ func (c *Cluster) build() {
 		for _, l := range c.links {
 			c.net.Connect(l.a, l.b, l.dMin, l.dMax)
 		}
+		// Network-plane signals, fed from the stats netsim already
+		// accumulates.
+		c.metrics.GaugeFunc("net.inflight", func() int64 { return int64(c.net.Inflight()) })
+		c.metrics.CounterFunc("net.sent", func() int64 { return int64(c.net.Stats().Sent) })
+		c.metrics.CounterFunc("net.drops", func() int64 { return int64(c.net.Stats().Dropped) })
 	}
 	c.disp = dispatcher.New(c.eng, c.net, c.cfg.Costs)
 	c.disp.CancelOnMiss = c.cfg.CancelOnMiss
@@ -276,6 +329,11 @@ func (c *Cluster) Log() *monitor.Log { return c.log }
 // Tracer returns the causal tracing plane (nil when disabled — a valid
 // disabled tracer; every trace call no-ops).
 func (c *Cluster) Tracer() *trace.Tracer { return c.tracer }
+
+// Metrics returns the virtual-time metrics plane (nil when disabled —
+// a valid disabled registry; every instrument accessor returns a
+// no-op handle).
+func (c *Cluster) Metrics() *metrics.Registry { return c.metrics }
 
 // Now returns the current virtual time.
 func (c *Cluster) Now() vtime.Time { return c.eng.Now() }
@@ -611,6 +669,9 @@ func (c *Cluster) Run(d vtime.Duration) Result {
 	}
 	c.spawns = nil
 	until := c.eng.Now().Add(d)
+	// Pre-arm the scrape ticks for this window: no self-rearming
+	// chains, so runs that drain the queue to idle terminate.
+	c.metrics.ArmUntil(until)
 	c.eng.Run(until)
 	return c.ResultNow()
 }

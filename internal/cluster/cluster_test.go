@@ -1,11 +1,13 @@
 package cluster_test
 
 import (
+	"strings"
 	"testing"
 
 	"hades/internal/cluster"
 	"hades/internal/dispatcher"
 	"hades/internal/heug"
+	"hades/internal/monitor"
 	"hades/internal/sched"
 	"hades/internal/vtime"
 )
@@ -258,5 +260,23 @@ func TestPartitionViaCluster(t *testing.T) {
 	mem := g.Membership()
 	if hist := mem.History(0); len(hist) != 2 {
 		t.Fatalf("minority history %v, want [v1 merge]", hist)
+	}
+}
+
+// TestResultSurfacesLogDropped: when the bounded monitor log evicts
+// events, the eviction count reaches the Result and its report.
+func TestResultSurfacesLogDropped(t *testing.T) {
+	c := cluster.New(cluster.Config{Seed: 1, LogLimit: 3})
+	c.AddNodes(1)
+	log := c.Log()
+	for i := 0; i < 10; i++ {
+		log.Recordf(vtime.Time(i), monitor.KindNotification, 0, "test", "event %d", i)
+	}
+	res := c.ResultNow()
+	if res.LogDropped != 7 {
+		t.Fatalf("LogDropped = %d, want 7 (10 events, limit 3)", res.LogDropped)
+	}
+	if !strings.Contains(res.String(), "7 events dropped") {
+		t.Fatalf("report does not surface the eviction count:\n%s", res)
 	}
 }

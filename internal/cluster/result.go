@@ -8,6 +8,7 @@ import (
 
 	"hades/internal/dispatcher"
 	"hades/internal/membership"
+	"hades/internal/metrics"
 	"hades/internal/monitor"
 	"hades/internal/netsim"
 	"hades/internal/trace"
@@ -33,6 +34,14 @@ type Result struct {
 	// is disabled.
 	Latency    []LatencyResult
 	Violations []monitor.Event
+	// Metrics is the virtual-time metrics timeline (nil when the plane
+	// is disabled): every series' retained points, the SLO rule records
+	// with their breach windows, and the key-hotness sketch.
+	Metrics *metrics.Export
+	// LogDropped counts monitor-log events evicted by the log's bound
+	// (ring churn or head-mode overflow) — a non-zero value means the
+	// retained event window is incomplete.
+	LogDropped int
 }
 
 // LatencyResult is one op class's latency record on one shard (or all
@@ -200,7 +209,10 @@ type TaskResult struct {
 // ResultNow builds a Result at the current instant without advancing.
 func (c *Cluster) ResultNow() Result {
 	c.build()
-	r := Result{Until: c.eng.Now(), Stats: c.disp.Stats(), Violations: c.log.Violations()}
+	r := Result{
+		Until: c.eng.Now(), Stats: c.disp.Stats(), Violations: c.log.Violations(),
+		Metrics: c.metrics.Export(), LogDropped: c.log.Dropped(),
+	}
 	if c.net != nil {
 		r.Net = c.net.Stats()
 	}
@@ -448,6 +460,9 @@ func (r Result) String() string {
 		out += fmt.Sprintf("  net: sent=%d delivered=%d dropped=%d late=%d maxDelay=%s\n",
 			r.Net.Sent, r.Net.Delivered, r.Net.Dropped, r.Net.Late, r.Net.MaxDelay)
 	}
+	if r.LogDropped > 0 {
+		out += fmt.Sprintf("  log: %d events dropped (log limit)\n", r.LogDropped)
+	}
 	for _, t := range r.Tasks {
 		out += fmt.Sprintf("  %-16s act=%-5d done=%-5d miss=%-4d avg=%-12s max=%s\n",
 			t.Name, t.Activations, t.Completions, t.Misses, t.AvgResponse, t.MaxResponse)
@@ -499,6 +514,18 @@ func (r Result) String() string {
 		out += fmt.Sprintf("  lat %-11s %-4s n=%-5d p50=%-10s p99=%-10s p999=%-10s max=%-10s | queue=%s batch=%s wire=%s repl=%s lock=%s other=%s\n",
 			l.Class, shard, l.Count, l.P50, l.P99, l.P999, l.Max,
 			l.Queued, l.Batched, l.Wire, l.Replicating, l.Locked, l.Other)
+	}
+	if m := r.Metrics; m != nil && m.Scrapes > 0 {
+		out += fmt.Sprintf("  metrics: %d series, %d scrapes every %s\n",
+			len(m.Series), m.Scrapes, vtime.Duration(m.IntervalNs))
+		if len(m.TopKeys) > 0 {
+			hot := m.TopKeys[0]
+			out += fmt.Sprintf("    hottest key %q (shard %d, ~%d touches)\n", hot.Key, hot.Shard, hot.Count)
+		}
+		for _, rd := range m.SLO {
+			out += fmt.Sprintf("    slo %-12s %-32s evals=%-4d breaches=%d\n",
+				rd.Name, rd.Expr, rd.Evals, len(rd.Breaches))
+		}
 	}
 	return out
 }

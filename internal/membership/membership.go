@@ -59,6 +59,7 @@ import (
 	"hades/internal/consensus"
 	"hades/internal/eventq"
 	"hades/internal/fault"
+	"hades/internal/metrics"
 	"hades/internal/monitor"
 	"hades/internal/netsim"
 	"hades/internal/rbcast"
@@ -218,6 +219,11 @@ type Service struct {
 	Installs  []Install
 	Transfers []Transfer
 	Merges    []Merge
+
+	// Metrics-plane instruments (nil-safe when metrics are off):
+	// suspicion arrivals and per-install view latency.
+	mSuspicions *metrics.Counter
+	mInstallLat *metrics.Hist
 }
 
 // New builds (but does not start) a membership service over the given
@@ -277,6 +283,8 @@ func New(eng *simkern.Engine, net *netsim.Network, cfg Config) (*Service, error)
 		blockedMark:   make(map[int]bool),
 		blockedTotal:  make(map[int]vtime.Duration),
 		onInstall:     make(map[int][]func(View)),
+		mSuspicions:   eng.Metrics().Counter("member.suspicions"),
+		mInstallLat:   eng.Metrics().Hist("member.install.latency"),
 	}
 	s.det = fault.NewDetector(eng, net, dcfg, s.handleSuspicion)
 	s.det.OnRehabilitate(s.handleRehabilitation)
@@ -507,6 +515,7 @@ func (s *Service) handleSuspicion(sp fault.Suspicion) {
 	if !s.started {
 		return
 	}
+	s.mSuspicions.Inc()
 	cur := s.agreed[len(s.agreed)-1]
 	if !cur.Contains(sp.Suspect) || !cur.Contains(sp.Observer) {
 		return
@@ -927,6 +936,9 @@ func (s *Service) install(node int, v View, at, trigger vtime.Time, reason strin
 	s.history[node] = append(s.history[node], v)
 	in := Install{Node: node, View: v, At: at, TriggeredAt: trigger, Latency: at.Sub(trigger), Reason: reason}
 	s.Installs = append(s.Installs, in)
+	if v.ID != 1 {
+		s.mInstallLat.ObserveD(in.Latency) // initial view: no change latency
+	}
 	if log := s.eng.Log(); log != nil {
 		log.Recordf(at, monitor.KindViewChange, node, s.cfg.Name, "%s %s lat=%s", v, reason, in.Latency)
 	}

@@ -1,0 +1,435 @@
+// Package metrics is the virtual-time metrics plane of the HADES
+// reproduction: an always-on, allocation-conscious time-series layer
+// over the simulator's virtual clock.
+//
+// A per-run Registry holds named instruments — counters, gauges and
+// histograms — that every layer updates on its hot path through
+// nil-safe handles (a disabled plane hands out nil handles; every
+// method on a nil handle is a no-op, so call sites carry no
+// conditionals). On a fixed virtual-time interval the registry scrapes
+// every instrument into a fixed-capacity ring-buffer series: counters
+// record the per-interval delta, gauges the sampled value, histograms
+// a per-interval {count, p50, p99, max} summary (the interval
+// histogram then resets). On top of the series an SLO probe engine
+// (slo.go) evaluates declarative threshold rules each interval, and a
+// space-saving sketch (topk.go) tracks per-key hotness — the signal
+// elastic resharding will consume.
+//
+// Like the tracing plane, the metrics plane is behaviorally passive:
+// it never consumes the engine's random stream and its scrape events
+// never mutate simulation state, so a run with metrics on is
+// byte-identical to the same run with metrics off (modulo the SLO
+// breach events it appends to the monitor stream). Same description +
+// same seed ⇒ byte-identical export.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"hades/internal/monitor"
+	"hades/internal/trace"
+	"hades/internal/vtime"
+)
+
+// Defaults: the interval is short against the millisecond-scale
+// horizons of the builtins (a 400ms run yields 80 points) and the
+// capacity generously covers second-scale runs before the ring wraps.
+const (
+	DefaultInterval = 5 * vtime.Millisecond
+	DefaultCapacity = 256
+	DefaultTopK     = 16
+)
+
+// Options parameterises a Registry.
+type Options struct {
+	// Interval is the virtual-time scrape period (0 = DefaultInterval).
+	Interval vtime.Duration
+	// Capacity bounds each series' ring buffer (0 = DefaultCapacity).
+	Capacity int
+	// TopK bounds the space-saving key-hotness sketch (0 = DefaultTopK).
+	TopK int
+	// Rules are the declarative SLO threshold rules evaluated each
+	// interval.
+	Rules []Rule
+	// Now reads the virtual clock (required).
+	Now func() vtime.Time
+	// Schedule arranges fn to run at absolute virtual instant t
+	// (required for scraping; the cluster wires the engine's App class).
+	Schedule func(t vtime.Time, fn func())
+	// Log, when set, receives SLO breach/clear events.
+	Log *monitor.Log
+}
+
+// Point is one scraped sample of one series. V is the counter delta,
+// gauge value or histogram observation count; P50/P99/Max summarise a
+// histogram's interval (zero when the interval observed nothing).
+type Point struct {
+	T   vtime.Time
+	V   int64
+	P50 int64
+	P99 int64
+	Max int64
+}
+
+// series is a fixed-capacity ring of points.
+type series struct {
+	pts     []Point
+	start   int
+	dropped int
+	capn    int
+}
+
+func (s *series) push(p Point) {
+	if len(s.pts) < s.capn {
+		s.pts = append(s.pts, p)
+		return
+	}
+	s.pts[s.start] = p
+	s.start = (s.start + 1) % s.capn
+	s.dropped++
+}
+
+// each visits retained points in chronological order, unwinding the
+// ring when it has wrapped.
+func (s *series) each(visit func(Point)) {
+	for i := 0; i < len(s.pts); i++ {
+		visit(s.pts[(s.start+i)%len(s.pts)])
+	}
+}
+
+// last returns the newest point.
+func (s *series) last() (Point, bool) {
+	if len(s.pts) == 0 {
+		return Point{}, false
+	}
+	i := s.start - 1
+	if i < 0 {
+		i = len(s.pts) - 1
+	}
+	return s.pts[i], true
+}
+
+// Counter is a monotonic count; each scrape records the delta since
+// the previous one. Source callbacks (CounterFunc) let existing
+// cumulative statistics feed a counter without touching their hot
+// path. All methods are nil-safe.
+type Counter struct {
+	v    int64
+	last int64
+	fns  []func() int64
+	s    series
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+func (c *Counter) sample() int64 {
+	v := c.v
+	for _, fn := range c.fns {
+		v += fn()
+	}
+	return v
+}
+
+// Gauge is a sampled level: each scrape records the set value plus the
+// sum of the registered source callbacks (several callbacks under one
+// name sum — per-shard depths aggregate naturally). Nil-safe.
+type Gauge struct {
+	v   int64
+	fns []func() int64
+	s   series
+}
+
+// Set stores the gauge level.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Add moves the gauge level.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v += n
+	}
+}
+
+func (g *Gauge) sample() int64 {
+	v := g.v
+	for _, fn := range g.fns {
+		v += fn()
+	}
+	return v
+}
+
+// Hist is a per-interval log-linear histogram (the trace plane's HDR
+// layout): each scrape summarises and resets it. Nil-safe.
+type Hist struct {
+	h    *trace.Hist
+	unit string
+	s    series
+}
+
+// Observe records one observation.
+func (h *Hist) Observe(v int64) {
+	if h != nil {
+		h.h.Record(v)
+	}
+}
+
+// ObserveD records one duration observation.
+func (h *Hist) ObserveD(d vtime.Duration) { h.Observe(int64(d)) }
+
+// instKind discriminates the registry's entries.
+type instKind uint8
+
+const (
+	kindCounter instKind = iota + 1
+	kindGauge
+	kindHist
+)
+
+func (k instKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHist:
+		return "hist"
+	}
+	return "?"
+}
+
+// entry is one named instrument.
+type entry struct {
+	name string
+	kind instKind
+	c    *Counter
+	g    *Gauge
+	h    *Hist
+}
+
+func (e *entry) scrape(t vtime.Time) {
+	switch e.kind {
+	case kindCounter:
+		cur := e.c.sample()
+		e.c.s.push(Point{T: t, V: cur - e.c.last})
+		e.c.last = cur
+	case kindGauge:
+		e.g.s.push(Point{T: t, V: e.g.sample()})
+	case kindHist:
+		h := e.h.h
+		e.h.s.push(Point{
+			T: t, V: int64(h.Count()),
+			P50: h.Percentile(0.5), P99: h.Percentile(0.99), Max: h.Max(),
+		})
+		h.Reset()
+	}
+}
+
+func (e *entry) series() *series {
+	switch e.kind {
+	case kindCounter:
+		return &e.c.s
+	case kindGauge:
+		return &e.g.s
+	case kindHist:
+		return &e.h.s
+	}
+	return nil
+}
+
+// Registry is the per-run metrics plane: the named instruments, the
+// scrape schedule, the SLO probes and the key-hotness sketch. A nil
+// Registry is the disabled plane — every method no-ops and every
+// instrument accessor returns a nil (no-op) handle.
+type Registry struct {
+	opt    Options
+	order  []*entry
+	byName map[string]*entry
+	topk   *TopK
+	probes []*probe
+
+	nextTick   vtime.Time
+	armedUntil vtime.Time
+	scrapes    int
+}
+
+// New builds a registry. Zero option fields default.
+func New(opt Options) *Registry {
+	if opt.Interval <= 0 {
+		opt.Interval = DefaultInterval
+	}
+	if opt.Capacity <= 0 {
+		opt.Capacity = DefaultCapacity
+	}
+	if opt.TopK <= 0 {
+		opt.TopK = DefaultTopK
+	}
+	r := &Registry{
+		opt:    opt,
+		byName: make(map[string]*entry),
+		topk:   newTopK(opt.TopK),
+	}
+	for _, rule := range opt.Rules {
+		r.probes = append(r.probes, newProbe(rule))
+	}
+	return r
+}
+
+// Interval returns the scrape period.
+func (r *Registry) Interval() vtime.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.opt.Interval
+}
+
+// Scrapes returns how many scrape ticks have fired.
+func (r *Registry) Scrapes() int {
+	if r == nil {
+		return 0
+	}
+	return r.scrapes
+}
+
+// get returns (creating) the named entry, checking the kind: one name,
+// one instrument — a kind clash is a programming error and panics.
+func (r *Registry) get(name string, kind instKind) *entry {
+	e := r.byName[name]
+	if e != nil {
+		if e.kind != kind {
+			panic(fmt.Sprintf("metrics: %q registered as %s, requested as %s", name, e.kind, kind))
+		}
+		return e
+	}
+	e = &entry{name: name, kind: kind}
+	switch kind {
+	case kindCounter:
+		e.c = &Counter{s: series{capn: r.opt.Capacity}}
+	case kindGauge:
+		e.g = &Gauge{s: series{capn: r.opt.Capacity}}
+	case kindHist:
+		e.h = &Hist{h: trace.NewHist(), unit: "ns", s: series{capn: r.opt.Capacity}}
+	}
+	r.byName[name] = e
+	r.order = append(r.order, e)
+	return e
+}
+
+// Counter returns the named counter handle (nil when disabled).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, kindCounter).c
+}
+
+// CounterFunc feeds the named counter from a cumulative source sampled
+// at each scrape (the delta is recorded) — wiring for statistics that
+// already exist, costing the hot path nothing.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	c := r.get(name, kindCounter).c
+	c.fns = append(c.fns, fn)
+}
+
+// Gauge returns the named gauge handle (nil when disabled).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, kindGauge).g
+}
+
+// GaugeFunc adds a sampled source to the named gauge; several sources
+// under one name sum at scrape time.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	g := r.get(name, kindGauge).g
+	g.fns = append(g.fns, fn)
+}
+
+// Hist returns the named histogram handle with nanosecond unit (nil
+// when disabled).
+func (r *Registry) Hist(name string) *Hist {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, kindHist).h
+}
+
+// HistUnit returns the named histogram handle, declaring its unit
+// ("ns", "ops", ...) for the exporters.
+func (r *Registry) HistUnit(name, unit string) *Hist {
+	if r == nil {
+		return nil
+	}
+	h := r.get(name, kindHist).h
+	h.unit = unit
+	return h
+}
+
+// Keys returns the key-hotness sketch (nil when disabled).
+func (r *Registry) Keys() *TopK {
+	if r == nil {
+		return nil
+	}
+	return r.topk
+}
+
+// ArmUntil schedules scrape ticks on every interval boundary up to and
+// including until (idempotent per boundary; repeated runs extend the
+// schedule). Scrape callbacks read instruments and never mutate
+// simulation state, keeping the plane passive.
+func (r *Registry) ArmUntil(until vtime.Time) {
+	if r == nil || r.opt.Schedule == nil {
+		return
+	}
+	if r.nextTick == 0 {
+		r.nextTick = vtime.Time(r.opt.Interval)
+	}
+	for t := r.nextTick; t <= until; t = t.Add(r.opt.Interval) {
+		tick := t
+		r.opt.Schedule(tick, func() { r.scrapeAt(tick) })
+		r.nextTick = t.Add(r.opt.Interval)
+	}
+	if until > r.armedUntil {
+		r.armedUntil = until
+	}
+}
+
+// scrapeAt samples every instrument into its series and evaluates the
+// SLO probes against the fresh points.
+func (r *Registry) scrapeAt(t vtime.Time) {
+	r.scrapes++
+	for _, e := range r.order {
+		e.scrape(t)
+	}
+	for _, p := range r.probes {
+		r.evaluate(p, t)
+	}
+}
+
+// names returns the registered series names, sorted.
+func (r *Registry) names() []string {
+	out := make([]string, 0, len(r.order))
+	for _, e := range r.order {
+		out = append(out, e.name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -93,6 +93,12 @@ const (
 	KindBatch
 	KindBatchFlush
 	KindPipeline
+
+	// Metrics-plane events: a declarative SLO rule crossing into breach
+	// and clearing again (the onset/clear instants of a violation
+	// window, emitted by the per-interval probe engine).
+	KindSLOBreach
+	KindSLOClear
 )
 
 var kindNames = map[Kind]string{
@@ -147,6 +153,8 @@ var kindNames = map[Kind]string{
 	KindBatch:               "Batch",
 	KindBatchFlush:          "BatchFlush",
 	KindPipeline:            "Pipeline",
+	KindSLOBreach:           "SLO-BREACH",
+	KindSLOClear:            "SLOClear",
 }
 
 // String returns the short mnemonic for the kind.

@@ -150,6 +150,14 @@ func (n *Network) Engine() *simkern.Engine { return n.eng }
 // Stats returns a snapshot of the network counters.
 func (n *Network) Stats() Stats { return n.stats }
 
+// Inflight returns the number of messages sent but neither delivered
+// nor dropped — the wire-occupancy signal the metrics plane samples
+// (drops are counted whether they happen at send time or in flight,
+// so the difference is exact).
+func (n *Network) Inflight() int {
+	return n.stats.Sent - n.stats.Delivered - n.stats.Dropped
+}
+
 // SetFault installs the fault hook (nil disables injection).
 func (n *Network) SetFault(f FaultHook) { n.fault = f }
 

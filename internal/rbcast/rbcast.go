@@ -28,6 +28,7 @@ package rbcast
 
 import (
 	"hades/internal/eventq"
+	"hades/internal/metrics"
 	"hades/internal/monitor"
 	"hades/internal/netsim"
 	"hades/internal/simkern"
@@ -91,6 +92,10 @@ type Service struct {
 	port      string
 	delivered map[msgID][]int // message → nodes that delivered
 
+	// mFanout counts flood copies put on the wire (the dissemination
+	// cost signal); nil-safe when metrics are off.
+	mFanout *metrics.Counter
+
 	// epoch implements virtual-synchronous flushing at view boundaries:
 	// broadcasts are tagged with the epoch current at initiation, and a
 	// copy whose tag is stale at its (fixed) delivery instant is
@@ -142,6 +147,7 @@ func New(eng *simkern.Engine, net *netsim.Network, name string, cfg Config) *Ser
 		handlers:  make(map[int]func(Delivery)),
 		delivered: make(map[msgID][]int),
 		port:      "rbcast." + name,
+		mFanout:   eng.Metrics().Counter("rbcast.fanout"),
 	}
 	for _, n := range cfg.Group {
 		node := n
@@ -265,6 +271,7 @@ func (s *Service) relay(from int, f flood) {
 		if _, err := s.net.Send(from, dst, s.port, f, 32); err != nil {
 			continue // unconnected: counts as omission, tolerated up to f
 		}
+		s.mFanout.Inc()
 	}
 }
 

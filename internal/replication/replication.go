@@ -44,6 +44,7 @@ import (
 	"sort"
 
 	"hades/internal/membership"
+	"hades/internal/metrics"
 	"hades/internal/monitor"
 	"hades/internal/netsim"
 	"hades/internal/simkern"
@@ -173,6 +174,18 @@ type Group struct {
 	// mirrors coordinator decisions through it. Register with
 	// OnApplyHook; hooks fire in registration order.
 	onApply []func(node int, reqID uint64, result int64)
+
+	// Round occupancy, sampled by the metrics plane: open counts
+	// requests submitted but not yet authoritatively answered (votes
+	// completed / primary replies landed). Requests whose answer never
+	// lands — lost to a passive failover or an unreachable majority —
+	// stay counted, so a fault window shows as a plateau in the
+	// "repl.open" gauge rather than vanishing. acked guards the
+	// decrement against the primary answering the same request twice
+	// (dedup-cache replies after a retry straddles a failover).
+	open   int
+	acked  map[uint64]bool
+	mRound *metrics.Counter
 }
 
 // OnApplyHook registers an observer of every fresh state-machine apply
@@ -276,8 +289,11 @@ func NewGroup(eng *simkern.Engine, net *netsim.Network, mem *membership.Service,
 		stores:   make(map[int]*storage.Store),
 		replies:  make(map[uint64][]Reply),
 		voted:    make(map[uint64]bool),
+		acked:    make(map[uint64]bool),
 		onReply:  onReply,
 	}
+	g.mRound = eng.Metrics().Counter("repl.rounds")
+	eng.Metrics().GaugeFunc("repl.open", func() int64 { return int64(g.open) })
 	for _, r := range cfg.Replicas {
 		g.machines[r] = &StateMachine{}
 		g.stores[r] = storage.New(eng, r, cfg.StorageLatency)
@@ -453,6 +469,8 @@ func (g *Group) SubmitBatch(from int, items []BatchItem) []uint64 {
 	if len(items) == 0 {
 		return ids
 	}
+	g.mRound.Inc()
+	g.open += len(items)
 	size := 16 * len(items)
 	switch g.cfg.Style {
 	case Active, SemiActive:
@@ -561,6 +579,7 @@ func (g *Group) reply(node int, reqID uint64, result int64) {
 		need := len(g.cfg.Replicas)/2 + 1
 		if winner, n, distinct := tally(g.replies[reqID]); n >= need {
 			g.voted[reqID] = true
+			g.open--
 			// unanimous reflects the replies seen at vote time; a
 			// divergent replica that answers before the majority
 			// forms is caught here.
@@ -571,8 +590,14 @@ func (g *Group) reply(node int, reqID uint64, result int64) {
 		}
 	case Passive, SemiActive:
 		// The primary's (leader's) reply is authoritative.
-		if node == g.Primary() && g.onReply != nil {
-			g.onReply(reqID, result, true)
+		if node == g.Primary() {
+			if !g.acked[reqID] {
+				g.acked[reqID] = true
+				g.open--
+			}
+			if g.onReply != nil {
+				g.onReply(reqID, result, true)
+			}
 		}
 	}
 }

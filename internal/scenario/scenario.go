@@ -21,12 +21,15 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"math/rand"
 	"os"
 
 	"hades/internal/cluster"
 	"hades/internal/dispatcher"
 	"hades/internal/feasibility"
 	"hades/internal/heug"
+	"hades/internal/metrics"
 	"hades/internal/replication"
 	"hades/internal/sched"
 	"hades/internal/session"
@@ -128,12 +131,69 @@ type ShardClientSpec struct {
 	Keys []string `json:"keys"`
 	// SubmitEveryMs is the submission interval.
 	SubmitEveryMs float64 `json:"submitEveryMs"`
+	// Count replicates this client on Count consecutive nodes starting
+	// at Node (0 and 1 both mean a single client) — scaling the
+	// workload is a knob, not a copy-pasted spec block.
+	Count int `json:"count,omitempty"`
+	// ZipfSkew switches the key choice from round-robin to a Zipf
+	// distribution with this exponent over Keys (rank = declaration
+	// order: the first key is the hottest). Keys are drawn at build
+	// time from a source seeded by the scenario seed and the client
+	// node, so the skewed workload is part of the run description —
+	// deterministic, and the metrics plane's hot-shard detector has
+	// real data to find. 0 keeps the round-robin default.
+	ZipfSkew float64 `json:"zipfSkew,omitempty"`
 	// Policy is "queue" (default: park exhausted requests, resubmit
 	// after a view change or heal) or "fail-fast".
 	Policy string `json:"policy,omitempty"`
 	// RetryTimeoutMs and MaxRetries override the client defaults.
 	RetryTimeoutMs float64 `json:"retryTimeoutMs,omitempty"`
 	MaxRetries     int     `json:"maxRetries,omitempty"`
+}
+
+// nodes expands the Count knob to the concrete node list the spec
+// places clients on: Count consecutive nodes starting at Node.
+func (cs ShardClientSpec) nodes() []int {
+	n := cs.Count
+	if n < 1 {
+		n = 1
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = cs.Node + i
+	}
+	return out
+}
+
+// picker returns the key choice for the client's i-th submission.
+// With ZipfSkew zero it is the round-robin default; otherwise keys are
+// drawn from a Zipf distribution over Keys (declaration order = rank,
+// so the first key is the hottest) by inverse-CDF over a local source
+// seeded from the scenario seed and the client node. The draw happens
+// at build time, while the submission schedule is being laid out, so
+// it never touches the engine's random stream.
+func (cs ShardClientSpec) picker(seed int64, node int) func(i int) string {
+	keys := cs.Keys
+	if cs.ZipfSkew == 0 || len(keys) < 2 {
+		return func(i int) string { return keys[i%len(keys)] }
+	}
+	weights := make([]float64, len(keys))
+	total := 0.0
+	for i := range keys {
+		weights[i] = 1 / math.Pow(float64(i+1), cs.ZipfSkew)
+		total += weights[i]
+	}
+	rng := rand.New(rand.NewSource(seed*1000003 + int64(node)))
+	return func(int) string {
+		u := rng.Float64() * total
+		for i, w := range weights {
+			u -= w
+			if u < 0 {
+				return keys[i]
+			}
+		}
+		return keys[len(keys)-1]
+	}
 }
 
 // TxnClientSpec declares one transaction client of a sharded data
@@ -232,6 +292,65 @@ type ObserveSpec struct {
 	// LogLimit events are kept instead of the first, and violation
 	// events are never dropped however far the ring churns.
 	RetainViolations bool `json:"retainViolations,omitempty"`
+	// Metrics tunes the virtual-time metrics plane (omitted keeps the
+	// plane on with its defaults).
+	Metrics *MetricsSpec `json:"metrics,omitempty"`
+}
+
+// MetricsSpec tunes the metrics plane from the scenario file: the
+// scrape interval, the series ring capacity, the key-hotness sketch
+// width and the declarative SLO rules. Malformed values are rejected
+// loudly at load time rather than clamped.
+type MetricsSpec struct {
+	// IntervalMs is the virtual-time scrape period (omitted or 0
+	// selects the 5ms default).
+	IntervalMs float64 `json:"intervalMs,omitempty"`
+	// Capacity bounds each series' ring buffer (0 = default 256).
+	Capacity int `json:"capacity,omitempty"`
+	// TopK bounds the key-hotness sketch (0 = default 16).
+	TopK int `json:"topK,omitempty"`
+	// Disabled turns the plane off entirely (no instruments, no
+	// scrapes, no export).
+	Disabled bool `json:"disabled,omitempty"`
+	// SLO declares the threshold rules evaluated each interval.
+	SLO []SLORuleSpec `json:"slo,omitempty"`
+}
+
+// SLORuleSpec is one declarative SLO rule: "stat(metric) op threshold",
+// breached after ForIntervals consecutive violating scrape intervals.
+// Exactly one of Threshold (raw series units) and ThresholdMs
+// (milliseconds, for the nanosecond latency histograms) may be set.
+type SLORuleSpec struct {
+	Name   string `json:"name"`
+	Metric string `json:"metric"`
+	// Stat is "value" (counters/gauges; the default), "count", "p50",
+	// "p99" or "max" (histograms).
+	Stat string `json:"stat,omitempty"`
+	// Op is "<=", "<", ">=" or ">": the comparison that should HOLD.
+	Op string `json:"op"`
+	// Threshold is the bound in the series' raw unit; ThresholdMs the
+	// same bound in milliseconds (latency histograms record ns).
+	Threshold   float64 `json:"threshold,omitempty"`
+	ThresholdMs float64 `json:"thresholdMs,omitempty"`
+	// ForIntervals is the consecutive violating intervals before the
+	// breach opens (0 and 1 both mean "immediately").
+	ForIntervals int `json:"forIntervals,omitempty"`
+}
+
+// rule lowers the spec form to the metrics-plane rule.
+func (r SLORuleSpec) rule() metrics.Rule {
+	stat := r.Stat
+	if stat == "" {
+		stat = string(metrics.StatValue)
+	}
+	th := r.Threshold
+	if r.ThresholdMs != 0 {
+		th = r.ThresholdMs * float64(vtime.Millisecond)
+	}
+	return metrics.Rule{
+		Name: r.Name, Metric: r.Metric, Stat: metrics.Stat(stat),
+		Op: metrics.Op(r.Op), Threshold: th, For: r.ForIntervals,
+	}
 }
 
 // Spec is a full scenario.
@@ -285,7 +404,7 @@ func Builtin(name string) (Spec, error) {
 
 // BuiltinNames lists the catalogue.
 func BuiltinNames() []string {
-	return []string{"spuri-example", "inversion", "overload", "distributed-pipeline", "membership-churn", "partition-split", "sharded-kv", "bank-transfer"}
+	return []string{"spuri-example", "inversion", "overload", "distributed-pipeline", "membership-churn", "partition-split", "sharded-kv", "bank-transfer", "hot-shard"}
 }
 
 var builtins = map[string]Spec{
@@ -439,6 +558,53 @@ var builtins = map[string]Spec{
 			// failover rescues client-side traffic): transactions
 			// touching shard 1 can only deadline-abort until the heal.
 			{Kind: "partition", Partition: [][]int{{3, 4}, {0, 1, 2, 5, 6, 7}}, AtMs: 140, HealMs: 240},
+		},
+		Tasks: []TaskSpec{
+			{Name: "watchdog", Law: "periodic", DeadlineMs: 40, PeriodMs: 50,
+				Stages: []StageSpec{
+					{Name: "check", Node: 6, WCETUs: 300},
+				}},
+		},
+	},
+
+	// Hot shard: two zipf-skewed clients hammer a keyspace whose
+	// hottest key is pinned to shard 0, whose primary then crashes —
+	// the metrics plane's per-key sketch names the hot key, the
+	// per-shard counters show the load imbalance, and the ack-latency
+	// SLO probe records a breach that opens in the failover window and
+	// clears after recovery. The companion scenario test and
+	// `hades-metrics -top` both read the answer from the export.
+	"hot-shard": {
+		Name: "hot-shard", Nodes: 8, Seed: 1, Costs: "default",
+		Scheduler: "EDF", Policy: "none", HorizonMs: 400,
+		Observe: &ObserveSpec{
+			TraceSampleRate: fptr(1.0), RetainViolations: true,
+			Metrics: &MetricsSpec{
+				SLO: []SLORuleSpec{
+					// Healthy p99 sits near 1.3ms; the failover burst acks
+					// a ~10ms backlog inside one scrape interval, so the
+					// rule trips immediately and clears next interval.
+					{Name: "ack-p99", Metric: "kv.ack.latency", Stat: "p99",
+						Op: "<=", ThresholdMs: 5},
+					{Name: "no-drops", Metric: "net.drops", Op: "<=", Threshold: 0},
+				},
+			},
+		},
+		Shards: &ShardsSpec{
+			Count: 2, ReplicasPer: 3, Style: "semi-active",
+			Session: &SessionSpec{MaxBatch: 4, FlushIntervalMs: 0.5, PipelineDepth: 2},
+			// Pin the hot head of the zipf ranking to shard 0, the one
+			// whose primary crashes below.
+			Routes: map[string]int{"alpha": 0},
+			Clients: []ShardClientSpec{
+				{Node: 6, Count: 2, SubmitEveryMs: 2, Policy: "queue", ZipfSkew: 1.2,
+					Keys: []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"}},
+			},
+		},
+		Faults: []FaultSpec{
+			// The hot shard's primary crashes and later rejoins: ack
+			// latency spikes through the failover window.
+			{Kind: "crash", Node: 0, AtMs: 60, RecoverMs: 260},
 		},
 		Tasks: []TaskSpec{
 			{Name: "watchdog", Law: "periodic", DeadlineMs: 40, PeriodMs: 50,
@@ -625,6 +791,31 @@ func (s Spec) withDefaults() (Spec, error) {
 		if o.LogLimit != nil && *o.LogLimit <= 0 {
 			return s, fmt.Errorf("scenario %q: observe logLimit must be positive (got %d)", s.Name, *o.LogLimit)
 		}
+		if m := o.Metrics; m != nil {
+			if m.IntervalMs < 0 {
+				return s, fmt.Errorf("scenario %q: observe metrics intervalMs must not be negative (got %g)", s.Name, m.IntervalMs)
+			}
+			if m.Capacity < 0 {
+				return s, fmt.Errorf("scenario %q: observe metrics capacity must not be negative (got %d)", s.Name, m.Capacity)
+			}
+			if m.TopK < 0 {
+				return s, fmt.Errorf("scenario %q: observe metrics topK must not be negative (got %d)", s.Name, m.TopK)
+			}
+			if m.Disabled && len(m.SLO) > 0 {
+				return s, fmt.Errorf("scenario %q: observe metrics declares %d slo rules but the plane is disabled", s.Name, len(m.SLO))
+			}
+			for i, r := range m.SLO {
+				if r.Threshold != 0 && r.ThresholdMs != 0 {
+					return s, fmt.Errorf("scenario %q: slo rule %d (%q) sets both threshold and thresholdMs", s.Name, i, r.Name)
+				}
+				if r.ForIntervals < 0 {
+					return s, fmt.Errorf("scenario %q: slo rule %d (%q) has negative forIntervals %d", s.Name, i, r.Name, r.ForIntervals)
+				}
+				if err := r.rule().Validate(); err != nil {
+					return s, fmt.Errorf("scenario %q: slo rule %d: %v", s.Name, i, err)
+				}
+			}
+		}
 	}
 	for key, node := range s.Placement {
 		if node < 0 || node >= s.Nodes {
@@ -711,16 +902,24 @@ func (s Spec) validateShards() error {
 	}
 	clientNodes := map[int]bool{}
 	for i, cl := range sp.Clients {
-		if cl.Node < 0 || cl.Node >= s.Nodes {
-			return fmt.Errorf("scenario %q: shard client %d on unknown node %d (have %d)", s.Name, i, cl.Node, s.Nodes)
+		if cl.Count < 0 {
+			return fmt.Errorf("scenario %q: shard client %d has negative count %d", s.Name, i, cl.Count)
 		}
-		if _, replica := owner[cl.Node]; replica {
-			return fmt.Errorf("scenario %q: shard client %d on node %d collides with a shard replica", s.Name, i, cl.Node)
+		if cl.ZipfSkew < 0 {
+			return fmt.Errorf("scenario %q: shard client %d has negative zipfSkew %g", s.Name, i, cl.ZipfSkew)
 		}
-		if clientNodes[cl.Node] {
-			return fmt.Errorf("scenario %q: two shard clients on node %d", s.Name, cl.Node)
+		for _, node := range cl.nodes() {
+			if node < 0 || node >= s.Nodes {
+				return fmt.Errorf("scenario %q: shard client %d on unknown node %d (have %d)", s.Name, i, node, s.Nodes)
+			}
+			if _, replica := owner[node]; replica {
+				return fmt.Errorf("scenario %q: shard client %d on node %d collides with a shard replica", s.Name, i, node)
+			}
+			if clientNodes[node] {
+				return fmt.Errorf("scenario %q: two shard clients on node %d", s.Name, node)
+			}
+			clientNodes[node] = true
 		}
-		clientNodes[cl.Node] = true
 		if len(cl.Keys) == 0 {
 			return fmt.Errorf("scenario %q: shard client %d has no keys", s.Name, i)
 		}
@@ -923,6 +1122,18 @@ func (s Spec) Build() (*cluster.Cluster, error) {
 			cfg.LogLimit = *o.LogLimit
 		}
 		cfg.RingLog = o.RetainViolations
+		if m := o.Metrics; m != nil {
+			mp := &cluster.MetricsParams{
+				Interval: msd(m.IntervalMs),
+				Capacity: m.Capacity,
+				TopK:     m.TopK,
+				Disabled: m.Disabled,
+			}
+			for _, r := range m.SLO {
+				mp.Rules = append(mp.Rules, r.rule())
+			}
+			cfg.Metrics = mp
+		}
 	}
 	c := cluster.New(cfg)
 	c.AddNodes(s.Nodes)
@@ -985,20 +1196,22 @@ func (s Spec) Build() (*cluster.Cluster, error) {
 		}
 		set := c.ShardsWith(sp.Count, sp.ReplicasPer, cfg)
 		for _, cs := range sp.Clients {
-			cl := set.ClientWith(shard.ClientParams{
-				Node:         cs.Node,
-				RetryTimeout: msd(cs.RetryTimeoutMs),
-				MaxRetries:   cs.MaxRetries,
-				Policy:       shardPolicy(cs.Policy),
-			})
-			every := msd(cs.SubmitEveryMs)
-			keys := cs.Keys
-			i := 0
-			for t := vtime.Duration(0); t < s.Horizon(); t += every {
-				key := keys[i%len(keys)]
-				cmd := int64(i + 1)
-				i++
-				c.At(vtime.Time(t), func() { cl.Submit(key, cmd) })
+			for _, node := range cs.nodes() {
+				cl := set.ClientWith(shard.ClientParams{
+					Node:         node,
+					RetryTimeout: msd(cs.RetryTimeoutMs),
+					MaxRetries:   cs.MaxRetries,
+					Policy:       shardPolicy(cs.Policy),
+				})
+				every := msd(cs.SubmitEveryMs)
+				pick := cs.picker(s.Seed, node)
+				i := 0
+				for t := vtime.Duration(0); t < s.Horizon(); t += every {
+					key := pick(i)
+					cmd := int64(i + 1)
+					i++
+					c.At(vtime.Time(t), func() { cl.Submit(key, cmd) })
+				}
 			}
 		}
 		for _, ts := range sp.Txns {

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"hades/internal/eventq"
+	"hades/internal/metrics"
 	"hades/internal/monitor"
 	"hades/internal/simkern"
 	"hades/internal/vtime"
@@ -160,18 +161,25 @@ type Batcher[T any] struct {
 	// waiting forever on a completion that may never come.
 	EagerIdle bool
 	Stats     BatchStats
+
+	// Metrics-plane instruments (nil-safe when the plane is off):
+	// per-interval batch fill and pipeline-depth stalls.
+	mFill   *metrics.Hist
+	mStalls *metrics.Counter
 }
 
 // NewBatcher builds a batcher over the simulation kernel. emit ships a
 // flushed batch; the adapter must call Complete once per emitted batch.
 func NewBatcher[T any](eng *simkern.Engine, params Params, label string, node int, emit func(lane string, items []T)) *Batcher[T] {
 	return &Batcher[T]{
-		eng:    eng,
-		params: params,
-		emit:   emit,
-		lanes:  make(map[string]*lane[T]),
-		label:  label,
-		node:   node,
+		eng:     eng,
+		params:  params,
+		emit:    emit,
+		lanes:   make(map[string]*lane[T]),
+		label:   label,
+		node:    node,
+		mFill:   eng.Metrics().HistUnit("session.batch.fill", "ops"),
+		mStalls: eng.Metrics().Counter("session.stalls"),
 	}
 }
 
@@ -250,6 +258,7 @@ func (b *Batcher[T]) flush(laneName string, l *lane[T], full, force bool) {
 	for len(l.pending) > 0 {
 		if !force && depth > 0 && l.inflight >= depth {
 			b.Stats.Stalls++
+			b.mStalls.Inc()
 			if log := b.eng.Log(); log != nil {
 				log.Recordf(b.eng.Now(), monitor.KindPipeline, b.node, b.label,
 					"%s stalled at depth %d (%d pending)", laneName, l.inflight, len(l.pending))
@@ -269,6 +278,7 @@ func (b *Batcher[T]) flush(laneName string, l *lane[T], full, force bool) {
 			l.maxInflight = l.inflight
 		}
 		b.Stats.record(n)
+		b.mFill.Observe(int64(n))
 		if full || n == max {
 			b.Stats.FullFlushes++
 		} else {

@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 
+	"hades/internal/metrics"
 	"hades/internal/netsim"
 	"hades/internal/session"
 	"hades/internal/simkern"
@@ -173,6 +174,10 @@ type Client struct {
 	Stats  ClientStats
 	Acks   []Ack
 	Failed []uint64
+
+	// mAck is the per-interval ack-latency histogram (nil-safe when
+	// the metrics plane is off).
+	mAck *metrics.Hist
 }
 
 // NewClient builds a client on params.Node and wires its reactive
@@ -194,6 +199,7 @@ func NewClient(eng *simkern.Engine, net *netsim.Network, router *Router, params 
 		reqs:    make(map[uint64]*request),
 		perKey:  make(map[string][]*request),
 		batches: make(map[uint64]*batch),
+		mAck:    eng.Metrics().Hist("kv.ack.latency"),
 	}
 	c.batcher = session.NewBatcher[*request](eng, params.Session,
 		fmt.Sprintf("shard.client@n%d", params.Node), params.Node, c.launch)
@@ -404,6 +410,7 @@ func (c *Client) handleResp(m *netsim.Message) {
 			}
 			r.state = stAcked
 			lat := now.Sub(r.submittedAt)
+			c.mAck.ObserveD(lat)
 			c.Stats.Acked++
 			c.Stats.SumLatency += lat
 			if lat > c.Stats.MaxLatency {

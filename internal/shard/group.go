@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hades/internal/membership"
+	"hades/internal/metrics"
 	"hades/internal/monitor"
 	"hades/internal/netsim"
 	"hades/internal/replication"
@@ -179,6 +180,14 @@ type Group struct {
 
 	// Stats counts the routing outcomes for the harness.
 	Stats GroupStats
+
+	// open counts admitted ops not yet retired by an authoritative
+	// reply (the metrics plane samples it as the shard's queue depth);
+	// mOps and mKeys are the per-shard admission counter and the
+	// per-key hotness sketch, all nil-safe when the plane is off.
+	open  int
+	mOps  *metrics.Counter
+	mKeys *metrics.TopK
 }
 
 // NewGroup builds one shard group over a membership service: it owns
@@ -218,6 +227,9 @@ func NewGroup(eng *simkern.Engine, net *netsim.Network, mem *membership.Service,
 	}
 	g.replSpan = "replicate." + g.name
 	g.applySpan = "apply." + g.name
+	g.mOps = eng.Metrics().Counter("shard.ops." + g.name)
+	g.mKeys = eng.Metrics().Keys()
+	eng.Metrics().GaugeFunc("shard.queue."+g.name, func() int64 { return int64(g.open) })
 	rep, err := replication.NewGroup(eng, net, mem, cfg.Replication, g.finish)
 	if err != nil {
 		return nil, err
@@ -334,6 +346,9 @@ func (g *Group) handleRequest(node int, m *netsim.Message) {
 			op: env.Ops[i], client: env.Client, batch: pb, idx: i,
 			span: env.Ops[i].Trace.Span(g.replSpan, trace.LayerReplicate),
 		}
+		g.open++
+		g.mOps.Inc()
+		g.mKeys.Touch(env.Ops[i].Key, g.index)
 	}
 }
 
@@ -391,6 +406,9 @@ func (g *Group) SubmitKeyed(key string, cmd int64, client int, seq uint64, tr tr
 		op: batchOp{Key: key, Cmd: cmd, Seq: seq}, client: client,
 		span: tr.Span(g.applySpan, trace.LayerReplicate),
 	}
+	g.open++
+	g.mOps.Inc()
+	g.mKeys.Touch(key, g.index)
 	return id
 }
 
@@ -404,6 +422,7 @@ func (g *Group) finish(reqID uint64, result int64, _ bool) {
 	}
 	po.done = true
 	po.span.End()
+	g.open--
 	pb := po.batch
 	if pb == nil || pb.responded {
 		return

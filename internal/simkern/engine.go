@@ -25,6 +25,7 @@ import (
 	"math/rand"
 
 	"hades/internal/eventq"
+	"hades/internal/metrics"
 	"hades/internal/monitor"
 	"hades/internal/trace"
 	"hades/internal/vtime"
@@ -45,12 +46,13 @@ const (
 // shared by every processor and device of a run. It is not safe for
 // concurrent use; a run is single-threaded by design.
 type Engine struct {
-	now    vtime.Time
-	queue  eventq.Queue
-	log    *monitor.Log
-	rand   *rand.Rand
-	tracer *trace.Tracer
-	procs  []*Processor
+	now     vtime.Time
+	queue   eventq.Queue
+	log     *monitor.Log
+	rand    *rand.Rand
+	tracer  *trace.Tracer
+	metrics *metrics.Registry
+	procs   []*Processor
 
 	running  bool
 	stopReq  bool
@@ -81,6 +83,21 @@ func (e *Engine) SetTracer(t *trace.Tracer) { e.tracer = t }
 // Tracer returns the attached tracer; nil (a valid disabled tracer)
 // when tracing is off.
 func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
+// SetMetrics attaches the virtual-time metrics plane. Like the
+// tracer, the registry is passive — its scrape events read instrument
+// state without mutating the simulation or consuming Rand — so
+// attaching one does not change a run's behaviour.
+func (e *Engine) SetMetrics(r *metrics.Registry) { e.metrics = r }
+
+// Metrics returns the attached metrics registry; nil (a valid
+// disabled registry handing out no-op instruments) when metrics are
+// off.
+func (e *Engine) Metrics() *metrics.Registry { return e.metrics }
+
+// QueueLen returns the number of live events in the queue (the
+// eventq-depth signal the metrics plane samples).
+func (e *Engine) QueueLen() int { return e.queue.Len() }
 
 // Processors returns the registered processors in creation order.
 func (e *Engine) Processors() []*Processor { return e.procs }

@@ -85,6 +85,18 @@ func (h *Hist) Merge(o *Hist) {
 	}
 }
 
+// Reset clears the histogram for a new interval, keeping the bucket
+// slice to stay allocation-free on the scrape path.
+func (h *Hist) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.max = 0, 0
+}
+
 // Count returns the number of observations.
 func (h *Hist) Count() uint64 {
 	if h == nil {

@@ -1,0 +1,90 @@
+package trace
+
+import "testing"
+
+// TestHistMergeEquivalence: merging histograms is indistinguishable
+// from recording every observation into one — count, max and
+// percentiles all agree (buckets are positional, so no re-binning).
+func TestHistMergeEquivalence(t *testing.T) {
+	obsA := []int64{10, 100, 1_000, 50_000}
+	obsB := []int64{5, 1_000_000, 77, 3_000_000_000}
+	a, b, all := NewHist(), NewHist(), NewHist()
+	for _, v := range obsA {
+		a.Record(v)
+		all.Record(v)
+	}
+	for _, v := range obsB {
+		b.Record(v)
+		all.Record(v)
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() {
+		t.Fatalf("count %d != %d", a.Count(), all.Count())
+	}
+	if a.Max() != all.Max() {
+		t.Fatalf("max %d != %d", a.Max(), all.Max())
+	}
+	for _, p := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if got, want := a.Percentile(p), all.Percentile(p); got != want {
+			t.Fatalf("p%v: %d != %d", p, got, want)
+		}
+	}
+}
+
+// TestHistMergeEdgeCases: empty/nil operands and asymmetric bucket
+// slices (the smaller histogram must grow to take the larger's tail).
+func TestHistMergeEdgeCases(t *testing.T) {
+	// Merge into an empty histogram.
+	empty, full := NewHist(), NewHist()
+	full.Record(123)
+	full.Record(4_567_890)
+	empty.Merge(full)
+	if empty.Count() != 2 || empty.Max() != 4_567_890 {
+		t.Fatalf("merge into empty lost data: count=%d max=%d", empty.Count(), empty.Max())
+	}
+
+	// Merge an empty histogram in: a no-op.
+	before := full.Percentile(0.5)
+	full.Merge(NewHist())
+	if full.Count() != 2 || full.Percentile(0.5) != before {
+		t.Fatalf("merging empty changed the histogram")
+	}
+
+	// Nil receiver and nil operand are both safe.
+	var nilh *Hist
+	nilh.Merge(full)
+	full.Merge(nilh)
+	if full.Count() != 2 {
+		t.Fatalf("nil merge changed the histogram: %d", full.Count())
+	}
+
+	// The small histogram's bucket slice must grow to fit the large
+	// observation's bucket index.
+	small, large := NewHist(), NewHist()
+	small.Record(1)
+	large.Record(1 << 40)
+	small.Merge(large)
+	if small.Count() != 2 || small.Max() != 1<<40 {
+		t.Fatalf("bucket growth lost the tail: count=%d max=%d", small.Count(), small.Max())
+	}
+	if p := small.Percentile(1); p < 1<<40 {
+		t.Fatalf("p100 %d below the merged max bucket", p)
+	}
+}
+
+// TestHistResetKeepsBuckets: Reset zeroes the content but keeps the
+// bucket slice, and the histogram is immediately reusable.
+func TestHistResetKeepsBuckets(t *testing.T) {
+	h := NewHist()
+	h.Record(1_000_000)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatalf("reset left residue: count=%d max=%d", h.Count(), h.Max())
+	}
+	h.Record(42)
+	if h.Count() != 1 || h.Max() != 42 {
+		t.Fatalf("histogram unusable after reset: count=%d max=%d", h.Count(), h.Max())
+	}
+	var nilh *Hist
+	nilh.Reset() // must not panic
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hades/internal/eventq"
+	"hades/internal/metrics"
 	"hades/internal/netsim"
 	"hades/internal/session"
 	"hades/internal/shard"
@@ -147,6 +148,10 @@ type Client struct {
 	// Verify.
 	Stats ClientStats
 	Done  []Record
+
+	// mCommitLat is the per-interval commit-latency histogram
+	// (nil-safe when the metrics plane is off; aborts excluded).
+	mCommitLat *metrics.Hist
 }
 
 // NewClient builds a transaction client on params.Node and wires its
@@ -164,7 +169,7 @@ func NewClient(p *Plane, params ClientParams) *Client {
 	if params.Deadline <= 0 {
 		params.Deadline = DefaultDeadline
 	}
-	c := &Client{p: p, c: params}
+	c := &Client{p: p, c: params, mCommitLat: p.eng.Metrics().Hist("txn.commit.latency")}
 	p.bind(params.Node, p.respPort(), c.handleResp)
 	p.router.OnRepublish(c.redirectInflight)
 	p.clients = append(p.clients, c)
@@ -361,6 +366,9 @@ func (c *Client) finish(t *Txn, committed bool, reason string, byDeadline bool, 
 	t.trace.Finish()
 	now := c.p.eng.Now()
 	lat := now.Sub(t.submittedAt)
+	if committed {
+		c.mCommitLat.ObserveD(lat)
+	}
 	c.Stats.SumLatency += lat
 	if lat > c.Stats.MaxLatency {
 		c.Stats.MaxLatency = lat

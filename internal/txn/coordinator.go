@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"hades/internal/eventq"
+	"hades/internal/metrics"
 	"hades/internal/monitor"
 	"hades/internal/netsim"
 	"hades/internal/replication"
@@ -139,6 +140,11 @@ type Coordinator struct {
 	roundLeft     map[int]int
 	nextRound     int
 
+	// Metrics-plane decision counters (nil-safe when the plane is
+	// off); the abort rate is the per-interval delta of mAborts.
+	mCommits *metrics.Counter
+	mAborts  *metrics.Counter
+
 	// Stats counts outcomes for the harness.
 	Stats CoordStats
 	// GroupCommits counts decision-log rounds submitted; with batching
@@ -160,6 +166,8 @@ func newCoordinator(p *Plane, g *shard.Group, idx int) *Coordinator {
 		pendingDecision: make(map[uint64]decisionRec),
 		decisionRound:   make(map[uint64]int),
 		roundLeft:       make(map[int]int),
+		mCommits:        p.eng.Metrics().Counter("txn.commits"),
+		mAborts:         p.eng.Metrics().Counter("txn.aborts"),
 	}
 	for _, n := range g.Nodes() {
 		node := n
@@ -384,8 +392,10 @@ func (c *Coordinator) decide(ct *coordTxn, commit bool, reason string) {
 	ct.decidedAt = c.p.eng.Now()
 	if commit {
 		c.Stats.Commits++
+		c.mCommits.Inc()
 	} else {
 		c.Stats.Aborts++
+		c.mAborts.Inc()
 		if ct.byDeadline {
 			c.Stats.DeadlineAborts++
 		}

@@ -138,6 +138,10 @@ func newParticipant(p *Plane, g *shard.Group, idx int) *Participant {
 		p.bind(node, p.partPort(), func(m *netsim.Message) { pa.handle(node, m) })
 	}
 	g.Replication().OnApplyHook(pa.onApply)
+	// All participants sample into one gauge: the metrics plane sums
+	// per-name funcs, so "txn.lockwait.depth" is the plane-wide count
+	// of prepares queued behind a lock.
+	p.eng.Metrics().GaugeFunc("txn.lockwait.depth", func() int64 { return int64(len(pa.waiters)) })
 	return pa
 }
 

@@ -1,0 +1,155 @@
+package hades_test
+
+// Metrics-plane overhead and passivity checks, the metrics twin of
+// trace_overhead_test.go.
+//
+// TestMetricsOverheadGate is the CI gate behind the metrics cost
+// budget: the always-on plane (instruments wired through every layer,
+// scrapes every 5ms of virtual time) must stay within a few percent of
+// runtime versus the plane disabled, measured as a paired alternating
+// ratio for the same reasons as the tracing gate. It is opt-in
+// (HADES_METRICS_GATE=1); CI's metrics-smoke job enables it.
+//
+// TestMetricsPassive pins down that the plane is pure observation:
+// with metrics off, on, and on-with-breaching-SLO-rules, the monitor
+// log (minus the SLO events the plane itself emits) and the client
+// outcomes are identical event for event.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"hades/internal/cluster"
+	"hades/internal/metrics"
+	"hades/internal/monitor"
+	"hades/internal/vtime"
+)
+
+// metricsBudget is the metrics plane's cost contract versus disabled.
+const metricsBudget = 0.05
+
+// metricsNoiseAllowance absorbs paired-measurement jitter on shared
+// runners, as in the tracing gate.
+const metricsNoiseAllowance = 0.03
+
+// runHighFanoutKVMetrics runs the high-fanout KV workload once under
+// the given metrics parameters and returns its wall-clock runtime.
+func runHighFanoutKVMetrics(mp *cluster.MetricsParams) time.Duration {
+	t0 := time.Now()
+	params := highFanoutSession()
+	c := cluster.New(cluster.Config{Seed: 61, Metrics: mp})
+	c.AddNodes(9)
+	c.ConnectAll(100*us, 300*us)
+	set := c.ShardsWith(4, 2, cluster.ShardConfig{Session: params})
+	cl := set.ClientAt(8)
+	n := 0
+	for t := vtime.Duration(0); t < 100*ms; t += 2 * ms {
+		for _, k := range highFanoutKeys {
+			key := k
+			n++
+			cmd := int64(n)
+			c.At(vtime.Time(t), func() { cl.Submit(key, cmd) })
+		}
+	}
+	c.Run(600 * ms)
+	if cl.Stats.Acked != cl.Stats.Submitted {
+		panic("metrics overhead workload: ack mismatch")
+	}
+	return time.Since(t0)
+}
+
+func TestMetricsOverheadGate(t *testing.T) {
+	if os.Getenv("HADES_METRICS_GATE") == "" {
+		t.Skip("paired overhead gate is opt-in: set HADES_METRICS_GATE=1")
+	}
+	reps := 120
+	if v := os.Getenv("HADES_METRICS_GATE_REPS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 2 {
+			t.Fatalf("bad HADES_METRICS_GATE_REPS %q", v)
+		}
+		reps = n
+	}
+	var offSum, onSum time.Duration
+	for i := 0; i < reps; i++ {
+		// Alternate leg order so slow drift cancels instead of biasing
+		// one leg.
+		if i%2 == 0 {
+			offSum += runHighFanoutKVMetrics(&cluster.MetricsParams{Disabled: true})
+			onSum += runHighFanoutKVMetrics(nil) // plane on with defaults
+		} else {
+			onSum += runHighFanoutKVMetrics(nil)
+			offSum += runHighFanoutKVMetrics(&cluster.MetricsParams{Disabled: true})
+		}
+	}
+	ratio := float64(onSum)/float64(offSum) - 1
+	t.Logf("paired metrics overhead over %d reps: %+.1f%% (budget %.0f%% + %.0f%% noise allowance)",
+		reps, 100*ratio, 100*metricsBudget, 100*metricsNoiseAllowance)
+	if ratio > metricsBudget+metricsNoiseAllowance {
+		t.Fatalf("the metrics plane costs %+.1f%% vs disabled; budget is %.0f%% (+%.0f%% noise allowance)",
+			100*ratio, 100*metricsBudget, 100*metricsNoiseAllowance)
+	}
+}
+
+// TestMetricsPassive: the simulation must behave identically with the
+// plane off, on, and on with always-breaching SLO rules. The
+// fingerprint hashes every monitor event except the SLO breach/clear
+// events the plane itself emits — those are its declared output, not
+// a behavioral divergence — plus the client outcome counters.
+func TestMetricsPassive(t *testing.T) {
+	type fingerprint struct {
+		logHash uint64
+		events  int
+		acked   int
+		retries int
+	}
+	run := func(mp *cluster.MetricsParams) (fingerprint, *cluster.Cluster) {
+		params := highFanoutSession()
+		c := cluster.New(cluster.Config{Seed: 61, Metrics: mp})
+		c.AddNodes(9)
+		c.ConnectAll(100*us, 300*us)
+		set := c.ShardsWith(4, 2, cluster.ShardConfig{Session: params})
+		cl := set.ClientAt(8)
+		n := 0
+		for tt := vtime.Duration(0); tt < 100*ms; tt += 2 * ms {
+			for _, k := range highFanoutKeys {
+				key := k
+				n++
+				cmd := int64(n)
+				c.At(vtime.Time(tt), func() { cl.Submit(key, cmd) })
+			}
+		}
+		c.Run(600 * ms)
+		h := fnv.New64a()
+		events := 0
+		for _, e := range c.Log().Events() {
+			if e.Kind == monitor.KindSLOBreach || e.Kind == monitor.KindSLOClear {
+				continue
+			}
+			events++
+			fmt.Fprintf(h, "%d|%d|%d|%s|%s\n", e.At, e.Kind, e.Node, e.Subject, e.Detail)
+		}
+		return fingerprint{logHash: h.Sum64(), events: events, acked: cl.Stats.Acked, retries: cl.Stats.Retries}, c
+	}
+	off, _ := run(&cluster.MetricsParams{Disabled: true})
+	on, _ := run(nil)
+	// Rules that always fail, so the probe engine exercises its whole
+	// breach path while the fingerprint must stay untouched.
+	loud, c := run(&cluster.MetricsParams{Rules: []metrics.Rule{
+		{Name: "impossible", Metric: "kv.ack.latency", Stat: metrics.StatP99, Op: metrics.OpLE, Threshold: 1},
+		{Name: "quiet-net", Metric: "net.sent", Op: metrics.OpLE, Threshold: 0},
+	}})
+	if off != on || on != loud {
+		t.Fatalf("metrics plane is not passive: off=%+v on=%+v loud=%+v", off, on, loud)
+	}
+	if off.acked == 0 {
+		t.Fatal("workload acked nothing; fingerprint is vacuous")
+	}
+	if len(c.Metrics().Breaches()) == 0 {
+		t.Fatal("always-breaching rules recorded no breach; the loud leg proved nothing")
+	}
+}
