@@ -97,16 +97,19 @@ func timeline(w io.Writer, doc *metrics.Export) {
 		}
 		fmt.Fprintf(w, "  %-24s %-7s %-4s [%s] min=%d max=%d last=%d", s.Name, s.Kind, unit, spark(vals, max), min, max, last)
 		if s.Kind == "hist" {
-			p99 := int64(0)
+			p99, p999 := int64(0), int64(0)
 			for _, p := range s.Points {
 				if p.P99 > p99 {
 					p99 = p.P99
 				}
+				if p.P999 > p999 {
+					p999 = p.P999
+				}
 			}
 			if s.Unit == "ns" || s.Unit == "" {
-				fmt.Fprintf(w, " worst-p99=%.2fms", ms(p99))
+				fmt.Fprintf(w, " worst-p99=%.2fms worst-p999=%.2fms", ms(p99), ms(p999))
 			} else {
-				fmt.Fprintf(w, " worst-p99=%d", p99)
+				fmt.Fprintf(w, " worst-p99=%d worst-p999=%d", p99, p999)
 			}
 		}
 		if s.Dropped > 0 {

@@ -108,11 +108,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if n > len(traces) {
 		n = len(traces)
 	}
-	fmt.Fprintf(stdout, "%d trace(s), %d span(s); slowest %d:\n", len(traces), spans, n)
+	fmt.Fprintf(stdout, "%d trace(s), %d span(s); %s; slowest %d:\n", len(traces), spans, rootSummary(traces), n)
 	for _, t := range traces[:n] {
 		waterfall(stdout, t)
 	}
 	return 0
+}
+
+// rootSummary renders end-to-end latency percentiles over the traces'
+// root-span durations. Traces arrive sorted by root duration
+// descending, so the nearest-rank percentile indexes from the tail.
+func rootSummary(traces []*traceRec) string {
+	durs := make([]float64, 0, len(traces))
+	for _, t := range traces {
+		if r, ok := t.root(); ok {
+			durs = append(durs, r.dur)
+		}
+	}
+	if len(durs) == 0 {
+		return "no root spans"
+	}
+	pct := func(p float64) float64 {
+		// durs is descending: rank r from the top picks the value below
+		// which a fraction p of the population falls.
+		idx := len(durs) - 1 - int(p*float64(len(durs)-1)+0.5)
+		if idx < 0 {
+			idx = 0
+		}
+		return durs[idx]
+	}
+	return fmt.Sprintf("root p50=%.1fus p99=%.1fus p999=%.1fus max=%.1fus",
+		pct(0.5), pct(0.99), pct(0.999), durs[0])
 }
 
 // regroup reassembles traces from the flat event stream: X events by

@@ -27,6 +27,7 @@ import (
 	"hades/internal/eventq"
 	"hades/internal/fault"
 	"hades/internal/heug"
+	"hades/internal/load"
 	"hades/internal/membership"
 	"hades/internal/metrics"
 	"hades/internal/monitor"
@@ -158,6 +159,7 @@ type Cluster struct {
 	spawns    []spawned
 	groups    []*Group
 	shardSets []*ShardSet
+	loads     []*load.Generator
 	started   map[string]bool
 	built     bool
 }

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"fmt"
+
+	"hades/internal/load"
+	"hades/internal/shard"
+	"hades/internal/txn"
+)
+
+// LoadResult is one attached load generator's account in the Result.
+type LoadResult struct {
+	Name     string
+	Mode     string
+	Workload string
+	Sessions int
+	Offered  int64
+	Acked    int64
+	// Capped reports the generator's MaxOps guard truncated the
+	// schedule — the offered count understates the configured load.
+	Capped bool
+}
+
+// AttachLoad attaches a load generator to this shard set: its
+// sessions multiplex round-robin over clients on the given nodes
+// (reusing a client already created there, creating one otherwise —
+// transaction clients for Txn workloads). The generator lays out its
+// workload immediately; its account lands in Result.Loads.
+func (s *ShardSet) AttachLoad(cfg load.Config, nodes []int) *load.Generator {
+	gen, err := load.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	if len(nodes) == 0 {
+		panic(fmt.Sprintf("cluster: load %q needs at least one client node", cfg.Name))
+	}
+	sinks := load.Sinks{At: s.c.At, Now: s.c.eng.Now, Metrics: s.c.metrics}
+	switch cfg.Workload {
+	case load.KV:
+		clients := make([]*shard.Client, 0, len(nodes))
+		pending := make(map[*shard.Client]map[uint64]func())
+		for _, n := range nodes {
+			cl := s.kvClientFor(n)
+			m := make(map[uint64]func())
+			pending[cl] = m
+			cl.SetOnAck(func(a shard.Ack) {
+				if fn, ok := m[a.Seq]; ok {
+					delete(m, a.Seq)
+					fn()
+				}
+			})
+			clients = append(clients, cl)
+		}
+		rr := 0
+		sinks.SubmitKV = func(key string, cmd int64, done func()) {
+			cl := clients[rr%len(clients)]
+			rr++
+			seq := cl.Submit(key, cmd)
+			if done != nil {
+				pending[cl][seq] = done
+			}
+		}
+	case load.Txn:
+		clients := make([]*txn.Client, 0, len(nodes))
+		for _, n := range nodes {
+			clients = append(clients, s.txnClientFor(n))
+		}
+		rr := 0
+		sinks.Transfer = func(from, to string, amount int64, done func()) {
+			cl := clients[rr%len(clients)]
+			rr++
+			t := cl.Transfer(from, to, amount)
+			if done != nil {
+				t.OnDone = func(txn.Record) { done() }
+			}
+		}
+	}
+	gen.Start(sinks)
+	s.c.loads = append(s.c.loads, gen)
+	return gen
+}
+
+// kvClientFor returns this set's client on the node, creating one
+// with default parameters when the node has none yet.
+func (s *ShardSet) kvClientFor(node int) *shard.Client {
+	for _, cl := range s.clients {
+		if cl.Node() == node {
+			return cl
+		}
+	}
+	return s.ClientAt(node)
+}
+
+// txnClientFor returns this set's transaction client on the node,
+// creating one with default parameters when the node has none yet.
+func (s *ShardSet) txnClientFor(node int) *txn.Client {
+	for _, cl := range s.TxnPlane().Clients() {
+		if cl.Node() == node {
+			return cl
+		}
+	}
+	return s.TxnClientAt(node)
+}

@@ -34,6 +34,13 @@ type Result struct {
 	// is disabled.
 	Latency    []LatencyResult
 	Violations []monitor.Event
+	// Loads records each attached load generator's account.
+	Loads []LoadResult
+	// Faults is the run's fault timeline: the monitor events recording
+	// injected failures, detections, failovers, partitions, merges and
+	// SLO breach boundaries, time order (subject to the log's bound —
+	// a non-zero LogDropped means the timeline may be incomplete).
+	Faults []monitor.Event
 	// Metrics is the virtual-time metrics timeline (nil when the plane
 	// is disabled): every series' retained points, the SLO rule records
 	// with their breach windows, and the key-hotness sketch.
@@ -308,7 +315,36 @@ func (c *Cluster) ResultNow() Result {
 	for _, st := range c.tracer.Stats() {
 		r.Latency = append(r.Latency, latencyFromScope(st))
 	}
+	for _, g := range c.loads {
+		cfg := g.Config()
+		r.Loads = append(r.Loads, LoadResult{
+			Name:     cfg.Name,
+			Mode:     cfg.Mode.String(),
+			Workload: cfg.Workload.String(),
+			Sessions: cfg.Sessions,
+			Offered:  g.Stats.Offered,
+			Acked:    g.Stats.Acked,
+			Capped:   g.Stats.Capped,
+		})
+	}
+	for _, ev := range c.log.Events() {
+		if faultTimelineKind(ev.Kind) {
+			r.Faults = append(r.Faults, ev)
+		}
+	}
 	return r
+}
+
+// faultTimelineKind selects the monitor kinds that belong on a run's
+// fault timeline.
+func faultTimelineKind(k monitor.Kind) bool {
+	switch k {
+	case monitor.KindFailureInjected, monitor.KindFailureDetected,
+		monitor.KindFailover, monitor.KindPartition, monitor.KindMerge,
+		monitor.KindSLOBreach, monitor.KindSLOClear:
+		return true
+	}
+	return false
 }
 
 // latencyFromScope converts one tracer scope into the Result row,
@@ -505,6 +541,14 @@ func (r Result) String() string {
 	for _, t := range r.TxnClients {
 		out += fmt.Sprintf("  txn    n%-3d begun=%-4d committed=%-4d aborted=%-4d deadline=%-4d retry=%-4d queued=%-4d resub=%-4d avgLat=%-12s maxLat=%s\n",
 			t.Node, t.Begun, t.Committed, t.Aborted, t.DeadlineAborts, t.Retries, t.Queued, t.Resubmitted, t.AvgLatency, t.MaxLatency)
+	}
+	for _, l := range r.Loads {
+		capped := ""
+		if l.Capped {
+			capped = " (capped)"
+		}
+		out += fmt.Sprintf("  load %-12s %s/%s sessions=%-5d offered=%-6d acked=%-6d%s\n",
+			l.Name, l.Mode, l.Workload, l.Sessions, l.Offered, l.Acked, capped)
 	}
 	for _, l := range r.Latency {
 		shard := fmt.Sprintf("s%d", l.Shard)

@@ -32,11 +32,12 @@ type SeriesData struct {
 // the counter delta / gauge level / histogram count; the percentile
 // fields carry a histogram's interval summary.
 type PointData struct {
-	T   int64 `json:"t"`
-	V   int64 `json:"v"`
-	P50 int64 `json:"p50,omitempty"`
-	P99 int64 `json:"p99,omitempty"`
-	Max int64 `json:"max,omitempty"`
+	T    int64 `json:"t"`
+	V    int64 `json:"v"`
+	P50  int64 `json:"p50,omitempty"`
+	P99  int64 `json:"p99,omitempty"`
+	P999 int64 `json:"p999,omitempty"`
+	Max  int64 `json:"max,omitempty"`
 }
 
 // RuleData is one exported SLO rule with its breach history.
@@ -81,7 +82,7 @@ func (r *Registry) Export() *Export {
 			sd.Unit = e.h.unit
 		}
 		s.each(func(p Point) {
-			sd.Points = append(sd.Points, PointData{T: int64(p.T), V: p.V, P50: p.P50, P99: p.P99, Max: p.Max})
+			sd.Points = append(sd.Points, PointData{T: int64(p.T), V: p.V, P50: p.P50, P99: p.P99, P999: p.P999, Max: p.Max})
 		})
 		doc.Series = append(doc.Series, sd)
 	}

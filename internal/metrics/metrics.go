@@ -9,7 +9,7 @@
 // conditionals). On a fixed virtual-time interval the registry scrapes
 // every instrument into a fixed-capacity ring-buffer series: counters
 // record the per-interval delta, gauges the sampled value, histograms
-// a per-interval {count, p50, p99, max} summary (the interval
+// a per-interval {count, p50, p99, p999, max} summary (the interval
 // histogram then resets). On top of the series an SLO probe engine
 // (slo.go) evaluates declarative threshold rules each interval, and a
 // space-saving sketch (topk.go) tracks per-key hotness — the signal
@@ -62,14 +62,16 @@ type Options struct {
 }
 
 // Point is one scraped sample of one series. V is the counter delta,
-// gauge value or histogram observation count; P50/P99/Max summarise a
-// histogram's interval (zero when the interval observed nothing).
+// gauge value or histogram observation count; P50/P99/P999/Max
+// summarise a histogram's interval (zero when the interval observed
+// nothing).
 type Point struct {
-	T   vtime.Time
-	V   int64
-	P50 int64
-	P99 int64
-	Max int64
+	T    vtime.Time
+	V    int64
+	P50  int64
+	P99  int64
+	P999 int64
+	Max  int64
 }
 
 // series is a fixed-capacity ring of points.
@@ -230,7 +232,8 @@ func (e *entry) scrape(t vtime.Time) {
 		h := e.h.h
 		e.h.s.push(Point{
 			T: t, V: int64(h.Count()),
-			P50: h.Percentile(0.5), P99: h.Percentile(0.99), Max: h.Max(),
+			P50: h.Percentile(0.5), P99: h.Percentile(0.99),
+			P999: h.Percentile(0.999), Max: h.Max(),
 		})
 		h.Reset()
 	}

@@ -11,13 +11,14 @@ import (
 type Stat string
 
 // Rule statistics. Value reads a counter's per-interval delta or a
-// gauge's sampled level; Count, P50, P99 and Max read a histogram's
-// interval summary.
+// gauge's sampled level; Count, P50, P99, P999 and Max read a
+// histogram's interval summary.
 const (
 	StatValue Stat = "value"
 	StatCount Stat = "count"
 	StatP50   Stat = "p50"
 	StatP99   Stat = "p99"
+	StatP999  Stat = "p999"
 	StatMax   Stat = "max"
 )
 
@@ -46,7 +47,7 @@ func (o Op) valid() bool {
 // valid reports whether the stat is known.
 func (s Stat) valid() bool {
 	switch s {
-	case StatValue, StatCount, StatP50, StatP99, StatMax:
+	case StatValue, StatCount, StatP50, StatP99, StatP999, StatMax:
 		return true
 	}
 	return false
@@ -91,7 +92,7 @@ func (r Rule) Validate() error {
 		return fmt.Errorf("slo rule %q needs a metric", r.Name)
 	}
 	if !r.Stat.valid() {
-		return fmt.Errorf("slo rule %q: unknown stat %q (want value|count|p50|p99|max)", r.Name, r.Stat)
+		return fmt.Errorf("slo rule %q: unknown stat %q (want value|count|p50|p99|p999|max)", r.Name, r.Stat)
 	}
 	if !r.Op.valid() {
 		return fmt.Errorf("slo rule %q: unknown op %q (want <=|<|>=|>)", r.Name, r.Op)
@@ -159,6 +160,11 @@ func (p *probe) extract(r *Registry, t vtime.Time) (float64, bool) {
 			return 0, false
 		}
 		return float64(pt.P99), true
+	case StatP999:
+		if pt.V == 0 {
+			return 0, false
+		}
+		return float64(pt.P999), true
 	case StatMax:
 		if pt.V == 0 {
 			return 0, false

@@ -1,0 +1,130 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sample builds a well-formed two-row report.
+func sample() *Report {
+	r := &Report{
+		Name:      "sample",
+		Seed:      1,
+		HorizonNs: 400_000_000, // 400ms
+		Throughput: Throughput{
+			Offered:  1000,
+			Achieved: 990,
+		},
+		Latency: []LatencyStat{
+			{Class: "kv.ack", Shard: -1, Count: 990, P50Ns: 1_000_000, P99Ns: 4_000_000, P999Ns: 9_000_000, MaxNs: 12_000_000, MeanNs: 1_400_000},
+			{Class: "kv.ack", Shard: 0, Count: 500, P50Ns: 1_100_000, P99Ns: 5_000_000, P999Ns: 10_000_000, MaxNs: 12_000_000, MeanNs: 1_500_000},
+		},
+	}
+	r.Finalize()
+	return r
+}
+
+func TestFinalizeRates(t *testing.T) {
+	r := sample()
+	// 1000 ops over 0.4s = 2500 ops/sec.
+	if r.Throughput.OfferedPerSec != 2500 {
+		t.Fatalf("offered rate = %g, want 2500", r.Throughput.OfferedPerSec)
+	}
+	if r.Throughput.AchievedPerSec != 2475 {
+		t.Fatalf("achieved rate = %g, want 2475", r.Throughput.AchievedPerSec)
+	}
+}
+
+// TestRatesNaNFree: a zero-throughput run and a zero horizon must both
+// serialize finite rates, never NaN/Inf.
+func TestRatesNaNFree(t *testing.T) {
+	r := &Report{Name: "empty", HorizonNs: 0}
+	r.Finalize()
+	for _, v := range []float64{r.Throughput.OfferedPerSec, r.Throughput.AchievedPerSec} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("rate not finite: %g", v)
+		}
+	}
+	r = &Report{Name: "idle", HorizonNs: 400_000_000}
+	r.Finalize()
+	if r.Throughput.AchievedPerSec != 0 {
+		t.Fatalf("zero-throughput run has rate %g", r.Throughput.AchievedPerSec)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("zero-throughput report does not serialize: %v", err)
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := sample().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sample().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical reports serialized differently")
+	}
+	if !bytes.HasSuffix(a.Bytes(), []byte("\n")) {
+		t.Fatal("document missing trailing newline")
+	}
+}
+
+func TestReadFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "LOAD_test.json")
+	want := sample()
+	if err := want.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := want.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("round trip changed the document")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Report)
+		wantErr string
+	}{
+		{"missing name", func(r *Report) { r.Name = "" }, "missing run name"},
+		{"zero horizon", func(r *Report) { r.HorizonNs = 0 }, "non-positive horizon"},
+		{"negative counts", func(r *Report) { r.Throughput.Offered = -1 }, "negative throughput"},
+		{"achieved without latency", func(r *Report) { r.Latency = nil }, "no latency rows"},
+		{"classless row", func(r *Report) { r.Latency[0].Class = "" }, "without a class"},
+		{"duplicate row", func(r *Report) { r.Latency[1] = r.Latency[0] }, "duplicate latency row"},
+		{"negative percentile", func(r *Report) { r.Latency[0].P999Ns = -1 }, "negative fields"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := sample()
+			tc.mutate(r)
+			err := r.Validate()
+			if err == nil {
+				t.Fatal("malformed report accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q missing %q", err, tc.wantErr)
+			}
+		})
+	}
+	if err := sample().Validate(); err != nil {
+		t.Fatalf("well-formed report rejected: %v", err)
+	}
+}

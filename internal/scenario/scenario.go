@@ -29,6 +29,7 @@ import (
 	"hades/internal/dispatcher"
 	"hades/internal/feasibility"
 	"hades/internal/heug"
+	"hades/internal/load"
 	"hades/internal/metrics"
 	"hades/internal/replication"
 	"hades/internal/sched"
@@ -123,13 +124,33 @@ type GroupSpec struct {
 	SubmitFrom       int     `json:"submitFrom,omitempty"`
 }
 
+// RampStepSpec changes an open-loop arrival rate at an instant: from
+// AtMs on, arrivals come at Rate ops/sec (until the next step).
+// Instants must strictly ascend; a zero Rate is a plateau with no
+// arrivals until the next step.
+type RampStepSpec struct {
+	AtMs float64 `json:"atMs"`
+	Rate float64 `json:"rate"`
+}
+
+// HotspotShiftSpec rotates a zipf-ranked keyspace at an instant: from
+// AtMs on, the key at declaration rank r serves rank (r+Shift) mod
+// len(keys) — the hot key moves mid-run, the signal hot-shard
+// detection must chase. Instants must strictly ascend.
+type HotspotShiftSpec struct {
+	AtMs  float64 `json:"atMs"`
+	Shift int     `json:"shift"`
+}
+
 // ShardClientSpec declares one request client of a sharded data
 // plane: a keyed workload submitted round-robin over Keys, one
-// request every SubmitEveryMs for the whole horizon.
+// request every SubmitEveryMs for the whole horizon — or, when
+// Arrival or Ramp is set, on an open-loop Poisson schedule.
 type ShardClientSpec struct {
 	Node int      `json:"node"`
 	Keys []string `json:"keys"`
-	// SubmitEveryMs is the submission interval.
+	// SubmitEveryMs is the fixed submission interval. Mutually
+	// exclusive with the open-loop knobs below.
 	SubmitEveryMs float64 `json:"submitEveryMs"`
 	// Count replicates this client on Count consecutive nodes starting
 	// at Node (0 and 1 both mean a single client) — scaling the
@@ -149,6 +170,46 @@ type ShardClientSpec struct {
 	// RetryTimeoutMs and MaxRetries override the client defaults.
 	RetryTimeoutMs float64 `json:"retryTimeoutMs,omitempty"`
 	MaxRetries     int     `json:"maxRetries,omitempty"`
+	// Arrival switches the client to the open-loop discipline: instead
+	// of one request every SubmitEveryMs, requests arrive on a Poisson
+	// schedule at Arrival ops/sec (exponential inter-arrivals on the
+	// virtual clock, drawn at build time from a seed derived from the
+	// scenario seed and the node — the engine's random stream is never
+	// touched). Mutually exclusive with SubmitEveryMs.
+	Arrival float64 `json:"arrival,omitempty"`
+	// Ramp schedules open-loop arrival-rate changes; setting a ramp
+	// (with or without Arrival) selects the open-loop discipline.
+	Ramp []RampStepSpec `json:"ramp,omitempty"`
+	// HotspotShift rotates the zipf rank→key mapping mid-run. Requires
+	// ZipfSkew and the open-loop discipline (a fixed schedule's picker
+	// has no notion of time).
+	HotspotShift []HotspotShiftSpec `json:"hotspotShift,omitempty"`
+}
+
+// openLoop reports whether the client runs the open-loop discipline.
+func (cs ShardClientSpec) openLoop() bool {
+	return cs.Arrival != 0 || len(cs.Ramp) > 0
+}
+
+// loadConfig lowers an open-loop shard client to the load-plane
+// configuration that drives one node's client.
+func (cs ShardClientSpec) loadConfig(seed int64, node int, horizon vtime.Duration) load.Config {
+	cfg := load.Config{
+		Name:     fmt.Sprintf("client-n%d", node),
+		Mode:     load.Open,
+		Rate:     cs.Arrival,
+		Keys:     cs.Keys,
+		ZipfSkew: cs.ZipfSkew,
+		Seed:     seed*1000003 + int64(node),
+		End:      vtime.Time(horizon),
+	}
+	for _, st := range cs.Ramp {
+		cfg.Ramp = append(cfg.Ramp, load.RampStep{At: vtime.Time(msd(st.AtMs)), Rate: st.Rate})
+	}
+	for _, hs := range cs.HotspotShift {
+		cfg.HotspotShift = append(cfg.HotspotShift, load.HotspotShift{At: vtime.Time(msd(hs.AtMs)), Shift: hs.Shift})
+	}
+	return cfg
 }
 
 // nodes expands the Count knob to the concrete node list the spec
@@ -272,6 +333,98 @@ type ShardsSpec struct {
 	// Txns drive a cross-shard atomic-transfer workload (two-phase
 	// commit over the shard groups with per-transaction deadlines).
 	Txns []TxnClientSpec `json:"txns,omitempty"`
+	// Load attaches declarative load generators (open/closed-loop
+	// session populations multiplexed over the plane's clients).
+	Load []LoadSpec `json:"load,omitempty"`
+}
+
+// LoadSpec declares one load generator attached to the sharded data
+// plane: a population of simulated client sessions multiplexed
+// round-robin over the clients on Nodes (a node with a declared
+// client reuses it; one without gets a default client — a transaction
+// client for txn workloads). Closed-loop sessions submit, wait for
+// the ack, think, and go again; open-loop arrivals come on a
+// precomputed Poisson schedule regardless of completions. All
+// randomness is drawn from seeds derived from the scenario seed — the
+// engine's stream is never touched, so the load plane is behaviorally
+// passive: a run with a Disabled generator is identical to one with
+// no load block at all.
+type LoadSpec struct {
+	// Name labels the generator in reports and metric series
+	// (load.<name>.offered / load.<name>.acked); names must be unique.
+	Name string `json:"name"`
+	// Workload is "kv" (single-key writes, the default) or "txn"
+	// (two-key atomic transfers between consecutive key pairs).
+	Workload string `json:"workload,omitempty"`
+	// Mode is "closed" (Sessions submit→ack→think loops, the default)
+	// or "open" (Poisson arrivals at Arrival ops/sec).
+	Mode string `json:"mode,omitempty"`
+	// Nodes lists the client nodes the workload multiplexes over.
+	Nodes []int `json:"nodes"`
+	// Sessions and ThinkMs parameterise the closed loop: Sessions
+	// concurrent sessions, each thinking a uniform draw from
+	// [ThinkMs/2, 3·ThinkMs/2] between an ack and the next submission.
+	Sessions int     `json:"sessions,omitempty"`
+	ThinkMs  float64 `json:"thinkMs,omitempty"`
+	// Arrival and Ramp parameterise the open loop (ops/sec).
+	Arrival float64        `json:"arrival,omitempty"`
+	Ramp    []RampStepSpec `json:"ramp,omitempty"`
+	// Keys is the keyspace; declaration order = zipf rank (first key
+	// hottest).
+	Keys []string `json:"keys"`
+	// ZipfSkew skews the key choice; HotspotShift rotates the ranking
+	// mid-run (requires a skew).
+	ZipfSkew     float64            `json:"zipfSkew,omitempty"`
+	HotspotShift []HotspotShiftSpec `json:"hotspotShift,omitempty"`
+	// StartMs and EndMs bound the submission window (EndMs 0 = the
+	// horizon).
+	StartMs float64 `json:"startMs,omitempty"`
+	EndMs   float64 `json:"endMs,omitempty"`
+	// MaxOps caps total submissions (0 = the generator default).
+	MaxOps int `json:"maxOps,omitempty"`
+	// Disabled keeps the block in the file but attaches nothing.
+	Disabled bool `json:"disabled,omitempty"`
+}
+
+// config lowers the spec to the load-plane configuration. The horizon
+// bounds the default submission window; the seed (already derived per
+// generator) feeds the generator's local random sources.
+func (ls LoadSpec) config(seed int64, horizon vtime.Duration) load.Config {
+	end := vtime.Time(horizon)
+	if ls.EndMs > 0 {
+		end = vtime.Time(msd(ls.EndMs))
+	}
+	cfg := load.Config{
+		Name:     ls.Name,
+		Sessions: ls.Sessions,
+		Think:    msd(ls.ThinkMs),
+		Rate:     ls.Arrival,
+		Keys:     ls.Keys,
+		ZipfSkew: ls.ZipfSkew,
+		Seed:     seed,
+		Start:    vtime.Time(msd(ls.StartMs)),
+		End:      end,
+		MaxOps:   ls.MaxOps,
+	}
+	if ls.Mode == "open" {
+		cfg.Mode = load.Open
+	}
+	if ls.Workload == "txn" {
+		cfg.Workload = load.Txn
+	}
+	for _, st := range ls.Ramp {
+		cfg.Ramp = append(cfg.Ramp, load.RampStep{At: vtime.Time(msd(st.AtMs)), Rate: st.Rate})
+	}
+	for _, hs := range ls.HotspotShift {
+		cfg.HotspotShift = append(cfg.HotspotShift, load.HotspotShift{At: vtime.Time(msd(hs.AtMs)), Shift: hs.Shift})
+	}
+	return cfg
+}
+
+// loadSeed derives generator i's seed from the scenario seed — a
+// distinct stream per generator, disjoint from the client pickers'.
+func loadSeed(seed int64, i int) int64 {
+	return seed*1000003 + int64(i+1)*104729
 }
 
 // ObserveSpec tunes the run's observability plane: causal-trace
@@ -404,7 +557,7 @@ func Builtin(name string) (Spec, error) {
 
 // BuiltinNames lists the catalogue.
 func BuiltinNames() []string {
-	return []string{"spuri-example", "inversion", "overload", "distributed-pipeline", "membership-churn", "partition-split", "sharded-kv", "bank-transfer", "hot-shard"}
+	return []string{"spuri-example", "inversion", "overload", "distributed-pipeline", "membership-churn", "partition-split", "sharded-kv", "bank-transfer", "hot-shard", "load-ramp"}
 }
 
 var builtins = map[string]Spec{
@@ -605,6 +758,47 @@ var builtins = map[string]Spec{
 			// The hot shard's primary crashes and later rejoins: ack
 			// latency spikes through the failover window.
 			{Kind: "crash", Node: 0, AtMs: 60, RecoverMs: 260},
+		},
+		Tasks: []TaskSpec{
+			{Name: "watchdog", Law: "periodic", DeadlineMs: 40, PeriodMs: 50,
+				Stages: []StageSpec{
+					{Name: "check", Node: 6, WCETUs: 300},
+				}},
+		},
+	},
+
+	// Load ramp: the load harness as data. An open-loop generator's
+	// Poisson arrival rate climbs mid-run while a hotspot shift moves
+	// the zipf-hot key from "alpha" (pinned to shard 0) to the next
+	// rank (hashed to shard 1) — the offered-vs-achieved throughput
+	// series records the ramp, the hot-shard sketch records the move.
+	// A second, closed-loop generator keeps a fixed session population
+	// thinking between acks on the other client node. The per-run
+	// report (hades-load) distills both.
+	"load-ramp": {
+		Name: "load-ramp", Nodes: 8, Seed: 1, Costs: "default",
+		Scheduler: "EDF", Policy: "none", HorizonMs: 400,
+		Observe: &ObserveSpec{TraceSampleRate: fptr(1.0), RetainViolations: true},
+		Shards: &ShardsSpec{
+			Count: 2, ReplicasPer: 3, Style: "semi-active",
+			Session: &SessionSpec{MaxBatch: 4, FlushIntervalMs: 0.5, PipelineDepth: 2},
+			// Pin the zipf head to shard 0 so the mid-run shift to the
+			// next rank provably changes the serving shard.
+			Routes: map[string]int{"alpha": 0, "bravo": 1},
+			Load: []LoadSpec{
+				{Name: "ramp", Mode: "open", Nodes: []int{6},
+					Arrival: 400,
+					Ramp: []RampStepSpec{
+						{AtMs: 150, Rate: 1200},
+						{AtMs: 320, Rate: 600},
+					},
+					ZipfSkew:     1.2,
+					HotspotShift: []HotspotShiftSpec{{AtMs: 200, Shift: 1}},
+					Keys:         []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"}},
+				{Name: "think", Mode: "closed", Nodes: []int{7},
+					Sessions: 16, ThinkMs: 5,
+					Keys: []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"}},
+			},
 		},
 		Tasks: []TaskSpec{
 			{Name: "watchdog", Law: "periodic", DeadlineMs: 40, PeriodMs: 50,
@@ -887,8 +1081,8 @@ func (s Spec) validateShards() error {
 		}
 	}
 	if se := sp.Session; se != nil {
-		if len(sp.Clients) == 0 && len(sp.Txns) == 0 {
-			return fmt.Errorf("scenario %q: session knobs on a shards spec with no clients and no txns (nothing to batch)", s.Name)
+		if len(sp.Clients) == 0 && len(sp.Txns) == 0 && len(sp.Load) == 0 {
+			return fmt.Errorf("scenario %q: session knobs on a shards spec with no clients, txns or load (nothing to batch)", s.Name)
 		}
 		if se.MaxBatch < 1 {
 			return fmt.Errorf("scenario %q: session maxBatch must be >= 1 (got %d)", s.Name, se.MaxBatch)
@@ -923,8 +1117,20 @@ func (s Spec) validateShards() error {
 		if len(cl.Keys) == 0 {
 			return fmt.Errorf("scenario %q: shard client %d has no keys", s.Name, i)
 		}
-		if cl.SubmitEveryMs <= 0 {
-			return fmt.Errorf("scenario %q: shard client %d needs a positive submitEveryMs", s.Name, i)
+		if cl.openLoop() {
+			if cl.SubmitEveryMs != 0 {
+				return fmt.Errorf("scenario %q: shard client %d mixes submitEveryMs with the open-loop arrival knobs (pick one discipline)", s.Name, i)
+			}
+			if err := cl.loadConfig(1, cl.Node, s.Horizon()).Validate(); err != nil {
+				return fmt.Errorf("scenario %q: shard client %d: %v", s.Name, i, err)
+			}
+		} else {
+			if len(cl.HotspotShift) > 0 {
+				return fmt.Errorf("scenario %q: shard client %d sets hotspotShift without an open-loop arrival (a fixed schedule cannot shift)", s.Name, i)
+			}
+			if cl.SubmitEveryMs <= 0 {
+				return fmt.Errorf("scenario %q: shard client %d needs a positive submitEveryMs", s.Name, i)
+			}
 		}
 		switch cl.Policy {
 		case "", "queue", "fail-fast":
@@ -954,6 +1160,48 @@ func (s Spec) validateShards() error {
 		}
 		if tc.DeadlineMs < 0 || tc.RetryTimeoutMs < 0 || tc.MaxRetries < 0 {
 			return fmt.Errorf("scenario %q: txn client %d has negative timing parameters", s.Name, i)
+		}
+	}
+	loadNames := map[string]bool{}
+	for i, ls := range sp.Load {
+		if ls.Name == "" {
+			return fmt.Errorf("scenario %q: load %d unnamed", s.Name, i)
+		}
+		if loadNames[ls.Name] {
+			return fmt.Errorf("scenario %q: duplicate load %q (metric series would collide)", s.Name, ls.Name)
+		}
+		loadNames[ls.Name] = true
+		switch ls.Mode {
+		case "", "closed", "open":
+		default:
+			return fmt.Errorf("scenario %q: load %q has unknown mode %q (want closed or open)", s.Name, ls.Name, ls.Mode)
+		}
+		switch ls.Workload {
+		case "", "kv", "txn":
+		default:
+			return fmt.Errorf("scenario %q: load %q has unknown workload %q (want kv or txn)", s.Name, ls.Name, ls.Workload)
+		}
+		if len(ls.Nodes) == 0 {
+			return fmt.Errorf("scenario %q: load %q names no client nodes", s.Name, ls.Name)
+		}
+		seen := map[int]bool{}
+		for _, n := range ls.Nodes {
+			if n < 0 || n >= s.Nodes {
+				return fmt.Errorf("scenario %q: load %q on unknown node %d (have %d)", s.Name, ls.Name, n, s.Nodes)
+			}
+			if _, replica := owner[n]; replica {
+				return fmt.Errorf("scenario %q: load %q on node %d collides with a shard replica", s.Name, ls.Name, n)
+			}
+			if seen[n] {
+				return fmt.Errorf("scenario %q: load %q lists node %d twice", s.Name, ls.Name, n)
+			}
+			seen[n] = true
+		}
+		if ls.StartMs < 0 || ls.EndMs < 0 {
+			return fmt.Errorf("scenario %q: load %q has a negative window bound [%gms, %gms]", s.Name, ls.Name, ls.StartMs, ls.EndMs)
+		}
+		if err := ls.config(1, s.Horizon()).Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %v", s.Name, err)
 		}
 	}
 	return nil
@@ -1203,6 +1451,13 @@ func (s Spec) Build() (*cluster.Cluster, error) {
 					MaxRetries:   cs.MaxRetries,
 					Policy:       shardPolicy(cs.Policy),
 				})
+				if cs.openLoop() {
+					// AttachLoad reuses the client just registered on
+					// the node; the Poisson schedule replaces the fixed
+					// interval entirely.
+					set.AttachLoad(cs.loadConfig(s.Seed, node, s.Horizon()), []int{node})
+					continue
+				}
 				every := msd(cs.SubmitEveryMs)
 				pick := cs.picker(s.Seed, node)
 				i := 0
@@ -1231,6 +1486,12 @@ func (s Spec) Build() (*cluster.Cluster, error) {
 				i++
 				c.At(vtime.Time(t), func() { tc.Transfer(src, dst, amount) })
 			}
+		}
+		for i, ls := range sp.Load {
+			if ls.Disabled {
+				continue
+			}
+			set.AttachLoad(ls.config(loadSeed(s.Seed, i), s.Horizon()), append([]int(nil), ls.Nodes...))
 		}
 	}
 	for _, gs := range s.Groups {

@@ -175,6 +175,11 @@ type Client struct {
 	Acks   []Ack
 	Failed []uint64
 
+	// onAck, when set, observes every acknowledged request as it lands
+	// — the load plane's closed-loop sessions hang their think-time
+	// continuation off it.
+	onAck func(Ack)
+
 	// mAck is the per-interval ack-latency histogram (nil-safe when
 	// the metrics plane is off).
 	mAck *metrics.Hist
@@ -214,6 +219,24 @@ func NewClient(eng *simkern.Engine, net *netsim.Network, router *Router, params 
 
 // Node returns the client's processor.
 func (c *Client) Node() int { return c.p.Node }
+
+// SetOnAck registers a callback invoked for every acknowledged
+// request, after the client's own bookkeeping. Callbacks chain: a
+// second registration runs after the first.
+func (c *Client) SetOnAck(fn func(Ack)) {
+	if fn == nil {
+		return
+	}
+	prev := c.onAck
+	if prev == nil {
+		c.onAck = fn
+		return
+	}
+	c.onAck = func(a Ack) {
+		prev(a)
+		fn(a)
+	}
+}
 
 // Params returns the client's effective parameters.
 func (c *Client) Params() ClientParams { return c.p }
@@ -416,10 +439,14 @@ func (c *Client) handleResp(m *netsim.Message) {
 			if lat > c.Stats.MaxLatency {
 				c.Stats.MaxLatency = lat
 			}
-			c.Acks = append(c.Acks, Ack{Key: r.key, Seq: r.seq, Cmd: r.cmd, Result: res.Result, At: now, Latency: lat})
+			ack := Ack{Key: r.key, Seq: r.seq, Cmd: r.cmd, Result: res.Result, At: now, Latency: lat}
+			c.Acks = append(c.Acks, ack)
 			r.wspan.End()
 			r.trace.Finish()
 			c.finishKey(r)
+			if c.onAck != nil {
+				c.onAck(ack)
+			}
 		}
 		c.retire(b)
 	case respRedirect:

@@ -72,6 +72,88 @@ func TestHistMergeEdgeCases(t *testing.T) {
 	}
 }
 
+// TestHistTailResolution: the p999 report at the histogram's tail must
+// stay within the log-linear layout's relative error bound
+// (1/2^histSubBits) of the true order statistic, for tails spanning
+// several powers of two.
+func TestHistTailResolution(t *testing.T) {
+	const relErr = 1.0 / (1 << histSubBits)
+	cases := []struct {
+		name string
+		body int64 // value of the 99.9% bulk
+		tail int64 // value of the top 0.1%
+	}{
+		{"millisecond tail", 1_000_000, 9_000_000},
+		{"second-scale tail", 2_000_000, 1_500_000_000},
+		{"tight tail", 1_000_000, 1_100_000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHist()
+			const n = 10_000
+			for i := 0; i < n-n/1000; i++ {
+				h.Record(tc.body)
+			}
+			for i := 0; i < n/1000; i++ {
+				h.Record(tc.tail)
+			}
+			got := h.Percentile(0.999)
+			// The true p999 sits at the body/tail boundary; either value
+			// is acceptable as long as the report stays within the
+			// relative error bound of one of them.
+			okNear := func(want int64) bool {
+				diff := float64(got - want)
+				if diff < 0 {
+					diff = -diff
+				}
+				return diff <= relErr*float64(want)
+			}
+			if !okNear(tc.body) && !okNear(tc.tail) {
+				t.Fatalf("p999=%d outside ±%.1f%% of both %d and %d",
+					got, relErr*100, tc.body, tc.tail)
+			}
+			// The exact max is never smoothed away by bucketing.
+			if h.Max() != tc.tail {
+				t.Fatalf("max %d != %d", h.Max(), tc.tail)
+			}
+			if p1 := h.Percentile(1); p1 != tc.tail {
+				t.Fatalf("p100 %d != exact max %d", p1, tc.tail)
+			}
+		})
+	}
+}
+
+// TestHistTailOrdering: with a heavy tail, p999 must separate from p99
+// (it reads the tail while p99 still reads the body), and an empty
+// histogram reports zero for every percentile — no NaNs, no panics.
+func TestHistTailOrdering(t *testing.T) {
+	h := NewHist()
+	const n = 10_000
+	for i := 0; i < n-120; i++ {
+		h.Record(1_000_000) // body: 1ms (ranks 1..9880)
+	}
+	for i := 0; i < 100; i++ {
+		h.Record(20_000_000) // p99 band: 20ms (ranks 9881..9980)
+	}
+	for i := 0; i < 20; i++ {
+		h.Record(400_000_000) // p999 band: 400ms (ranks 9981..10000)
+	}
+	p50, p99, p999 := h.Percentile(0.5), h.Percentile(0.99), h.Percentile(0.999)
+	if !(p50 < p99 && p99 < p999) {
+		t.Fatalf("percentiles not ordered: p50=%d p99=%d p999=%d", p50, p99, p999)
+	}
+	if p999 < 300_000_000 {
+		t.Fatalf("p999=%d missed the 400ms tail band", p999)
+	}
+
+	empty := NewHist()
+	for _, p := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if v := empty.Percentile(p); v != 0 {
+			t.Fatalf("empty histogram p%v = %d, want 0", p, v)
+		}
+	}
+}
+
 // TestHistResetKeepsBuckets: Reset zeroes the content but keeps the
 // bucket slice, and the histogram is immediately reusable.
 func TestHistResetKeepsBuckets(t *testing.T) {
