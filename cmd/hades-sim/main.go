@@ -14,6 +14,7 @@
 //	hades-sim -builtin sharded-kv -shards -percentiles
 //	hades-sim -builtin bank-transfer -txns -trace out.json
 //	hades-sim -builtin hot-shard -metrics m.json
+//	hades-sim -builtin sensor-fan-out -pubsub
 //	hades-sim -scenario myset.json
 //	hades-sim -list                  # list built-in scenarios
 //
@@ -57,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		partRep     = fs.Bool("partition", false, "print per-group partition/quorum/merge report")
 		shardRep    = fs.Bool("shards", false, "print the sharded data plane routing report")
 		txnRep      = fs.Bool("txns", false, "print the cross-shard transaction report")
+		pubsubRep   = fs.Bool("pubsub", false, "print the pub/sub plane report (per-topic QoS stats and delivery verdict)")
 		listThem    = fs.Bool("builtins", false, "list built-in scenarios and exit")
 		listAlt     = fs.Bool("list", false, "alias for -builtins")
 	)
@@ -219,6 +221,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	qosFailed := false
+	if *pubsubRep {
+		any := false
+		for _, set := range clu.ShardSets() {
+			p := set.PubSubPlane()
+			if p == nil {
+				continue
+			}
+			any = true
+			fmt.Fprintln(stdout, "--- pub/sub plane ---")
+			for _, st := range p.Stats() {
+				fmt.Fprintf(stdout, "  %s\n", st)
+			}
+			for _, t := range p.Topics() {
+				for _, sub := range p.Subscribers(t.Name()) {
+					late := ""
+					if sub.JoinTime() > 0 {
+						late = fmt.Sprintf(" joinAt=%s", sub.JoinTime())
+					}
+					fmt.Fprintf(stdout, "  sub n%-2d %-12s delivered=%-5d suppressedDups=%d%s\n",
+						sub.Node(), t.Name(), len(sub.Deliveries()), sub.Suppressed(), late)
+				}
+			}
+			if err := p.Verify(); err != nil {
+				fmt.Fprintf(stdout, "  QOS VIOLATION: %v\n", err)
+				qosFailed = true
+			} else {
+				fmt.Fprintln(stdout, "  qos: deliveries exactly-once per subscriber, history within depth, deadline misses accounted")
+			}
+		}
+		if !any {
+			fmt.Fprintln(stdout, "--- pub/sub plane: none declared ---")
+		}
+	}
 	if *gantt {
 		for node := 0; node < spec.Nodes; node++ {
 			fmt.Fprintf(stdout, "--- gantt node %d ---\n", node)
@@ -278,6 +314,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ex := reg.Export()
 		fmt.Fprintf(stdout, "wrote %d series (%d scrapes) to %s (inspect with hades-metrics)\n",
 			len(ex.Series), ex.Scrapes, *metricsOut)
+	}
+	// The QoS verdict gates the exit code after every requested export
+	// has been written, so CI keeps the artifacts of a failing run.
+	if qosFailed {
+		return 1
 	}
 	return 0
 }

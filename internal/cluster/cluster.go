@@ -657,6 +657,11 @@ func (c *Cluster) Run(d vtime.Duration) Result {
 	for _, g := range c.groups {
 		g.svc.Start() // idempotent across repeated Runs
 	}
+	for _, set := range c.shardSets {
+		if set.pubsub != nil {
+			set.pubsub.Start() // idempotent; arms best-effort bcast + late joiners
+		}
+	}
 	for _, s := range c.spawns {
 		var err error
 		switch s.task.Arrival.Kind {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hades/internal/load"
+	"hades/internal/pubsub"
 	"hades/internal/shard"
 	"hades/internal/txn"
 )
@@ -19,6 +20,10 @@ type LoadResult struct {
 	// Capped reports the generator's MaxOps guard truncated the
 	// schedule — the offered count understates the configured load.
 	Capped bool
+	// Latency is the generator's own completion-latency distribution —
+	// per-generator attribution, where the trace rows aggregate by op
+	// class and shard.
+	Latency load.LatencyStats
 }
 
 // AttachLoad attaches a load generator to this shard set: its
@@ -74,6 +79,26 @@ func (s *ShardSet) AttachLoad(cfg load.Config, nodes []int) *load.Generator {
 				t.OnDone = func(txn.Record) { done() }
 			}
 		}
+	case load.Pub:
+		// One publisher per (node, topic): the generator's Keys are
+		// topic names, and the round-robin rotates the publishing node.
+		pubsByTopic := make(map[string][]*pubsub.Publisher, len(cfg.Keys))
+		for _, topic := range cfg.Keys {
+			for _, n := range nodes {
+				pub, err := s.PublisherAt(topic, n)
+				if err != nil {
+					panic(fmt.Sprintf("cluster: load %q: %v", cfg.Name, err))
+				}
+				pubsByTopic[topic] = append(pubsByTopic[topic], pub)
+			}
+		}
+		rr := 0
+		sinks.Publish = func(topic string, value int64, done func()) {
+			pubs := pubsByTopic[topic]
+			pub := pubs[rr%len(pubs)]
+			rr++
+			pub.PublishDone(value, done)
+		}
 	}
 	gen.Start(sinks)
 	s.c.loads = append(s.c.loads, gen)
@@ -100,4 +125,47 @@ func (s *ShardSet) txnClientFor(node int) *txn.Client {
 		}
 	}
 	return s.TxnClientAt(node)
+}
+
+// AttachLoad attaches a load generator to this membership group's
+// first replica group: KV-shaped commands are submitted straight to
+// the current primary, and an op completes at its first fresh
+// state-machine apply anywhere in the group. Non-sharded scenarios get
+// workloads and per-run reports this way; only the kv shape applies (a
+// plain replica group has no router, transaction plane or topics).
+func (g *Group) AttachLoad(cfg load.Config) *load.Generator {
+	if cfg.Workload != load.KV {
+		panic(fmt.Sprintf("cluster: group load %q: only the kv workload drives a plain replication group (got %s)",
+			cfg.Name, cfg.Workload))
+	}
+	if len(g.rep) == 0 {
+		panic(fmt.Sprintf("cluster: group load %q needs a replica group (call Replicate first)", cfg.Name))
+	}
+	if len(cfg.Keys) == 0 {
+		// Replicated state is keyless here; the generator still wants a
+		// keyspace, so synthesize the single command stream.
+		cfg.Keys = []string{"cmd"}
+	}
+	gen, err := load.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	rep := g.rep[0]
+	pending := make(map[uint64]func())
+	rep.OnApplyHook(func(_ int, reqID uint64, _ int64) {
+		if fn, ok := pending[reqID]; ok {
+			delete(pending, reqID)
+			fn()
+		}
+	})
+	sinks := load.Sinks{At: g.c.At, Now: g.c.eng.Now, Metrics: g.c.metrics}
+	sinks.SubmitKV = func(_ string, cmd int64, done func()) {
+		id := rep.Submit(rep.Primary(), cmd)
+		if done != nil {
+			pending[id] = done
+		}
+	}
+	gen.Start(sinks)
+	g.c.loads = append(g.c.loads, gen)
+	return gen
 }

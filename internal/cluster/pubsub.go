@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"hades/internal/pubsub"
+)
+
+// PubSub returns the set's publish-subscribe data-distribution plane,
+// creating it on first use (like TxnPlane). The plane maps topics onto
+// the set's consistent-hash ring: the shard a topic name hashes to owns
+// its reliable delivery and durable history. A set that never touches
+// PubSub carries no plane at all — no ports, hooks or metric series.
+func (s *ShardSet) PubSub() *pubsub.Plane {
+	if s.pubsub == nil {
+		refs := make([]pubsub.GroupRef, 0, len(s.shards))
+		for _, g := range s.shards {
+			refs = append(refs, pubsub.GroupRef{
+				Index: g.Index(),
+				Name:  g.Name(),
+				Nodes: g.Nodes(),
+				Rep:   g.Replication(),
+				Mem:   g.Membership(),
+			})
+		}
+		p, err := pubsub.NewPlane(s.c.eng, s.c.net, pubsub.Config{
+			Name:     s.name,
+			ShardFor: s.router.ShardFor,
+			Groups:   refs,
+			Nodes:    append([]int(nil), s.c.nodes...),
+		})
+		if err != nil {
+			panic(err)
+		}
+		s.pubsub = p
+	}
+	return s.pubsub
+}
+
+// Topic declares a pub/sub topic under a QoS contract on this set's
+// ring (creating the plane on first use).
+func (s *ShardSet) Topic(name string, qos pubsub.QoS) (*pubsub.Topic, error) {
+	return s.PubSub().Topic(name, qos)
+}
+
+// PublisherAt registers a publisher for a declared topic at a node.
+func (s *ShardSet) PublisherAt(topic string, node int) (*pubsub.Publisher, error) {
+	return s.PubSub().PublisherAt(topic, node)
+}
+
+// SubscriberAt registers a subscriber for a declared topic at a node.
+func (s *ShardSet) SubscriberAt(topic string, node int) (*pubsub.Subscriber, error) {
+	return s.PubSub().SubscriberAt(topic, node)
+}
+
+// PubSubPlane returns the plane when the run declared one and nil
+// otherwise — unlike PubSub it never creates the plane, so report
+// paths stay behaviorally passive.
+func (s *ShardSet) PubSubPlane() *pubsub.Plane { return s.pubsub }
+
+// CheckPubSub verifies the pub/sub plane's universal invariants (no
+// duplicate or fabricated deliveries, consistent ack accounting,
+// bounded history rings). A set without a plane passes vacuously.
+func (s *ShardSet) CheckPubSub() error {
+	if s.pubsub == nil {
+		return nil
+	}
+	return s.pubsub.Verify()
+}

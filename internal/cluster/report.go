@@ -28,6 +28,11 @@ func (r Result) Report(name string, seed int64) *report.Report {
 			doc.Loads = append(doc.Loads, report.LoadStat{
 				Name: l.Name, Mode: l.Mode, Workload: l.Workload,
 				Sessions: l.Sessions, Offered: l.Offered, Acked: l.Acked,
+				P50Ns:  int64(l.Latency.P50),
+				P99Ns:  int64(l.Latency.P99),
+				P999Ns: int64(l.Latency.P999),
+				MaxNs:  int64(l.Latency.Max),
+				MeanNs: int64(l.Latency.Mean),
 			})
 		}
 	} else {

@@ -11,6 +11,7 @@ import (
 	"hades/internal/metrics"
 	"hades/internal/monitor"
 	"hades/internal/netsim"
+	"hades/internal/pubsub"
 	"hades/internal/trace"
 	"hades/internal/vtime"
 )
@@ -36,6 +37,9 @@ type Result struct {
 	Violations []monitor.Event
 	// Loads records each attached load generator's account.
 	Loads []LoadResult
+	// PubSub records each declared pub/sub topic's delivery account,
+	// declaration order (empty when no set created a plane).
+	PubSub []pubsub.TopicStats
 	// Faults is the run's fault timeline: the monitor events recording
 	// injected failures, detections, failovers, partitions, merges and
 	// SLO breach boundaries, time order (subject to the log's bound —
@@ -288,6 +292,9 @@ func (c *Cluster) ResultNow() Result {
 				})
 			}
 		}
+		if set.pubsub != nil {
+			r.PubSub = append(r.PubSub, set.pubsub.Stats()...)
+		}
 		for _, cl := range set.clients {
 			st := cl.Stats
 			bs := cl.BatchStats()
@@ -325,6 +332,7 @@ func (c *Cluster) ResultNow() Result {
 			Offered:  g.Stats.Offered,
 			Acked:    g.Stats.Acked,
 			Capped:   g.Stats.Capped,
+			Latency:  g.LatencyStats(),
 		})
 	}
 	for _, ev := range c.log.Events() {
@@ -549,6 +557,13 @@ func (r Result) String() string {
 		}
 		out += fmt.Sprintf("  load %-12s %s/%s sessions=%-5d offered=%-6d acked=%-6d%s\n",
 			l.Name, l.Mode, l.Workload, l.Sessions, l.Offered, l.Acked, capped)
+		if l.Latency.Count > 0 {
+			out += fmt.Sprintf("    lat: p50=%-10s p99=%-10s p999=%-10s max=%-10s mean=%s\n",
+				l.Latency.P50, l.Latency.P99, l.Latency.P999, l.Latency.Max, l.Latency.Mean)
+		}
+	}
+	for _, t := range r.PubSub {
+		out += fmt.Sprintf("  pubsub %s\n", t)
 	}
 	for _, l := range r.Latency {
 		shard := fmt.Sprintf("s%d", l.Shard)

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 
+	"hades/internal/pubsub"
 	"hades/internal/replication"
 	"hades/internal/session"
 	"hades/internal/shard"
@@ -57,6 +58,7 @@ type ShardSet struct {
 	clients     []*shard.Client
 	clientNodes map[int]bool
 	txnPlane    *txn.Plane
+	pubsub      *pubsub.Plane
 	session     session.Params
 	groupCommit session.Params
 }

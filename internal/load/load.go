@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"hades/internal/metrics"
 	"hades/internal/vtime"
@@ -56,12 +57,19 @@ const (
 	KV Workload = iota
 	// Txn submits two-key transfers through transaction clients.
 	Txn
+	// Pub publishes samples into pub/sub topics: Keys are topic names
+	// (declaration order = zipf rank, so a skewed generator concentrates
+	// its storm on the first topic).
+	Pub
 )
 
 // String returns the workload name.
 func (w Workload) String() string {
-	if w == Txn {
+	switch w {
+	case Txn:
 		return "txn"
+	case Pub:
+		return "pubsub"
 	}
 	return "kv"
 }
@@ -200,6 +208,10 @@ type Sinks struct {
 	// Transfer submits one two-key transfer; done fires when the
 	// transaction decides (commit or abort).
 	Transfer func(from, to string, amount int64, done func())
+	// Publish publishes one sample into a topic; done fires when the
+	// publish completes (reliable: the replication ack; best-effort:
+	// the broadcast's origin delivery — a dropped sample never does).
+	Publish func(topic string, value int64, done func())
 	// At schedules fn at absolute virtual instant t.
 	At func(t vtime.Time, fn func())
 	// Now reads the virtual clock (required closed-loop: the think
@@ -230,7 +242,11 @@ type Generator struct {
 	shiftIdx int // consumed HotspotShift steps
 	mOffered *metrics.Counter
 	mAcked   *metrics.Counter
-	maxOps   int
+	mLat     *metrics.Hist
+	// lat records each completion's submit→ack latency in completion
+	// order (requires Sinks.Now; per-generator attribution in reports).
+	lat    []vtime.Duration
+	maxOps int
 }
 
 // New validates the config and builds a generator.
@@ -317,6 +333,10 @@ func (g *Generator) Start(s Sinks) {
 		if s.Transfer == nil {
 			panic("load: txn workload needs Sinks.Transfer")
 		}
+	case Pub:
+		if s.Publish == nil {
+			panic("load: pubsub workload needs Sinks.Publish")
+		}
 	}
 	if g.cfg.Mode == Closed && s.Now == nil {
 		panic("load: closed-loop needs Sinks.Now")
@@ -324,6 +344,7 @@ func (g *Generator) Start(s Sinks) {
 	g.s = s
 	g.mOffered = s.Metrics.Counter("load." + g.cfg.Name + ".offered")
 	g.mAcked = s.Metrics.Counter("load." + g.cfg.Name + ".acked")
+	g.mLat = s.Metrics.Hist("load." + g.cfg.Name + ".latency")
 	if g.cfg.Mode == Open {
 		g.layoutOpen()
 		return
@@ -348,17 +369,27 @@ func (g *Generator) submit(at vtime.Time, pick func(vtime.Time) string, rng *ran
 	onDone := func() {
 		g.Stats.Acked++
 		g.mAcked.Inc()
+		if g.s.Now != nil {
+			// at is the submission instant: the callback fires inside the
+			// engine, so Now minus at is the op's true completion latency.
+			l := g.s.Now().Sub(at)
+			g.lat = append(g.lat, l)
+			g.mLat.ObserveD(l)
+		}
 		if done != nil {
 			done()
 		}
 	}
-	if g.cfg.Workload == Txn {
+	switch g.cfg.Workload {
+	case Txn:
 		from := pick(at)
 		to := g.otherKey(from, rng)
 		g.s.Transfer(from, to, 1, onDone)
-		return true
+	case Pub:
+		g.s.Publish(pick(at), g.Stats.Offered, onDone)
+	default:
+		g.s.SubmitKV(pick(at), 1, onDone)
 	}
-	g.s.SubmitKV(pick(at), 1, onDone)
 	return true
 }
 
@@ -456,6 +487,45 @@ func (g *Generator) rateAt(t vtime.Time) float64 {
 		r = st.Rate
 	}
 	return r
+}
+
+// LatencyStats is a generator's completion-latency distribution —
+// the per-generator attribution report rows carry (the trace plane's
+// latency rows aggregate by op class and shard, so coexisting
+// generators of the same class would blur there).
+type LatencyStats struct {
+	Count                     int
+	P50, P99, P999, Max, Mean vtime.Duration
+}
+
+// LatencyStats distills the recorded completion latencies. Zero when
+// nothing completed (or the sinks carried no clock).
+func (g *Generator) LatencyStats() LatencyStats {
+	n := len(g.lat)
+	if n == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]vtime.Duration(nil), g.lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum vtime.Duration
+	for _, l := range sorted {
+		sum += l
+	}
+	pct := func(q float64) vtime.Duration {
+		i := int(q * float64(n))
+		if i >= n {
+			i = n - 1
+		}
+		return sorted[i]
+	}
+	return LatencyStats{
+		Count: n,
+		P50:   pct(0.50),
+		P99:   pct(0.99),
+		P999:  pct(0.999),
+		Max:   sorted[n-1],
+		Mean:  sum / vtime.Duration(n),
+	}
 }
 
 // nextRampAfter returns the first ramp instant strictly after t.

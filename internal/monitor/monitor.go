@@ -99,6 +99,12 @@ const (
 	// window, emitted by the per-interval probe engine).
 	KindSLOBreach
 	KindSLOClear
+
+	// Pub/sub data-distribution events: a crashed subscriber's backlog
+	// dropped at its view eviction, and durable-history replay to a
+	// late joiner or across a partition-merge view.
+	KindSampleDrop
+	KindCatchUp
 )
 
 var kindNames = map[Kind]string{
@@ -155,6 +161,8 @@ var kindNames = map[Kind]string{
 	KindPipeline:            "Pipeline",
 	KindSLOBreach:           "SLO-BREACH",
 	KindSLOClear:            "SLOClear",
+	KindSampleDrop:          "SampleDrop",
+	KindCatchUp:             "CatchUp",
 }
 
 // String returns the short mnemonic for the kind.

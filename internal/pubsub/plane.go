@@ -1,0 +1,1080 @@
+package pubsub
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hades/internal/eventq"
+	"hades/internal/membership"
+	"hades/internal/metrics"
+	"hades/internal/monitor"
+	"hades/internal/netsim"
+	"hades/internal/rbcast"
+	"hades/internal/replication"
+	"hades/internal/simkern"
+	"hades/internal/trace"
+	"hades/internal/vtime"
+)
+
+// TagSpace offsets pub/sub dedup tags away from the data-plane
+// clients' (client+1) and the transaction layer's (1<<32) tag spaces,
+// so a publisher never collides with either in the replicated dedup
+// table.
+const TagSpace = uint64(1) << 33
+
+// DefaultRetryEvery is the publisher's retransmit period while a
+// reliable publish is unacked (primary down, quorum lost, copy cut by
+// a partition).
+const DefaultRetryEvery = 5 * vtime.Millisecond
+
+// GroupRef names one shard's replication group to the plane.
+type GroupRef struct {
+	// Index is the shard's ring position, Name its monitor label.
+	Index int
+	Name  string
+	// Nodes are the replica nodes in promotion order.
+	Nodes []int
+	Rep   *replication.Group
+	Mem   *membership.Service
+}
+
+// Config parameterises one plane.
+type Config struct {
+	// Name scopes the plane's ports and metrics (the owning set name).
+	Name string
+	// ShardFor maps a topic name onto the ring.
+	ShardFor func(topic string) int
+	// Groups are the ring's replication groups, ring order.
+	Groups []GroupRef
+	// Nodes is the cluster universe: every node eligible to host a
+	// publisher or subscriber, and the best-effort broadcast group.
+	Nodes []int
+	// RetryEvery overrides the reliable publisher's retransmit period.
+	RetryEvery vtime.Duration
+	// BestEffortF is the rbcast omission degree (default 1).
+	BestEffortF int
+}
+
+// Topic is one declared topic.
+type Topic struct {
+	name  string
+	qos   QoS
+	shard int
+	gs    *groupState // nil for best-effort topics
+
+	pubs []*Publisher
+	subs []*Subscriber
+
+	published, acked      int
+	delivered, suppressed int
+	replayed, dropped     int
+	deadlineMiss          int
+	mPub, mDeliver, mDrop *metrics.Counter
+	mMiss                 *metrics.Counter
+	mLat                  *metrics.Hist
+}
+
+// Name returns the topic name.
+func (t *Topic) Name() string { return t.name }
+
+// QoS returns the topic's contract.
+func (t *Topic) QoS() QoS { return t.qos }
+
+// Shard returns the topic's ring position.
+func (t *Topic) Shard() int { return t.shard }
+
+// pubAttempt tracks one publish end to end: the publisher owns it, the
+// serving replica and the subscribers advance it (single-process
+// simulation: the struct pointer is the cross-node handoff, exactly
+// like the shard plane's pending tables).
+type pubAttempt struct {
+	pub *Publisher
+	s   Sample
+
+	tr  *trace.Trace
+	ref trace.Ref
+	// wire is the publish→accept span, repl the replication round at
+	// the serving replica.
+	wire trace.SpanRef
+	repl trace.SpanRef
+
+	// server is the replica that admitted the publish (it acks and
+	// opens the fan-out spans); outstanding counts subscribers whose
+	// first delivery has not landed (-1 until the serving replica's
+	// apply initialises it).
+	server      int
+	outstanding int
+	acked       bool
+	finished    bool
+	retries     int
+	done        func()
+}
+
+// maybeFinish closes the publish trace once the ack landed and every
+// counted fan-out delivery arrived. Exactly one path flips finished,
+// so the trace is never finished twice (the tracer recycles traces).
+func (a *pubAttempt) maybeFinish() {
+	if a.finished || !a.acked || a.outstanding > 0 {
+		return
+	}
+	a.finished = true
+	a.tr.Finish()
+}
+
+// groupState is the plane's per-owning-group server state.
+type groupState struct {
+	p        *Plane
+	ref      GroupRef
+	replicas map[int]bool
+	topics   []*Topic
+	// pending maps replication request ids to their publish attempts;
+	// inflight suppresses duplicate submissions of a tag already in
+	// the replication pipeline.
+	pending  map[uint64]*pubAttempt
+	inflight map[replication.ClientSeq]bool
+	// hist is each replica's durable history: node → topic → the last
+	// HistoryDepth samples in apply order. Identical at every replica
+	// that applied the same prefix; state transfer ships a donor's
+	// copy to rejoiners.
+	hist map[int]map[string][]Sample
+
+	requests, blocked, redirects, dups int
+}
+
+// Messages. Payload structs carry attempt pointers: the plane is a
+// single-process simulation, and the pointer is the propagation format
+// the shard plane already established for pending state.
+type (
+	pubMsg struct {
+		Topic string
+		Value int64
+		From  int
+		Att   *pubAttempt
+	}
+	ackMsg struct {
+		Att *pubAttempt
+	}
+	deliverMsg struct {
+		S      Sample
+		Sub    int
+		Replay bool
+		Span   trace.SpanRef
+		Att    *pubAttempt
+	}
+	catchupMsg struct {
+		Topic string
+		Sub   int
+		From  int
+	}
+	catchupAck struct {
+		Topic string
+		Sub   int
+	}
+	beMsg struct {
+		S Sample
+	}
+)
+
+// Plane is one pub/sub data-distribution plane over a shard set.
+type Plane struct {
+	eng *simkern.Engine
+	net *netsim.Network
+	cfg Config
+
+	topics map[string]*Topic
+	order  []*Topic
+	pubs   []*Publisher
+	subs   []*Subscriber
+
+	groups map[int]*groupState
+	// subsAt dispatches the per-node deliver port; ackBound/subBound
+	// track which nodes already have their port bound.
+	subsAt   map[int][]*Subscriber
+	ackBound map[int]bool
+	subBound map[int]bool
+
+	be        *rbcast.Service
+	bePending map[uint64]*pubAttempt
+
+	nodeSet map[int]bool
+	started bool
+}
+
+// NewPlane builds an empty plane over the given ring groups. Nothing
+// is bound or hooked until the first topic is declared: a plane with
+// no topics is behaviorally invisible.
+func NewPlane(eng *simkern.Engine, net *netsim.Network, cfg Config) (*Plane, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("pubsub: plane needs a name")
+	}
+	if cfg.ShardFor == nil {
+		return nil, fmt.Errorf("pubsub: plane %q needs a ring mapping", cfg.Name)
+	}
+	if len(cfg.Groups) == 0 {
+		return nil, fmt.Errorf("pubsub: plane %q needs at least one replication group", cfg.Name)
+	}
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("pubsub: plane %q needs a node universe", cfg.Name)
+	}
+	if cfg.RetryEvery <= 0 {
+		cfg.RetryEvery = DefaultRetryEvery
+	}
+	if cfg.BestEffortF <= 0 {
+		cfg.BestEffortF = 1
+	}
+	p := &Plane{
+		eng:       eng,
+		net:       net,
+		cfg:       cfg,
+		topics:    make(map[string]*Topic),
+		groups:    make(map[int]*groupState),
+		subsAt:    make(map[int][]*Subscriber),
+		ackBound:  make(map[int]bool),
+		subBound:  make(map[int]bool),
+		bePending: make(map[uint64]*pubAttempt),
+		nodeSet:   make(map[int]bool, len(cfg.Nodes)),
+	}
+	for _, n := range cfg.Nodes {
+		p.nodeSet[n] = true
+	}
+	return p, nil
+}
+
+func (p *Plane) reqPort() string { return "pubsub." + p.cfg.Name + ".req" }
+func (p *Plane) ackPort() string { return "pubsub." + p.cfg.Name + ".ack" }
+func (p *Plane) subPort() string { return "pubsub." + p.cfg.Name + ".sub" }
+
+// Topic declares one topic under a QoS contract. Reliable topics bind
+// the owning group's server side on first use.
+func (p *Plane) Topic(name string, qos QoS) (*Topic, error) {
+	if p.started {
+		return nil, fmt.Errorf("pubsub: topic %q declared after the plane started", name)
+	}
+	if name == "" {
+		return nil, fmt.Errorf("pubsub: topic needs a name")
+	}
+	if _, dup := p.topics[name]; dup {
+		return nil, fmt.Errorf("pubsub: duplicate topic %q", name)
+	}
+	if qos.Reliability == 0 {
+		qos.Reliability = Reliable
+	}
+	if err := qos.Validate(name); err != nil {
+		return nil, err
+	}
+	shard := p.cfg.ShardFor(name)
+	t := &Topic{name: name, qos: qos, shard: shard}
+	m := p.eng.Metrics()
+	t.mPub = m.Counter("pubsub." + name + ".published")
+	t.mDeliver = m.Counter("pubsub." + name + ".delivered")
+	t.mDrop = m.Counter("pubsub." + name + ".dropped")
+	t.mMiss = m.Counter("pubsub." + name + ".deadline_miss")
+	t.mLat = m.Hist("pubsub." + name + ".latency")
+	if qos.Reliability == Reliable {
+		gs, err := p.group(shard)
+		if err != nil {
+			return nil, err
+		}
+		gs.topics = append(gs.topics, t)
+		t.gs = gs
+	}
+	p.topics[name] = t
+	p.order = append(p.order, t)
+	return t, nil
+}
+
+// group lazily builds the server state of one owning group: request
+// port on every replica, apply hook, durable-history state transfer,
+// and the view/merge watchers.
+func (p *Plane) group(shard int) (*groupState, error) {
+	if gs := p.groups[shard]; gs != nil {
+		return gs, nil
+	}
+	var ref GroupRef
+	found := false
+	for _, g := range p.cfg.Groups {
+		if g.Index == shard {
+			ref, found = g, true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("pubsub: plane %q has no replication group at ring position %d", p.cfg.Name, shard)
+	}
+	gs := &groupState{
+		p:        p,
+		ref:      ref,
+		replicas: make(map[int]bool, len(ref.Nodes)),
+		pending:  make(map[uint64]*pubAttempt),
+		inflight: make(map[replication.ClientSeq]bool),
+		hist:     make(map[int]map[string][]Sample),
+	}
+	for _, n := range ref.Nodes {
+		gs.replicas[n] = true
+		node := n
+		p.net.Bind(node, p.reqPort(), func(m *netsim.Message) { p.handleReq(gs, node, m) })
+	}
+	ref.Rep.OnApplyHook(func(node int, reqID uint64, _ int64) { p.onApply(gs, node, reqID) })
+	ref.Mem.RegisterState("pubsub."+p.cfg.Name+"."+ref.Name,
+		func(donor, _ int) any { return gs.snapshot(donor) },
+		func(node int, data any) { gs.restore(node, data) })
+	ref.Mem.OnChange(func(v membership.View) { gs.onView(v) })
+	ref.Mem.OnMerge(func(mg membership.Merge) { gs.onMerge(mg) })
+	p.groups[shard] = gs
+	return gs, nil
+}
+
+// PublisherAt registers a publisher for topic at node. The topic must
+// be declared first — publishing into an undeclared topic is a
+// configuration error, not a runtime drop.
+func (p *Plane) PublisherAt(topic string, node int) (*Publisher, error) {
+	t, err := p.endpoint("publisher", topic, node)
+	if err != nil {
+		return nil, err
+	}
+	pub := &Publisher{p: p, t: t, id: uint64(len(p.pubs)), node: node, pending: make(map[uint64]*pubAttempt)}
+	if !p.ackBound[node] {
+		p.ackBound[node] = true
+		n := node
+		p.net.Bind(n, p.ackPort(), func(m *netsim.Message) { p.handleAck(n, m) })
+	}
+	t.pubs = append(t.pubs, pub)
+	p.pubs = append(p.pubs, pub)
+	return pub, nil
+}
+
+// SubscriberAt registers a subscriber for topic at node, active from
+// the start of the run (SetJoinAt turns it into a late joiner).
+func (p *Plane) SubscriberAt(topic string, node int) (*Subscriber, error) {
+	t, err := p.endpoint("subscriber", topic, node)
+	if err != nil {
+		return nil, err
+	}
+	s := &Subscriber{p: p, t: t, id: len(p.subs), node: node, active: true, seen: make(map[sampleKey]bool)}
+	if !p.subBound[node] {
+		p.subBound[node] = true
+		n := node
+		p.net.Bind(n, p.subPort(), func(m *netsim.Message) { p.handleDeliver(n, m) })
+	}
+	t.subs = append(t.subs, s)
+	p.subs = append(p.subs, s)
+	p.subsAt[node] = append(p.subsAt[node], s)
+	return s, nil
+}
+
+// endpoint validates one endpoint registration, loudly.
+func (p *Plane) endpoint(kind, topic string, node int) (*Topic, error) {
+	t := p.topics[topic]
+	if t == nil {
+		names := make([]string, 0, len(p.order))
+		for _, d := range p.order {
+			names = append(names, d.name)
+		}
+		return nil, fmt.Errorf("pubsub: %s for undeclared topic %q (declared topics: %s)",
+			kind, topic, strings.Join(names, ", "))
+	}
+	if p.started {
+		return nil, fmt.Errorf("pubsub: %s for topic %q registered after the plane started", kind, topic)
+	}
+	if !p.nodeSet[node] {
+		return nil, fmt.Errorf("pubsub: %s for topic %q at unknown node %d", kind, topic, node)
+	}
+	return t, nil
+}
+
+// Start arms the plane: the best-effort broadcast service (when any
+// best-effort topic exists) and the late-joiner schedules. Idempotent;
+// the cluster calls it at run start.
+func (p *Plane) Start() {
+	if p.started {
+		return
+	}
+	p.started = true
+	needBE := false
+	for _, t := range p.order {
+		if t.qos.Reliability == BestEffort {
+			needBE = true
+		}
+	}
+	if needBE {
+		cfg := rbcast.DefaultConfig(p.net, p.cfg.Nodes, p.cfg.BestEffortF)
+		// The default round budgets one message's worst-case path.
+		// Best-effort topics ride under open-loop storms where flood
+		// copies queue behind each other on the receive CPUs, so pad the
+		// round with a queueing allowance — the delivery bound must hold
+		// for a copy that arrives behind a burst, not just a lone one.
+		cfg.Round += 2 * vtime.Millisecond
+		p.be = rbcast.New(p.eng, p.net, "pubsub."+p.cfg.Name, cfg)
+		for _, n := range p.cfg.Nodes {
+			node := n
+			p.be.OnDeliver(node, func(d rbcast.Delivery) { p.onBE(node, d) })
+		}
+	}
+	for _, s := range p.subs {
+		if s.joinAt > 0 {
+			s.active = false
+			sub := s
+			p.eng.At(s.joinAt, eventq.ClassApp, func() { sub.join() })
+		}
+	}
+}
+
+// Started reports whether the plane has been armed.
+func (p *Plane) Started() bool { return p.started }
+
+// Topics returns the declared topics, declaration order.
+func (p *Plane) Topics() []*Topic { return append([]*Topic(nil), p.order...) }
+
+// ---------------------------------------------------------------------
+// Publisher
+
+// Publisher is one topic endpoint producing samples.
+type Publisher struct {
+	p    *Plane
+	t    *Topic
+	id   uint64
+	node int
+
+	seq       uint64
+	pending   map[uint64]*pubAttempt // seq → attempt, reliable path
+	published []Sample
+	acked     int
+	onAck     func(seq uint64)
+}
+
+// Node returns the publisher's node.
+func (pub *Publisher) Node() int { return pub.node }
+
+// Topic returns the publisher's topic.
+func (pub *Publisher) Topic() *Topic { return pub.t }
+
+// ID returns the plane-wide publisher id.
+func (pub *Publisher) ID() uint64 { return pub.id }
+
+// Published returns every sample this publisher produced, in order.
+func (pub *Publisher) Published() []Sample { return append([]Sample(nil), pub.published...) }
+
+// Acked returns the count of completed publishes.
+func (pub *Publisher) Acked() int { return pub.acked }
+
+// Unacked returns the count of publishes still in flight.
+func (pub *Publisher) Unacked() int { return len(pub.published) - pub.acked }
+
+// OnAck registers a completion callback (per-seq).
+func (pub *Publisher) OnAck(fn func(seq uint64)) { pub.onAck = fn }
+
+// Publish produces one sample. Reliable topics submit it to the
+// owning group and retransmit until acked; best-effort topics
+// broadcast fire-and-forget — neither path ever blocks the caller.
+func (pub *Publisher) Publish(value int64) uint64 { return pub.PublishDone(value, nil) }
+
+// PublishDone is Publish with a completion callback: invoked at the
+// replication ack (reliable) or at the broadcast's origin delivery
+// (best-effort). A sample lost to a best-effort drop never completes.
+func (pub *Publisher) PublishDone(value int64, done func()) uint64 {
+	p := pub.p
+	pub.seq++
+	s := Sample{Topic: pub.t.name, Pub: pub.id, Seq: pub.seq, Value: value, PublishedAt: p.eng.Now()}
+	pub.published = append(pub.published, s)
+	pub.t.published++
+	pub.t.mPub.Inc()
+
+	tr := p.eng.Tracer().Begin("pubsub.publish", pub.t.shard)
+	tr.SetLabelKey(pub.t.name, s.Seq, pub.node)
+	att := &pubAttempt{pub: pub, s: s, tr: tr, ref: tr.Ref(), outstanding: -1, done: done}
+	if pub.t.qos.Reliability == BestEffort {
+		att.wire = att.ref.Span("rbcast", trace.LayerWire)
+		if p.be == nil {
+			panic("pubsub: best-effort publish before plane start")
+		}
+		bseq, _ := p.be.Broadcast(pub.node, beMsg{S: s})
+		p.bePending[bseq] = att
+		return s.Seq
+	}
+
+	att.wire = att.ref.Span("pub.wire", trace.LayerWire)
+	pub.pending[s.Seq] = att
+	pub.send(att)
+	var rearm func()
+	rearm = func() {
+		if att.acked {
+			return
+		}
+		att.retries++
+		att.ref.Instant("retry %d", att.retries)
+		pub.send(att)
+		p.eng.After(p.cfg.RetryEvery, eventq.ClassApp, rearm)
+	}
+	p.eng.After(p.cfg.RetryEvery, eventq.ClassApp, rearm)
+	return s.Seq
+}
+
+// send transmits (or retransmits) one reliable publish to the owning
+// group's current primary.
+func (pub *Publisher) send(att *pubAttempt) {
+	p := pub.p
+	target := pub.t.gs.ref.Rep.Primary()
+	env := pubMsg{Topic: pub.t.name, Value: att.s.Value, From: pub.node, Att: att}
+	if target == pub.node {
+		// Co-located with the primary: a direct call, no wire hop.
+		p.handleReq(pub.t.gs, target, &netsim.Message{From: pub.node, Payload: env})
+		return
+	}
+	_, _ = p.net.Send(pub.node, target, p.reqPort(), env, 48)
+}
+
+// ---------------------------------------------------------------------
+// Subscriber
+
+// Subscriber is one topic endpoint consuming samples.
+type Subscriber struct {
+	p    *Plane
+	t    *Topic
+	id   int
+	node int
+
+	joinAt vtime.Time
+	active bool
+	// caughtUp stops the late joiner's catch-up retransmit loop.
+	caughtUp bool
+
+	seen       map[sampleKey]bool
+	deliveries []Delivery
+	suppressed int
+	// backlog counts fan-out sends skipped because this subscriber's
+	// node was down; the next view install drops (and records) it.
+	backlog   int
+	onDeliver func(Delivery)
+}
+
+// Node returns the subscriber's node.
+func (s *Subscriber) Node() int { return s.node }
+
+// Topic returns the subscriber's topic.
+func (s *Subscriber) Topic() *Topic { return s.t }
+
+// ID returns the plane-wide subscriber id.
+func (s *Subscriber) ID() int { return s.id }
+
+// Deliveries returns the recorded deliveries, arrival order.
+func (s *Subscriber) Deliveries() []Delivery { return append([]Delivery(nil), s.deliveries...) }
+
+// Suppressed returns the count of redundant copies dedup collapsed.
+func (s *Subscriber) Suppressed() int { return s.suppressed }
+
+// JoinTime returns the subscriber's join instant (zero = from start).
+func (s *Subscriber) JoinTime() vtime.Time { return s.joinAt }
+
+// OnDeliver registers a delivery callback.
+func (s *Subscriber) OnDeliver(fn func(Delivery)) { s.onDeliver = fn }
+
+// SetJoinAt turns the subscriber into a late joiner: inactive until t,
+// then registered live, and — on durable topics — caught up from the
+// owning primary's history ring.
+func (s *Subscriber) SetJoinAt(t vtime.Time) error {
+	if s.p.started {
+		return fmt.Errorf("pubsub: subscriber %d joinAt set after the plane started", s.id)
+	}
+	if t <= 0 {
+		return fmt.Errorf("pubsub: subscriber %d needs a positive joinAt (got %s)", s.id, t)
+	}
+	s.joinAt = t
+	return nil
+}
+
+// join activates a late joiner and starts durable catch-up.
+func (s *Subscriber) join() {
+	p := s.p
+	s.active = true
+	if log := p.eng.Log(); log != nil {
+		log.Recordf(p.eng.Now(), monitor.KindCatchUp, s.node, "pubsub."+s.t.name,
+			"subscriber %d joined late", s.id)
+	}
+	if s.t.qos.Durable {
+		s.catchup()
+	}
+}
+
+// catchup requests the durable history from the owning primary,
+// retransmitting until the catch-up ack lands.
+func (s *Subscriber) catchup() {
+	if s.caughtUp {
+		return
+	}
+	p := s.p
+	target := s.t.gs.ref.Rep.Primary()
+	env := catchupMsg{Topic: s.t.name, Sub: s.id, From: s.node}
+	if target == s.node {
+		p.handleReq(s.t.gs, target, &netsim.Message{From: s.node, Payload: env})
+	} else {
+		_, _ = p.net.Send(s.node, target, p.reqPort(), env, 24)
+	}
+	p.eng.After(p.cfg.RetryEvery, eventq.ClassApp, func() { s.catchup() })
+}
+
+// deliver records one sample arrival (dedup first, then deadline QoS,
+// then the fan-out completion bookkeeping).
+func (s *Subscriber) deliver(sample Sample, replay bool, att *pubAttempt) {
+	if !s.active {
+		return
+	}
+	k := sample.key()
+	if s.seen[k] {
+		s.suppressed++
+		s.t.suppressed++
+		if att != nil {
+			att.maybeFinish()
+		}
+		return
+	}
+	s.seen[k] = true
+	p := s.p
+	now := p.eng.Now()
+	lat := now.Sub(sample.PublishedAt)
+	d := Delivery{Sample: sample, At: now, Latency: lat, Replay: replay}
+	s.deliveries = append(s.deliveries, d)
+	s.t.delivered++
+	s.t.mDeliver.Inc()
+	s.t.mLat.Observe(int64(lat))
+	if replay {
+		s.t.replayed++
+	} else if dl := s.t.qos.Deadline; dl > 0 && lat > dl {
+		s.t.deadlineMiss++
+		s.t.mMiss.Inc()
+		if log := p.eng.Log(); log != nil {
+			log.Recordf(now, monitor.KindDeadlineMiss, s.node, "pubsub."+s.t.name,
+				"sample p%d#%d latency %s > bound %s", sample.Pub, sample.Seq, lat, dl)
+		}
+	}
+	if att != nil {
+		if att.outstanding > 0 {
+			att.outstanding--
+		}
+		att.maybeFinish()
+	}
+	if s.onDeliver != nil {
+		s.onDeliver(d)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Server side (owning-group replicas)
+
+// handleReq serves one request arriving at replica node: a publish
+// (admit into the replicated machine, or re-ack a dedup hit) or a
+// durable catch-up request.
+func (p *Plane) handleReq(gs *groupState, node int, m *netsim.Message) {
+	if p.net.NodeDown(node) {
+		return
+	}
+	switch env := m.Payload.(type) {
+	case pubMsg:
+		p.handlePub(gs, node, env)
+	case catchupMsg:
+		p.handleCatchup(gs, node, env)
+	}
+}
+
+// handlePub admits one reliable publish at replica node.
+func (p *Plane) handlePub(gs *groupState, node int, env pubMsg) {
+	att := env.Att
+	t := p.topics[env.Topic]
+	if t == nil || att == nil {
+		return
+	}
+	gs.requests++
+	if !gs.ref.Mem.HasQuorum(node) {
+		// Stale-view rejection: serving from a minority could ack a
+		// sample the merge view discards. The publisher's retry loop
+		// finds the majority primary.
+		gs.blocked++
+		att.ref.Instant("blocked at n%d: no quorum", node)
+		return
+	}
+	if prim := gs.ref.Rep.Primary(); node != prim {
+		gs.redirects++
+		att.ref.Instant("not primary at n%d (primary n%d)", node, prim)
+		return
+	}
+	tag := sampleTag(att.s)
+	if sm := gs.ref.Rep.Machine(node); sm != nil {
+		if _, dup := sm.Seen[tag]; dup {
+			// A retry of a sample the machine already applied: answer
+			// from the dedup table, never re-apply.
+			gs.dups++
+			p.sendAck(node, att)
+			return
+		}
+	}
+	if gs.inflight[tag] {
+		return // already in the replication pipeline; its apply acks
+	}
+	gs.inflight[tag] = true
+	att.server = node
+	att.wire.End()
+	att.repl = att.ref.Span("replicate."+gs.ref.Name, trace.LayerReplicate)
+	reqID := gs.ref.Rep.SubmitTagged(node, env.Value, tag)
+	gs.pending[reqID] = att
+}
+
+// sampleTag is the sample's replicated dedup tag: the pub/sub tag
+// space keeps it disjoint from kv clients and the transaction layer.
+func sampleTag(s Sample) replication.ClientSeq {
+	return replication.ClientSeq{Client: TagSpace | (s.Pub + 1), Seq: s.Seq}
+}
+
+// handleCatchup replays the durable history ring to a late joiner.
+func (p *Plane) handleCatchup(gs *groupState, node int, env catchupMsg) {
+	if env.Sub < 0 || env.Sub >= len(p.subs) {
+		return
+	}
+	sub := p.subs[env.Sub]
+	if sub.caughtUp || !gs.ref.Mem.HasQuorum(node) || node != gs.ref.Rep.Primary() {
+		return
+	}
+	h := gs.hist[node][env.Topic]
+	for _, s := range h {
+		p.sendDeliver(node, sub, s, true, trace.SpanRef{}, nil)
+	}
+	if log := p.eng.Log(); log != nil {
+		log.Recordf(p.eng.Now(), monitor.KindCatchUp, node, "pubsub."+env.Topic,
+			"replayed %d samples to late joiner %d@n%d", len(h), env.Sub, sub.node)
+	}
+	if node == sub.node {
+		sub.caughtUp = true
+		return
+	}
+	_, _ = p.net.Send(node, sub.node, p.subPort(), catchupAck{Topic: env.Topic, Sub: env.Sub}, 16)
+}
+
+// onApply is the owning group's apply hook: every replica that freshly
+// applies a sample appends it to its durable history and fans it out
+// to the registered subscribers. The serving replica additionally acks
+// the publisher and opens the fan-out trace spans.
+func (p *Plane) onApply(gs *groupState, node int, reqID uint64) {
+	att := gs.pending[reqID]
+	if att == nil {
+		return
+	}
+	t := p.topics[att.s.Topic]
+	if t == nil {
+		return
+	}
+	// The tag landed in the replicated dedup table: retries are now
+	// answered from it, so the in-pipeline guard can retire.
+	delete(gs.inflight, sampleTag(att.s))
+	if t.qos.Durable {
+		byTopic := gs.hist[node]
+		if byTopic == nil {
+			byTopic = make(map[string][]Sample)
+			gs.hist[node] = byTopic
+		}
+		h := append(byTopic[t.name], att.s)
+		if over := len(h) - t.qos.HistoryDepth; over > 0 {
+			h = append([]Sample(nil), h[over:]...)
+		}
+		byTopic[t.name] = h
+	}
+	serving := node == att.server
+	if serving && att.outstanding < 0 {
+		// Count the subscribers this fan-out is expected to reach so
+		// the publish trace can close when the last delivery lands.
+		n := 0
+		for _, sub := range t.subs {
+			if sub.active && !p.net.NodeDown(sub.node) {
+				n++
+			}
+		}
+		att.outstanding = n
+		att.repl.End()
+	}
+	for _, sub := range t.subs {
+		if !sub.active {
+			continue
+		}
+		if p.net.NodeDown(sub.node) {
+			if serving {
+				sub.backlog++
+			}
+			continue
+		}
+		var span trace.SpanRef
+		if serving {
+			span = att.ref.Span(fmt.Sprintf("fanout.n%d", sub.node), trace.LayerWire)
+		}
+		p.sendDeliver(node, sub, att.s, false, span, att)
+	}
+	if serving {
+		p.sendAck(node, att)
+	}
+}
+
+// sendAck answers the publisher from replica node.
+func (p *Plane) sendAck(node int, att *pubAttempt) {
+	if att.pub.node == node {
+		p.handleAck(node, &netsim.Message{From: node, Payload: ackMsg{Att: att}})
+		return
+	}
+	_, _ = p.net.Send(node, att.pub.node, p.ackPort(), ackMsg{Att: att}, 24)
+}
+
+// sendDeliver ships one sample to one subscriber (direct call when
+// co-located with the sending replica).
+func (p *Plane) sendDeliver(from int, sub *Subscriber, s Sample, replay bool, span trace.SpanRef, att *pubAttempt) {
+	env := deliverMsg{S: s, Sub: sub.id, Replay: replay, Span: span, Att: att}
+	if from == sub.node {
+		p.handleDeliver(from, &netsim.Message{From: from, Payload: env})
+		return
+	}
+	_, _ = p.net.Send(from, sub.node, p.subPort(), env, 48)
+}
+
+// handleAck completes one reliable publish at the publisher's node.
+func (p *Plane) handleAck(node int, m *netsim.Message) {
+	env, ok := m.Payload.(ackMsg)
+	if !ok || env.Att == nil || p.net.NodeDown(node) {
+		return
+	}
+	att := env.Att
+	if att.acked {
+		return
+	}
+	att.acked = true
+	pub := att.pub
+	delete(pub.pending, att.s.Seq)
+	pub.acked++
+	pub.t.acked++
+	att.maybeFinish()
+	if att.done != nil {
+		att.done()
+	}
+	if pub.onAck != nil {
+		pub.onAck(att.s.Seq)
+	}
+}
+
+// handleDeliver dispatches one fan-out (or replay) arrival at a
+// subscriber node.
+func (p *Plane) handleDeliver(node int, m *netsim.Message) {
+	if p.net.NodeDown(node) {
+		return
+	}
+	switch env := m.Payload.(type) {
+	case deliverMsg:
+		if env.Sub < 0 || env.Sub >= len(p.subs) {
+			return
+		}
+		env.Span.End()
+		p.subs[env.Sub].deliver(env.S, env.Replay, env.Att)
+	case catchupAck:
+		if env.Sub >= 0 && env.Sub < len(p.subs) {
+			p.subs[env.Sub].caughtUp = true
+		}
+	}
+}
+
+// onBE handles one best-effort broadcast delivery at node: the origin
+// completes its publish; every hosted subscriber of the topic takes a
+// delivery.
+func (p *Plane) onBE(node int, d rbcast.Delivery) {
+	env, ok := d.Payload.(beMsg)
+	if !ok {
+		return
+	}
+	if node == d.Origin {
+		if att := p.bePending[d.Seq]; att != nil {
+			delete(p.bePending, d.Seq)
+			att.wire.End()
+			att.acked = true
+			att.outstanding = 0
+			att.maybeFinish()
+			att.pub.acked++
+			att.pub.t.acked++
+			if att.done != nil {
+				att.done()
+			}
+			if att.pub.onAck != nil {
+				att.pub.onAck(att.s.Seq)
+			}
+		}
+	}
+	for _, sub := range p.subsAt[node] {
+		if sub.t.name == env.S.Topic {
+			sub.deliver(env.S, false, nil)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Group state: views, merges, state transfer
+
+// onView drops (and records) the backlog of subscribers that are down
+// at a view install: the eviction discards what fan-out could not
+// deliver.
+func (gs *groupState) onView(v membership.View) {
+	p := gs.p
+	// A round in flight across the view boundary either applied (the
+	// dedup table answers its retries) or was flushed with the old view
+	// (the retry must be allowed to resubmit) — the in-pipeline guard
+	// is stale either way.
+	gs.inflight = make(map[replication.ClientSeq]bool)
+	for _, t := range gs.topics {
+		for _, sub := range t.subs {
+			if sub.backlog > 0 && p.net.NodeDown(sub.node) {
+				t.dropped += sub.backlog
+				t.mDrop.Add(int64(sub.backlog))
+				if log := p.eng.Log(); log != nil {
+					log.Recordf(p.eng.Now(), monitor.KindSampleDrop, sub.node, "pubsub."+t.name,
+						"dropped %d backlogged samples at %s (subscriber %d down)", sub.backlog, v, sub.id)
+				}
+				sub.backlog = 0
+			}
+		}
+	}
+}
+
+// onMerge replays every durable topic's history to its subscribers
+// after a partition heals: a subscriber cut off with the minority
+// missed the majority's applies, and dedup suppresses the copies the
+// others already saw.
+func (gs *groupState) onMerge(_ membership.Merge) {
+	p := gs.p
+	prim := gs.ref.Rep.Primary()
+	if p.net.NodeDown(prim) {
+		return
+	}
+	for _, t := range gs.topics {
+		if !t.qos.Durable {
+			continue
+		}
+		h := gs.hist[prim][t.name]
+		if len(h) == 0 {
+			continue
+		}
+		replayed := 0
+		for _, sub := range t.subs {
+			if !sub.active || p.net.NodeDown(sub.node) {
+				continue
+			}
+			for _, s := range h {
+				p.sendDeliver(prim, sub, s, true, trace.SpanRef{}, nil)
+			}
+			replayed++
+		}
+		if replayed > 0 {
+			if log := p.eng.Log(); log != nil {
+				log.Recordf(p.eng.Now(), monitor.KindCatchUp, prim, "pubsub."+t.name,
+					"merge replay: %d samples to %d subscribers", len(h), replayed)
+			}
+		}
+	}
+}
+
+// snapshot freezes a donor replica's durable histories for a join
+// state transfer.
+func (gs *groupState) snapshot(donor int) any {
+	src := gs.hist[donor]
+	out := make(map[string][]Sample, len(src))
+	for topic, h := range src {
+		out[topic] = append([]Sample(nil), h...)
+	}
+	return out
+}
+
+// restore installs a shipped history snapshot at a rejoined replica.
+func (gs *groupState) restore(node int, data any) {
+	snap, ok := data.(map[string][]Sample)
+	if !ok {
+		return
+	}
+	in := make(map[string][]Sample, len(snap))
+	for topic, h := range snap {
+		in[topic] = append([]Sample(nil), h...)
+	}
+	gs.hist[node] = in
+}
+
+// History returns one replica's durable ring for a topic (oldest
+// first).
+func (p *Plane) History(topic string, node int) []Sample {
+	t := p.topics[topic]
+	if t == nil || t.gs == nil {
+		return nil
+	}
+	return append([]Sample(nil), t.gs.hist[node][topic]...)
+}
+
+// ---------------------------------------------------------------------
+// Stats
+
+// Stats distills one topic's account.
+func (t *Topic) Stats() TopicStats {
+	st := TopicStats{
+		Name: t.name, Shard: t.shard, QoS: t.qos,
+		Publishers: len(t.pubs), Subscribers: len(t.subs),
+		Published: t.published, Acked: t.acked,
+		Delivered: t.delivered, Suppressed: t.suppressed, Replayed: t.replayed,
+		Dropped: t.dropped, DeadlineMiss: t.deadlineMiss,
+	}
+	if t.gs != nil && t.qos.Durable {
+		st.HistoryLen = len(t.gs.hist[t.gs.ref.Rep.Primary()][t.name])
+	}
+	return st
+}
+
+// Stats distills every topic's account, declaration order.
+func (p *Plane) Stats() []TopicStats {
+	out := make([]TopicStats, len(p.order))
+	for i, t := range p.order {
+		out[i] = t.Stats()
+	}
+	return out
+}
+
+// Subscribers returns a topic's subscribers, registration order.
+func (p *Plane) Subscribers(topic string) []*Subscriber {
+	t := p.topics[topic]
+	if t == nil {
+		return nil
+	}
+	return append([]*Subscriber(nil), t.subs...)
+}
+
+// Publishers returns a topic's publishers, registration order.
+func (p *Plane) Publishers(topic string) []*Publisher {
+	t := p.topics[topic]
+	if t == nil {
+		return nil
+	}
+	return append([]*Publisher(nil), t.pubs...)
+}
+
+// DeliveryLog renders every subscriber's delivery sequence as one
+// deterministic text block — the byte-comparison surface for the
+// determinism tests.
+func (p *Plane) DeliveryLog() string {
+	var sb strings.Builder
+	for _, s := range p.subs {
+		fmt.Fprintf(&sb, "sub %d topic %s node %d:\n", s.id, s.t.name, s.node)
+		for _, d := range s.deliveries {
+			flag := ""
+			if d.Replay {
+				flag = " replay"
+			}
+			fmt.Fprintf(&sb, "  p%d#%d v%d at %s lat %s%s\n", d.Pub, d.Seq, d.Value, d.At, d.Latency, flag)
+		}
+	}
+	return sb.String()
+}
+
+// sortedTopicNames returns the declared topic names, sorted (for
+// deterministic error text).
+func (p *Plane) sortedTopicNames() []string {
+	names := make([]string, 0, len(p.topics))
+	for n := range p.topics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,81 @@
+package pubsub
+
+import (
+	"strings"
+	"testing"
+
+	"hades/internal/vtime"
+)
+
+// TestParseReliability maps every accepted spelling and rejects the
+// rest loudly.
+func TestParseReliability(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Reliability
+		err  bool
+	}{
+		{"", Reliable, false},
+		{"reliable", Reliable, false},
+		{"bestEffort", BestEffort, false},
+		{"best-effort", BestEffort, false},
+		{"BestEffort", 0, true},
+		{"exactly-once", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseReliability(tc.in)
+		if tc.err {
+			if err == nil {
+				t.Errorf("ParseReliability(%q) accepted", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseReliability(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseReliability(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestQoSValidate is the contract table: the invalid combinations each
+// fail with a message naming the offending field, and the valid ones
+// pass.
+func TestQoSValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		qos     QoS
+		wantErr string // "" = accepted
+	}{
+		{"reliable plain", QoS{Reliability: Reliable}, ""},
+		{"best-effort plain", QoS{Reliability: BestEffort}, ""},
+		{"reliable with deadline", QoS{Reliability: Reliable, Deadline: 10 * vtime.Millisecond}, ""},
+		{"durable with history", QoS{Reliability: Reliable, Durable: true, HistoryDepth: 4}, ""},
+		{"zero reliability", QoS{}, "invalid reliability"},
+		{"negative deadline", QoS{Reliability: Reliable, Deadline: -vtime.Millisecond}, "negative deadline"},
+		{"negative history", QoS{Reliability: Reliable, HistoryDepth: -1}, "negative historyDepth"},
+		{"durable best-effort", QoS{Reliability: BestEffort, Durable: true, HistoryDepth: 4},
+			"needs reliable delivery"},
+		{"durable zero history", QoS{Reliability: Reliable, Durable: true}, "needs historyDepth >= 1"},
+		{"history without durable", QoS{Reliability: Reliable, HistoryDepth: 4}, "without durable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.qos.Validate("t")
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid contract rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid contract accepted: %+v", tc.qos)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q missing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -129,6 +129,35 @@ func Diff(old, new *Report, th Thresholds) *DiffReport {
 			d.Removed = append(d.Removed, "latency."+k)
 		}
 	}
+
+	// Per-generator attribution rows: shared load rows compare their
+	// own percentiles under the same latency thresholds. Baselines
+	// written before load rows carried latency hold zeros there, which
+	// classify as Added — an enriched report never regresses an old
+	// baseline structurally.
+	oldLoads := make(map[string]LoadStat, len(old.Loads))
+	for _, l := range old.Loads {
+		oldLoads[l.Name] = l
+	}
+	newLoads := make(map[string]bool, len(new.Loads))
+	for _, l := range new.Loads {
+		newLoads[l.Name] = true
+		o, ok := oldLoads[l.Name]
+		if !ok {
+			d.Added = append(d.Added, "loads."+l.Name)
+			continue
+		}
+		pre := "loads." + l.Name + "."
+		d.classify(pre+"p50_ns", float64(o.P50Ns), float64(l.P50Ns), th.P50, true)
+		d.classify(pre+"p99_ns", float64(o.P99Ns), float64(l.P99Ns), th.P99, true)
+		d.classify(pre+"p999_ns", float64(o.P999Ns), float64(l.P999Ns), th.P999, true)
+		d.classify(pre+"max_ns", float64(o.MaxNs), float64(l.MaxNs), th.Max, true)
+	}
+	for name := range oldLoads {
+		if !newLoads[name] {
+			d.Removed = append(d.Removed, "loads."+name)
+		}
+	}
 	sortDeltas(d.Regressions)
 	sortDeltas(d.Improvements)
 	sortDeltas(d.Unchanged)

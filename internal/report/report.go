@@ -100,14 +100,24 @@ type ShardStat struct {
 	Applied    int64  `json:"applied"`
 }
 
-// LoadStat is one attached load generator's account.
+// LoadStat is one attached load generator's account, carrying the
+// generator's own completion-latency distribution — per-generator
+// attribution, where the Latency rows aggregate by op class and shard
+// (coexisting pub/sub, kv and txn generators separate here).
 type LoadStat struct {
 	Name     string `json:"name"`
 	Mode     string `json:"mode"`     // "closed" | "open"
-	Workload string `json:"workload"` // "kv" | "txn"
+	Workload string `json:"workload"` // "kv" | "txn" | "pubsub"
 	Sessions int    `json:"sessions,omitempty"`
 	Offered  int64  `json:"offered"`
 	Acked    int64  `json:"acked"`
+	// Latency percentiles over this generator's completions, virtual
+	// nanoseconds; all zero when nothing completed.
+	P50Ns  int64 `json:"p50_ns,omitempty"`
+	P99Ns  int64 `json:"p99_ns,omitempty"`
+	P999Ns int64 `json:"p999_ns,omitempty"`
+	MaxNs  int64 `json:"max_ns,omitempty"`
+	MeanNs int64 `json:"mean_ns,omitempty"`
 }
 
 // SLOOutcome is one probe's verdict.
@@ -204,7 +214,7 @@ func (r *Report) Validate() error {
 		return fmt.Errorf("negative throughput counts (%d offered, %d achieved)",
 			r.Throughput.Offered, r.Throughput.Achieved)
 	}
-	if r.Throughput.Achieved > 0 && len(r.Latency) == 0 {
+	if r.Throughput.Achieved > 0 && len(r.Latency) == 0 && !r.hasLoadLatency() {
 		return fmt.Errorf("achieved ops but no latency rows")
 	}
 	seen := make(map[string]bool, len(r.Latency))
@@ -221,5 +231,30 @@ func (r *Report) Validate() error {
 			return fmt.Errorf("latency row %q with negative fields", k)
 		}
 	}
+	loads := make(map[string]bool, len(r.Loads))
+	for _, l := range r.Loads {
+		if l.Name == "" {
+			return fmt.Errorf("load row without a name")
+		}
+		if loads[l.Name] {
+			return fmt.Errorf("duplicate load row %q", l.Name)
+		}
+		loads[l.Name] = true
+		if l.P50Ns < 0 || l.P99Ns < 0 || l.P999Ns < 0 || l.MaxNs < 0 || l.MeanNs < 0 {
+			return fmt.Errorf("load row %q with negative latency fields", l.Name)
+		}
+	}
 	return nil
+}
+
+// hasLoadLatency reports whether any load row carries its own latency
+// attribution — runs whose only latency surface is per-generator (the
+// trace plane disabled or classless) still validate.
+func (r *Report) hasLoadLatency() bool {
+	for _, l := range r.Loads {
+		if l.P50Ns > 0 || l.MaxNs > 0 {
+			return true
+		}
+	}
+	return false
 }

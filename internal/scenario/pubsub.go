@@ -1,0 +1,305 @@
+package scenario
+
+import (
+	"fmt"
+
+	"hades/internal/cluster"
+	"hades/internal/load"
+	"hades/internal/pubsub"
+	"hades/internal/vtime"
+)
+
+// PubSubSpec declares the QoS-aware publish-subscribe plane over the
+// scenario's sharded data plane (it requires a shards block: topics
+// map onto the same consistent-hash ring, reliable topics ride the
+// owning shard's replicated machine). Topics declare QoS contracts;
+// publishers and subscribers pin endpoints to nodes; Load attaches
+// open/closed-loop generators whose sessions publish to the declared
+// topics instead of submitting kv commands.
+type PubSubSpec struct {
+	Topics      []TopicSpec      `json:"topics"`
+	Publishers  []PublisherSpec  `json:"publishers,omitempty"`
+	Subscribers []SubscriberSpec `json:"subscribers,omitempty"`
+	// Load drives topics with the load plane: Keys lists the target
+	// topics (declaration order = zipf rank), workload is implicitly
+	// "pubsub", and nodes may be anywhere — publishers co-locate with
+	// replicas legally.
+	Load []LoadSpec `json:"load,omitempty"`
+}
+
+// TopicSpec declares one topic and its QoS contract.
+type TopicSpec struct {
+	Name string `json:"name"`
+	// Reliability is "reliable" (the default: exactly-once through the
+	// owning shard's replicated machine) or "bestEffort" (raw reliable
+	// broadcast: never blocks on the data plane, may drop under churn).
+	Reliability string `json:"reliability,omitempty"`
+	// DeadlineMs bounds publish→deliver latency: a live delivery past
+	// the bound raises a DeadlineMiss monitor violation (0 = no bound).
+	DeadlineMs float64 `json:"deadlineMs,omitempty"`
+	// HistoryDepth is the durable ring length (requires durable).
+	HistoryDepth int `json:"historyDepth,omitempty"`
+	// Durable retains the last HistoryDepth samples inside the owning
+	// replicated machine — late joiners catch up from it, and it rides
+	// state transfer through crash recovery and partition merge.
+	// Requires reliable with historyDepth >= 1.
+	Durable bool `json:"durable,omitempty"`
+}
+
+// qos lowers the topic spec to the pubsub QoS contract, loudly.
+func (t TopicSpec) qos() (pubsub.QoS, error) {
+	rel, err := pubsub.ParseReliability(t.Reliability)
+	if err != nil {
+		return pubsub.QoS{}, fmt.Errorf("topic %q: %v", t.Name, err)
+	}
+	q := pubsub.QoS{
+		Reliability:  rel,
+		Deadline:     msd(t.DeadlineMs),
+		HistoryDepth: t.HistoryDepth,
+		Durable:      t.Durable,
+	}
+	return q, q.Validate(t.Name)
+}
+
+// PublisherSpec places one publisher: one sample every SubmitEveryMs
+// from the run start, Count samples in total (0 = the whole horizon).
+type PublisherSpec struct {
+	Topic         string  `json:"topic"`
+	Node          int     `json:"node"`
+	SubmitEveryMs float64 `json:"submitEveryMs"`
+	Count         int     `json:"count,omitempty"`
+}
+
+// SubscriberSpec places one subscriber; JoinAtMs > 0 makes it a late
+// joiner that activates mid-run and catches up from the durable
+// history of its topic's owning shard.
+type SubscriberSpec struct {
+	Topic    string  `json:"topic"`
+	Node     int     `json:"node"`
+	JoinAtMs float64 `json:"joinAtMs,omitempty"`
+}
+
+// validatePubSub rejects malformed pubsub blocks loudly: QoS contract
+// violations (delegated to pubsub.QoS.Validate), endpoints on
+// undeclared topics or unknown nodes, non-positive publish intervals,
+// late joins outside the horizon, and load generators targeting
+// undeclared topics. loadNames carries every generator name declared
+// elsewhere in the spec so cross-block duplicates fail here.
+func (s Spec) validatePubSub(loadNames map[string]bool) error {
+	ps := s.PubSub
+	if ps == nil {
+		return nil
+	}
+	if s.Shards == nil {
+		return fmt.Errorf("scenario %q: pubsub block requires a shards block (topics map onto the shard ring)", s.Name)
+	}
+	if len(ps.Topics) == 0 {
+		return fmt.Errorf("scenario %q: pubsub block declares no topics", s.Name)
+	}
+	topics := map[string]bool{}
+	for i, t := range ps.Topics {
+		if t.Name == "" {
+			return fmt.Errorf("scenario %q: pubsub topic %d unnamed", s.Name, i)
+		}
+		if topics[t.Name] {
+			return fmt.Errorf("scenario %q: duplicate pubsub topic %q", s.Name, t.Name)
+		}
+		topics[t.Name] = true
+		if _, err := t.qos(); err != nil {
+			return fmt.Errorf("scenario %q: %v", s.Name, err)
+		}
+	}
+	for i, pb := range ps.Publishers {
+		if !topics[pb.Topic] {
+			return fmt.Errorf("scenario %q: pubsub publisher %d on undeclared topic %q", s.Name, i, pb.Topic)
+		}
+		if pb.Node < 0 || pb.Node >= s.Nodes {
+			return fmt.Errorf("scenario %q: pubsub publisher %d on unknown node %d (have %d)", s.Name, i, pb.Node, s.Nodes)
+		}
+		if pb.SubmitEveryMs <= 0 {
+			return fmt.Errorf("scenario %q: pubsub publisher %d needs a positive submitEveryMs", s.Name, i)
+		}
+		if pb.Count < 0 {
+			return fmt.Errorf("scenario %q: pubsub publisher %d has negative count %d", s.Name, i, pb.Count)
+		}
+	}
+	subsAt := map[string]bool{}
+	for i, sb := range ps.Subscribers {
+		if !topics[sb.Topic] {
+			return fmt.Errorf("scenario %q: pubsub subscriber %d on undeclared topic %q", s.Name, i, sb.Topic)
+		}
+		if sb.Node < 0 || sb.Node >= s.Nodes {
+			return fmt.Errorf("scenario %q: pubsub subscriber %d on unknown node %d (have %d)", s.Name, i, sb.Node, s.Nodes)
+		}
+		key := fmt.Sprintf("%s@%d", sb.Topic, sb.Node)
+		if subsAt[key] {
+			return fmt.Errorf("scenario %q: two pubsub subscribers for topic %q on node %d", s.Name, sb.Topic, sb.Node)
+		}
+		subsAt[key] = true
+		if sb.JoinAtMs < 0 {
+			return fmt.Errorf("scenario %q: pubsub subscriber %d joins at negative instant %gms", s.Name, i, sb.JoinAtMs)
+		}
+		if sb.JoinAtMs >= s.HorizonMs {
+			return fmt.Errorf("scenario %q: pubsub subscriber %d joins at %gms, past the %gms horizon", s.Name, i, sb.JoinAtMs, s.HorizonMs)
+		}
+	}
+	for i, ls := range ps.Load {
+		if ls.Name == "" {
+			return fmt.Errorf("scenario %q: pubsub load %d unnamed", s.Name, i)
+		}
+		if loadNames[ls.Name] {
+			return fmt.Errorf("scenario %q: duplicate load %q (metric series would collide)", s.Name, ls.Name)
+		}
+		loadNames[ls.Name] = true
+		switch ls.Mode {
+		case "", "closed", "open":
+		default:
+			return fmt.Errorf("scenario %q: pubsub load %q has unknown mode %q (want closed or open)", s.Name, ls.Name, ls.Mode)
+		}
+		switch ls.Workload {
+		case "", "pubsub":
+		default:
+			return fmt.Errorf("scenario %q: pubsub load %q has workload %q (a pubsub-block load always publishes)", s.Name, ls.Name, ls.Workload)
+		}
+		if len(ls.Nodes) == 0 {
+			return fmt.Errorf("scenario %q: pubsub load %q names no publisher nodes", s.Name, ls.Name)
+		}
+		seen := map[int]bool{}
+		for _, n := range ls.Nodes {
+			if n < 0 || n >= s.Nodes {
+				return fmt.Errorf("scenario %q: pubsub load %q on unknown node %d (have %d)", s.Name, ls.Name, n, s.Nodes)
+			}
+			if seen[n] {
+				return fmt.Errorf("scenario %q: pubsub load %q lists node %d twice", s.Name, ls.Name, n)
+			}
+			seen[n] = true
+		}
+		if len(ls.Keys) == 0 {
+			return fmt.Errorf("scenario %q: pubsub load %q names no topics in keys", s.Name, ls.Name)
+		}
+		for _, k := range ls.Keys {
+			if !topics[k] {
+				return fmt.Errorf("scenario %q: pubsub load %q targets undeclared topic %q", s.Name, ls.Name, k)
+			}
+		}
+		if ls.StartMs < 0 || ls.EndMs < 0 {
+			return fmt.Errorf("scenario %q: pubsub load %q has a negative window bound [%gms, %gms]", s.Name, ls.Name, ls.StartMs, ls.EndMs)
+		}
+		cfg := ls.config(1, s.Horizon())
+		cfg.Workload = load.Pub
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %v", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// validateGroupLoads rejects malformed group-attached generators: a
+// group load drives the group's replicated machine directly (submit at
+// the current primary, complete at the first fresh apply), so it needs
+// a replication style, only speaks the kv shape, and names no client
+// nodes. loadNames carries the names declared elsewhere in the spec.
+func (s Spec) validateGroupLoads(loadNames map[string]bool) error {
+	for _, g := range s.Groups {
+		for j, ls := range g.Load {
+			if g.Style == "" {
+				return fmt.Errorf("scenario %q: group %q attaches load but has no replication style (nothing to drive)", s.Name, g.Name)
+			}
+			if ls.Name == "" {
+				return fmt.Errorf("scenario %q: group %q load %d unnamed", s.Name, g.Name, j)
+			}
+			if loadNames[ls.Name] {
+				return fmt.Errorf("scenario %q: duplicate load %q (metric series would collide)", s.Name, ls.Name)
+			}
+			loadNames[ls.Name] = true
+			switch ls.Mode {
+			case "", "closed", "open":
+			default:
+				return fmt.Errorf("scenario %q: group load %q has unknown mode %q (want closed or open)", s.Name, ls.Name, ls.Mode)
+			}
+			switch ls.Workload {
+			case "", "kv":
+			default:
+				return fmt.Errorf("scenario %q: group load %q has workload %q (a plain replication group only serves kv commands)", s.Name, ls.Name, ls.Workload)
+			}
+			if len(ls.Nodes) > 0 {
+				return fmt.Errorf("scenario %q: group load %q names client nodes (group loads submit at the current primary; drop the nodes field)", s.Name, ls.Name)
+			}
+			if ls.StartMs < 0 || ls.EndMs < 0 {
+				return fmt.Errorf("scenario %q: group load %q has a negative window bound [%gms, %gms]", s.Name, ls.Name, ls.StartMs, ls.EndMs)
+			}
+			cfg := ls.config(1, s.Horizon())
+			if len(cfg.Keys) == 0 {
+				cfg.Keys = []string{"cmd"}
+			}
+			if err := cfg.Validate(); err != nil {
+				return fmt.Errorf("scenario %q: group %q: %v", s.Name, g.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// groupLoadSeed derives a group generator's seed: a stream disjoint
+// from the shard-plane loads' (loadSeed) and the client pickers'.
+func groupLoadSeed(seed int64, group, i int) int64 {
+	return seed*1000003 + int64(group+1)*15485863 + int64(i+1)*104729
+}
+
+// buildPubSub lowers the pubsub block onto the already-built shard
+// set: declare topics, register endpoints, lay out the publishers'
+// fixed submission schedules and attach the pubsub load generators.
+// The spec is already validated; residual errors (all reachable only
+// through spec skew) surface loudly.
+func (s Spec) buildPubSub(c *cluster.Cluster, set *cluster.ShardSet) error {
+	ps := s.PubSub
+	for _, ts := range ps.Topics {
+		q, err := ts.qos()
+		if err != nil {
+			return fmt.Errorf("scenario %q: %v", s.Name, err)
+		}
+		if _, err := set.Topic(ts.Name, q); err != nil {
+			return fmt.Errorf("scenario %q: %v", s.Name, err)
+		}
+	}
+	for _, pb := range ps.Publishers {
+		pub, err := set.PublisherAt(pb.Topic, pb.Node)
+		if err != nil {
+			return fmt.Errorf("scenario %q: %v", s.Name, err)
+		}
+		every := msd(pb.SubmitEveryMs)
+		i := 0
+		for t := vtime.Duration(0); t < s.Horizon(); t += every {
+			if pb.Count > 0 && i >= pb.Count {
+				break
+			}
+			v := int64(i + 1)
+			i++
+			c.At(vtime.Time(t), func() { pub.Publish(v) })
+		}
+	}
+	for _, sb := range ps.Subscribers {
+		sub, err := set.SubscriberAt(sb.Topic, sb.Node)
+		if err != nil {
+			return fmt.Errorf("scenario %q: %v", s.Name, err)
+		}
+		if sb.JoinAtMs > 0 {
+			if err := sub.SetJoinAt(vtime.Time(msd(sb.JoinAtMs))); err != nil {
+				return fmt.Errorf("scenario %q: %v", s.Name, err)
+			}
+		}
+	}
+	base := 0
+	if s.Shards != nil {
+		base = len(s.Shards.Load)
+	}
+	for i, ls := range ps.Load {
+		if ls.Disabled {
+			continue
+		}
+		cfg := ls.config(loadSeed(s.Seed, base+i), s.Horizon())
+		cfg.Workload = load.Pub
+		set.AttachLoad(cfg, append([]int(nil), ls.Nodes...))
+	}
+	return nil
+}

@@ -122,6 +122,11 @@ type GroupSpec struct {
 	StorageLatencyUs float64 `json:"storageLatencyUs,omitempty"`
 	SubmitEveryMs    float64 `json:"submitEveryMs,omitempty"`
 	SubmitFrom       int     `json:"submitFrom,omitempty"`
+	// Load attaches declarative generators straight to the group's
+	// replicated machine (kv shape only: submissions go to the current
+	// primary, an op completes at its first fresh apply) — the load
+	// harness without a sharded data plane. Requires a Style.
+	Load []LoadSpec `json:"load,omitempty"`
 }
 
 // RampStepSpec changes an open-loop arrival rate at an instant: from
@@ -354,7 +359,9 @@ type LoadSpec struct {
 	// (load.<name>.offered / load.<name>.acked); names must be unique.
 	Name string `json:"name"`
 	// Workload is "kv" (single-key writes, the default) or "txn"
-	// (two-key atomic transfers between consecutive key pairs).
+	// (two-key atomic transfers between consecutive key pairs). Loads
+	// declared in a pubsub block implicitly publish ("pubsub", with
+	// Keys naming the target topics).
 	Workload string `json:"workload,omitempty"`
 	// Mode is "closed" (Sessions submit→ack→think loops, the default)
 	// or "open" (Poisson arrivals at Arrival ops/sec).
@@ -411,6 +418,9 @@ func (ls LoadSpec) config(seed int64, horizon vtime.Duration) load.Config {
 	}
 	if ls.Workload == "txn" {
 		cfg.Workload = load.Txn
+	}
+	if ls.Workload == "pubsub" {
+		cfg.Workload = load.Pub
 	}
 	for _, st := range ls.Ramp {
 		cfg.Ramp = append(cfg.Ramp, load.RampStep{At: vtime.Time(msd(st.AtMs)), Rate: st.Rate})
@@ -526,6 +536,9 @@ type Spec struct {
 	// Shards declares a sharded data plane (consistent-hash routing
 	// over replication groups with a client request layer).
 	Shards *ShardsSpec `json:"shards,omitempty"`
+	// PubSub declares a QoS-aware publish-subscribe plane over the
+	// sharded data plane (requires Shards).
+	PubSub *PubSubSpec `json:"pubsub,omitempty"`
 	// Placement overrides node assignments: "task" pins a Spuri task
 	// (or every stage of a pipeline), "task/stage" pins one stage.
 	Placement map[string]int `json:"placement,omitempty"`
@@ -557,7 +570,7 @@ func Builtin(name string) (Spec, error) {
 
 // BuiltinNames lists the catalogue.
 func BuiltinNames() []string {
-	return []string{"spuri-example", "inversion", "overload", "distributed-pipeline", "membership-churn", "partition-split", "sharded-kv", "bank-transfer", "hot-shard", "load-ramp"}
+	return []string{"spuri-example", "inversion", "overload", "distributed-pipeline", "membership-churn", "partition-split", "sharded-kv", "bank-transfer", "hot-shard", "load-ramp", "sensor-fan-out"}
 }
 
 var builtins = map[string]Spec{
@@ -808,6 +821,77 @@ var builtins = map[string]Spec{
 		},
 	},
 
+	// Sensor fan-out: the pub/sub plane under fan-out, a bursty
+	// best-effort storm and a crash of the durable topic's owning
+	// primary. "telemetry" is reliable+durable (history 8, 30ms
+	// deadline): a fixed-rate publisher feeds four from-start
+	// subscribers plus a late joiner that catches up from the
+	// replicated history after the crashed primary has rejoined —
+	// exactly-once delivery and convergence to the last 8 samples are
+	// asserted by the scenario test across seeds. "sensors" is
+	// best-effort: an open-loop generator storms it from two nodes
+	// (publish latency = broadcast delivery, never a replicated round),
+	// and every deadline miss on telemetry surfaces as a monitor
+	// violation.
+	"sensor-fan-out": {
+		Name: "sensor-fan-out", Nodes: 8, Seed: 1, Costs: "default",
+		Scheduler: "EDF", Policy: "none", HorizonMs: 1000,
+		Observe: &ObserveSpec{TraceSampleRate: fptr(1.0), RetainViolations: true},
+		Shards: &ShardsSpec{
+			Count: 2, ReplicasPer: 3, Style: "semi-active",
+			// Pin the durable topic to shard 0 (whose primary crashes
+			// below) and the best-effort topic to shard 1.
+			Routes: map[string]int{"telemetry": 0, "sensors": 1},
+		},
+		PubSub: &PubSubSpec{
+			Topics: []TopicSpec{
+				// The 10ms deadline clears the healthy path (p50 ≈ 0.8ms)
+				// but not the failover window: the crash below produces
+				// real DeadlineMiss events for the monitor plane.
+				{Name: "telemetry", Reliability: "reliable", DeadlineMs: 10, HistoryDepth: 8, Durable: true},
+				{Name: "sensors", Reliability: "bestEffort"},
+			},
+			Publishers: []PublisherSpec{
+				{Topic: "telemetry", Node: 6, SubmitEveryMs: 2, Count: 300},
+			},
+			Subscribers: []SubscriberSpec{
+				{Topic: "telemetry", Node: 3},
+				{Topic: "telemetry", Node: 4},
+				{Topic: "telemetry", Node: 5},
+				{Topic: "telemetry", Node: 7},
+				// Joins after the publisher went quiet and the crashed
+				// primary rejoined: converges to the last 8 samples.
+				{Topic: "telemetry", Node: 6, JoinAtMs: 700},
+				{Topic: "sensors", Node: 1},
+				{Topic: "sensors", Node: 2},
+				{Topic: "sensors", Node: 7},
+			},
+			Load: []LoadSpec{
+				// Each broadcast floods F+1 rounds to every node, so the
+				// burst rate is sized to keep the receive CPUs below
+				// saturation (≈8 flood copies per node per publish).
+				{Name: "storm", Mode: "open", Nodes: []int{6, 7},
+					Arrival: 300, EndMs: 800,
+					Ramp: []RampStepSpec{
+						{AtMs: 400, Rate: 1000},
+						{AtMs: 550, Rate: 200},
+					},
+					Keys: []string{"sensors"}},
+			},
+		},
+		Faults: []FaultSpec{
+			// The durable topic's owning primary crashes mid-publish and
+			// rejoins with a state transfer carrying the history ring.
+			{Kind: "crash", Node: 0, AtMs: 300, RecoverMs: 600},
+		},
+		Tasks: []TaskSpec{
+			{Name: "watchdog", Law: "periodic", DeadlineMs: 40, PeriodMs: 50,
+				Stages: []StageSpec{
+					{Name: "check", Node: 7, WCETUs: 300},
+				}},
+		},
+	},
+
 	// Membership churn: a passive replicated state machine over a
 	// three-member view-synchronous group, fed by a client on node 3;
 	// the primary crashes mid-run and recovers later, exercising the
@@ -976,6 +1060,20 @@ func (s Spec) withDefaults() (Spec, error) {
 		}
 	}
 	if err := s.validateShards(); err != nil {
+		return s, err
+	}
+	// Load-generator names key metric series and report rows, so they
+	// must be unique across the shards, groups and pubsub blocks.
+	loadNames := map[string]bool{}
+	if s.Shards != nil {
+		for _, ls := range s.Shards.Load {
+			loadNames[ls.Name] = true
+		}
+	}
+	if err := s.validateGroupLoads(loadNames); err != nil {
+		return s, err
+	}
+	if err := s.validatePubSub(loadNames); err != nil {
 		return s, err
 	}
 	if o := s.Observe; o != nil {
@@ -1179,7 +1277,7 @@ func (s Spec) validateShards() error {
 		switch ls.Workload {
 		case "", "kv", "txn":
 		default:
-			return fmt.Errorf("scenario %q: load %q has unknown workload %q (want kv or txn)", s.Name, ls.Name, ls.Workload)
+			return fmt.Errorf("scenario %q: load %q has unknown workload %q (want kv or txn; pubsub loads live in the pubsub block)", s.Name, ls.Name, ls.Workload)
 		}
 		if len(ls.Nodes) == 0 {
 			return fmt.Errorf("scenario %q: load %q names no client nodes", s.Name, ls.Name)
@@ -1493,8 +1591,13 @@ func (s Spec) Build() (*cluster.Cluster, error) {
 			}
 			set.AttachLoad(ls.config(loadSeed(s.Seed, i), s.Horizon()), append([]int(nil), ls.Nodes...))
 		}
+		if s.PubSub != nil {
+			if err := s.buildPubSub(c, set); err != nil {
+				return nil, err
+			}
+		}
 	}
-	for _, gs := range s.Groups {
+	for gi, gs := range s.Groups {
 		g := c.Group(gs.Name, gs.Nodes...)
 		if gs.Style == "" {
 			continue
@@ -1523,6 +1626,13 @@ func (s Spec) Build() (*cluster.Cluster, error) {
 				cmd := seq
 				c.At(vtime.Time(t), func() { rep.Submit(from, cmd) })
 			}
+		}
+		for j, ls := range gs.Load {
+			if ls.Disabled {
+				continue
+			}
+			cfg := ls.config(groupLoadSeed(s.Seed, gi, j), s.Horizon())
+			g.AttachLoad(cfg)
 		}
 	}
 	return c, nil
